@@ -1,0 +1,46 @@
+"""Micro-benchmarks of the individual algorithms on a fixed census projection.
+
+Useful for tracking absolute per-algorithm cost (complement to the figure
+benchmarks, which time whole sweeps).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._config import BENCH_CONFIG
+from repro.baselines import hilbert, mondrian, tds
+from repro.core import hybrid, three_phase
+from repro.dataset.synthetic import CensusConfig, make_sal
+from repro.metrics.kl import kl_divergence
+
+_L = 6
+
+
+def _table():
+    config = CensusConfig.scaled(BENCH_CONFIG.domain_scale)
+    base = make_sal(BENCH_CONFIG.n, seed=BENCH_CONFIG.seed, config=config)
+    return base.project(base.schema.qi_names[: BENCH_CONFIG.base_dimension])
+
+
+_RUNNERS = {
+    "TP": lambda table: three_phase.anonymize(table, _L).generalized,
+    "TP+": lambda table: hybrid.anonymize(table, _L).generalized,
+    "Hilbert": lambda table: hilbert.anonymize(table, _L).generalized,
+    "TDS": lambda table: tds.anonymize(table, _L).generalized,
+    "Mondrian": lambda table: mondrian.anonymize(table, _L).generalized,
+}
+
+
+@pytest.mark.parametrize("name", list(_RUNNERS), ids=list(_RUNNERS))
+def test_algorithm_micro_benchmark(benchmark, name):
+    table = _table()
+    generalized = benchmark.pedantic(lambda: _RUNNERS[name](table), rounds=1, iterations=1)
+    assert generalized.is_l_diverse(_L)
+
+
+def test_kl_metric_benchmark(benchmark):
+    table = _table()
+    generalized = hybrid.anonymize(table, _L).generalized
+    value = benchmark.pedantic(lambda: kl_divergence(table, generalized), rounds=1, iterations=1)
+    assert value >= 0.0

@@ -1,0 +1,30 @@
+"""Figure 2: average number of stars vs l (SAL-4 and OCC-4).
+
+Paper's shape: stars grow with l; TP and TP+ beat Hilbert; TP+ <= TP.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._config import BENCH_CONFIG, series_values
+from repro.experiments import figures
+
+
+@pytest.mark.parametrize("dataset", ["SAL", "OCC"])
+def test_figure2_stars_vs_l(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: figures.figure2(dataset, BENCH_CONFIG), rounds=1, iterations=1
+    )
+    print()
+    print(result.format())
+
+    hilbert = series_values(result, "Hilbert")
+    tp = series_values(result, "TP")
+    tp_plus = series_values(result, "TP+")
+    # Stars grow with l for every algorithm.
+    for values in (hilbert, tp, tp_plus):
+        assert values[0] <= values[-1]
+    # TP+ never exceeds TP, and beats Hilbert on the 4-QI workload.
+    assert all(plus <= tp_value + 1e-9 for plus, tp_value in zip(tp_plus, tp))
+    assert sum(tp_plus) < sum(hilbert)

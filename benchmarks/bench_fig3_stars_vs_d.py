@@ -1,0 +1,32 @@
+"""Figure 3: average number of stars vs d at l = 6.
+
+Paper's shape: stars grow with d (curse of dimensionality); TP beats Hilbert
+at low d but loses at high d; TP+ is the best everywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._config import BENCH_CONFIG, series_values
+from repro.experiments import figures
+
+
+@pytest.mark.parametrize("dataset", ["SAL", "OCC"])
+def test_figure3_stars_vs_d(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: figures.figure3(dataset, BENCH_CONFIG), rounds=1, iterations=1
+    )
+    print()
+    print(result.format())
+
+    hilbert = series_values(result, "Hilbert")
+    tp = series_values(result, "TP")
+    tp_plus = series_values(result, "TP+")
+    # Curse of dimensionality: more QI attributes -> more stars.
+    for values in (hilbert, tp, tp_plus):
+        assert values[0] <= values[-1] + 1e-9
+    # TP wins at the smallest d; TP+ never exceeds TP and beats Hilbert overall.
+    assert tp[0] <= hilbert[0] + 1e-9
+    assert all(plus <= tp_value + 1e-9 for plus, tp_value in zip(tp_plus, tp))
+    assert sum(tp_plus) <= sum(hilbert) + 1e-9

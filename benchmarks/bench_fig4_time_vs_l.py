@@ -1,0 +1,30 @@
+"""Figure 4: computation time vs l (SAL-4 / OCC-4).
+
+Paper's shape: TP and TP+ get slower as l grows (more tuples move to the
+residue); Hilbert's cost does not grow with l.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._config import BENCH_CONFIG, series_values
+from repro.experiments import figures
+
+
+@pytest.mark.parametrize("dataset", ["SAL", "OCC"])
+def test_figure4_time_vs_l(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: figures.figure4(dataset, BENCH_CONFIG), rounds=1, iterations=1
+    )
+    print()
+    print(result.format())
+
+    for algorithm in ("Hilbert", "TP", "TP+"):
+        values = series_values(result, algorithm)
+        assert all(value >= 0 for value in values)
+        assert len(values) == len(BENCH_CONFIG.l_values)
+    # TP+ always does at least as much work as TP (it post-processes R).
+    tp = series_values(result, "TP")
+    tp_plus = series_values(result, "TP+")
+    assert sum(tp_plus) >= sum(tp) * 0.5

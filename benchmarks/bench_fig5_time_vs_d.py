@@ -1,0 +1,26 @@
+"""Figure 5: computation time vs d at l = 4.
+
+Paper's shape: TP/TP+ cost grows with d (more residue tuples to move);
+Hilbert is largely insensitive to d.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._config import BENCH_CONFIG, series_values
+from repro.experiments import figures
+
+
+@pytest.mark.parametrize("dataset", ["SAL", "OCC"])
+def test_figure5_time_vs_d(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: figures.figure5(dataset, BENCH_CONFIG), rounds=1, iterations=1
+    )
+    print()
+    print(result.format())
+
+    for algorithm in ("Hilbert", "TP", "TP+"):
+        values = series_values(result, algorithm)
+        assert len(values) == len(BENCH_CONFIG.d_values)
+        assert all(value >= 0 for value in values)

@@ -1,0 +1,30 @@
+"""Figure 6: computation time vs dataset cardinality n at l = 6.
+
+Paper's shape: every algorithm scales (near-)linearly in n; all runs stay in
+the sub-second range at bench scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._config import BENCH_CONFIG, series_values
+from repro.experiments import figures
+
+
+@pytest.mark.parametrize("dataset", ["SAL", "OCC"])
+def test_figure6_time_vs_n(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: figures.figure6(dataset, BENCH_CONFIG), rounds=1, iterations=1
+    )
+    print()
+    print(result.format())
+
+    for algorithm in ("Hilbert", "TP", "TP+"):
+        values = series_values(result, algorithm)
+        assert len(values) == len(BENCH_CONFIG.sample_sizes)
+        # Costs grow with n but stay modest: no worse than ~quadratic blowup
+        # across a 3x increase in cardinality at this scale.
+        assert values[-1] >= 0
+        if values[0] > 0:
+            assert values[-1] / values[0] < 40

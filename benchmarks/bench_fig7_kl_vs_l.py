@@ -1,0 +1,26 @@
+"""Figure 7: KL-divergence vs l — TP+ against the TDS single-dimensional baseline.
+
+Paper's shape: TP+ incurs (much) lower KL-divergence than TDS for every l,
+and the divergence of TP+ grows with l.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._config import BENCH_CONFIG, series_values
+from repro.experiments import figures
+
+
+@pytest.mark.parametrize("dataset", ["SAL", "OCC"])
+def test_figure7_kl_vs_l(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: figures.figure7(dataset, BENCH_CONFIG), rounds=1, iterations=1
+    )
+    print()
+    print(result.format())
+
+    tds = series_values(result, "TDS")
+    tp_plus = series_values(result, "TP+")
+    assert all(plus <= baseline + 1e-9 for plus, baseline in zip(tp_plus, tds))
+    assert tp_plus[0] <= tp_plus[-1] + 1e-9

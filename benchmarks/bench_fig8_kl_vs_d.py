@@ -1,0 +1,27 @@
+"""Figure 8: KL-divergence vs d at l = 6 — TP+ against TDS.
+
+Paper's shape: both degrade with d (curse of dimensionality); TP+ stays below
+TDS throughout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._config import BENCH_CONFIG, series_values
+from repro.experiments import figures
+
+
+@pytest.mark.parametrize("dataset", ["SAL", "OCC"])
+def test_figure8_kl_vs_d(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: figures.figure8(dataset, BENCH_CONFIG), rounds=1, iterations=1
+    )
+    print()
+    print(result.format())
+
+    tds = series_values(result, "TDS")
+    tp_plus = series_values(result, "TP+")
+    assert sum(tp_plus) <= sum(tds) + 1e-9
+    # Utility degrades as dimensionality grows.
+    assert tp_plus[0] <= tp_plus[-1] + 1e-9

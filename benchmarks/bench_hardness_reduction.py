@@ -1,0 +1,46 @@
+"""Hardness gadget benchmark: build and verify the Section 4 reduction.
+
+Not a figure of the paper, but it exercises the full hardness pipeline
+(3DM solving, table construction, Lemma 3 verification) at growing sizes so
+regressions in the gadget code are caught by the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import three_phase
+from repro.hardness import reduce_to_l_diversity, solve_3dm, verify_lemma3
+from repro.hardness.three_dm import random_instance
+from repro.hardness.verify import matching_to_generalization
+
+
+@pytest.mark.parametrize("n", [4, 8, 12])
+def test_reduction_and_verification(benchmark, n):
+    def build_and_verify():
+        instance = random_instance(n, extra_points=n // 2, seed=n, solvable=True)
+        reduced = reduce_to_l_diversity(instance, m=min(8, 3 * n))
+        matching = solve_3dm(instance)
+        generalized = matching_to_generalization(reduced, matching)
+        return reduced, generalized
+
+    reduced, generalized = benchmark.pedantic(build_and_verify, rounds=1, iterations=1)
+    assert generalized.star_count() == reduced.star_threshold
+    assert generalized.is_l_diverse(3)
+
+
+def test_tp_on_gadget_table(benchmark):
+    instance = random_instance(6, extra_points=3, seed=1, solvable=True)
+    reduced = reduce_to_l_diversity(instance, m=8)
+    result = benchmark.pedantic(
+        lambda: three_phase.anonymize(reduced.table, 3), rounds=1, iterations=1
+    )
+    assert result.generalized.is_l_diverse(3)
+    assert result.star_count >= reduced.star_threshold
+
+
+def test_lemma3_verification_small(benchmark):
+    instance = random_instance(3, extra_points=2, seed=3, solvable=True)
+    reduced = reduce_to_l_diversity(instance, m=4)
+    report = benchmark.pedantic(lambda: verify_lemma3(reduced), rounds=1, iterations=1)
+    assert report.consistent

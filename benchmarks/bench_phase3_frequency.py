@@ -1,0 +1,30 @@
+"""Section 6.1 text experiment: how often does TP need its third phase?
+
+Paper's observation: on all 128 census tables and every l in 2..10, TP
+terminates before phase three (hence returns an O(d)-approximate solution).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._config import BENCH_CONFIG
+from repro.experiments import figures
+
+
+@pytest.mark.parametrize("dataset", ["SAL", "OCC"])
+def test_phase3_frequency(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: figures.phase3_frequency(dataset, BENCH_CONFIG), rounds=1, iterations=1
+    )
+    print()
+    print(result.format())
+
+    assert result.runs == len(BENCH_CONFIG.d_values) * len(BENCH_CONFIG.l_values)
+    assert (
+        result.phase1_terminations + result.phase2_terminations + result.phase3_terminations
+        == result.runs
+    )
+    # The paper's finding: phase three is never (or almost never) reached on
+    # census-like workloads.
+    assert result.phase3_fraction <= 0.05

@@ -1,0 +1,17 @@
+"""Setup shim for environments without PEP 517 build isolation (offline installs)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'The Hardness and Approximation Algorithms for "
+        "L-Diversity' (EDBT 2010)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy", "networkx"],
+    entry_points={"console_scripts": ["ldiversity = repro.cli:main"]},
+)

@@ -1,0 +1,51 @@
+"""Reproduction of *The Hardness and Approximation Algorithms for L-Diversity*.
+
+This package implements, from scratch, the system described in Xiao, Yi and
+Tao (EDBT 2010):
+
+* the three-phase approximation algorithm ``TP`` for l-diverse suppression
+  (:mod:`repro.core.three_phase`) and the hybrid ``TP+``
+  (:mod:`repro.core.hybrid`);
+* exact algorithms used to validate the approximation guarantees
+  (:mod:`repro.core.matching`, :mod:`repro.core.exact`);
+* the NP-hardness reduction from 3-dimensional matching
+  (:mod:`repro.hardness`);
+* the Hilbert and TDS baselines of the paper's evaluation
+  (:mod:`repro.baselines`);
+* the census-like synthetic datasets, utility metrics and experiment harness
+  that regenerate every figure of the evaluation section
+  (:mod:`repro.dataset`, :mod:`repro.metrics`, :mod:`repro.experiments`).
+
+Quickstart
+----------
+
+>>> from repro import datasets, three_phase
+>>> table = datasets.hospital_microdata()
+>>> result = three_phase.anonymize(table, l=2)
+>>> result.generalized.is_l_diverse(2)
+True
+"""
+
+from repro.core import exact, hybrid, matching, three_phase
+from repro.core.three_phase import ThreePhaseResult, anonymize
+from repro.dataset import examples as datasets
+from repro.dataset.generalized import STAR, GeneralizedTable, Partition
+from repro.dataset.table import Attribute, Schema, Table
+
+__all__ = [
+    "Attribute",
+    "GeneralizedTable",
+    "Partition",
+    "STAR",
+    "Schema",
+    "Table",
+    "ThreePhaseResult",
+    "anonymize",
+    "datasets",
+    "exact",
+    "hybrid",
+    "matching",
+    "three_phase",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,17 @@
+"""Baseline anonymization algorithms used in the paper's evaluation.
+
+* :mod:`repro.baselines.hilbert` — the suppression-adapted Hilbert-curve
+  heuristic of Ghinita et al. [16], the strongest existing suppression
+  baseline in Section 6.1 and the refiner inside TP+;
+* :mod:`repro.baselines.tds` — the top-down specialisation (TDS)
+  single-dimensional generalization algorithm of Fung et al. [15], modified
+  for l-diversity as in Section 6.2;
+* :mod:`repro.baselines.hierarchy` — generalization taxonomies used by TDS;
+* :mod:`repro.baselines.mondrian` — a multi-dimensional generalization
+  baseline (LeFevre et al. [27]), discussed qualitatively in Section 6.2 and
+  included here as an extension experiment.
+"""
+
+from repro.baselines import hierarchy, hilbert, mondrian, tds
+
+__all__ = ["hierarchy", "hilbert", "mondrian", "tds"]

@@ -1,0 +1,143 @@
+"""Generalization taxonomies (hierarchies) for single-dimensional generalization.
+
+Single-dimensional generalization (Section 2) coarsens each QI attribute by
+replacing values with sub-domains drawn from a taxonomy over the attribute's
+domain.  The census attributes used in the paper have no published
+hierarchies, so — as is standard practice — we build balanced taxonomies over
+the ordered domains: every node covers a contiguous range of codes and has at
+most ``fanout`` children.  Ordered attributes (Age, Education) therefore
+generalize into natural intervals, and nominal attributes into small groups
+of related codes.
+
+The taxonomy API is deliberately minimal: the TDS baseline only needs to know
+each node's children, its covered codes, and its width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataset.table import Attribute
+
+__all__ = ["TaxonomyNode", "Taxonomy"]
+
+
+@dataclass(frozen=True)
+class TaxonomyNode:
+    """A node covering the contiguous code range ``[lo, hi)``."""
+
+    node_id: int
+    lo: int
+    hi: int
+    parent_id: int | None
+    children: tuple[int, ...]
+    depth: int
+
+    @property
+    def width(self) -> int:
+        """Number of domain codes covered by the node."""
+        return self.hi - self.lo
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class Taxonomy:
+    """A balanced generalization hierarchy over a categorical domain."""
+
+    def __init__(self, nodes: list[TaxonomyNode], domain_size: int) -> None:
+        self._nodes = nodes
+        self._domain_size = domain_size
+
+    # --------------------------------------------------------------- building
+
+    @classmethod
+    def balanced(cls, domain_size: int, fanout: int = 3) -> "Taxonomy":
+        """Build a balanced taxonomy with at most ``fanout`` children per node."""
+        if domain_size < 1:
+            raise ValueError(f"domain_size must be >= 1, got {domain_size}")
+        if fanout < 2:
+            raise ValueError(f"fanout must be >= 2, got {fanout}")
+        nodes: list[TaxonomyNode] = []
+
+        def build(lo: int, hi: int, parent_id: int | None, depth: int) -> int:
+            node_id = len(nodes)
+            nodes.append(TaxonomyNode(node_id, lo, hi, parent_id, (), depth))
+            width = hi - lo
+            if width > 1:
+                children: list[int] = []
+                # Split the range into ``fanout`` near-equal contiguous parts.
+                parts = min(fanout, width)
+                base, extra = divmod(width, parts)
+                start = lo
+                for part in range(parts):
+                    size = base + (1 if part < extra else 0)
+                    children.append(build(start, start + size, node_id, depth + 1))
+                    start += size
+                nodes[node_id] = TaxonomyNode(
+                    node_id, lo, hi, parent_id, tuple(children), depth
+                )
+            return node_id
+
+        build(0, domain_size, None, 0)
+        return cls(nodes, domain_size)
+
+    @classmethod
+    def for_attribute(cls, attribute: Attribute, fanout: int = 3) -> "Taxonomy":
+        """Balanced taxonomy over an attribute's (ordered) domain."""
+        return cls.balanced(attribute.size, fanout=fanout)
+
+    # ----------------------------------------------------------------- access
+
+    @property
+    def root_id(self) -> int:
+        return 0
+
+    @property
+    def domain_size(self) -> int:
+        return self._domain_size
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, node_id: int) -> TaxonomyNode:
+        return self._nodes[node_id]
+
+    def children(self, node_id: int) -> tuple[int, ...]:
+        return self._nodes[node_id].children
+
+    def is_leaf(self, node_id: int) -> bool:
+        return self._nodes[node_id].is_leaf
+
+    def width(self, node_id: int) -> int:
+        return self._nodes[node_id].width
+
+    def codes_under(self, node_id: int) -> range:
+        node = self._nodes[node_id]
+        return range(node.lo, node.hi)
+
+    def leaf_for_code(self, code: int) -> int:
+        """The leaf node covering exactly ``code``."""
+        node_id = self.root_id
+        while not self.is_leaf(node_id):
+            for child_id in self.children(node_id):
+                child = self._nodes[child_id]
+                if child.lo <= code < child.hi:
+                    node_id = child_id
+                    break
+            else:  # pragma: no cover - contiguous children always cover the range
+                raise ValueError(f"code {code} not covered by taxonomy")
+        return node_id
+
+    def child_covering(self, node_id: int, code: int) -> int:
+        """The child of ``node_id`` whose range contains ``code``."""
+        for child_id in self.children(node_id):
+            child = self._nodes[child_id]
+            if child.lo <= code < child.hi:
+                return child_id
+        raise ValueError(f"code {code} not covered by children of node {node_id}")
+
+    def height(self) -> int:
+        """Maximum depth of any node."""
+        return max(node.depth for node in self._nodes)

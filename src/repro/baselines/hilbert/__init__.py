@@ -1,0 +1,20 @@
+"""Hilbert-curve based l-diverse suppression (the paper's ``Hilbert`` baseline)."""
+
+from repro.baselines.hilbert.anonymizer import (
+    HilbertResult,
+    anonymize,
+    hilbert_order,
+    hilbert_refiner,
+    partition_rows,
+)
+from repro.baselines.hilbert.curve import hilbert_index, hilbert_indices
+
+__all__ = [
+    "HilbertResult",
+    "anonymize",
+    "hilbert_index",
+    "hilbert_indices",
+    "hilbert_order",
+    "hilbert_refiner",
+    "partition_rows",
+]

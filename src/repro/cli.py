@@ -1,0 +1,162 @@
+"""Command-line interface.
+
+Three sub-commands:
+
+``ldiversity anonymize``
+    Anonymize a CSV file with one of the implemented algorithms and write the
+    published table back to CSV (stars rendered as ``*``).
+``ldiversity evaluate``
+    Anonymize a CSV file with several algorithms and print the standard
+    metrics side by side.
+``ldiversity experiment``
+    Re-run one of the paper's figures (or the phase-3 frequency census) at a
+    chosen scale and print the resulting series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from collections.abc import Sequence
+
+from repro.dataset.table import Table
+from repro.experiments import figures
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import ALGORITHMS, format_records, run_algorithm
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = {
+    "figure2": figures.figure2,
+    "figure3": figures.figure3,
+    "figure4": figures.figure4,
+    "figure5": figures.figure5,
+    "figure6": figures.figure6,
+    "figure7": figures.figure7,
+    "figure8": figures.figure8,
+}
+
+_SCALES = {
+    "smoke": ExperimentConfig.smoke,
+    "default": ExperimentConfig.default,
+    "paper": ExperimentConfig.paper_scale,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ldiversity",
+        description="l-diversity anonymization (EDBT 2010 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    anonymize = subparsers.add_parser("anonymize", help="anonymize a CSV file")
+    _add_io_arguments(anonymize)
+    anonymize.add_argument(
+        "--algorithm",
+        choices=sorted(ALGORITHMS),
+        default="TP+",
+        help="anonymization algorithm (default: TP+)",
+    )
+    anonymize.add_argument("--output", required=True, help="path of the published CSV")
+
+    evaluate = subparsers.add_parser("evaluate", help="compare algorithms on a CSV file")
+    _add_io_arguments(evaluate)
+    evaluate.add_argument(
+        "--algorithms",
+        default="TP,TP+,Hilbert",
+        help="comma-separated list of algorithms (default: TP,TP+,Hilbert)",
+    )
+    evaluate.add_argument(
+        "--kl", action="store_true", help="also compute the KL-divergence utility metric"
+    )
+
+    experiment = subparsers.add_parser("experiment", help="re-run one of the paper's figures")
+    experiment.add_argument(
+        "name",
+        choices=sorted(_FIGURES) + ["phase3"],
+        help="which experiment to run",
+    )
+    experiment.add_argument("--dataset", choices=["SAL", "OCC"], default="SAL")
+    experiment.add_argument("--scale", choices=sorted(_SCALES), default="smoke")
+    experiment.add_argument(
+        "--csv", default=None, help="also write the series to this CSV file"
+    )
+    return parser
+
+
+def _add_io_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--input", required=True, help="input CSV file with a header row")
+    parser.add_argument("--qi", required=True, help="comma-separated quasi-identifier columns")
+    parser.add_argument("--sa", required=True, help="sensitive attribute column")
+    parser.add_argument("--l", type=int, required=True, help="diversity parameter l (>= 2)")
+
+
+def _load_table(arguments: argparse.Namespace) -> Table:
+    qi_names = [name.strip() for name in arguments.qi.split(",") if name.strip()]
+    return Table.from_csv(arguments.input, qi_names, arguments.sa)
+
+
+def _command_anonymize(arguments: argparse.Namespace) -> int:
+    table = _load_table(arguments)
+    record = run_algorithm(arguments.algorithm, table, arguments.l)
+    output = ALGORITHMS[arguments.algorithm](table, arguments.l)
+    names = list(table.schema.qi_names) + [table.schema.sensitive.name]
+    with open(arguments.output, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=names)
+        writer.writeheader()
+        for row in output.generalized.decoded_records():
+            writer.writerow({name: _render(row[name]) for name in names})
+    print(format_records([record]))
+    print(f"published table written to {arguments.output}")
+    return 0
+
+
+def _render(value: object) -> object:
+    if isinstance(value, tuple):
+        return "{" + "|".join(str(item) for item in value) + "}"
+    return value
+
+
+def _command_evaluate(arguments: argparse.Namespace) -> int:
+    table = _load_table(arguments)
+    names = [name.strip() for name in arguments.algorithms.split(",") if name.strip()]
+    records = [
+        run_algorithm(name, table, arguments.l, dataset=arguments.input, with_kl=arguments.kl)
+        for name in names
+    ]
+    print(format_records(records))
+    return 0
+
+
+def _command_experiment(arguments: argparse.Namespace) -> int:
+    config = _SCALES[arguments.scale]()
+    if arguments.name == "phase3":
+        result = figures.phase3_frequency(dataset=arguments.dataset, config=config)
+        print(result.format())
+        return 0
+    figure = _FIGURES[arguments.name](dataset=arguments.dataset, config=config)
+    print(figure.format())
+    if arguments.csv:
+        figure.to_csv(arguments.csv)
+        print(f"series written to {arguments.csv}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point (returns a process exit code)."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    if arguments.command == "anonymize":
+        return _command_anonymize(arguments)
+    if arguments.command == "evaluate":
+        return _command_evaluate(arguments)
+    if arguments.command == "experiment":
+        return _command_experiment(arguments)
+    parser.error(f"unknown command {arguments.command!r}")
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""The paper's primary contribution: the three-phase l-diversity algorithm.
+
+Modules
+-------
+
+``eligibility``
+    l-eligibility and pillar primitives (Definition 2 and Section 5.2).
+``groups``
+    Multiset state of a QI-group / residue set with O(1) pillar maintenance,
+    the Python counterpart of the inverted lists of Section 5.5.
+``state``
+    The joint algorithm state: all QI-groups plus the residue set ``R``.
+``phase1`` / ``phase2`` / ``phase3``
+    The three phases of Section 5.
+``three_phase``
+    The TP driver: runs the phases, assembles the partition, reports stats.
+``hybrid``
+    TP+: TP followed by heuristic refinement of the residue set.
+``matching``
+    Exact optimum for ``l = 2`` via minimum-weight perfect matching (Section 4).
+``exact``
+    Brute-force optimal star/tuple minimization for tiny tables (testing aid).
+``bounds``
+    Lower bounds and approximation-ratio certificates (Corollary 2, Lemma 2).
+"""
+
+from repro.core import bounds, eligibility, exact, hybrid, matching, three_phase
+
+__all__ = ["bounds", "eligibility", "exact", "hybrid", "matching", "three_phase"]

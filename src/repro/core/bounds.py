@@ -1,0 +1,102 @@
+"""Lower bounds and approximation-ratio certificates.
+
+The paper's analysis yields cheap, instance-specific lower bounds on the
+optimum that make the approximation guarantees *checkable at run time*:
+
+* Corollary 1 (first half): any l-diverse solution removes at least
+  ``|R.|`` tuples, where ``R.`` is the residue after phase one;
+* Corollary 2: ``OPT >= l * h(R.)``;
+* Lemma 2: a λ-approximation for tuple minimization is a ``λ * d``
+  approximation for star minimization, and each suppressed tuple contributes
+  at least one star, so ``OPT_stars >= OPT_tuples``.
+
+:func:`certificate` packages those bounds together with the achieved
+objective values so tests, examples and the experiment harness can report
+*proved* upper bounds on the realised approximation ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.phase1 import run_phase_one
+from repro.core.state import AlgorithmState
+from repro.dataset.table import Table
+
+__all__ = [
+    "tuple_lower_bound",
+    "star_lower_bound",
+    "theoretical_star_ratio",
+    "theoretical_tuple_ratio",
+    "RatioCertificate",
+    "certificate",
+]
+
+
+def tuple_lower_bound(table: Table, l: int) -> int:
+    """A lower bound on the optimal number of suppressed tuples (Problem 2).
+
+    Runs phase one on a scratch state and returns
+    ``max(|R.|, l * h(R.))`` (Corollaries 1 and 2).
+    """
+    state = AlgorithmState(table, l)
+    report = run_phase_one(state)
+    return max(report.residue_size, l * report.residue_height)
+
+
+def star_lower_bound(table: Table, l: int) -> int:
+    """A lower bound on the optimal number of stars (Problem 1).
+
+    Every suppressed tuple carries at least one star, so the tuple bound
+    transfers directly.
+    """
+    return tuple_lower_bound(table, l)
+
+
+def theoretical_tuple_ratio(l: int) -> int:
+    """The worst-case ratio of the TP algorithm for tuple minimization (Theorem 3)."""
+    return l
+
+
+def theoretical_star_ratio(l: int, dimension: int) -> int:
+    """The worst-case ratio of the TP algorithm for star minimization (Lemma 2)."""
+    return l * dimension
+
+
+@dataclass(frozen=True)
+class RatioCertificate:
+    """Achieved objective values together with proved lower bounds."""
+
+    l: int
+    dimension: int
+    removed_tuples: int
+    stars: int
+    tuple_bound: int
+    star_bound: int
+
+    @property
+    def tuple_ratio_upper_bound(self) -> float:
+        """A proved upper bound on the realised tuple-minimization ratio."""
+        if self.removed_tuples == 0:
+            return 1.0
+        return self.removed_tuples / self.tuple_bound if self.tuple_bound else float("inf")
+
+    @property
+    def star_ratio_upper_bound(self) -> float:
+        """A proved upper bound on the realised star-minimization ratio."""
+        if self.stars == 0:
+            return 1.0
+        return self.stars / self.star_bound if self.star_bound else float("inf")
+
+
+def certificate(table: Table, l: int, removed_tuples: int, stars: int) -> RatioCertificate:
+    """Build a :class:`RatioCertificate` for an already-computed solution."""
+    tuple_bound = tuple_lower_bound(table, l)
+    return RatioCertificate(
+        l=l,
+        dimension=table.dimension,
+        removed_tuples=removed_tuples,
+        stars=stars,
+        tuple_bound=tuple_bound,
+        star_bound=tuple_bound,
+    )

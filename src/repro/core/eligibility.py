@@ -1,0 +1,71 @@
+"""l-eligibility and pillar primitives (Definition 2, Section 5.2).
+
+A multiset ``S`` of tuples is *l-eligible* when at most ``|S| / l`` of them
+share a sensitive value, i.e. ``l * h(S) <= |S|`` where ``h(S)`` is the
+*pillar height* — the multiplicity of the most frequent sensitive value.  The
+sensitive values attaining that multiplicity are the *pillars*.
+
+These functions operate on plain ``Mapping[int, int]`` histograms so they can
+be used both on raw tables and on intermediate algorithm state, and they are
+the single source of truth the rest of the package (and the hypothesis
+property tests) rely on.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Mapping
+
+__all__ = [
+    "pillar_height",
+    "pillars",
+    "is_l_eligible",
+    "is_l_eligible_counts",
+    "eligibility_gap",
+    "merge_counts",
+]
+
+
+def pillar_height(counts: Mapping[int, int]) -> int:
+    """The multiplicity ``h(S)`` of the most frequent sensitive value (0 if empty)."""
+    return max(counts.values(), default=0)
+
+
+def pillars(counts: Mapping[int, int]) -> set[int]:
+    """The sensitive values whose multiplicity equals the pillar height."""
+    height = pillar_height(counts)
+    if height == 0:
+        return set()
+    return {value for value, count in counts.items() if count == height}
+
+
+def is_l_eligible_counts(size: int, height: int, l: int) -> bool:
+    """l-eligibility from a (size, pillar height) pair: ``l * h <= |S|``."""
+    if l < 1:
+        raise ValueError(f"l must be >= 1, got {l}")
+    return l * height <= size
+
+
+def is_l_eligible(counts: Mapping[int, int], l: int) -> bool:
+    """Whether the multiset described by ``counts`` is l-eligible (Definition 2)."""
+    size = sum(counts.values())
+    return is_l_eligible_counts(size, pillar_height(counts), l)
+
+
+def eligibility_gap(counts: Mapping[int, int], l: int) -> int:
+    """The gap ``Delta(S) = l * h(S) - |S|`` used in the phase-three analysis (Lemma 9).
+
+    Positive values mean the set is not yet l-eligible; zero or negative
+    values mean it is.
+    """
+    if l < 1:
+        raise ValueError(f"l must be >= 1, got {l}")
+    return l * pillar_height(counts) - sum(counts.values())
+
+
+def merge_counts(histograms: Iterable[Mapping[int, int]]) -> Counter[int]:
+    """Union of multisets (used to verify Lemma 1 monotonicity in tests)."""
+    merged: Counter[int] = Counter()
+    for histogram in histograms:
+        merged.update(histogram)
+    return merged

@@ -1,0 +1,142 @@
+"""Brute-force optimal l-diverse generalization for tiny tables.
+
+Star minimization is NP-hard (Theorem 1), so this module simply enumerates
+every partition of the rows into QI-groups, keeps the l-diverse ones, and
+returns the best under the requested objective.  It is exponential (Bell
+numbers) and guarded by a row-count cap; its purpose is to provide ground
+truth for the unit and property tests that validate the approximation
+guarantees of the TP algorithm (Theorems 2 and 3, Lemma 2).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.dataset.generalized import GeneralizedTable, Partition
+from repro.dataset.table import Table
+from repro.errors import IneligibleTableError
+
+__all__ = ["ExactResult", "optimal_generalization", "optimal_star_count", "optimal_tuple_count"]
+
+#: Default maximum table size accepted by the brute-force search.
+DEFAULT_MAX_ROWS = 10
+
+
+@dataclass(frozen=True)
+class ExactResult:
+    """An optimal l-diverse generalization found by exhaustive search."""
+
+    table: Table
+    l: int
+    partition: Partition
+    generalized: GeneralizedTable
+    star_count: int
+    suppressed_tuple_count: int
+
+
+def _set_partitions(items: list[int]) -> Iterator[list[list[int]]]:
+    """Enumerate all set partitions of ``items`` (standard recursive scheme)."""
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partial in _set_partitions(rest):
+        # Put ``first`` into each existing block...
+        for index in range(len(partial)):
+            yield partial[:index] + [[first] + partial[index]] + partial[index + 1:]
+        # ...or into a new block of its own.
+        yield [[first]] + partial
+
+
+def _block_is_eligible(table: Table, block: list[int], l: int) -> bool:
+    counts = Counter(table.sa_value(row) for row in block)
+    return max(counts.values()) * l <= len(block)
+
+
+def _block_cost(table: Table, block: list[int]) -> tuple[int, int]:
+    """(stars, suppressed tuples) contributed by one QI-group."""
+    dimension = table.dimension
+    starred_attributes = 0
+    first = table.qi_row(block[0])
+    for position in range(dimension):
+        value = first[position]
+        if any(table.qi_row(row)[position] != value for row in block[1:]):
+            starred_attributes += 1
+    stars = starred_attributes * len(block)
+    suppressed = len(block) if starred_attributes else 0
+    return stars, suppressed
+
+
+def optimal_generalization(
+    table: Table,
+    l: int,
+    objective: str = "stars",
+    max_rows: int = DEFAULT_MAX_ROWS,
+) -> ExactResult:
+    """Exhaustively find an optimal l-diverse generalization.
+
+    Parameters
+    ----------
+    table:
+        The microdata (at most ``max_rows`` rows).
+    l:
+        The diversity parameter.
+    objective:
+        ``"stars"`` for Problem 1 (star minimization) or ``"tuples"`` for
+        Problem 2 (tuple minimization).
+    max_rows:
+        Safety cap; enumeration is exponential in the number of rows.
+    """
+    if objective not in ("stars", "tuples"):
+        raise ValueError(f"objective must be 'stars' or 'tuples', got {objective!r}")
+    if len(table) > max_rows:
+        raise ValueError(
+            f"brute-force search limited to {max_rows} rows, table has {len(table)}"
+        )
+    if not table.is_l_eligible(l):
+        raise IneligibleTableError(f"table is not {l}-eligible; no l-diverse generalization exists")
+
+    best_blocks: list[list[int]] | None = None
+    best_key: int | None = None
+    best_costs = (0, 0)
+    rows = list(range(len(table)))
+    for blocks in _set_partitions(rows):
+        if not all(_block_is_eligible(table, block, l) for block in blocks):
+            continue
+        stars = 0
+        suppressed = 0
+        for block in blocks:
+            block_stars, block_suppressed = _block_cost(table, block)
+            stars += block_stars
+            suppressed += block_suppressed
+        key = stars if objective == "stars" else suppressed
+        if best_key is None or key < best_key:
+            best_key = key
+            best_blocks = [list(block) for block in blocks]
+            best_costs = (stars, suppressed)
+
+    assert best_blocks is not None  # the single-group partition is always l-diverse
+    partition = Partition(best_blocks, len(table))
+    generalized = GeneralizedTable.from_partition(table, partition)
+    return ExactResult(
+        table=table,
+        l=l,
+        partition=partition,
+        generalized=generalized,
+        star_count=best_costs[0],
+        suppressed_tuple_count=best_costs[1],
+    )
+
+
+def optimal_star_count(table: Table, l: int, max_rows: int = DEFAULT_MAX_ROWS) -> int:
+    """The minimum number of stars of any l-diverse generalization (Problem 1)."""
+    return optimal_generalization(table, l, objective="stars", max_rows=max_rows).star_count
+
+
+def optimal_tuple_count(table: Table, l: int, max_rows: int = DEFAULT_MAX_ROWS) -> int:
+    """The minimum number of suppressed tuples of any l-diverse generalization (Problem 2)."""
+    return optimal_generalization(
+        table, l, objective="tuples", max_rows=max_rows
+    ).suppressed_tuple_count

@@ -1,0 +1,139 @@
+"""Phase two of the three-phase algorithm (Section 5.3).
+
+Phase two grows ``|R|`` while keeping ``h(R)`` unchanged.  Each iteration
+picks the *least frequent alive* sensitive value ``v`` in ``R`` (alive means
+some alive QI-group still holds a tuple with value ``v``), finds an alive
+group containing ``v`` and either
+
+* removes one tuple with value ``v`` when the group is *fat*, or
+* removes one tuple from each of the group's pillars when the group is
+  *thin* (a thin alive group is necessarily non-conflicting).
+
+The phase ends as soon as ``R`` becomes l-eligible (additive error at most
+``l - 1`` tuples, Corollary 3) or when no alive sensitive value remains, in
+which case phase three takes over.
+
+The candidate selection mirrors the candidate list ``C`` of Section 5.5: we
+keep a lazily-updated min-heap keyed by ``h(R, v)``.  Entries are refreshed
+whenever ``h(R, v)`` changes, and values that stop being alive are discarded
+permanently — which is sound because, during phase two, groups can only die
+(they never regain tuples and the pillar set of ``R`` only grows).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.core.state import AlgorithmState
+from repro.errors import AlgorithmInvariantError
+
+__all__ = ["PhaseTwoReport", "run_phase_two"]
+
+
+@dataclass(frozen=True)
+class PhaseTwoReport:
+    """Outcome of phase two."""
+
+    #: Number of tuples moved to the residue set during this phase.
+    moved: int
+    #: Number of iterations (candidate selections) executed.
+    iterations: int
+    #: Whether ``R`` became l-eligible during this phase.
+    satisfied: bool
+
+
+def run_phase_two(state: AlgorithmState) -> PhaseTwoReport:
+    """Grow ``R`` without raising ``h(R)`` until eligible or stuck."""
+    l = state.l
+    residue = state.residue
+
+    # Which groups currently hold each sensitive value.  Sets are pruned
+    # lazily; once a value has no alive group left it can never become alive
+    # again within phase two.
+    groups_with_value: dict[int, set[int]] = {}
+    for group_id in range(state.group_count):
+        group = state.group(group_id)
+        if group.size == 0:
+            continue
+        for value in group.values_present():
+            groups_with_value.setdefault(value, set()).add(group_id)
+
+    heap: list[tuple[int, int]] = [
+        (residue.count(value), value) for value in groups_with_value
+    ]
+    heapq.heapify(heap)
+    exhausted: set[int] = set()
+
+    moved = 0
+    iterations = 0
+    while heap:
+        if state.residue_is_eligible():
+            return PhaseTwoReport(moved=moved, iterations=iterations, satisfied=True)
+        frequency, value = heapq.heappop(heap)
+        if value in exhausted:
+            continue
+        if frequency != residue.count(value):
+            # Stale entry: a fresher one was pushed when h(R, value) changed.
+            continue
+
+        group_id = _find_alive_group(state, groups_with_value[value], value)
+        if group_id is None:
+            exhausted.add(value)
+            continue
+
+        iterations += 1
+        group = state.group(group_id)
+        touched: list[int] = []
+        if group.is_fat(l):
+            state.move_to_residue(group_id, value)
+            moved += 1
+            touched.append(value)
+        else:
+            # Thin and alive, hence non-conflicting (Section 5.3).
+            pillars = sorted(group.pillars())
+            if set(pillars) & residue.pillars():
+                raise AlgorithmInvariantError(
+                    "phase two selected a thin group that conflicts with R"
+                )
+            for pillar in pillars:
+                state.move_to_residue(group_id, pillar)
+                moved += 1
+            touched.extend(pillars)
+
+        # Refresh heap entries for every value whose frequency in R changed,
+        # and re-arm the picked value if it was not itself moved.
+        for changed in touched:
+            if changed in groups_with_value and changed not in exhausted:
+                heapq.heappush(heap, (residue.count(changed), changed))
+        if value not in touched:
+            heapq.heappush(heap, (residue.count(value), value))
+
+        if state.residue_is_eligible():
+            return PhaseTwoReport(moved=moved, iterations=iterations, satisfied=True)
+
+    return PhaseTwoReport(
+        moved=moved,
+        iterations=iterations,
+        satisfied=state.residue_is_eligible(),
+    )
+
+
+def _find_alive_group(
+    state: AlgorithmState,
+    candidates: set[int],
+    value: int,
+) -> int | None:
+    """Return an alive group holding ``value``, pruning dead/empty candidates.
+
+    Pruning is permanent, which is safe during phase two: a group that died
+    (thin and conflicting) can never come back to life because groups only
+    lose tuples and the pillar set of ``R`` only grows while ``h(R)`` stays
+    constant (Lemma 5).
+    """
+    for group_id in sorted(candidates):
+        if state.group(group_id).count(value) == 0 or state.group_is_dead(group_id):
+            candidates.discard(group_id)
+            continue
+        return group_id
+    return None

@@ -1,0 +1,91 @@
+"""Residue-refinement strategies for the TP+ hybrid (Section 5.6).
+
+After TP finishes, every tuple in the residue set ``R`` would be fully
+suppressed if ``R`` were published as a single QI-group.  Section 5.6 notes
+that any heuristic algorithm can instead be applied *inside* ``R`` to split it
+into smaller l-eligible QI-groups, which can only reduce the number of stars
+(and therefore preserves the ``O(l * d)`` guarantee).
+
+A *refiner* is a callable ``refiner(table, rows, l) -> list[list[int]]`` that
+partitions ``rows`` (an l-eligible multiset) into l-eligible groups.  This
+module provides the trivial and the frequency-greedy refiners; the default
+used by TP+ — the Hilbert refiner — lives with the Hilbert baseline in
+:mod:`repro.baselines.hilbert` because it reuses the space-filling-curve
+machinery.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.core.eligibility import is_l_eligible
+from repro.dataset.table import Table
+
+__all__ = ["Refiner", "single_group_refiner", "frequency_greedy_refiner"]
+
+Refiner = Callable[[Table, Sequence[int], int], list[list[int]]]
+
+
+def single_group_refiner(table: Table, rows: Sequence[int], l: int) -> list[list[int]]:
+    """Publish the residue as one QI-group (what plain TP does)."""
+    del table, l  # the single group is eligible whenever the input multiset is
+    return [list(rows)] if rows else []
+
+
+def frequency_greedy_refiner(table: Table, rows: Sequence[int], l: int) -> list[list[int]]:
+    """Split ``rows`` into groups of ``l`` tuples with pairwise distinct SA values.
+
+    This is the classic bucketization heuristic (as used by Anatomy): while at
+    least ``l`` distinct sensitive values remain, emit a group holding one
+    tuple of each of the ``l`` currently most frequent values; the few
+    remaining tuples are then appended to groups that do not yet contain
+    their sensitive value.  When the input multiset is l-eligible this always
+    succeeds; if the defensive checks ever fail we fall back to a single
+    group, which is always valid.
+
+    The refiner ignores QI similarity entirely, which is exactly why it is
+    interesting as an ablation against the Hilbert refiner: it isolates how
+    much of TP+'s advantage comes from locality-aware grouping.
+    """
+    rows = list(rows)
+    if not rows:
+        return []
+
+    remaining: dict[int, list[int]] = {}
+    for row in rows:
+        remaining.setdefault(table.sa_value(row), []).append(row)
+
+    groups: list[list[int]] = []
+    group_values: list[set[int]] = []
+    while len(remaining) >= l:
+        most_frequent = sorted(remaining, key=lambda value: (-len(remaining[value]), value))[:l]
+        group = []
+        for value in most_frequent:
+            group.append(remaining[value].pop())
+            if not remaining[value]:
+                del remaining[value]
+        groups.append(group)
+        group_values.append({table.sa_value(row) for row in group})
+
+    leftovers = [row for bucket in remaining.values() for row in bucket]
+    if not groups:
+        return [rows]
+    for row in leftovers:
+        value = table.sa_value(row)
+        target = next(
+            (index for index, values in enumerate(group_values) if value not in values),
+            None,
+        )
+        if target is None:
+            # Extremely skewed corner case: give up on refinement, stay safe.
+            return [rows]
+        groups[target].append(row)
+        group_values[target].add(value)
+
+    from collections import Counter
+
+    for group in groups:
+        counts = Counter(table.sa_value(row) for row in group)
+        if not is_l_eligible(counts, l):
+            return [rows]
+    return groups

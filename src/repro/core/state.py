@@ -1,0 +1,148 @@
+"""Joint state of the three-phase algorithm: QI-groups plus the residue set.
+
+Section 5.1 reformulates tuple minimization as: partition the microdata into
+its natural QI-groups ``Q_1..Q_s`` (tuples agreeing on every QI attribute),
+then move the minimum number of tuples to a residue set ``R`` such that every
+``Q_i`` and ``R`` are l-eligible.  :class:`AlgorithmState` owns that state
+and the vocabulary the phases use: thin/fat, conflicting, dead/alive.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.core.groups import GroupState
+from repro.dataset.table import Table
+from repro.errors import IneligibleTableError
+
+__all__ = ["AlgorithmState"]
+
+StateFactory = Callable[[], GroupState]
+
+
+class AlgorithmState:
+    """All QI-groups and the residue set ``R`` of a run of the algorithm.
+
+    Parameters
+    ----------
+    table:
+        The microdata table.
+    l:
+        The diversity parameter.  The table must be l-eligible (Lemma 1).
+    state_factory:
+        Constructor used for the per-group multiset state; the default is the
+        inverted-list :class:`~repro.core.groups.GroupState`, the ablation
+        benchmark passes :class:`~repro.core.groups.NaiveGroupState`.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        l: int,
+        state_factory: StateFactory = GroupState,
+    ) -> None:
+        if l < 2:
+            raise ValueError(f"l must be >= 2 for anonymization, got {l}")
+        if not table.is_l_eligible(l):
+            raise IneligibleTableError(
+                f"table with {len(table)} rows is not {l}-eligible: some sensitive "
+                "value occurs more than n/l times, so no l-diverse generalization exists"
+            )
+        self._table = table
+        self._l = l
+        # Deterministic group order: sort by QI vector so runs are reproducible.
+        grouped = sorted(table.group_by_qi().items())
+        self._group_keys = [key for key, _rows in grouped]
+        self._groups = []
+        for _key, rows in grouped:
+            state = state_factory()
+            for row in rows:
+                state.add(table.sa_value(row), row)
+            self._groups.append(state)
+        self._residue = state_factory()
+
+    # ----------------------------------------------------------------- basics
+
+    @property
+    def table(self) -> Table:
+        return self._table
+
+    @property
+    def l(self) -> int:
+        return self._l
+
+    @property
+    def groups(self) -> Sequence[GroupState]:
+        return self._groups
+
+    @property
+    def residue(self) -> GroupState:
+        return self._residue
+
+    @property
+    def group_count(self) -> int:
+        """The number ``s`` of initial QI-groups."""
+        return len(self._groups)
+
+    def group(self, group_id: int) -> GroupState:
+        return self._groups[group_id]
+
+    def group_qi_vector(self, group_id: int) -> tuple[int, ...]:
+        """The (common) QI vector of the tuples initially in ``group_id``."""
+        return self._group_keys[group_id]
+
+    # -------------------------------------------------------------- movements
+
+    def move_to_residue(self, group_id: int, value: int) -> int:
+        """Move one tuple with sensitive value ``value`` from a group to ``R``.
+
+        Returns the row index of the moved tuple.  This is the only way
+        tuples ever change sides; the paper notes tuples are moved to ``R``
+        but never taken back.
+        """
+        row = self._groups[group_id].remove_one(value)
+        self._residue.add(value, row)
+        return row
+
+    # ------------------------------------------------------------ vocabulary
+
+    def group_is_thin(self, group_id: int) -> bool:
+        return self._groups[group_id].is_thin(self._l)
+
+    def group_is_fat(self, group_id: int) -> bool:
+        return self._groups[group_id].is_fat(self._l)
+
+    def conflicting_pillars(self, group_id: int) -> set[int]:
+        """``C(Q)``: pillars of the group that are also pillars of ``R``."""
+        return self._groups[group_id].pillars() & self._residue.pillars()
+
+    def group_is_conflicting(self, group_id: int) -> bool:
+        return bool(self.conflicting_pillars(group_id))
+
+    def group_is_dead(self, group_id: int) -> bool:
+        """Dead = thin and conflicting (cannot shed tuples without harm)."""
+        group = self._groups[group_id]
+        if group.size == 0:
+            return True
+        return group.is_thin(self._l) and self.group_is_conflicting(group_id)
+
+    def group_is_alive(self, group_id: int) -> bool:
+        return not self.group_is_dead(group_id)
+
+    def residue_is_eligible(self) -> bool:
+        """Inequality (1): ``|R| >= l * h(R)``."""
+        return self._residue.is_l_eligible(self._l)
+
+    # --------------------------------------------------------------- outputs
+
+    def retained_group_rows(self) -> list[list[int]]:
+        """Row-index lists of the non-empty QI-groups (zero stars each)."""
+        return [group.rows() for group in self._groups if group.size > 0]
+
+    def residue_rows(self) -> list[int]:
+        """Row indices currently in the residue set ``R``."""
+        return self._residue.rows()
+
+    def removed_tuple_count(self) -> int:
+        """``|R|``: the tuple-minimization objective."""
+        return self._residue.size

@@ -1,0 +1,13 @@
+"""Microdata substrate: tables, schemas, generalized tables and datasets."""
+
+from repro.dataset.generalized import STAR, GeneralizedTable, Partition
+from repro.dataset.table import Attribute, Schema, Table
+
+__all__ = [
+    "Attribute",
+    "GeneralizedTable",
+    "Partition",
+    "STAR",
+    "Schema",
+    "Table",
+]

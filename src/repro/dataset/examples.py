@@ -1,0 +1,154 @@
+"""Small built-in datasets: the paper's running examples and test builders.
+
+Contents:
+
+* :func:`hospital_microdata` — Table 1 of the paper (10 patients, QI
+  attributes Age/Gender/Education, SA Disease);
+* :func:`table_from_group_counts` — build a microdata table whose initial
+  QI-groups have prescribed SA-value multiplicities.  This mirrors the vector
+  notation used in the worked examples of Sections 5.3 and 5.4 (e.g.
+  ``Q1 = (3, 1, 1, 2, 3)``) and is the workhorse of the algorithm unit tests;
+* :func:`phase_two_example` and :func:`phase_three_example` — the exact
+  configurations walked through in the paper's Sections 5.3 and 5.4.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.dataset.table import Attribute, Schema, Table
+
+__all__ = [
+    "hospital_microdata",
+    "table_from_group_counts",
+    "phase_two_example",
+    "phase_three_example",
+]
+
+_HOSPITAL_RECORDS = [
+    # (Name)        Age        Gender  Education      Disease
+    ("Adam", "<30", "M", "Master", "HIV"),
+    ("Bob", "<30", "M", "Master", "HIV"),
+    ("Calvin", "<30", "M", "Bachelor", "pneumonia"),
+    ("Danny", "[30,50)", "M", "Bachelor", "bronchitis"),
+    ("Eva", "[30,50)", "F", "Bachelor", "pneumonia"),
+    ("Fiona", "[30,50)", "F", "Bachelor", "bronchitis"),
+    ("Ginny", "[30,50)", "F", "Bachelor", "bronchitis"),
+    ("Helen", "[30,50)", "F", "Bachelor", "pneumonia"),
+    ("Ivy", ">=50", "F", "High Sch.", "dyspepsia"),
+    ("Jane", ">=50", "F", "High Sch.", "pneumonia"),
+]
+
+
+def hospital_microdata() -> Table:
+    """The microdata of Table 1 in the paper.
+
+    Ten patient records with QI attributes ``Age``, ``Gender`` and
+    ``Education`` and sensitive attribute ``Disease``.  The ``Name`` column of
+    the paper is not part of the table (it only aids referencing), so it is
+    dropped here as well.
+    """
+    records = [
+        {"Age": age, "Gender": gender, "Education": education, "Disease": disease}
+        for _name, age, gender, education, disease in _HOSPITAL_RECORDS
+    ]
+    schema = Schema(
+        qi=(
+            Attribute("Age", ("<30", "[30,50)", ">=50")),
+            Attribute("Gender", ("M", "F")),
+            Attribute("Education", ("High Sch.", "Bachelor", "Master")),
+        ),
+        sensitive=Attribute(
+            "Disease", ("HIV", "pneumonia", "bronchitis", "dyspepsia")
+        ),
+    )
+    return Table.from_records(records, ("Age", "Gender", "Education"), "Disease", schema=schema)
+
+
+def hospital_patient_names() -> tuple[str, ...]:
+    """The patient names of Table 1 in row order (for display in examples)."""
+    return tuple(name for name, *_ in _HOSPITAL_RECORDS)
+
+
+def table_from_group_counts(
+    group_counts: Sequence[Sequence[int]],
+    dimension: int = 1,
+) -> Table:
+    """Build a table whose QI-groups have prescribed SA multiplicities.
+
+    Parameters
+    ----------
+    group_counts:
+        ``group_counts[g][v]`` is the number of tuples in QI-group ``g`` with
+        sensitive code ``v`` — exactly the vector notation of Section 5.3
+        (e.g. ``(3, 1, 1, 2, 3)``).  All vectors must have equal length, which
+        becomes the SA domain size ``m``.
+    dimension:
+        Number of QI attributes.  Every tuple in group ``g`` carries the QI
+        vector ``(g, g, ..., g)`` so distinct groups never collide and no
+        group costs stars before anonymization.
+    """
+    if not group_counts:
+        raise ValueError("group_counts must contain at least one group")
+    m = len(group_counts[0])
+    if any(len(vector) != m for vector in group_counts):
+        raise ValueError("all group count vectors must have the same length")
+    if dimension < 1:
+        raise ValueError("dimension must be >= 1")
+    s = len(group_counts)
+    qi_attributes = tuple(
+        Attribute(f"Q{position + 1}", tuple(range(s))) for position in range(dimension)
+    )
+    sensitive = Attribute("S", tuple(range(m)))
+    schema = Schema(qi=qi_attributes, sensitive=sensitive)
+
+    qi_rows: list[tuple[int, ...]] = []
+    sa_values: list[int] = []
+    for group_id, vector in enumerate(group_counts):
+        qi_vector = (group_id,) * dimension
+        for sa_code, count in enumerate(vector):
+            if count < 0:
+                raise ValueError("group counts must be non-negative")
+            qi_rows.extend([qi_vector] * count)
+            sa_values.extend([sa_code] * count)
+    return Table(schema, qi_rows, sa_values)
+
+
+def phase_two_example() -> Table:
+    """The Section 5.3 worked example.
+
+    ``m = 5`` SA values, ``s = 3`` QI-groups, ``l = 3`` and initial groups
+    ``Q1 = (3, 1, 1, 2, 3)``, ``Q2 = (0, 2, 2, 4, 4)``, ``Q3 = (4, 4, 0, 0, 0)``.
+    """
+    return table_from_group_counts(
+        [
+            (3, 1, 1, 2, 3),
+            (0, 2, 2, 4, 4),
+            (4, 4, 0, 0, 0),
+        ]
+    )
+
+
+def phase_three_example() -> Table:
+    """The Section 5.4 worked example *after* phase two.
+
+    ``m = 5``, ``s = 2``, ``l = 4`` and (post-phase-two) groups
+    ``Q1 = (3, 1, 2, 3, 3)``, ``Q2 = (1, 3, 2, 3, 3)`` with residue
+    ``R = (4, 4, 4, 0, 0)``.  For testing the full pipeline we return the
+    *union* as a microdata table: the residue tuples are given pairwise
+    distinct QI vectors so that phase one reproduces (a superset of) the
+    residue, while the two groups keep their own QI vectors.
+    """
+    groups = [
+        (3, 1, 2, 3, 3),
+        (1, 3, 2, 3, 3),
+    ]
+    residue = (4, 4, 4, 0, 0)
+    # Give every residue tuple its own QI value so phase one must suppress it.
+    residue_groups = []
+    for sa_code, count in enumerate(residue):
+        for _ in range(count):
+            vector = [0, 0, 0, 0, 0]
+            vector[sa_code] = 1
+            residue_groups.append(tuple(vector))
+    return table_from_group_counts(list(groups) + residue_groups)

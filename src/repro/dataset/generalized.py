@@ -1,0 +1,291 @@
+"""Generalized (anonymized) tables, partitions and suppression.
+
+Definition 1 of the paper: a partition of the microdata into QI-groups
+defines a generalization in which, within each group, an attribute keeps its
+value if every tuple of the group agrees on it and is replaced by a star
+otherwise.  Sensitive values are always retained.
+
+This module provides:
+
+* :data:`STAR` — the sentinel for a suppressed cell;
+* :class:`Partition` — a validated partition of row indices into QI-groups;
+* :class:`GeneralizedTable` — the anonymized output, supporting both
+  suppression cells (stars) and sub-domain cells (sets of codes) so that the
+  single-dimensional baseline (TDS) and the multi-dimensional baseline
+  (Mondrian) can share the same metrics code.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+from repro.dataset.table import Schema, Table
+
+__all__ = ["STAR", "GeneralizedTable", "Partition", "cell_size", "cell_contains"]
+
+
+class _Star:
+    """Singleton sentinel representing a suppressed QI value."""
+
+    _instance: "_Star | None" = None
+
+    def __new__(cls) -> "_Star":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "*"
+
+    def __reduce__(self):  # keep the singleton across pickling
+        return (_Star, ())
+
+
+STAR = _Star()
+
+#: A generalized cell is either an exact integer code, the :data:`STAR`
+#: sentinel, or a frozenset of codes (a sub-domain, produced by the
+#: single/multi-dimensional generalization baselines).
+Cell = Any
+
+
+def cell_size(cell: Cell, domain_size: int) -> int:
+    """Number of domain values a generalized cell may stand for."""
+    if cell is STAR:
+        return domain_size
+    if isinstance(cell, frozenset):
+        return len(cell)
+    return 1
+
+
+def cell_contains(cell: Cell, code: int, domain_size: int) -> bool:
+    """Whether ``code`` is consistent with the generalized ``cell``."""
+    if cell is STAR:
+        return 0 <= code < domain_size
+    if isinstance(cell, frozenset):
+        return code in cell
+    return cell == code
+
+
+class Partition:
+    """A partition of the rows of a table into QI-groups.
+
+    Groups are lists of row indices.  Empty groups are dropped.  The partition
+    is validated: every row index must appear in exactly one group.
+    """
+
+    def __init__(self, groups: Iterable[Sequence[int]], n_rows: int) -> None:
+        cleaned = [list(group) for group in groups if len(group) > 0]
+        seen: set[int] = set()
+        total = 0
+        for group in cleaned:
+            for index in group:
+                if not 0 <= index < n_rows:
+                    raise ValueError(f"row index {index} out of range for n={n_rows}")
+                if index in seen:
+                    raise ValueError(f"row index {index} appears in more than one group")
+                seen.add(index)
+            total += len(group)
+        if total != n_rows:
+            missing = n_rows - total
+            raise ValueError(f"partition covers {total} of {n_rows} rows ({missing} missing)")
+        self._groups = cleaned
+        self._n_rows = n_rows
+
+    @property
+    def groups(self) -> list[list[int]]:
+        return self._groups
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __iter__(self):
+        return iter(self._groups)
+
+    def __getitem__(self, index: int) -> list[int]:
+        return self._groups[index]
+
+    def group_of(self) -> list[int]:
+        """Return a list mapping each row index to its group id."""
+        assignment = [-1] * self._n_rows
+        for group_id, group in enumerate(self._groups):
+            for index in group:
+                assignment[index] = group_id
+        return assignment
+
+    def group_sizes(self) -> list[int]:
+        return [len(group) for group in self._groups]
+
+    @classmethod
+    def single_group(cls, n_rows: int) -> "Partition":
+        """The trivial partition with all rows in one QI-group."""
+        return cls([list(range(n_rows))], n_rows)
+
+    @classmethod
+    def by_qi(cls, table: Table) -> "Partition":
+        """The finest zero-star partition: group rows by identical QI vector."""
+        return cls(list(table.group_by_qi().values()), len(table))
+
+    def is_l_diverse(self, table: Table, l: int) -> bool:
+        """Whether every group of the partition is l-eligible w.r.t. ``table``."""
+        for group in self._groups:
+            counts = Counter(table.sa_value(index) for index in group)
+            if max(counts.values()) * l > len(group):
+                return False
+        return True
+
+
+class GeneralizedTable:
+    """An anonymized table: generalized QI cells plus retained SA values.
+
+    Instances are normally produced via :meth:`from_partition` (suppression,
+    Definition 1) or by the generalization baselines, which supply sub-domain
+    cells directly.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        cells: Sequence[Sequence[Cell]],
+        sa_values: Sequence[int],
+        group_ids: Sequence[int],
+    ) -> None:
+        if not (len(cells) == len(sa_values) == len(group_ids)):
+            raise ValueError("cells, sa_values and group_ids must have equal length")
+        dimension = schema.dimension
+        for row in cells:
+            if len(row) != dimension:
+                raise ValueError(f"generalized row {row!r} does not have {dimension} cells")
+        self._schema = schema
+        self._cells = [tuple(row) for row in cells]
+        self._sa_values = list(sa_values)
+        self._group_ids = list(group_ids)
+
+    # ------------------------------------------------------------ constructors
+
+    @classmethod
+    def from_partition(cls, table: Table, partition: Partition) -> "GeneralizedTable":
+        """Apply suppression (Definition 1) to ``table`` under ``partition``.
+
+        Within each QI-group, attribute ``A_i`` keeps its value when all
+        tuples of the group agree on it, and becomes :data:`STAR` otherwise.
+        """
+        if partition.n_rows != len(table):
+            raise ValueError("partition size does not match table size")
+        dimension = table.dimension
+        cells: list[tuple[Cell, ...] | None] = [None] * len(table)
+        group_ids = [0] * len(table)
+        for group_id, group in enumerate(partition.groups):
+            representative: list[Cell] = list(table.qi_row(group[0]))
+            for index in group[1:]:
+                row = table.qi_row(index)
+                for position in range(dimension):
+                    if representative[position] is not STAR and representative[position] != row[position]:
+                        representative[position] = STAR
+            generalized = tuple(representative)
+            for index in group:
+                cells[index] = generalized
+                group_ids[index] = group_id
+        return cls(table.schema, cells, list(table.sa_values), group_ids)
+
+    # ----------------------------------------------------------------- basics
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def dimension(self) -> int:
+        return self._schema.dimension
+
+    def cell(self, row: int, position: int) -> Cell:
+        return self._cells[row][position]
+
+    def row_cells(self, row: int) -> tuple[Cell, ...]:
+        return self._cells[row]
+
+    def sa_value(self, row: int) -> int:
+        return self._sa_values[row]
+
+    @property
+    def sa_values(self) -> list[int]:
+        return self._sa_values
+
+    @property
+    def group_ids(self) -> list[int]:
+        return self._group_ids
+
+    def groups(self) -> dict[int, list[int]]:
+        """Mapping of group id to the list of row indices in that group."""
+        result: dict[int, list[int]] = {}
+        for index, group_id in enumerate(self._group_ids):
+            result.setdefault(group_id, []).append(index)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GeneralizedTable(n={len(self)}, d={self.dimension}, "
+            f"groups={len(set(self._group_ids))}, stars={self.star_count()})"
+        )
+
+    # ------------------------------------------------------------ information
+
+    def star_count(self) -> int:
+        """Total number of suppressed QI cells (the Problem 1 objective)."""
+        return sum(1 for row in self._cells for cell in row if cell is STAR)
+
+    def suppressed_tuple_count(self) -> int:
+        """Number of rows with at least one star (the Problem 2 objective)."""
+        return sum(1 for row in self._cells if any(cell is STAR for cell in row))
+
+    def generalized_cell_count(self) -> int:
+        """Number of QI cells that are not exact values (stars or sub-domains)."""
+        return sum(
+            1 for row in self._cells for cell in row if cell is STAR or isinstance(cell, frozenset)
+        )
+
+    # --------------------------------------------------------------- privacy
+
+    def is_l_diverse(self, l: int) -> bool:
+        """Whether every QI-group satisfies l-diversity (Definition 2)."""
+        if l < 1:
+            raise ValueError(f"l must be >= 1, got {l}")
+        for rows in self.groups().values():
+            counts = Counter(self._sa_values[index] for index in rows)
+            if max(counts.values()) * l > len(rows):
+                return False
+        return True
+
+    def is_k_anonymous(self, k: int) -> bool:
+        """Whether every QI-group has at least ``k`` rows."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        return all(len(rows) >= k for rows in self.groups().values())
+
+    # ---------------------------------------------------------------- display
+
+    def decoded_record(self, row: int) -> dict[str, Any]:
+        """Return a row with raw values; stars render as ``'*'`` and sub-domains as sorted tuples."""
+        record: dict[str, Any] = {}
+        for position, attribute in enumerate(self._schema.qi):
+            cell = self._cells[row][position]
+            if cell is STAR:
+                record[attribute.name] = "*"
+            elif isinstance(cell, frozenset):
+                record[attribute.name] = tuple(sorted(attribute.decode(code) for code in cell))
+            else:
+                record[attribute.name] = attribute.decode(cell)
+        record[self._schema.sensitive.name] = self._schema.sensitive.decode(self._sa_values[row])
+        return record
+
+    def decoded_records(self) -> list[dict[str, Any]]:
+        return [self.decoded_record(row) for row in range(len(self))]

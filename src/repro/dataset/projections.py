@@ -1,0 +1,82 @@
+"""Workload construction: SAL-d / OCC-d projection families and samples.
+
+Section 6.1 of the paper builds, for each ``d`` in 1..7, the family SAL-d of
+all ``C(7, d)`` projections of SAL onto ``d`` QI attributes (and likewise
+OCC-d), and reports per-family averages.  For the cardinality experiment
+(Figure 6) it additionally draws samples of varying size from each base
+table.  This module reproduces both constructions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.dataset.table import Table
+
+__all__ = ["ProjectedTable", "projection_family", "cardinality_samples"]
+
+
+@dataclass(frozen=True)
+class ProjectedTable:
+    """A projection of a base table onto a subset of its QI attributes."""
+
+    qi_names: tuple[str, ...]
+    table: Table
+
+    @property
+    def label(self) -> str:
+        return "+".join(self.qi_names)
+
+
+def projection_family(
+    table: Table,
+    d: int,
+    max_tables: int | None = None,
+) -> list[ProjectedTable]:
+    """All ``C(|QI|, d)`` projections of ``table`` onto ``d`` QI attributes.
+
+    Parameters
+    ----------
+    table:
+        The base table (e.g. the full 7-QI SAL table).
+    d:
+        Number of QI attributes to keep.
+    max_tables:
+        Optional cap on the number of projections returned (the first
+        ``max_tables`` in lexicographic attribute order).  The paper averages
+        over the full family; the cap exists so that the benchmark harness can
+        trade fidelity for run time on small machines.
+    """
+    names = table.schema.qi_names
+    if not 1 <= d <= len(names):
+        raise ValueError(f"d must be in [1, {len(names)}], got {d}")
+    combinations = itertools.combinations(names, d)
+    if max_tables is not None:
+        combinations = itertools.islice(combinations, max_tables)
+    return [
+        ProjectedTable(qi_names=tuple(subset), table=table.project(subset))
+        for subset in combinations
+    ]
+
+
+def cardinality_samples(
+    table: Table,
+    sizes: Sequence[int],
+    seed: int = 0,
+) -> list[Table]:
+    """Uniform samples of ``table`` with the requested cardinalities.
+
+    Reproduces the Figure 6 workload, where each SAL-4 / OCC-4 table is
+    sampled at 100k..600k rows; the sizes here are arbitrary so the harness
+    can scale the experiment down.
+    """
+    samples = []
+    for offset, size in enumerate(sizes):
+        if size > len(table):
+            raise ValueError(
+                f"requested sample of {size} rows from a table of {len(table)}"
+            )
+        samples.append(table.sample(size, seed=seed + offset))
+    return samples

@@ -1,0 +1,397 @@
+"""Categorical microdata tables.
+
+The paper (Section 3) models the microdata ``T`` as a table with ``d``
+categorical quasi-identifier (QI) attributes ``A_1..A_d`` and one categorical
+sensitive attribute (SA) ``B``.  This module provides that substrate:
+
+* :class:`Attribute` — a named categorical attribute with an ordered domain,
+  responsible for encoding raw values to small integer codes;
+* :class:`Schema` — the QI attributes plus the sensitive attribute;
+* :class:`Table` — an encoded microdata table with the operations the
+  algorithms and experiments need (projection, sampling, grouping by QI
+  vector, eligibility checks).
+
+All rows are stored as tuples of integer codes.  Encoding once up front keeps
+the anonymization algorithms allocation-free and makes equality checks cheap,
+which matters because the three-phase algorithm and the baselines repeatedly
+group and compare rows.
+"""
+
+from __future__ import annotations
+
+import csv
+import random
+from collections import Counter
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Attribute", "Schema", "Table"]
+
+
+class DomainError(ValueError):
+    """Raised when a value does not belong to an attribute's domain."""
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A categorical attribute with an ordered, finite domain.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, e.g. ``"Age"``.
+    values:
+        The ordered domain.  Order matters for the Hilbert baseline (locality
+        on the curve) and for building generalization hierarchies, so callers
+        should pass values in their natural order when one exists.
+    """
+
+    name: str
+    values: tuple[Any, ...]
+    _index: dict[Any, int] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError(f"attribute {self.name!r} has an empty domain")
+        index = {value: code for code, value in enumerate(self.values)}
+        if len(index) != len(self.values):
+            raise ValueError(f"attribute {self.name!r} has duplicate domain values")
+        object.__setattr__(self, "_index", index)
+
+    @property
+    def size(self) -> int:
+        """Number of values in the domain (``|dom(A)|``)."""
+        return len(self.values)
+
+    def encode(self, value: Any) -> int:
+        """Return the integer code of ``value``.
+
+        Raises
+        ------
+        DomainError
+            If ``value`` is not in the domain.
+        """
+        try:
+            return self._index[value]
+        except KeyError:
+            raise DomainError(
+                f"value {value!r} is not in the domain of attribute {self.name!r}"
+            ) from None
+
+    def decode(self, code: int) -> Any:
+        """Return the raw value for an integer ``code``."""
+        return self.values[code]
+
+    def __contains__(self, value: Any) -> bool:
+        return value in self._index
+
+    @classmethod
+    def from_values(cls, name: str, observed: Iterable[Any]) -> "Attribute":
+        """Build an attribute whose domain is the sorted set of ``observed`` values."""
+        seen = set(observed)
+        try:
+            ordered = tuple(sorted(seen))
+        except TypeError:  # mixed, unorderable types: fall back to string order
+            ordered = tuple(sorted(seen, key=repr))
+        return cls(name, ordered)
+
+
+@dataclass(frozen=True)
+class Schema:
+    """The shape of a microdata table: QI attributes plus the sensitive attribute."""
+
+    qi: tuple[Attribute, ...]
+    sensitive: Attribute
+
+    def __post_init__(self) -> None:
+        names = [attribute.name for attribute in self.qi] + [self.sensitive.name]
+        if len(set(names)) != len(names):
+            raise ValueError(f"schema has duplicate attribute names: {names}")
+
+    @property
+    def dimension(self) -> int:
+        """The number ``d`` of QI attributes."""
+        return len(self.qi)
+
+    @property
+    def qi_names(self) -> tuple[str, ...]:
+        return tuple(attribute.name for attribute in self.qi)
+
+    def qi_attribute(self, name: str) -> Attribute:
+        """Return the QI attribute called ``name``."""
+        for attribute in self.qi:
+            if attribute.name == name:
+                return attribute
+        raise KeyError(f"no QI attribute named {name!r}")
+
+    def qi_position(self, name: str) -> int:
+        """Return the index of the QI attribute called ``name``."""
+        for position, attribute in enumerate(self.qi):
+            if attribute.name == name:
+                return position
+        raise KeyError(f"no QI attribute named {name!r}")
+
+    def project(self, qi_names: Sequence[str]) -> "Schema":
+        """Return a schema keeping only the named QI attributes (SA unchanged)."""
+        return Schema(
+            qi=tuple(self.qi_attribute(name) for name in qi_names),
+            sensitive=self.sensitive,
+        )
+
+    @property
+    def domain_sizes(self) -> dict[str, int]:
+        """Mapping of attribute name to domain size, including the SA."""
+        sizes = {attribute.name: attribute.size for attribute in self.qi}
+        sizes[self.sensitive.name] = self.sensitive.size
+        return sizes
+
+
+class Table:
+    """An encoded categorical microdata table.
+
+    Rows are stored as two parallel sequences: ``qi_rows`` holds tuples of QI
+    codes and ``sa_values`` the sensitive-attribute codes.  The class is
+    intentionally immutable from the outside; anonymization algorithms build
+    partitions of row indices rather than mutating the table.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        qi_rows: Sequence[tuple[int, ...]],
+        sa_values: Sequence[int],
+    ) -> None:
+        if len(qi_rows) != len(sa_values):
+            raise ValueError(
+                f"qi_rows has {len(qi_rows)} rows but sa_values has {len(sa_values)}"
+            )
+        dimension = schema.dimension
+        for row in qi_rows:
+            if len(row) != dimension:
+                raise ValueError(
+                    f"QI row {row!r} has {len(row)} values, expected {dimension}"
+                )
+        self._schema = schema
+        self._qi_rows = [tuple(row) for row in qi_rows]
+        self._sa_values = list(sa_values)
+        self._validate_codes()
+
+    def _validate_codes(self) -> None:
+        for position, attribute in enumerate(self._schema.qi):
+            limit = attribute.size
+            for row in self._qi_rows:
+                code = row[position]
+                if not 0 <= code < limit:
+                    raise DomainError(
+                        f"code {code} out of range for attribute {attribute.name!r}"
+                    )
+        sa_limit = self._schema.sensitive.size
+        for code in self._sa_values:
+            if not 0 <= code < sa_limit:
+                raise DomainError(
+                    f"code {code} out of range for sensitive attribute "
+                    f"{self._schema.sensitive.name!r}"
+                )
+
+    # ------------------------------------------------------------------ basics
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def dimension(self) -> int:
+        """The number ``d`` of QI attributes."""
+        return self._schema.dimension
+
+    def __len__(self) -> int:
+        return len(self._qi_rows)
+
+    @property
+    def cardinality(self) -> int:
+        """The number ``n`` of rows."""
+        return len(self._qi_rows)
+
+    def qi_row(self, index: int) -> tuple[int, ...]:
+        """Return the encoded QI vector of row ``index``."""
+        return self._qi_rows[index]
+
+    def sa_value(self, index: int) -> int:
+        """Return the encoded SA value of row ``index``."""
+        return self._sa_values[index]
+
+    @property
+    def qi_rows(self) -> list[tuple[int, ...]]:
+        """All encoded QI vectors (a copy is *not* made; treat as read-only)."""
+        return self._qi_rows
+
+    @property
+    def sa_values(self) -> list[int]:
+        """All encoded SA values (treat as read-only)."""
+        return self._sa_values
+
+    def rows(self) -> Iterable[tuple[tuple[int, ...], int]]:
+        """Iterate over ``(qi_codes, sa_code)`` pairs."""
+        return zip(self._qi_rows, self._sa_values)
+
+    def decoded_record(self, index: int) -> dict[str, Any]:
+        """Return row ``index`` as a ``{attribute name: raw value}`` mapping."""
+        record = {
+            attribute.name: attribute.decode(code)
+            for attribute, code in zip(self._schema.qi, self._qi_rows[index])
+        }
+        record[self._schema.sensitive.name] = self._schema.sensitive.decode(
+            self._sa_values[index]
+        )
+        return record
+
+    def decoded_records(self) -> list[dict[str, Any]]:
+        """Return all rows as raw-value mappings (for display / export)."""
+        return [self.decoded_record(index) for index in range(len(self))]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Table(n={len(self)}, d={self.dimension}, "
+            f"qi={list(self._schema.qi_names)}, sa={self._schema.sensitive.name!r})"
+        )
+
+    # ------------------------------------------------------- sensitive values
+
+    def sa_counts(self) -> Counter[int]:
+        """Histogram of SA codes (``h(T, v)`` for every ``v``)."""
+        return Counter(self._sa_values)
+
+    @property
+    def distinct_sa_count(self) -> int:
+        """The number ``m`` of distinct sensitive values present in the table."""
+        return len(set(self._sa_values))
+
+    def is_l_eligible(self, l: int) -> bool:
+        """Whether the whole table is l-eligible (Definition 2 applied to T).
+
+        By Lemma 1 (monotonicity) this is exactly the condition under which an
+        l-diverse generalization of the table exists.
+        """
+        if l < 1:
+            raise ValueError(f"l must be >= 1, got {l}")
+        if len(self) == 0:
+            return True
+        counts = self.sa_counts()
+        return max(counts.values()) * l <= len(self)
+
+    @property
+    def max_l(self) -> int:
+        """The largest ``l`` for which the table is l-eligible (0 for empty tables)."""
+        if len(self) == 0:
+            return 0
+        return len(self) // max(self.sa_counts().values())
+
+    # ------------------------------------------------------------ derivations
+
+    def project(self, qi_names: Sequence[str]) -> "Table":
+        """Project onto a subset of QI attributes, keeping the SA.
+
+        This is the operation used to build the SAL-d / OCC-d workloads of
+        Section 6 from the 7-attribute base tables.
+        """
+        positions = [self._schema.qi_position(name) for name in qi_names]
+        schema = self._schema.project(qi_names)
+        qi_rows = [tuple(row[position] for position in positions) for row in self._qi_rows]
+        return Table(schema, qi_rows, list(self._sa_values))
+
+    def sample(self, size: int, seed: int = 0) -> "Table":
+        """Return a uniform random sample of ``size`` rows (without replacement)."""
+        if size > len(self):
+            raise ValueError(f"cannot sample {size} rows from a table of {len(self)}")
+        rng = random.Random(seed)
+        indices = rng.sample(range(len(self)), size)
+        return self.subset(indices)
+
+    def subset(self, indices: Sequence[int]) -> "Table":
+        """Return a table containing exactly the given rows (in the given order)."""
+        qi_rows = [self._qi_rows[index] for index in indices]
+        sa_values = [self._sa_values[index] for index in indices]
+        return Table(self._schema, qi_rows, sa_values)
+
+    def group_by_qi(self) -> dict[tuple[int, ...], list[int]]:
+        """Group row indices by identical QI vector.
+
+        These are the initial QI-groups ``Q_1..Q_s`` of Section 5.1: tuples in
+        the same group agree on every QI attribute, so generalizing a group
+        that was never touched costs zero stars.
+        """
+        groups: dict[tuple[int, ...], list[int]] = {}
+        for index, row in enumerate(self._qi_rows):
+            groups.setdefault(row, []).append(index)
+        return groups
+
+    @property
+    def distinct_qi_count(self) -> int:
+        """The number ``s`` of distinct QI vectors."""
+        return len(set(self._qi_rows))
+
+    # --------------------------------------------------------------- builders
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[Mapping[str, Any]],
+        qi_names: Sequence[str],
+        sa_name: str,
+        schema: Schema | None = None,
+    ) -> "Table":
+        """Build a table from raw records.
+
+        Parameters
+        ----------
+        records:
+            A sequence of mappings, each holding at least the QI attributes
+            and the sensitive attribute.
+        qi_names:
+            Names (and order) of the quasi-identifier attributes.
+        sa_name:
+            Name of the sensitive attribute.
+        schema:
+            Optional pre-built schema.  When omitted, attribute domains are
+            inferred as the sorted sets of observed values.
+        """
+        if schema is None:
+            qi_attributes = tuple(
+                Attribute.from_values(name, (record[name] for record in records))
+                for name in qi_names
+            )
+            sensitive = Attribute.from_values(sa_name, (record[sa_name] for record in records))
+            schema = Schema(qi=qi_attributes, sensitive=sensitive)
+        qi_rows = [
+            tuple(
+                schema.qi_attribute(name).encode(record[name]) for name in schema.qi_names
+            )
+            for record in records
+        ]
+        sa_values = [schema.sensitive.encode(record[sa_name]) for record in records]
+        return cls(schema, qi_rows, sa_values)
+
+    @classmethod
+    def from_csv(
+        cls,
+        path: str,
+        qi_names: Sequence[str],
+        sa_name: str,
+        schema: Schema | None = None,
+        delimiter: str = ",",
+    ) -> "Table":
+        """Load a table from a CSV file with a header row."""
+        with open(path, newline="") as handle:
+            reader = csv.DictReader(handle, delimiter=delimiter)
+            records = [dict(row) for row in reader]
+        return cls.from_records(records, qi_names, sa_name, schema=schema)
+
+    def to_csv(self, path: str, delimiter: str = ",") -> None:
+        """Write the decoded table to a CSV file with a header row."""
+        names = list(self._schema.qi_names) + [self._schema.sensitive.name]
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=names, delimiter=delimiter)
+            writer.writeheader()
+            for record in self.decoded_records():
+                writer.writerow(record)

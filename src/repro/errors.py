@@ -1,0 +1,27 @@
+"""Exception types shared across the package."""
+
+from __future__ import annotations
+
+__all__ = ["ReproError", "IneligibleTableError", "AlgorithmInvariantError"]
+
+
+class ReproError(Exception):
+    """Base class for all package-specific errors."""
+
+
+class IneligibleTableError(ReproError):
+    """Raised when a table cannot be anonymized for the requested ``l``.
+
+    By Lemma 1 (monotonicity) an l-diverse generalization exists if and only
+    if the microdata table itself is l-eligible; every algorithm in the
+    package checks this precondition and raises this error otherwise.
+    """
+
+
+class AlgorithmInvariantError(ReproError):
+    """Raised when an internal invariant proven in the paper is violated.
+
+    These checks guard the implementation against bugs (e.g. the greedy set
+    cover of phase three failing to make progress, which Lemma 7 proves
+    impossible); they should never trigger on valid inputs.
+    """

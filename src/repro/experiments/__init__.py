@@ -1,0 +1,41 @@
+"""Experiment harness reproducing the paper's evaluation (Section 6)."""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import (
+    ALGORITHMS,
+    AlgorithmOutput,
+    RunRecord,
+    average_by,
+    run_algorithm,
+    run_suite,
+)
+from repro.experiments.figures import (
+    FigureResult,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    phase3_frequency,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmOutput",
+    "ExperimentConfig",
+    "FigureResult",
+    "RunRecord",
+    "average_by",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "phase3_frequency",
+    "run_algorithm",
+    "run_suite",
+]

@@ -1,0 +1,185 @@
+"""Common machinery for running anonymization algorithms over workloads.
+
+Every algorithm of the evaluation is wrapped behind the same interface
+(``table, l -> AlgorithmOutput``) so the per-figure drivers can sweep
+parameters, time executions and aggregate metrics uniformly.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, replace
+
+from repro.baselines import hilbert as hilbert_baseline
+from repro.baselines import mondrian as mondrian_baseline
+from repro.baselines import tds as tds_baseline
+from repro.core import hybrid, three_phase
+from repro.dataset.generalized import GeneralizedTable
+from repro.dataset.table import Table
+from repro.metrics.kl import kl_divergence
+
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmOutput",
+    "RunRecord",
+    "average_by",
+    "format_records",
+    "run_algorithm",
+    "run_suite",
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmOutput:
+    """Uniform result of one anonymization run."""
+
+    generalized: GeneralizedTable
+    #: Phase in which TP terminated, when applicable.
+    phase_reached: int | None = None
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One (algorithm, table, l) measurement."""
+
+    algorithm: str
+    dataset: str
+    l: int
+    d: int
+    n: int
+    stars: int
+    suppressed_tuples: int
+    seconds: float
+    groups: int
+    phase_reached: int | None = None
+    kl: float | None = None
+
+
+def _run_tp(table: Table, l: int) -> AlgorithmOutput:
+    result = three_phase.anonymize(table, l)
+    return AlgorithmOutput(result.generalized, phase_reached=result.stats.phase_reached)
+
+
+def _run_tp_plus(table: Table, l: int) -> AlgorithmOutput:
+    result = hybrid.anonymize(table, l)
+    return AlgorithmOutput(result.generalized, phase_reached=result.tp_stats.phase_reached)
+
+
+def _run_hilbert(table: Table, l: int) -> AlgorithmOutput:
+    result = hilbert_baseline.anonymize(table, l)
+    return AlgorithmOutput(result.generalized)
+
+
+def _run_tds(table: Table, l: int) -> AlgorithmOutput:
+    result = tds_baseline.anonymize(table, l)
+    return AlgorithmOutput(result.generalized)
+
+
+def _run_mondrian(table: Table, l: int) -> AlgorithmOutput:
+    result = mondrian_baseline.anonymize(table, l)
+    return AlgorithmOutput(result.generalized)
+
+
+#: The algorithms of the evaluation, keyed by the labels used in the figures.
+ALGORITHMS: dict[str, Callable[[Table, int], AlgorithmOutput]] = {
+    "TP": _run_tp,
+    "TP+": _run_tp_plus,
+    "Hilbert": _run_hilbert,
+    "TDS": _run_tds,
+    "Mondrian": _run_mondrian,
+}
+
+
+def run_algorithm(
+    name: str,
+    table: Table,
+    l: int,
+    dataset: str = "",
+    with_kl: bool = False,
+) -> RunRecord:
+    """Run one algorithm on one table and collect the standard metrics."""
+    try:
+        runner = ALGORITHMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
+        ) from None
+    started = time.perf_counter()
+    output = runner(table, l)
+    elapsed = time.perf_counter() - started
+    generalized = output.generalized
+    record = RunRecord(
+        algorithm=name,
+        dataset=dataset,
+        l=l,
+        d=table.dimension,
+        n=len(table),
+        stars=generalized.star_count(),
+        suppressed_tuples=generalized.suppressed_tuple_count(),
+        seconds=elapsed,
+        groups=len(generalized.groups()),
+        phase_reached=output.phase_reached,
+    )
+    if with_kl:
+        record = replace(record, kl=kl_divergence(table, generalized))
+    return record
+
+
+def run_suite(
+    tables: Sequence[tuple[str, Table]],
+    l: int,
+    algorithms: Sequence[str],
+    with_kl: bool = False,
+) -> list[RunRecord]:
+    """Run several algorithms over several labelled tables."""
+    records = []
+    for label, table in tables:
+        for name in algorithms:
+            records.append(run_algorithm(name, table, l, dataset=label, with_kl=with_kl))
+    return records
+
+
+def average_by(
+    records: Iterable[RunRecord],
+    metric: str,
+    key: Callable[[RunRecord], tuple] = lambda record: (record.algorithm,),
+) -> dict[tuple, float]:
+    """Average a metric of :class:`RunRecord` grouped by an arbitrary key."""
+    buckets: dict[tuple, list[float]] = {}
+    for record in records:
+        value = getattr(record, metric)
+        if value is None:
+            continue
+        buckets.setdefault(key(record), []).append(float(value))
+    return {group: statistics.fmean(values) for group, values in buckets.items()}
+
+
+def format_records(records: Sequence[RunRecord]) -> str:
+    """Render run records as a fixed-width text table (for CLI / examples)."""
+    headers = ["algorithm", "dataset", "l", "d", "n", "stars", "suppressed", "groups", "seconds", "kl"]
+    rows = [
+        [
+            record.algorithm,
+            record.dataset,
+            str(record.l),
+            str(record.d),
+            str(record.n),
+            str(record.stars),
+            str(record.suppressed_tuples),
+            str(record.groups),
+            f"{record.seconds:.3f}",
+            "" if record.kl is None else f"{record.kl:.4f}",
+        ]
+        for record in records
+    ]
+    widths = [
+        max(len(headers[column]), *(len(row[column]) for row in rows)) if rows else len(headers[column])
+        for column in range(len(headers))
+    ]
+    lines = ["  ".join(header.ljust(width) for header, width in zip(headers, widths))]
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""The NP-hardness construction of Section 4.
+
+* :mod:`repro.hardness.three_dm` — 3-dimensional matching instances, a
+  brute-force solver, and random instance generators;
+* :mod:`repro.hardness.reduction` — the reduction that turns a 3DM instance
+  into a microdata table whose optimal 3-diverse generalization has exactly
+  ``3 n (d - 1)`` stars iff the 3DM instance is a "yes" instance;
+* :mod:`repro.hardness.verify` — checks of Properties 1–4 and of both
+  directions of Lemma 3 on concrete instances;
+* :mod:`repro.hardness.kdm` — the generalized construction from
+  l-dimensional matching, covering every l > 3 (Theorem 1's full statement).
+"""
+
+from repro.hardness.kdm import KDMInstance, reduce_kdm_to_l_diversity, solve_kdm
+from repro.hardness.reduction import ReducedInstance, reduce_to_l_diversity
+from repro.hardness.three_dm import ThreeDMInstance, random_instance, solve_3dm
+from repro.hardness.verify import (
+    matching_to_generalization,
+    minimum_star_threshold,
+    verify_construction_properties,
+    verify_lemma3,
+)
+
+__all__ = [
+    "KDMInstance",
+    "ReducedInstance",
+    "ThreeDMInstance",
+    "matching_to_generalization",
+    "minimum_star_threshold",
+    "random_instance",
+    "reduce_kdm_to_l_diversity",
+    "reduce_to_l_diversity",
+    "solve_3dm",
+    "solve_kdm",
+    "verify_construction_properties",
+    "verify_lemma3",
+]

@@ -1,0 +1,217 @@
+"""Generalized hardness construction: l-dimensional matching for any l >= 3.
+
+Section 4 of the paper proves NP-hardness for l = 3 via 3-dimensional
+matching and then notes that "extending the analysis in a straightforward
+manner", optimal l-diversity is NP-hard for every l > 3 through a reduction
+from l-dimensional matching [17].  This module implements that extension:
+
+* :class:`KDMInstance` — a k-dimensional matching instance (k disjoint
+  dimensions of size ``n`` each, a set of ``d >= n`` distinct k-dimensional
+  points);
+* :func:`solve_kdm` — exact backtracking solver (exponential; used to
+  validate small instances);
+* :func:`reduce_kdm_to_l_diversity` — the generalized gadget: a table with
+  ``k * n`` rows and one QI attribute per point, such that the instance has a
+  perfect matching iff the table admits a k-diverse generalization with
+  exactly ``k * n * (d - 1)`` stars;
+* :func:`matching_to_generalization` — the constructive ("only-if")
+  direction.
+
+The sensitive-value assignment follows the same requirements as the paper's
+three-case rule (exactly ``m`` distinct values overall, rows of different
+dimensions never share a value) but uses a uniform scheme that works for
+every ``k``; for ``k = 3`` the paper's original rule is available in
+:mod:`repro.hardness.reduction`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataset.generalized import GeneralizedTable, Partition
+from repro.dataset.table import Attribute, Schema, Table
+
+__all__ = [
+    "KDMInstance",
+    "solve_kdm",
+    "ReducedKDMInstance",
+    "reduce_kdm_to_l_diversity",
+    "matching_to_generalization",
+]
+
+
+@dataclass(frozen=True)
+class KDMInstance:
+    """A k-dimensional matching instance (k >= 3)."""
+
+    k: int
+    n: int
+    points: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if self.k < 3:
+            raise ValueError(f"k must be >= 3, got {self.k}")
+        if self.n < 1:
+            raise ValueError(f"n must be >= 1, got {self.n}")
+        seen = set()
+        for point in self.points:
+            if len(point) != self.k:
+                raise ValueError(f"point {point!r} is not {self.k}-dimensional")
+            if any(not 0 <= coordinate < self.n for coordinate in point):
+                raise ValueError(f"point {point!r} has a coordinate outside [0, {self.n})")
+            if point in seen:
+                raise ValueError(f"duplicate point {point!r}")
+            seen.add(point)
+        if len(self.points) < self.n:
+            raise ValueError(
+                f"a matching of size {self.n} needs at least {self.n} points, "
+                f"got {len(self.points)}"
+            )
+
+    @property
+    def point_count(self) -> int:
+        """The number ``d`` of points (the QI dimensionality of the gadget)."""
+        return len(self.points)
+
+    def is_matching(self, selected: tuple[int, ...] | list[int]) -> bool:
+        """Whether the selected point indices form a perfect k-dimensional matching."""
+        if len(selected) != self.n:
+            return False
+        for dimension in range(self.k):
+            coordinates = {self.points[index][dimension] for index in selected}
+            if len(coordinates) != self.n:
+                return False
+        return True
+
+
+def solve_kdm(instance: KDMInstance) -> tuple[int, ...] | None:
+    """Exact backtracking solver for small k-dimensional matching instances."""
+    n = instance.n
+    k = instance.k
+    points = instance.points
+    by_first: dict[int, list[int]] = {value: [] for value in range(n)}
+    for index, point in enumerate(points):
+        by_first[point[0]].append(index)
+
+    used = [[False] * n for _ in range(k)]
+    chosen: list[int] = []
+
+    def backtrack(first_value: int) -> bool:
+        if first_value == n:
+            return True
+        for index in by_first[first_value]:
+            point = points[index]
+            if any(used[dimension][point[dimension]] for dimension in range(1, k)):
+                continue
+            for dimension in range(1, k):
+                used[dimension][point[dimension]] = True
+            chosen.append(index)
+            if backtrack(first_value + 1):
+                return True
+            chosen.pop()
+            for dimension in range(1, k):
+                used[dimension][point[dimension]] = False
+        return False
+
+    if backtrack(0):
+        return tuple(chosen)
+    return None
+
+
+@dataclass(frozen=True)
+class ReducedKDMInstance:
+    """Output of the generalized reduction."""
+
+    instance: KDMInstance
+    table: Table
+    #: The diversity parameter of the target problem (= k).
+    l: int
+    #: Number of distinct sensitive values used.
+    m: int
+    #: ``k * n * (d - 1)``: the separating star count.
+    star_threshold: int
+    #: Per row (0-based): the ``(dimension, value)`` it represents.
+    row_values: tuple[tuple[int, int], ...]
+
+
+def _sensitive_values(k: int, n: int, m: int) -> list[int]:
+    """Assign sensitive values 1..m to the k*n rows, one dimension block at a time.
+
+    Requirements (as in the paper's rule): exactly ``m`` distinct values are
+    used, and rows belonging to different dimensions never share a value.
+    Values are distributed as evenly as possible over the ``k`` blocks; within
+    a block the first rows take fresh values and the remaining rows repeat the
+    block's last value.
+    """
+    if not k <= m <= k * n:
+        raise ValueError(f"m must satisfy k <= m <= k*n, got m={m} for k={k}, n={n}")
+    base, extra = divmod(m, k)
+    values: list[int] = []
+    next_value = 1
+    for block in range(k):
+        distinct_here = base + (1 if block < extra else 0)
+        block_values = list(range(next_value, next_value + distinct_here))
+        next_value += distinct_here
+        for position in range(n):
+            if position < distinct_here:
+                values.append(block_values[position])
+            else:
+                values.append(block_values[-1])
+    return values
+
+
+def reduce_kdm_to_l_diversity(
+    instance: KDMInstance, m: int | None = None
+) -> ReducedKDMInstance:
+    """Build the l-diversity gadget table for an l(=k)-dimensional matching instance."""
+    k = instance.k
+    n = instance.n
+    d = instance.point_count
+    if m is None:
+        m = min(2 * k, k * n)
+    sensitive_values = _sensitive_values(k, n, m)
+
+    qi_attributes = tuple(Attribute(f"A{i + 1}", tuple(range(m + 1))) for i in range(d))
+    sensitive = Attribute("B", tuple(range(1, m + 1)))
+    schema = Schema(qi=qi_attributes, sensitive=sensitive)
+
+    qi_rows: list[tuple[int, ...]] = []
+    sa_codes: list[int] = []
+    row_values: list[tuple[int, int]] = []
+    for j in range(k * n):
+        dimension = j // n
+        value = j % n
+        row_values.append((dimension, value))
+        u = sensitive_values[j]
+        row = tuple(
+            0 if point[dimension] == value else u for point in instance.points
+        )
+        qi_rows.append(row)
+        sa_codes.append(sensitive.encode(u))
+
+    table = Table(schema, qi_rows, sa_codes)
+    return ReducedKDMInstance(
+        instance=instance,
+        table=table,
+        l=k,
+        m=m,
+        star_threshold=k * n * (d - 1),
+        row_values=tuple(row_values),
+    )
+
+
+def matching_to_generalization(
+    reduced: ReducedKDMInstance, matching: tuple[int, ...]
+) -> GeneralizedTable:
+    """The constructive direction: a matching yields a k-diverse generalization
+    with exactly ``k * n * (d - 1)`` stars."""
+    instance = reduced.instance
+    table = reduced.table
+    if not instance.is_matching(matching):
+        raise ValueError("the given point indices do not form a perfect matching")
+    groups = []
+    for point_index in matching:
+        rows = [row for row in range(len(table)) if table.qi_row(row)[point_index] == 0]
+        groups.append(rows)
+    partition = Partition(groups, len(table))
+    return GeneralizedTable.from_partition(table, partition)

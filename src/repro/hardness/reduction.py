@@ -1,0 +1,118 @@
+"""The Section-4 reduction from 3-dimensional matching to 3-diverse suppression.
+
+Given a 3DM instance with dimensions of size ``n`` and ``d`` points, the
+reduction builds a microdata table ``T`` with
+
+* one QI attribute ``A_i`` per point ``p_i`` (so the QI dimensionality is ``d``),
+* ``3 n`` rows, the ``j``-th corresponding to the ``j``-th domain value
+  ``v_j`` (values of ``D1`` first, then ``D2``, then ``D3``),
+* a sensitive value ``u`` chosen per row so that ``T`` contains exactly ``m``
+  distinct sensitive values and rows from different dimensions never share a
+  sensitive value, and
+* ``t_j[A_i] = 0`` when ``v_j`` is a coordinate of ``p_i`` and ``t_j[A_i] = u``
+  otherwise.
+
+Lemma 3: the 3DM instance has a perfect matching iff ``T`` admits a 3-diverse
+generalization with exactly ``3 n (d - 1)`` stars.  The construction uses an
+alphabet of only ``m + 1`` symbols (``0..m``), which is the strengthened
+hardness claimed by Theorem 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataset.table import Attribute, Schema, Table
+from repro.hardness.three_dm import ThreeDMInstance
+
+__all__ = ["ReducedInstance", "reduce_to_l_diversity", "sensitive_value_for_row"]
+
+
+@dataclass(frozen=True)
+class ReducedInstance:
+    """The output of the reduction, bundling the table with its provenance."""
+
+    instance: ThreeDMInstance
+    table: Table
+    #: Number of distinct sensitive values used by the construction.
+    m: int
+    #: ``3 n (d - 1)``: the star count that separates "yes" from "no" instances.
+    star_threshold: int
+    #: For each row ``j`` (0-based), the pair ``(dimension, value)`` of the
+    #: domain value ``v_{j+1}`` it represents (dimension in ``{0, 1, 2}``).
+    row_values: tuple[tuple[int, int], ...]
+
+
+def sensitive_value_for_row(j: int, n: int, m: int) -> int:
+    """The sensitive value ``u`` of the ``j``-th row (1-based), per Section 4.
+
+    The choice guarantees (i) exactly ``m`` distinct sensitive values overall
+    and (ii) rows representing values of different dimensions never share a
+    sensitive value.
+    """
+    if not 1 <= j <= 3 * n:
+        raise ValueError(f"row index {j} out of range for n={n}")
+    if j <= m - 2:
+        return j
+    if m - 1 > 2 * n:
+        return m - 1 if j <= 3 * n - 1 else m
+    if m - 1 > n:
+        return m - 1 if j <= 2 * n else m
+    if j <= n:
+        return m - 2
+    if j <= 2 * n:
+        return m - 1
+    return m
+
+
+def reduce_to_l_diversity(instance: ThreeDMInstance, m: int | None = None) -> ReducedInstance:
+    """Build the microdata table of the Section-4 reduction.
+
+    Parameters
+    ----------
+    instance:
+        The 3DM instance.
+    m:
+        The number of distinct sensitive values to use.  Must satisfy
+        ``3 <= m <= 3 n``; defaults to ``min(8, 3 n)`` (the paper's Figure 1
+        uses ``m = 8``).
+    """
+    n = instance.n
+    d = instance.point_count
+    if m is None:
+        m = min(8, 3 * n)
+    if not 3 <= m <= 3 * n:
+        raise ValueError(f"m must satisfy 3 <= m <= 3n = {3 * n}, got {m}")
+
+    # QI attributes take values in {0, 1, .., m}; the SA takes values in {1, .., m}.
+    qi_attributes = tuple(
+        Attribute(f"A{i + 1}", tuple(range(m + 1))) for i in range(d)
+    )
+    sensitive = Attribute("B", tuple(range(1, m + 1)))
+    schema = Schema(qi=qi_attributes, sensitive=sensitive)
+
+    qi_rows: list[tuple[int, ...]] = []
+    sa_codes: list[int] = []
+    row_values: list[tuple[int, int]] = []
+    for j in range(1, 3 * n + 1):
+        dimension = (j - 1) // n
+        value = (j - 1) % n
+        row_values.append((dimension, value))
+        u = sensitive_value_for_row(j, n, m)
+        row = []
+        for point in instance.points:
+            if point[dimension] == value:
+                row.append(0)
+            else:
+                row.append(u)
+        qi_rows.append(tuple(row))
+        sa_codes.append(sensitive.encode(u))
+
+    table = Table(schema, qi_rows, sa_codes)
+    return ReducedInstance(
+        instance=instance,
+        table=table,
+        m=m,
+        star_threshold=3 * n * (d - 1),
+        row_values=tuple(row_values),
+    )

@@ -1,0 +1,168 @@
+"""3-dimensional matching (3DM) — the NP-hard source problem of Section 4.
+
+An instance consists of three disjoint, equally sized dimensions
+``D1, D2, D3`` (each of size ``n``) and a set ``S`` of ``d >= n`` distinct
+points in ``D1 x D2 x D3``.  The question is whether some ``S' ⊆ S`` of size
+``n`` covers every coordinate exactly once (a perfect 3-dimensional
+matching).
+
+Coordinates are represented as integers ``0..n-1`` per dimension; the paper's
+example (Figure 1a) is provided as :func:`paper_example_instance`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+
+__all__ = ["ThreeDMInstance", "solve_3dm", "random_instance", "paper_example_instance"]
+
+
+@dataclass(frozen=True)
+class ThreeDMInstance:
+    """A 3DM instance with ``n`` values per dimension and points ``S``."""
+
+    n: int
+    points: tuple[tuple[int, int, int], ...]
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"n must be >= 1, got {self.n}")
+        seen = set()
+        for point in self.points:
+            if len(point) != 3:
+                raise ValueError(f"point {point!r} is not three-dimensional")
+            if any(not 0 <= coordinate < self.n for coordinate in point):
+                raise ValueError(f"point {point!r} has a coordinate outside [0, {self.n})")
+            if point in seen:
+                raise ValueError(f"duplicate point {point!r}")
+            seen.add(point)
+        if len(self.points) < self.n:
+            raise ValueError(
+                f"a matching of size {self.n} needs at least {self.n} points, "
+                f"got {len(self.points)}"
+            )
+
+    @property
+    def point_count(self) -> int:
+        """The number ``d`` of points (which becomes the QI dimensionality)."""
+        return len(self.points)
+
+    def is_matching(self, selected: tuple[int, ...] | list[int]) -> bool:
+        """Whether the selected point indices form a perfect 3D matching."""
+        if len(selected) != self.n:
+            return False
+        for dimension in range(3):
+            coordinates = {self.points[index][dimension] for index in selected}
+            if len(coordinates) != self.n:
+                return False
+        return True
+
+
+def solve_3dm(instance: ThreeDMInstance) -> tuple[int, ...] | None:
+    """Exact backtracking solver; returns point indices of a matching or ``None``.
+
+    Exponential in the worst case (3DM is NP-complete); intended for the
+    small instances used to validate the reduction.
+    """
+    n = instance.n
+    points = instance.points
+    # Index points by their first coordinate so the search branches on D1.
+    by_first: dict[int, list[int]] = {value: [] for value in range(n)}
+    for index, point in enumerate(points):
+        by_first[point[0]].append(index)
+
+    used_second = [False] * n
+    used_third = [False] * n
+    chosen: list[int] = []
+
+    def backtrack(first_value: int) -> bool:
+        if first_value == n:
+            return True
+        for index in by_first[first_value]:
+            _, second, third = points[index]
+            if used_second[second] or used_third[third]:
+                continue
+            used_second[second] = True
+            used_third[third] = True
+            chosen.append(index)
+            if backtrack(first_value + 1):
+                return True
+            chosen.pop()
+            used_second[second] = False
+            used_third[third] = False
+        return False
+
+    if backtrack(0):
+        return tuple(chosen)
+    return None
+
+
+def random_instance(
+    n: int,
+    extra_points: int = 2,
+    seed: int = 0,
+    solvable: bool = True,
+) -> ThreeDMInstance:
+    """Generate a random 3DM instance.
+
+    Parameters
+    ----------
+    n:
+        Size of each dimension.
+    extra_points:
+        Number of distracting points added on top of the base construction.
+    seed:
+        RNG seed.
+    solvable:
+        When true, a hidden perfect matching is planted so the instance is a
+        guaranteed "yes" instance; when false the instance is returned as
+        drawn (it may or may not admit a matching).
+    """
+    rng = random.Random(seed)
+    points: set[tuple[int, int, int]] = set()
+    if solvable:
+        second = list(range(n))
+        third = list(range(n))
+        rng.shuffle(second)
+        rng.shuffle(third)
+        for first in range(n):
+            points.add((first, second[first], third[first]))
+    else:
+        while len(points) < n:
+            points.add((rng.randrange(n), rng.randrange(n), rng.randrange(n)))
+    attempts = 0
+    while len(points) < n + extra_points and attempts < 100 * (n + extra_points):
+        points.add((rng.randrange(n), rng.randrange(n), rng.randrange(n)))
+        attempts += 1
+    ordered = tuple(sorted(points))
+    return ThreeDMInstance(n=n, points=ordered)
+
+
+def paper_example_instance() -> ThreeDMInstance:
+    """The Figure 1a example: ``n = 4`` and six points.
+
+    With ``D1 = {1, 2, 3, 4}``, ``D2 = {a, b, c, d}``, ``D3 = {α, β, γ, δ}``
+    encoded as 0-based indices, the points are
+    ``p1 = (1, a, δ), p2 = (1, b, γ), p3 = (2, c, α), p4 = (2, b, α),
+    p5 = (3, b, γ), p6 = (4, d, β)`` and ``{p1, p3, p5, p6}`` is a matching.
+    """
+    points = (
+        (0, 0, 3),  # p1 = (1, a, δ)
+        (0, 1, 2),  # p2 = (1, b, γ)
+        (1, 2, 0),  # p3 = (2, c, α)
+        (1, 1, 0),  # p4 = (2, b, α)
+        (2, 1, 2),  # p5 = (3, b, γ)
+        (3, 3, 1),  # p6 = (4, d, β)
+    )
+    return ThreeDMInstance(n=4, points=points)
+
+
+def enumerate_matchings(instance: ThreeDMInstance) -> list[tuple[int, ...]]:
+    """All perfect matchings of a (small) instance, for exhaustive testing."""
+    matchings = []
+    for combination in itertools.combinations(range(instance.point_count), instance.n):
+        if instance.is_matching(combination):
+            matchings.append(combination)
+    return matchings

@@ -1,0 +1,57 @@
+"""Auxiliary information-loss measures (extension experiments).
+
+These metrics are not part of the paper's figures but are standard in the
+anonymization literature and useful when comparing suppression against the
+generalization baselines on equal footing:
+
+* NCP / GCP — (global) certainty penalty: how much of each attribute's domain
+  a generalized cell spans;
+* discernibility — the classic ``sum over groups of |G|^2`` penalty;
+* average group size.
+"""
+
+from __future__ import annotations
+
+from repro.dataset.generalized import GeneralizedTable, cell_size
+
+__all__ = ["ncp", "gcp", "discernibility", "average_group_size"]
+
+
+def ncp(generalized: GeneralizedTable) -> float:
+    """Normalized Certainty Penalty summed over all QI cells.
+
+    A cell spanning ``w`` of the ``|dom|`` values of its attribute costs
+    ``(w - 1) / (|dom| - 1)`` (0 for exact cells, 1 for stars); single-valued
+    domains cost nothing.
+    """
+    total = 0.0
+    sizes = [attribute.size for attribute in generalized.schema.qi]
+    for row in range(len(generalized)):
+        cells = generalized.row_cells(row)
+        for position, size in enumerate(sizes):
+            if size <= 1:
+                continue
+            width = cell_size(cells[position], size)
+            total += (width - 1) / (size - 1)
+    return total
+
+
+def gcp(generalized: GeneralizedTable) -> float:
+    """Global Certainty Penalty: NCP normalized to [0, 1] by ``n * d``."""
+    cells = len(generalized) * generalized.dimension
+    if cells == 0:
+        return 0.0
+    return ncp(generalized) / cells
+
+
+def discernibility(generalized: GeneralizedTable) -> int:
+    """The discernibility metric: ``sum over QI-groups of |G|^2``."""
+    return sum(len(rows) ** 2 for rows in generalized.groups().values())
+
+
+def average_group_size(generalized: GeneralizedTable) -> float:
+    """Average QI-group size of the anonymized table."""
+    groups = generalized.groups()
+    if not groups:
+        return 0.0
+    return len(generalized) / len(groups)

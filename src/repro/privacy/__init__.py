@@ -1,0 +1,42 @@
+"""Privacy verification and attack simulation.
+
+* :mod:`repro.privacy.checks` — verify that published tables satisfy
+  l-diversity / k-anonymity and quantify the worst-case adversary confidence;
+* :mod:`repro.privacy.attack` — simulate the linking and homogeneity attacks
+  of Section 1 against a published table, given an adversary who knows every
+  individual's QI values;
+* :mod:`repro.privacy.principles` — checkers for the related SA-aware
+  principles surveyed in Section 2 (entropy / recursive l-diversity,
+  (alpha, k)-anonymity, t-closeness).
+"""
+
+from repro.privacy.attack import AttackReport, simulate_linking_attack
+from repro.privacy.checks import (
+    DiversityReport,
+    adversary_confidence,
+    diversity_report,
+    verify_k_anonymity,
+    verify_l_diversity,
+)
+from repro.privacy.principles import (
+    max_t_closeness_distance,
+    satisfies_alpha_k_anonymity,
+    satisfies_entropy_l_diversity,
+    satisfies_recursive_cl_diversity,
+    satisfies_t_closeness,
+)
+
+__all__ = [
+    "AttackReport",
+    "DiversityReport",
+    "adversary_confidence",
+    "diversity_report",
+    "max_t_closeness_distance",
+    "satisfies_alpha_k_anonymity",
+    "satisfies_entropy_l_diversity",
+    "satisfies_recursive_cl_diversity",
+    "satisfies_t_closeness",
+    "simulate_linking_attack",
+    "verify_k_anonymity",
+    "verify_l_diversity",
+]

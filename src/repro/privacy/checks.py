@@ -1,0 +1,72 @@
+"""Verification of anonymization principles on published tables."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.dataset.generalized import GeneralizedTable
+
+__all__ = [
+    "DiversityReport",
+    "adversary_confidence",
+    "diversity_report",
+    "verify_k_anonymity",
+    "verify_l_diversity",
+]
+
+
+@dataclass(frozen=True)
+class DiversityReport:
+    """Per-group diversity statistics of a published table."""
+
+    #: Number of QI-groups.
+    group_count: int
+    #: Smallest group size (the ``k`` for which the table is k-anonymous).
+    min_group_size: int
+    #: Largest within-group frequency of a single sensitive value, as a
+    #: fraction of the group size (the best confidence an adversary who has
+    #: located an individual's QI-group can achieve).
+    max_confidence: float
+    #: The largest ``l`` for which the table is l-diverse.
+    achieved_l: int
+
+
+def verify_l_diversity(generalized: GeneralizedTable, l: int) -> bool:
+    """Whether the published table satisfies l-diversity (Definition 2)."""
+    return generalized.is_l_diverse(l)
+
+
+def verify_k_anonymity(generalized: GeneralizedTable, k: int) -> bool:
+    """Whether every QI-group of the published table has at least ``k`` rows."""
+    return generalized.is_k_anonymous(k)
+
+
+def diversity_report(generalized: GeneralizedTable) -> DiversityReport:
+    """Summarise the privacy level actually achieved by a published table."""
+    groups = generalized.groups()
+    if not groups:
+        return DiversityReport(group_count=0, min_group_size=0, max_confidence=0.0, achieved_l=0)
+    min_size = min(len(rows) for rows in groups.values())
+    max_confidence = 0.0
+    achieved_l = len(generalized)
+    for rows in groups.values():
+        counts = Counter(generalized.sa_value(row) for row in rows)
+        top = max(counts.values())
+        max_confidence = max(max_confidence, top / len(rows))
+        achieved_l = min(achieved_l, len(rows) // top)
+    return DiversityReport(
+        group_count=len(groups),
+        min_group_size=min_size,
+        max_confidence=max_confidence,
+        achieved_l=achieved_l,
+    )
+
+
+def adversary_confidence(generalized: GeneralizedTable) -> float:
+    """Worst-case probability of inferring an individual's sensitive value.
+
+    Equals ``1 / achieved_l`` rounded up to the actual worst group frequency;
+    e.g. a 2-diverse table yields at most 0.5 (Section 1 of the paper).
+    """
+    return diversity_report(generalized).max_confidence

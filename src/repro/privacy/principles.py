@@ -1,0 +1,121 @@
+"""Additional anonymization principles (extension beyond the paper's figures).
+
+Section 2 of the paper surveys the SA-aware principles that followed
+k-anonymity; Section 7 lists "hardness and approximation for other privacy
+principles" as future work.  This module implements *verification* for the
+most common of those principles so that the tables produced by the package's
+algorithms can be audited against them:
+
+* entropy l-diversity and recursive (c, l)-diversity — the two stricter
+  instantiations of "well-represented" from Machanavajjhala et al. [31];
+* (alpha, k)-anonymity — Wong et al. [46];
+* t-closeness — Li et al. [29], with the variational-distance instantiation
+  for categorical sensitive attributes.
+
+These are checkers, not publication algorithms: the frequency-based
+l-diversity of the paper remains the optimization target.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from repro.dataset.generalized import GeneralizedTable
+
+__all__ = [
+    "satisfies_entropy_l_diversity",
+    "satisfies_recursive_cl_diversity",
+    "satisfies_alpha_k_anonymity",
+    "satisfies_t_closeness",
+    "max_t_closeness_distance",
+]
+
+
+def _group_histograms(generalized: GeneralizedTable) -> list[Counter[int]]:
+    return [
+        Counter(generalized.sa_value(row) for row in rows)
+        for rows in generalized.groups().values()
+    ]
+
+
+def satisfies_entropy_l_diversity(generalized: GeneralizedTable, l: float) -> bool:
+    """Entropy l-diversity: every group's SA entropy is at least ``log(l)``."""
+    if l <= 0:
+        raise ValueError(f"l must be positive, got {l}")
+    threshold = math.log(l)
+    for histogram in _group_histograms(generalized):
+        total = sum(histogram.values())
+        entropy = -sum(
+            (count / total) * math.log(count / total) for count in histogram.values()
+        )
+        if entropy + 1e-12 < threshold:
+            return False
+    return True
+
+
+def satisfies_recursive_cl_diversity(
+    generalized: GeneralizedTable, c: float, l: int
+) -> bool:
+    """Recursive (c, l)-diversity: ``r_1 < c * (r_l + r_{l+1} + ... + r_m)``.
+
+    ``r_i`` denotes the i-th largest SA frequency within a group.  Groups with
+    fewer than ``l`` distinct sensitive values fail by definition.
+    """
+    if l < 1:
+        raise ValueError(f"l must be >= 1, got {l}")
+    if c <= 0:
+        raise ValueError(f"c must be positive, got {c}")
+    for histogram in _group_histograms(generalized):
+        frequencies = sorted(histogram.values(), reverse=True)
+        if len(frequencies) < l:
+            return False
+        tail = sum(frequencies[l - 1:])
+        if frequencies[0] >= c * tail:
+            return False
+    return True
+
+
+def satisfies_alpha_k_anonymity(
+    generalized: GeneralizedTable, alpha: float, k: int
+) -> bool:
+    """(alpha, k)-anonymity: groups of size >= k with every SA frequency <= alpha."""
+    if not 0 < alpha <= 1:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    for histogram in _group_histograms(generalized):
+        total = sum(histogram.values())
+        if total < k:
+            return False
+        if max(histogram.values()) > alpha * total + 1e-12:
+            return False
+    return True
+
+
+def max_t_closeness_distance(generalized: GeneralizedTable) -> float:
+    """The largest variational distance between a group's SA distribution and the table's.
+
+    For categorical sensitive attributes the Earth Mover's Distance with the
+    uniform ground metric reduces to the total variation distance
+    ``0.5 * sum_v |P_group(v) - P_table(v)|``.
+    """
+    overall = Counter(generalized.sa_values)
+    n = len(generalized)
+    if n == 0:
+        return 0.0
+    worst = 0.0
+    for histogram in _group_histograms(generalized):
+        total = sum(histogram.values())
+        distance = 0.5 * sum(
+            abs(histogram.get(value, 0) / total - overall[value] / n) for value in overall
+        )
+        worst = max(worst, distance)
+    return worst
+
+
+def satisfies_t_closeness(generalized: GeneralizedTable, t: float) -> bool:
+    """t-closeness: no group's SA distribution deviates from the table's by more than ``t``."""
+    if t < 0:
+        raise ValueError(f"t must be non-negative, got {t}")
+    return max_t_closeness_distance(generalized) <= t + 1e-12

@@ -1,0 +1,89 @@
+"""Tests for the generalization taxonomies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.hierarchy import Taxonomy
+from repro.dataset.table import Attribute
+
+
+class TestBalancedTaxonomy:
+    def test_single_value_domain(self):
+        taxonomy = Taxonomy.balanced(1)
+        assert len(taxonomy) == 1
+        assert taxonomy.is_leaf(taxonomy.root_id)
+        assert taxonomy.width(taxonomy.root_id) == 1
+
+    def test_root_covers_domain(self):
+        taxonomy = Taxonomy.balanced(10, fanout=3)
+        assert taxonomy.width(taxonomy.root_id) == 10
+        assert list(taxonomy.codes_under(taxonomy.root_id)) == list(range(10))
+
+    def test_children_partition_parent(self):
+        taxonomy = Taxonomy.balanced(11, fanout=3)
+        for node_id in range(len(taxonomy)):
+            children = taxonomy.children(node_id)
+            if not children:
+                continue
+            covered = []
+            for child_id in children:
+                covered.extend(taxonomy.codes_under(child_id))
+            assert sorted(covered) == list(taxonomy.codes_under(node_id))
+
+    def test_fanout_respected(self):
+        taxonomy = Taxonomy.balanced(30, fanout=4)
+        for node_id in range(len(taxonomy)):
+            assert len(taxonomy.children(node_id)) <= 4
+
+    def test_leaves_are_single_codes(self):
+        taxonomy = Taxonomy.balanced(7, fanout=2)
+        leaves = [node_id for node_id in range(len(taxonomy)) if taxonomy.is_leaf(node_id)]
+        assert len(leaves) == 7
+        assert all(taxonomy.width(leaf) == 1 for leaf in leaves)
+
+    def test_leaf_for_code_and_child_covering(self):
+        taxonomy = Taxonomy.balanced(9, fanout=3)
+        for code in range(9):
+            leaf = taxonomy.leaf_for_code(code)
+            assert list(taxonomy.codes_under(leaf)) == [code]
+            child = taxonomy.child_covering(taxonomy.root_id, code)
+            assert code in taxonomy.codes_under(child)
+
+    def test_child_covering_out_of_range(self):
+        taxonomy = Taxonomy.balanced(4, fanout=2)
+        with pytest.raises(ValueError):
+            taxonomy.child_covering(taxonomy.root_id, 99)
+
+    def test_for_attribute(self):
+        attribute = Attribute("Age", tuple(range(12)))
+        taxonomy = Taxonomy.for_attribute(attribute, fanout=3)
+        assert taxonomy.domain_size == 12
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Taxonomy.balanced(0)
+        with pytest.raises(ValueError):
+            Taxonomy.balanced(5, fanout=1)
+
+    def test_height_grows_logarithmically(self):
+        assert Taxonomy.balanced(3, fanout=3).height() == 1
+        assert Taxonomy.balanced(27, fanout=3).height() == 3
+
+    @given(size=st.integers(min_value=1, max_value=60), fanout=st.integers(min_value=2, max_value=5))
+    def test_every_code_reachable(self, size, fanout):
+        taxonomy = Taxonomy.balanced(size, fanout=fanout)
+        for code in range(size):
+            node = taxonomy.leaf_for_code(code)
+            assert taxonomy.is_leaf(node)
+            # Walking up via parents reaches the root.
+            depth = 0
+            while node is not None:
+                parent = taxonomy.node(node).parent_id
+                if parent is None:
+                    assert node == taxonomy.root_id
+                node = parent
+                depth += 1
+                assert depth <= taxonomy.height() + 1

@@ -1,0 +1,113 @@
+"""Tests for the d-dimensional Hilbert curve indexing."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.hilbert.curve import bits_needed, hilbert_index, hilbert_indices
+
+
+class TestBitsNeeded:
+    def test_values(self):
+        assert bits_needed([2]) == 1
+        assert bits_needed([4]) == 2
+        assert bits_needed([5]) == 3
+        assert bits_needed([79, 2, 9]) == 7
+        assert bits_needed([]) == 1
+        assert bits_needed([1, 1]) == 1
+
+
+class TestTwoDimensionalCurve:
+    def test_order_one_curve(self):
+        """The classic 2x2 Hilbert 'U': (0,0) -> (0,1) -> (1,1) -> (1,0)."""
+        order = sorted(
+            itertools.product(range(2), repeat=2),
+            key=lambda point: hilbert_index(point, bits=1),
+        )
+        assert order == [(0, 0), (0, 1), (1, 1), (1, 0)]
+
+    @pytest.mark.parametrize("bits", [1, 2, 3])
+    def test_bijective_on_full_grid(self, bits):
+        side = 2 ** bits
+        points = list(itertools.product(range(side), repeat=2))
+        indices = hilbert_indices(points, bits)
+        assert sorted(indices) == list(range(side * side))
+
+    @pytest.mark.parametrize("bits", [1, 2, 3])
+    def test_consecutive_indices_are_grid_neighbours(self, bits):
+        """The defining locality property of the Hilbert curve."""
+        side = 2 ** bits
+        by_index = {
+            hilbert_index(point, bits): point
+            for point in itertools.product(range(side), repeat=2)
+        }
+        for index in range(side * side - 1):
+            x1, y1 = by_index[index]
+            x2, y2 = by_index[index + 1]
+            assert abs(x1 - x2) + abs(y1 - y2) == 1
+
+
+class TestHigherDimensions:
+    @pytest.mark.parametrize("dimension", [3, 4])
+    def test_bijective(self, dimension):
+        bits = 2
+        side = 2 ** bits
+        points = list(itertools.product(range(side), repeat=dimension))
+        indices = hilbert_indices(points, bits)
+        assert sorted(indices) == list(range(side ** dimension))
+
+    @pytest.mark.parametrize("dimension", [3, 4])
+    def test_adjacency(self, dimension):
+        bits = 1
+        side = 2
+        by_index = {
+            hilbert_index(point, bits): point
+            for point in itertools.product(range(side), repeat=dimension)
+        }
+        for index in range(side ** dimension - 1):
+            first = by_index[index]
+            second = by_index[index + 1]
+            assert sum(abs(a - b) for a, b in zip(first, second)) == 1
+
+    def test_one_dimension_is_identity(self):
+        for value in range(8):
+            assert hilbert_index((value,), bits=3) == value
+
+
+class TestValidation:
+    def test_empty_coords_rejected(self):
+        with pytest.raises(ValueError):
+            hilbert_index((), 2)
+
+    def test_bad_bits_rejected(self):
+        with pytest.raises(ValueError):
+            hilbert_index((0, 0), 0)
+
+    def test_out_of_range_coordinate_rejected(self):
+        with pytest.raises(ValueError):
+            hilbert_index((4, 0), bits=2)
+        with pytest.raises(ValueError):
+            hilbert_index((-1, 0), bits=2)
+
+
+class TestProperties:
+    @given(
+        coords=st.lists(st.integers(min_value=0, max_value=15), min_size=2, max_size=5),
+    )
+    def test_index_in_range(self, coords):
+        bits = 4
+        index = hilbert_index(coords, bits)
+        assert 0 <= index < 2 ** (bits * len(coords))
+
+    @given(
+        first=st.tuples(st.integers(0, 7), st.integers(0, 7), st.integers(0, 7)),
+        second=st.tuples(st.integers(0, 7), st.integers(0, 7), st.integers(0, 7)),
+    )
+    def test_distinct_points_have_distinct_indices(self, first, second):
+        if first == second:
+            return
+        assert hilbert_index(first, 3) != hilbert_index(second, 3)

@@ -1,0 +1,61 @@
+"""Tests for the Mondrian multi-dimensional baseline (extension experiment)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import mondrian
+from repro.dataset.generalized import STAR, cell_contains
+from repro.errors import IneligibleTableError
+from tests.conftest import make_random_table
+
+
+class TestMondrian:
+    def test_output_is_l_diverse(self, hospital):
+        result = mondrian.anonymize(hospital, 2)
+        assert result.generalized.is_l_diverse(2)
+        assert result.group_count >= 1
+
+    def test_cells_cover_original_values(self, random_table):
+        result = mondrian.anonymize(random_table, 2)
+        sizes = [attribute.size for attribute in random_table.schema.qi]
+        for row in range(len(random_table)):
+            for position in range(random_table.dimension):
+                cell = result.generalized.cell(row, position)
+                assert cell is not STAR
+                assert cell_contains(cell, random_table.qi_row(row)[position], sizes[position])
+
+    def test_splits_when_possible(self, small_census):
+        projected = small_census.project(small_census.schema.qi_names[:3])
+        result = mondrian.anonymize(projected, 2)
+        assert result.group_count > 1
+
+    def test_rejects_invalid_inputs(self, hospital):
+        with pytest.raises(ValueError):
+            mondrian.anonymize(hospital, 1)
+        with pytest.raises(IneligibleTableError):
+            mondrian.anonymize(hospital, 3)
+
+    def test_more_groups_than_suppression_single_group(self, small_census):
+        """Multi-dimensional generalization retains more structure than one big group."""
+        projected = small_census.project(small_census.schema.qi_names[:2])
+        result = mondrian.anonymize(projected, 4)
+        assert result.group_count >= len(projected) // (4 * 8)
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        n=st.integers(min_value=1, max_value=50),
+        m=st.integers(min_value=2, max_value=5),
+        l=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_property_always_l_diverse(self, n, m, l, seed):
+        table = make_random_table(n, d=3, qi_domain=4, m=m, seed=seed)
+        if not table.is_l_eligible(l):
+            return
+        result = mondrian.anonymize(table, l)
+        assert result.generalized.is_l_diverse(l)
+        covered = sorted(row for rows in result.partition for row in rows)
+        assert covered == list(range(n))

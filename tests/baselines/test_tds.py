@@ -1,0 +1,116 @@
+"""Tests for the TDS single-dimensional generalization baseline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import tds
+from repro.baselines.hierarchy import Taxonomy
+from repro.dataset.generalized import STAR
+from repro.errors import IneligibleTableError
+from repro.metrics.kl import kl_divergence
+from tests.conftest import make_random_table
+
+
+class TestTDSBasics:
+    def test_output_is_l_diverse(self, hospital):
+        result = tds.anonymize(hospital, 2)
+        assert result.generalized.is_l_diverse(2)
+        assert result.group_count >= 1
+        assert result.specializations >= 0
+
+    def test_no_stars_only_subdomains(self, hospital):
+        result = tds.anonymize(hospital, 2)
+        for row in range(len(result.generalized)):
+            for cell in result.generalized.row_cells(row):
+                assert cell is not STAR
+
+    def test_single_dimensional_property(self, random_table):
+        """All rows sharing a code must share the same generalized cell."""
+        result = tds.anonymize(random_table, 2)
+        for position in range(random_table.dimension):
+            cell_by_code: dict[int, object] = {}
+            for row in range(len(random_table)):
+                code = random_table.qi_row(row)[position]
+                cell = result.generalized.cell(row, position)
+                if code in cell_by_code:
+                    assert cell_by_code[code] == cell
+                else:
+                    cell_by_code[code] = cell
+
+    def test_cells_cover_original_codes(self, random_table):
+        result = tds.anonymize(random_table, 2)
+        for row in range(len(random_table)):
+            for position in range(random_table.dimension):
+                code = random_table.qi_row(row)[position]
+                cell = result.generalized.cell(row, position)
+                if isinstance(cell, frozenset):
+                    assert code in cell
+                else:
+                    assert cell == code
+
+    def test_rejects_invalid_inputs(self, hospital):
+        with pytest.raises(ValueError):
+            tds.anonymize(hospital, 1)
+        with pytest.raises(IneligibleTableError):
+            tds.anonymize(hospital, 3)
+
+    def test_custom_taxonomies(self, hospital):
+        taxonomies = tuple(
+            Taxonomy.for_attribute(attribute, fanout=2) for attribute in hospital.schema.qi
+        )
+        result = tds.anonymize(hospital, 2, taxonomies=taxonomies)
+        assert result.generalized.is_l_diverse(2)
+        assert result.taxonomies == taxonomies
+
+    def test_wrong_taxonomy_count_rejected(self, hospital):
+        with pytest.raises(ValueError):
+            tds.anonymize(hospital, 2, taxonomies=(Taxonomy.balanced(3),))
+
+
+class TestTDSBehaviour:
+    def test_larger_l_means_more_generalization(self, small_census):
+        projected = small_census.project(small_census.schema.qi_names[:3])
+        loose = tds.anonymize(projected, 2)
+        strict = tds.anonymize(projected, 8)
+        assert strict.specializations <= loose.specializations
+        assert kl_divergence(projected, strict.generalized) >= kl_divergence(
+            projected, loose.generalized
+        ) - 1e-9
+
+    def test_specializations_improve_utility_over_root(self, small_census):
+        projected = small_census.project(small_census.schema.qi_names[:3])
+        result = tds.anonymize(projected, 2)
+        if result.specializations == 0:
+            pytest.skip("no specialization was valid at this scale")
+        # Fully generalized table = single group with full-domain cells.
+        from repro.dataset.generalized import GeneralizedTable
+
+        root_cells = tuple(
+            frozenset(range(attribute.size)) for attribute in projected.schema.qi
+        )
+        baseline = GeneralizedTable(
+            projected.schema,
+            [root_cells] * len(projected),
+            list(projected.sa_values),
+            [0] * len(projected),
+        )
+        assert kl_divergence(projected, result.generalized) <= kl_divergence(
+            projected, baseline
+        ) + 1e-9
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        n=st.integers(min_value=2, max_value=40),
+        m=st.integers(min_value=2, max_value=5),
+        l=st.integers(min_value=2, max_value=3),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_property_always_l_diverse(self, n, m, l, seed):
+        table = make_random_table(n, d=2, qi_domain=5, m=m, seed=seed)
+        if not table.is_l_eligible(l):
+            return
+        result = tds.anonymize(table, l)
+        assert result.generalized.is_l_diverse(l)

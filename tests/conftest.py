@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dataset.examples import hospital_microdata, phase_two_example
+from repro.dataset.synthetic import CensusConfig, make_sal
+from repro.dataset.table import Attribute, Schema, Table
+
+
+def make_random_table(
+    n: int,
+    d: int = 2,
+    qi_domain: int = 3,
+    m: int = 4,
+    seed: int = 0,
+) -> Table:
+    """A random categorical table (helper shared by many tests)."""
+    rng = random.Random(seed)
+    schema = Schema(
+        qi=tuple(Attribute(f"Q{i}", tuple(range(qi_domain))) for i in range(d)),
+        sensitive=Attribute("S", tuple(range(m))),
+    )
+    qi_rows = [tuple(rng.randrange(qi_domain) for _ in range(d)) for _ in range(n)]
+    sa_values = [rng.randrange(m) for _ in range(n)]
+    return Table(schema, qi_rows, sa_values)
+
+
+@pytest.fixture
+def hospital() -> Table:
+    """The paper's Table 1."""
+    return hospital_microdata()
+
+
+@pytest.fixture
+def phase2_table() -> Table:
+    """The Section 5.3 worked example."""
+    return phase_two_example()
+
+
+@pytest.fixture(scope="session")
+def small_census() -> Table:
+    """A small synthetic SAL-like table shared across integration tests."""
+    return make_sal(800, seed=3, config=CensusConfig.scaled(0.2))
+
+
+@pytest.fixture
+def random_table() -> Table:
+    """A deterministic random table for generic behavioural tests."""
+    return make_random_table(60, d=3, qi_domain=3, m=5, seed=11)

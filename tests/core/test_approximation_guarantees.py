@@ -1,0 +1,156 @@
+"""Validation of the paper's approximation guarantees against brute force.
+
+Theorem 2: for l = 2, TP removes at most OPT + 1 tuples.
+Theorem 3: TP removes at most l * OPT tuples.
+Lemma 2:   the star count of TP is at most l * d * OPT_stars.
+Corollary 1: termination in phase one is optimal (tuple minimization).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import exact, three_phase
+from repro.core.bounds import star_lower_bound, tuple_lower_bound
+from tests.conftest import make_random_table
+
+
+def _random_eligible_table(n, l, seed, m=4, d=2, qi_domain=3):
+    table = make_random_table(n, d=d, qi_domain=qi_domain, m=m, seed=seed)
+    if not table.is_l_eligible(l):
+        return None
+    return table
+
+
+class TestTheorem2:
+    """l = 2: additive error of at most one suppressed tuple."""
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        n=st.integers(min_value=2, max_value=8),
+        seed=st.integers(min_value=0, max_value=300),
+        qi_domain=st.integers(min_value=1, max_value=3),
+    )
+    def test_additive_bound(self, n, seed, qi_domain):
+        table = _random_eligible_table(n, 2, seed, m=3, qi_domain=qi_domain)
+        if table is None:
+            return
+        result = three_phase.anonymize(table, 2)
+        optimum = exact.optimal_tuple_count(table, 2)
+        assert result.stats.removed_tuples <= optimum + 1
+        assert result.stats.phase_reached <= 2
+
+
+class TestTheorem3AndLemma2:
+    @settings(deadline=None, max_examples=50)
+    @given(
+        n=st.integers(min_value=3, max_value=8),
+        l=st.integers(min_value=2, max_value=3),
+        seed=st.integers(min_value=0, max_value=300),
+    )
+    def test_tuple_ratio_at_most_l(self, n, l, seed):
+        table = _random_eligible_table(n, l, seed)
+        if table is None:
+            return
+        result = three_phase.anonymize(table, l)
+        optimum = exact.optimal_tuple_count(table, l)
+        assert result.stats.removed_tuples <= l * optimum + (l - 1)
+
+    @settings(deadline=None, max_examples=50)
+    @given(
+        n=st.integers(min_value=3, max_value=8),
+        l=st.integers(min_value=2, max_value=3),
+        seed=st.integers(min_value=0, max_value=300),
+    )
+    def test_star_ratio_at_most_l_times_d(self, n, l, seed):
+        table = _random_eligible_table(n, l, seed)
+        if table is None:
+            return
+        result = three_phase.anonymize(table, l)
+        optimum_stars = exact.optimal_star_count(table, l)
+        d = table.dimension
+        # Lemma 2 with the additive phase-two slack folded in.
+        assert result.star_count <= l * d * optimum_stars + d * (l - 1)
+
+
+class TestCorollary1:
+    @settings(deadline=None, max_examples=60)
+    @given(
+        n=st.integers(min_value=2, max_value=8),
+        l=st.integers(min_value=2, max_value=3),
+        seed=st.integers(min_value=0, max_value=300),
+    )
+    def test_phase_one_termination_is_optimal(self, n, l, seed):
+        table = _random_eligible_table(n, l, seed)
+        if table is None:
+            return
+        result = three_phase.anonymize(table, l)
+        if result.stats.phase_reached == 1:
+            optimum = exact.optimal_tuple_count(table, l)
+            assert result.stats.removed_tuples == optimum
+
+
+class TestLowerBounds:
+    @settings(deadline=None, max_examples=60)
+    @given(
+        n=st.integers(min_value=2, max_value=8),
+        l=st.integers(min_value=2, max_value=3),
+        seed=st.integers(min_value=0, max_value=300),
+    )
+    def test_tuple_lower_bound_is_sound(self, n, l, seed):
+        table = _random_eligible_table(n, l, seed)
+        if table is None:
+            return
+        bound = tuple_lower_bound(table, l)
+        optimum = exact.optimal_tuple_count(table, l)
+        assert bound <= optimum
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        n=st.integers(min_value=2, max_value=8),
+        l=st.integers(min_value=2, max_value=3),
+        seed=st.integers(min_value=0, max_value=300),
+    )
+    def test_star_lower_bound_is_sound(self, n, l, seed):
+        table = _random_eligible_table(n, l, seed)
+        if table is None:
+            return
+        assert star_lower_bound(table, l) <= exact.optimal_star_count(table, l)
+
+
+class TestHospitalOptimality:
+    def test_tp_is_tuple_optimal_on_the_paper_example(self, hospital):
+        """On Table 1 with l = 2, TP terminates in phase one: tuple-optimal.
+
+        The paper's Table 3 publication (and TP) uses 8 stars; exhaustive
+        search shows the star-optimal 2-diverse suppression needs only 6
+        (pair Adam with Calvin and Bob with Danny), which is consistent with
+        TP optimizing tuples, not stars, and with the d-approximation bound
+        (8 <= 3 * 6).
+        """
+        result = three_phase.anonymize(hospital, 2)
+        assert result.stats.phase_reached == 1
+        assert result.star_count == 8
+        assert exact.optimal_tuple_count(hospital, 2) == result.suppressed_tuple_count == 4
+        optimal_stars = exact.optimal_star_count(hospital, 2)
+        assert optimal_stars == 6
+        assert result.star_count <= hospital.dimension * optimal_stars
+
+
+class TestExactModuleGuards:
+    def test_row_cap(self):
+        table = make_random_table(12, seed=0)
+        with pytest.raises(ValueError):
+            exact.optimal_star_count(table, 2, max_rows=10)
+
+    def test_objective_validation(self, hospital):
+        with pytest.raises(ValueError):
+            exact.optimal_generalization(hospital, 2, objective="nope")
+
+    def test_ineligible_table(self, hospital):
+        from repro.errors import IneligibleTableError
+
+        with pytest.raises(IneligibleTableError):
+            exact.optimal_star_count(hospital, 5)

@@ -1,0 +1,68 @@
+"""Tests for the lower bounds and ratio certificates."""
+
+from __future__ import annotations
+
+from repro.core import three_phase
+from repro.core.bounds import (
+    certificate,
+    star_lower_bound,
+    theoretical_star_ratio,
+    theoretical_tuple_ratio,
+    tuple_lower_bound,
+)
+from repro.dataset.examples import phase_three_example
+
+
+class TestTheoreticalRatios:
+    def test_values(self):
+        assert theoretical_tuple_ratio(4) == 4
+        assert theoretical_star_ratio(4, 7) == 28
+
+
+class TestInstanceBounds:
+    def test_zero_bound_for_untouched_tables(self):
+        from repro.dataset.examples import table_from_group_counts
+
+        table = table_from_group_counts([(1, 1), (2, 2)])
+        assert tuple_lower_bound(table, 2) == 0
+        assert star_lower_bound(table, 2) == 0
+
+    def test_hospital_bound(self, hospital):
+        bound = tuple_lower_bound(hospital, 2)
+        result = three_phase.anonymize(hospital, 2)
+        # Phase-one termination is optimal, so the bound is attained exactly
+        # when it equals |R.| (here 4 = max(|R.|, 2 * h(R.)) = max(4, 4)).
+        assert bound == 4
+        assert bound <= result.stats.removed_tuples
+
+    def test_bound_not_exceeding_achieved_objective(self):
+        table = phase_three_example()
+        result = three_phase.anonymize(table, 4)
+        assert tuple_lower_bound(table, 4) <= result.stats.removed_tuples
+
+
+class TestCertificates:
+    def test_certificate_fields(self, hospital):
+        result = three_phase.anonymize(hospital, 2)
+        cert = certificate(hospital, 2, result.stats.removed_tuples, result.star_count)
+        assert cert.l == 2
+        assert cert.dimension == 3
+        assert cert.tuple_bound == cert.star_bound == 4
+        assert cert.tuple_ratio_upper_bound == 1.0
+        assert cert.star_ratio_upper_bound == 8 / 4
+
+    def test_certificate_ratios_within_theory(self):
+        table = phase_three_example()
+        result = three_phase.anonymize(table, 4)
+        cert = certificate(table, 4, result.stats.removed_tuples, result.star_count)
+        assert cert.tuple_ratio_upper_bound <= theoretical_tuple_ratio(4)
+        assert cert.star_ratio_upper_bound <= theoretical_star_ratio(4, table.dimension)
+
+    def test_zero_objective_ratio_is_one(self, hospital):
+        cert = certificate(hospital, 2, 0, 0)
+        assert cert.tuple_ratio_upper_bound == 1.0
+        assert cert.star_ratio_upper_bound == 1.0
+
+    def test_stats_lower_bound_matches_module(self, hospital):
+        result = three_phase.anonymize(hospital, 2)
+        assert result.stats.tuple_lower_bound == tuple_lower_bound(hospital, 2)

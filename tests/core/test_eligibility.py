@@ -1,0 +1,102 @@
+"""Tests for the l-eligibility primitives (Definition 2, Lemma 1)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.eligibility import (
+    eligibility_gap,
+    is_l_eligible,
+    is_l_eligible_counts,
+    merge_counts,
+    pillar_height,
+    pillars,
+)
+from tests.strategies import sa_histograms
+
+
+class TestPillars:
+    def test_empty_histogram(self):
+        assert pillar_height({}) == 0
+        assert pillars({}) == set()
+
+    def test_single_value(self):
+        assert pillar_height({3: 5}) == 5
+        assert pillars({3: 5}) == {3}
+
+    def test_multiple_pillars(self):
+        counts = {0: 3, 1: 3, 2: 1}
+        assert pillar_height(counts) == 3
+        assert pillars(counts) == {0, 1}
+
+
+class TestEligibility:
+    def test_definition(self):
+        # 4 tuples, most frequent value appears twice: 2-eligible, not 3-eligible.
+        counts = {0: 2, 1: 1, 2: 1}
+        assert is_l_eligible(counts, 2)
+        assert not is_l_eligible(counts, 3)
+
+    def test_empty_set_is_always_eligible(self):
+        assert is_l_eligible({}, 7)
+
+    def test_counts_form(self):
+        assert is_l_eligible_counts(size=6, height=2, l=3)
+        assert not is_l_eligible_counts(size=5, height=2, l=3)
+
+    def test_invalid_l(self):
+        with pytest.raises(ValueError):
+            is_l_eligible({0: 1}, 0)
+        with pytest.raises(ValueError):
+            is_l_eligible_counts(1, 1, 0)
+        with pytest.raises(ValueError):
+            eligibility_gap({0: 1}, 0)
+
+    def test_gap(self):
+        counts = {0: 3, 1: 1}
+        # l * h - |S| = 3*3 - 4 = 5
+        assert eligibility_gap(counts, 3) == 5
+        assert eligibility_gap(counts, 1) == -1
+
+    def test_gap_sign_matches_eligibility(self):
+        counts = {0: 2, 1: 2, 2: 2}
+        for l in range(1, 6):
+            assert (eligibility_gap(counts, l) <= 0) == is_l_eligible(counts, l)
+
+
+class TestMergeCounts:
+    def test_merge(self):
+        merged = merge_counts([{0: 1, 1: 2}, {1: 1, 2: 3}])
+        assert merged == Counter({0: 1, 1: 3, 2: 3})
+
+    def test_merge_empty(self):
+        assert merge_counts([]) == Counter()
+
+
+class TestLemma1Monotonicity:
+    """Lemma 1: the union of two l-eligible multisets is l-eligible."""
+
+    @given(
+        first=sa_histograms(),
+        second=sa_histograms(),
+        l=st.integers(min_value=1, max_value=5),
+    )
+    def test_union_of_eligible_sets_is_eligible(self, first, second, l):
+        if is_l_eligible(first, l) and is_l_eligible(second, l):
+            assert is_l_eligible(merge_counts([first, second]), l)
+
+    @given(histogram=sa_histograms(), l=st.integers(min_value=1, max_value=5))
+    def test_gap_consistency(self, histogram, l):
+        assert (eligibility_gap(histogram, l) <= 0) == is_l_eligible(histogram, l)
+
+    @given(histogram=sa_histograms())
+    def test_pillars_have_maximum_count(self, histogram):
+        height = pillar_height(histogram)
+        for value in pillars(histogram):
+            assert histogram[value] == height
+        for value, count in histogram.items():
+            assert count <= height

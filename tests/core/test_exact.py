@@ -1,0 +1,56 @@
+"""Tests for the brute-force optimal generalization (testing oracle)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exact import _set_partitions, optimal_generalization
+from repro.dataset.examples import table_from_group_counts
+from tests.conftest import make_random_table
+
+
+class TestSetPartitions:
+    @pytest.mark.parametrize(
+        ("n", "bell"), [(0, 1), (1, 1), (2, 2), (3, 5), (4, 15), (5, 52), (6, 203)]
+    )
+    def test_bell_numbers(self, n, bell):
+        assert sum(1 for _ in _set_partitions(list(range(n)))) == bell
+
+    def test_each_partition_is_valid(self):
+        items = [0, 1, 2, 3]
+        for blocks in _set_partitions(items):
+            flattened = sorted(item for block in blocks for item in block)
+            assert flattened == items
+
+
+class TestOptimalGeneralization:
+    def test_zero_cost_when_qi_groups_are_eligible(self):
+        table = table_from_group_counts([(1, 1), (1, 1)], dimension=2)
+        result = optimal_generalization(table, 2)
+        assert result.star_count == 0
+        assert result.suppressed_tuple_count == 0
+
+    def test_l_diverse_output(self):
+        table = make_random_table(7, d=2, qi_domain=2, m=3, seed=3)
+        if not table.is_l_eligible(2):
+            pytest.skip("random table not eligible")
+        result = optimal_generalization(table, 2)
+        assert result.generalized.is_l_diverse(2)
+        assert result.partition.n_rows == len(table)
+
+    def test_tuple_objective_not_larger_than_star_objective_rows(self):
+        table = make_random_table(7, d=3, qi_domain=2, m=3, seed=5)
+        if not table.is_l_eligible(2):
+            pytest.skip("random table not eligible")
+        stars = optimal_generalization(table, 2, objective="stars")
+        tuples = optimal_generalization(table, 2, objective="tuples")
+        assert tuples.suppressed_tuple_count <= stars.suppressed_tuple_count
+        assert stars.star_count <= tuples.star_count
+
+    def test_counts_match_generalized_table(self):
+        table = make_random_table(6, d=2, qi_domain=2, m=3, seed=7)
+        if not table.is_l_eligible(2):
+            pytest.skip("random table not eligible")
+        result = optimal_generalization(table, 2)
+        assert result.star_count == result.generalized.star_count()
+        assert result.suppressed_tuple_count == result.generalized.suppressed_tuple_count()

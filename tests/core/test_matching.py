@@ -1,0 +1,78 @@
+"""Tests for the exact m=2 bipartite-matching algorithm (Section 4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import exact, matching
+from repro.dataset.table import Attribute, Schema, Table
+from repro.errors import IneligibleTableError
+
+
+def _binary_sa_table(qi_rows, sa_values, qi_domain=3):
+    d = len(qi_rows[0])
+    schema = Schema(
+        qi=tuple(Attribute(f"Q{i}", tuple(range(qi_domain))) for i in range(d)),
+        sensitive=Attribute("S", (0, 1)),
+    )
+    return Table(schema, qi_rows, sa_values)
+
+
+class TestPairCost:
+    def test_identical_rows_cost_zero(self):
+        table = _binary_sa_table([(0, 1), (0, 1)], [0, 1])
+        assert matching.pair_star_cost(table, 0, 1) == 0
+
+    def test_two_stars_per_differing_attribute(self):
+        table = _binary_sa_table([(0, 1), (2, 1)], [0, 1])
+        assert matching.pair_star_cost(table, 0, 1) == 2
+        table = _binary_sa_table([(0, 1), (2, 2)], [0, 1])
+        assert matching.pair_star_cost(table, 0, 1) == 4
+
+
+class TestOptimalTwoDiverse:
+    def test_perfect_pairing(self):
+        # Two identical pairs across the SA classes: zero stars achievable.
+        table = _binary_sa_table([(0, 0), (1, 1), (0, 0), (1, 1)], [0, 0, 1, 1])
+        result = matching.optimal_two_diverse(table)
+        assert result.star_count == 0
+        assert result.generalized.is_l_diverse(2)
+        assert all(len(group) == 2 for group in result.partition)
+
+    def test_requires_exactly_two_sensitive_values(self, hospital):
+        with pytest.raises(IneligibleTableError):
+            matching.optimal_two_diverse(hospital)
+
+    def test_requires_balanced_classes(self):
+        table = _binary_sa_table([(0,), (1,), (2,)], [0, 0, 1])
+        with pytest.raises(IneligibleTableError):
+            matching.optimal_two_diverse(table)
+
+    def test_matches_brute_force_optimum(self):
+        table = _binary_sa_table(
+            [(0, 0), (0, 1), (1, 1), (2, 2), (0, 1), (1, 0)],
+            [0, 0, 0, 1, 1, 1],
+        )
+        result = matching.optimal_two_diverse(table)
+        assert result.star_count == exact.optimal_star_count(table, 2)
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        pairs=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=200),
+        d=st.integers(min_value=1, max_value=3),
+    )
+    def test_never_beaten_by_brute_force(self, pairs, seed, d):
+        """The matching optimum equals the exhaustive optimum on m=2 tables."""
+        import random
+
+        rng = random.Random(seed)
+        n = 2 * pairs
+        qi_rows = [tuple(rng.randrange(3) for _ in range(d)) for _ in range(n)]
+        sa_values = [0] * pairs + [1] * pairs
+        table = _binary_sa_table(qi_rows, sa_values)
+        result = matching.optimal_two_diverse(table)
+        assert result.generalized.is_l_diverse(2)
+        assert result.star_count == exact.optimal_star_count(table, 2)

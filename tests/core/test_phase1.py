@@ -1,0 +1,114 @@
+"""Tests for phase one (Section 5.2)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.phase1 import run_phase_one
+from repro.core.state import AlgorithmState
+from repro.dataset.examples import hospital_microdata, table_from_group_counts
+from tests.conftest import make_random_table
+
+
+class TestPaperExample:
+    def test_hospital_table_l2(self):
+        """Section 5.2's walk-through of Table 1 with l = 2.
+
+        After phase one the first three QI-groups ({Adam,Bob}, {Calvin},
+        {Danny}) are completely eliminated, the other two survive unchanged,
+        and the residue {HIV, HIV, pneumonia, bronchitis} is already
+        2-eligible, so the algorithm terminates.
+        """
+        table = hospital_microdata()
+        state = AlgorithmState(table, 2)
+        report = run_phase_one(state)
+        assert report.satisfied
+        assert report.moved == 4
+        assert state.residue.size == 4
+        disease = table.schema.sensitive
+        residue_counts = {
+            disease.decode(value): count for value, count in state.residue.counts().items()
+        }
+        assert residue_counts == {"HIV": 2, "pneumonia": 1, "bronchitis": 1}
+        surviving = sorted(group.size for group in state.groups if group.size > 0)
+        assert surviving == [2, 4]
+
+    def test_section_5_3_example_groups_unchanged(self, phase2_table):
+        """In the Section 5.3 example, Q1 and Q2 are already 3-eligible and Q3 empties."""
+        state = AlgorithmState(phase2_table, 3)
+        report = run_phase_one(state)
+        assert not report.satisfied
+        sizes = sorted(group.size for group in state.groups)
+        assert sizes == [0, 10, 12]
+        assert state.residue.counts() == Counter({0: 4, 1: 4})
+        assert report.residue_height == 4
+        assert report.residue_size == 8
+
+
+class TestEligibilityAfterPhaseOne:
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        m=st.integers(min_value=2, max_value=5),
+        l=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=60),
+    )
+    def test_all_groups_eligible_after_phase_one(self, n, m, l, seed):
+        table = make_random_table(n, d=2, qi_domain=3, m=m, seed=seed)
+        if not table.is_l_eligible(l):
+            return
+        state = AlgorithmState(table, l)
+        run_phase_one(state)
+        for group in state.groups:
+            assert group.is_l_eligible(l)
+
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        l=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=60),
+    )
+    def test_conservation_of_tuples(self, n, l, seed):
+        table = make_random_table(n, d=2, qi_domain=3, m=5, seed=seed)
+        if not table.is_l_eligible(l):
+            return
+        state = AlgorithmState(table, l)
+        report = run_phase_one(state)
+        assert report.moved == state.residue.size
+        assert sum(group.size for group in state.groups) + state.residue.size == n
+
+    @given(seed=st.integers(min_value=0, max_value=60))
+    def test_result_independent_of_tie_breaking(self, seed):
+        """The multiset of removed tuples is unique (Section 5.2 discussion).
+
+        We cannot easily alter the implementation's tie-break, but we can
+        verify the stronger consequence of Lemma 4: per group, the counts
+        after phase one equal min(h(Q, v), final height) for each value.
+        """
+        table = make_random_table(30, d=2, qi_domain=2, m=4, seed=seed)
+        if not table.is_l_eligible(2):
+            return
+        original_groups = {
+            key: Counter(table.sa_value(row) for row in rows)
+            for key, rows in table.group_by_qi().items()
+        }
+        state = AlgorithmState(table, 2)
+        run_phase_one(state)
+        for group_id in range(state.group_count):
+            key = state.group_qi_vector(group_id)
+            final = state.group(group_id).counts()
+            original = original_groups[key]
+            height = state.group(group_id).height
+            if state.group(group_id).size == 0:
+                continue
+            for value, count in original.items():
+                assert final[value] == min(count, height)
+
+
+class TestLowerBoundInputs:
+    def test_report_height_matches_state(self, phase2_table):
+        state = AlgorithmState(phase2_table, 3)
+        report = run_phase_one(state)
+        assert report.residue_height == state.residue.height
+        assert report.residue_size == state.residue.size

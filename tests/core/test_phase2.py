@@ -1,0 +1,134 @@
+"""Tests for phase two (Section 5.3)."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.phase1 import run_phase_one
+from repro.core.phase2 import run_phase_two
+from repro.core.state import AlgorithmState
+from repro.dataset.examples import table_from_group_counts
+from tests.conftest import make_random_table
+
+
+def _run_phase_one_and_two(table, l):
+    state = AlgorithmState(table, l)
+    phase1 = run_phase_one(state)
+    phase2 = None
+    if not phase1.satisfied:
+        phase2 = run_phase_two(state)
+    return state, phase1, phase2
+
+
+class TestSection53Example:
+    def test_worked_example_terminates_in_phase_two(self, phase2_table):
+        """The Section 5.3 example ends with R l-eligible during phase two."""
+        state, phase1, phase2 = _run_phase_one_and_two(phase2_table, 3)
+        assert not phase1.satisfied
+        assert phase2 is not None and phase2.satisfied
+        assert state.residue_is_eligible()
+        # Lemma 5: the residue pillar height is unchanged from phase one.
+        assert state.residue.height == phase1.residue_height == 4
+        # Corollary 3 bound: |R| <= l * h(R.) + l - 1.
+        assert state.residue.size <= 3 * phase1.residue_height + 3 - 1
+
+    def test_all_groups_still_eligible(self, phase2_table):
+        state, _phase1, _phase2 = _run_phase_one_and_two(phase2_table, 3)
+        for group in state.groups:
+            assert group.is_l_eligible(3)
+
+
+class TestPhaseTwoInvariants:
+    @given(
+        n=st.integers(min_value=2, max_value=40),
+        m=st.integers(min_value=2, max_value=6),
+        l=st.integers(min_value=2, max_value=4),
+        qi_domain=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=80),
+    )
+    def test_lemma5_height_unchanged(self, n, m, l, qi_domain, seed):
+        """h(R) never increases during phase two (Lemma 5)."""
+        table = make_random_table(n, d=2, qi_domain=qi_domain, m=m, seed=seed)
+        if not table.is_l_eligible(l):
+            return
+        state = AlgorithmState(table, l)
+        phase1 = run_phase_one(state)
+        if phase1.satisfied:
+            return
+        run_phase_two(state)
+        assert state.residue.height == phase1.residue_height
+
+    @given(
+        n=st.integers(min_value=2, max_value=40),
+        m=st.integers(min_value=2, max_value=6),
+        l=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=80),
+    )
+    def test_groups_stay_eligible_and_tuples_conserved(self, n, m, l, seed):
+        table = make_random_table(n, d=2, qi_domain=4, m=m, seed=seed)
+        if not table.is_l_eligible(l):
+            return
+        state = AlgorithmState(table, l)
+        phase1 = run_phase_one(state)
+        if phase1.satisfied:
+            return
+        phase2 = run_phase_two(state)
+        for group in state.groups:
+            assert group.is_l_eligible(l)
+        assert sum(group.size for group in state.groups) + state.residue.size == n
+        assert phase1.moved + phase2.moved == state.residue.size
+
+    @given(
+        n=st.integers(min_value=2, max_value=40),
+        m=st.integers(min_value=2, max_value=6),
+        l=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=80),
+    )
+    def test_corollary3_additive_bound(self, n, m, l, seed):
+        """If phase two satisfies R, then |R| <= l * h(R.) + l - 1 (Lemma 6)."""
+        table = make_random_table(n, d=2, qi_domain=4, m=m, seed=seed)
+        if not table.is_l_eligible(l):
+            return
+        state = AlgorithmState(table, l)
+        phase1 = run_phase_one(state)
+        if phase1.satisfied:
+            return
+        phase2 = run_phase_two(state)
+        if phase2.satisfied:
+            assert state.residue.size <= l * phase1.residue_height + l - 1
+
+    @given(
+        n=st.integers(min_value=2, max_value=40),
+        m=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=80),
+    )
+    def test_theorem2_l_equals_2_never_needs_phase_three(self, n, m, seed):
+        """For l = 2 the algorithm always terminates by the end of phase two."""
+        table = make_random_table(n, d=2, qi_domain=4, m=m, seed=seed)
+        if not table.is_l_eligible(2):
+            return
+        state = AlgorithmState(table, 2)
+        phase1 = run_phase_one(state)
+        if phase1.satisfied:
+            return
+        phase2 = run_phase_two(state)
+        assert phase2.satisfied
+        assert state.residue_is_eligible()
+
+
+class TestDeadGroupsAtExit:
+    def test_unsatisfied_phase_two_leaves_only_dead_groups(self):
+        """If phase two gives up, every (non-empty) group must be dead."""
+        from repro.dataset.examples import phase_three_example
+
+        table = phase_three_example()
+        l = 4
+        state = AlgorithmState(table, l)
+        phase1 = run_phase_one(state)
+        assert not phase1.satisfied
+        phase2 = run_phase_two(state)
+        assert not phase2.satisfied
+        for group_id in range(state.group_count):
+            if state.group(group_id).size > 0:
+                assert state.group_is_dead(group_id)

@@ -1,0 +1,123 @@
+"""Tests for phase three (Section 5.4)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.phase1 import run_phase_one
+from repro.core.phase2 import run_phase_two
+from repro.core.phase3 import run_phase_three
+from repro.core.state import AlgorithmState
+from repro.dataset.examples import phase_three_example, table_from_group_counts
+from tests.conftest import make_random_table
+
+
+def _run_all_phases(table, l):
+    state = AlgorithmState(table, l)
+    phase1 = run_phase_one(state)
+    phase2 = None
+    phase3 = None
+    if not phase1.satisfied:
+        phase2 = run_phase_two(state)
+        if not phase2.satisfied:
+            phase3 = run_phase_three(state)
+    return state, phase1, phase2, phase3
+
+
+class TestSection54Example:
+    """The Section 5.4 walk-through: Q1=(3,1,2,3,3), Q2=(1,3,2,3,3), R=(4,4,4,0,0), l=4."""
+
+    def test_example_reaches_phase_three(self):
+        table = phase_three_example()
+        state = AlgorithmState(table, 4)
+        phase1 = run_phase_one(state)
+        assert not phase1.satisfied
+        # After phase one the residue is exactly (4, 4, 4, 0, 0) and the two
+        # big groups are untouched, thin and conflicting, so phase two has no
+        # alive sensitive value to work with.
+        assert state.residue.counts() == {0: 4, 1: 4, 2: 4}
+        phase2 = run_phase_two(state)
+        assert not phase2.satisfied
+        assert phase2.moved == 0
+
+    def test_example_terminates_in_one_round(self):
+        table = phase_three_example()
+        state, _p1, _p2, phase3 = _run_all_phases(table, 4)
+        assert phase3 is not None
+        assert state.residue_is_eligible()
+        # The paper's walk-through needs a single round; Lemma 9 allows at
+        # most h(R..) = 4 rounds, our deterministic tie-breaking needs 1.
+        assert phase3.rounds == 1
+        for group in state.groups:
+            assert group.is_l_eligible(4)
+
+    def test_example_final_residue_size(self):
+        """In the walk-through, R ends with exactly l * h(R) = 20 tuples."""
+        table = phase_three_example()
+        state, *_ = _run_all_phases(table, 4)
+        assert state.residue.size == 4 * state.residue.height
+
+
+class TestPhaseThreeInvariants:
+    @settings(deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=35),
+        m=st.integers(min_value=3, max_value=6),
+        l=st.integers(min_value=3, max_value=5),
+        qi_domain=st.integers(min_value=2, max_value=8),
+        seed=st.integers(min_value=0, max_value=120),
+    )
+    def test_full_pipeline_always_terminates_eligible(self, n, m, l, qi_domain, seed):
+        table = make_random_table(n, d=2, qi_domain=qi_domain, m=m, seed=seed)
+        if not table.is_l_eligible(l):
+            return
+        state, phase1, phase2, phase3 = _run_all_phases(table, l)
+        assert state.residue_is_eligible()
+        for group in state.groups:
+            assert group.is_l_eligible(l)
+        moved = phase1.moved
+        if phase2 is not None:
+            moved += phase2.moved
+        if phase3 is not None:
+            moved += phase3.moved
+        assert moved == state.residue.size
+        assert sum(group.size for group in state.groups) + state.residue.size == n
+
+    def test_round_bound_lemma9(self):
+        """The number of rounds never exceeds h(R..) (Lemma 9)."""
+        table = phase_three_example()
+        state = AlgorithmState(table, 4)
+        phase1 = run_phase_one(state)
+        assert not phase1.satisfied
+        phase2 = run_phase_two(state)
+        assert not phase2.satisfied
+        height_before_phase3 = state.residue.height
+        phase3 = run_phase_three(state)
+        assert phase3.rounds <= max(height_before_phase3, 1)
+
+    def test_phase_three_moved_counter(self):
+        table = phase_three_example()
+        state = AlgorithmState(table, 4)
+        run_phase_one(state)
+        run_phase_two(state)
+        before = state.residue.size
+        report = run_phase_three(state)
+        assert state.residue.size - before == report.moved
+
+    def test_noop_when_already_eligible(self):
+        table = table_from_group_counts([(1, 1), (1, 1)])
+        state = AlgorithmState(table, 2)
+        report = run_phase_three(state)
+        assert report.rounds == 0
+        assert report.moved == 0
+
+    def test_theorem3_multiplicative_bound_on_example(self):
+        """|R^| <= l(l-1) h(R.) + l - 1 (the bound derived in Theorem 3's proof)."""
+        table = phase_three_example()
+        l = 4
+        state = AlgorithmState(table, l)
+        phase1 = run_phase_one(state)
+        run_phase_two(state)
+        run_phase_three(state)
+        assert state.residue.size <= l * (l - 1) * phase1.residue_height + l - 1

@@ -1,0 +1,84 @@
+"""Tests for the Section 5.6 coarsening preprocessor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import three_phase
+from repro.core.preprocess import anonymize_with_coarsening, coarsen
+from repro.dataset.generalized import STAR, cell_contains
+from repro.metrics.kl import kl_divergence
+
+
+class TestCoarsen:
+    def test_depth_zero_collapses_domains(self, small_census):
+        projected = small_census.project(small_census.schema.qi_names[:3])
+        coarsened = coarsen(projected, depth=0)
+        assert all(attribute.size == 1 for attribute in coarsened.table.schema.qi)
+        assert coarsened.table.distinct_qi_count == 1
+
+    def test_large_depth_is_identity_on_group_structure(self, small_census):
+        projected = small_census.project(small_census.schema.qi_names[:3])
+        coarsened = coarsen(projected, depth=10)
+        assert coarsened.table.distinct_qi_count == projected.distinct_qi_count
+
+    def test_depth_reduces_distinct_qi_vectors(self, small_census):
+        projected = small_census.project(small_census.schema.qi_names[:4])
+        shallow = coarsen(projected, depth=1)
+        deep = coarsen(projected, depth=3)
+        assert shallow.table.distinct_qi_count <= deep.table.distinct_qi_count
+
+    def test_sa_untouched(self, small_census):
+        projected = small_census.project(small_census.schema.qi_names[:3])
+        coarsened = coarsen(projected, depth=1)
+        assert coarsened.table.sa_values == projected.sa_values
+
+    def test_decode_cell_covers_original_codes(self, small_census):
+        projected = small_census.project(small_census.schema.qi_names[:3])
+        coarsened = coarsen(projected, depth=1)
+        sizes = [attribute.size for attribute in projected.schema.qi]
+        for row in range(len(projected)):
+            for position in range(projected.dimension):
+                coarse_code = coarsened.table.qi_row(row)[position]
+                cell = coarsened.decode_cell(position, coarse_code)
+                assert cell_contains(cell, projected.qi_row(row)[position], sizes[position])
+
+    def test_invalid_depth(self, small_census):
+        with pytest.raises(ValueError):
+            coarsen(small_census, depth=-1)
+
+
+class TestAnonymizeWithCoarsening:
+    @pytest.fixture(scope="class")
+    def projected(self, small_census):
+        return small_census.project(small_census.schema.qi_names[:4])
+
+    def test_output_is_l_diverse(self, projected):
+        result = anonymize_with_coarsening(projected, l=4, depth=2)
+        assert result.generalized.is_l_diverse(4)
+
+    def test_coarsening_reduces_stars(self, projected):
+        """The Section 5.6 trade-off: fewer stars, wider non-star cells."""
+        plain = three_phase.anonymize(projected, 6)
+        coarse = anonymize_with_coarsening(projected, l=6, depth=1, use_hybrid=False)
+        assert coarse.star_count <= plain.star_count
+        assert coarse.subdomain_cell_count >= 0
+
+    def test_cells_cover_original_values(self, projected):
+        result = anonymize_with_coarsening(projected, l=4, depth=2)
+        sizes = [attribute.size for attribute in projected.schema.qi]
+        for row in range(0, len(projected), 37):
+            for position in range(projected.dimension):
+                cell = result.generalized.cell(row, position)
+                if cell is STAR:
+                    continue
+                assert cell_contains(cell, projected.qi_row(row)[position], sizes[position])
+
+    def test_plain_tp_variant(self, projected):
+        result = anonymize_with_coarsening(projected, l=4, depth=2, use_hybrid=False)
+        assert result.generalized.is_l_diverse(4)
+        assert result.l == 4
+
+    def test_kl_divergence_measurable(self, projected):
+        result = anonymize_with_coarsening(projected, l=4, depth=2)
+        assert kl_divergence(projected, result.generalized) >= 0.0

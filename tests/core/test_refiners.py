@@ -1,0 +1,66 @@
+"""Tests for the residue refinement strategies."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.eligibility import is_l_eligible
+from repro.core.refiners import frequency_greedy_refiner, single_group_refiner
+from tests.conftest import make_random_table
+
+
+def _eligible_rows(table, rows, l):
+    counts = Counter(table.sa_value(row) for row in rows)
+    return is_l_eligible(counts, l)
+
+
+class TestSingleGroupRefiner:
+    def test_returns_single_group(self, random_table):
+        rows = list(range(10))
+        assert single_group_refiner(random_table, rows, 2) == [rows]
+
+    def test_empty_input(self, random_table):
+        assert single_group_refiner(random_table, [], 2) == []
+
+
+class TestFrequencyGreedyRefiner:
+    def test_empty_input(self, random_table):
+        assert frequency_greedy_refiner(random_table, [], 2) == []
+
+    def test_partitions_eligible_rows_into_eligible_groups(self, random_table):
+        l = 2
+        rows = [row for row in range(len(random_table))]
+        if not _eligible_rows(random_table, rows, l):
+            rows = rows[: 2 * (len(rows) // 2)]
+        groups = frequency_greedy_refiner(random_table, rows, l)
+        covered = sorted(row for group in groups for row in group)
+        assert covered == sorted(rows)
+        for group in groups:
+            assert _eligible_rows(random_table, group, l)
+
+    def test_groups_are_smaller_than_single_group(self, random_table):
+        rows = list(range(len(random_table)))
+        groups = frequency_greedy_refiner(random_table, rows, 2)
+        if len(rows) >= 4:
+            assert len(groups) > 1
+
+    @settings(deadline=None, max_examples=80)
+    @given(
+        n=st.integers(min_value=1, max_value=50),
+        m=st.integers(min_value=2, max_value=6),
+        l=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=200),
+    )
+    def test_always_valid_on_eligible_multisets(self, n, m, l, seed):
+        table = make_random_table(n, d=2, qi_domain=3, m=m, seed=seed)
+        rows = list(range(len(table)))
+        if not _eligible_rows(table, rows, l):
+            return
+        groups = frequency_greedy_refiner(table, rows, l)
+        covered = sorted(row for group in groups for row in group)
+        assert covered == rows
+        for group in groups:
+            assert _eligible_rows(table, group, l)

@@ -1,0 +1,94 @@
+"""Tests for the built-in example datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.examples import (
+    hospital_microdata,
+    hospital_patient_names,
+    phase_three_example,
+    phase_two_example,
+    table_from_group_counts,
+)
+
+
+class TestHospitalMicrodata:
+    def test_shape(self):
+        table = hospital_microdata()
+        assert len(table) == 10
+        assert table.schema.qi_names == ("Age", "Gender", "Education")
+        assert table.schema.sensitive.name == "Disease"
+
+    def test_disease_distribution_matches_paper(self):
+        table = hospital_microdata()
+        counts = {
+            table.schema.sensitive.decode(code): count
+            for code, count in table.sa_counts().items()
+        }
+        assert counts == {"HIV": 2, "pneumonia": 4, "bronchitis": 3, "dyspepsia": 1}
+
+    def test_is_2_eligible_but_not_3(self):
+        table = hospital_microdata()
+        assert table.max_l == 2
+
+    def test_patient_names(self):
+        names = hospital_patient_names()
+        assert len(names) == 10
+        assert names[0] == "Adam"
+        assert names[2] == "Calvin"
+
+
+class TestTableFromGroupCounts:
+    def test_basic_construction(self):
+        table = table_from_group_counts([(2, 1), (0, 3)])
+        assert len(table) == 6
+        assert table.distinct_qi_count == 2
+        groups = table.group_by_qi()
+        sizes = sorted(len(rows) for rows in groups.values())
+        assert sizes == [3, 3]
+
+    def test_counts_are_respected(self):
+        table = table_from_group_counts([(1, 2, 0)])
+        counts = table.sa_counts()
+        assert counts == {0: 1, 1: 2}
+
+    def test_dimension_parameter(self):
+        table = table_from_group_counts([(1, 1)], dimension=3)
+        assert table.dimension == 3
+        assert table.qi_row(0) == (0, 0, 0)
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            table_from_group_counts([])
+        with pytest.raises(ValueError):
+            table_from_group_counts([(1, 2), (1,)])
+        with pytest.raises(ValueError):
+            table_from_group_counts([(1,)], dimension=0)
+        with pytest.raises(ValueError):
+            table_from_group_counts([(-1, 2)])
+
+
+class TestWorkedExamples:
+    def test_phase_two_example_matches_section_5_3(self):
+        table = phase_two_example()
+        assert len(table) == 10 + 12 + 8
+        groups = table.group_by_qi()
+        assert len(groups) == 3
+        # The three group vectors of the example.
+        vectors = set()
+        for rows in groups.values():
+            counts = [0] * 5
+            for row in rows:
+                counts[table.sa_value(row)] += 1
+            vectors.add(tuple(counts))
+        assert vectors == {(3, 1, 1, 2, 3), (0, 2, 2, 4, 4), (4, 4, 0, 0, 0)}
+
+    def test_phase_two_example_is_3_eligible(self):
+        assert phase_two_example().is_l_eligible(3)
+
+    def test_phase_three_example_is_4_eligible(self):
+        table = phase_three_example()
+        assert table.is_l_eligible(4)
+        # Two big groups plus 12 singleton groups.
+        assert table.distinct_qi_count == 2 + 12

@@ -1,0 +1,181 @@
+"""Tests for partitions, suppression (Definition 1) and generalized tables."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dataset.generalized import STAR, GeneralizedTable, Partition, cell_contains, cell_size
+from tests.conftest import make_random_table
+
+
+class TestCellHelpers:
+    def test_cell_size(self):
+        assert cell_size(3, domain_size=10) == 1
+        assert cell_size(frozenset({1, 2, 3}), domain_size=10) == 3
+        assert cell_size(STAR, domain_size=10) == 10
+
+    def test_cell_contains(self):
+        assert cell_contains(3, 3, 10)
+        assert not cell_contains(3, 4, 10)
+        assert cell_contains(frozenset({1, 2}), 2, 10)
+        assert not cell_contains(frozenset({1, 2}), 5, 10)
+        assert cell_contains(STAR, 9, 10)
+        assert not cell_contains(STAR, 10, 10)
+
+    def test_star_is_singleton(self):
+        assert STAR is type(STAR)()
+        assert repr(STAR) == "*"
+
+
+class TestPartition:
+    def test_valid_partition(self):
+        partition = Partition([[0, 2], [1]], 3)
+        assert len(partition) == 2
+        assert partition.group_sizes() == [2, 1]
+        assert partition.group_of() == [0, 1, 0]
+
+    def test_empty_groups_dropped(self):
+        partition = Partition([[0], [], [1]], 2)
+        assert len(partition) == 2
+
+    def test_missing_row_rejected(self):
+        with pytest.raises(ValueError):
+            Partition([[0]], 2)
+
+    def test_duplicate_row_rejected(self):
+        with pytest.raises(ValueError):
+            Partition([[0, 1], [1]], 2)
+
+    def test_out_of_range_row_rejected(self):
+        with pytest.raises(ValueError):
+            Partition([[0, 5]], 2)
+
+    def test_single_group(self):
+        partition = Partition.single_group(4)
+        assert len(partition) == 1
+        assert partition[0] == [0, 1, 2, 3]
+
+    def test_by_qi(self, hospital):
+        partition = Partition.by_qi(hospital)
+        assert len(partition) == hospital.distinct_qi_count
+
+    def test_is_l_diverse(self, hospital):
+        # The paper's Table 3 partition: {1,2,3,4}, {5..8}, {9,10} (0-based).
+        table3 = Partition([[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]], 10)
+        assert table3.is_l_diverse(hospital, 2)
+        # The Table 2 partition is 2-anonymous but not 2-diverse (HIV group).
+        table2 = Partition([[0, 1], [2, 3], [4, 5, 6, 7], [8, 9]], 10)
+        assert not table2.is_l_diverse(hospital, 2)
+
+
+class TestSuppression:
+    def test_paper_table3_star_count(self, hospital):
+        """The paper's Table 3 has 8 stars (4 on Age, 4 on Education)."""
+        partition = Partition([[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]], 10)
+        generalized = GeneralizedTable.from_partition(hospital, partition)
+        assert generalized.star_count() == 8
+        assert generalized.suppressed_tuple_count() == 4
+        assert generalized.is_l_diverse(2)
+
+    def test_paper_table2_star_count(self, hospital):
+        """The paper's Table 2 has 2 stars (Age of Calvin and Danny)."""
+        partition = Partition([[0, 1], [2, 3], [4, 5, 6, 7], [8, 9]], 10)
+        generalized = GeneralizedTable.from_partition(hospital, partition)
+        assert generalized.star_count() == 2
+        assert generalized.suppressed_tuple_count() == 2
+        assert generalized.is_k_anonymous(2)
+        assert not generalized.is_l_diverse(2)
+
+    def test_zero_star_partition(self, hospital):
+        partition = Partition.by_qi(hospital)
+        generalized = GeneralizedTable.from_partition(hospital, partition)
+        assert generalized.star_count() == 0
+        assert generalized.suppressed_tuple_count() == 0
+
+    def test_single_group_stars(self, hospital):
+        partition = Partition.single_group(len(hospital))
+        generalized = GeneralizedTable.from_partition(hospital, partition)
+        # All three QI attributes have more than one value overall.
+        assert generalized.star_count() == 3 * len(hospital)
+
+    def test_sensitive_values_retained(self, hospital):
+        partition = Partition.single_group(len(hospital))
+        generalized = GeneralizedTable.from_partition(hospital, partition)
+        assert generalized.sa_values == hospital.sa_values
+
+    def test_partition_size_mismatch(self, hospital):
+        with pytest.raises(ValueError):
+            GeneralizedTable.from_partition(hospital, Partition.single_group(3))
+
+    def test_decoded_records_render_stars(self, hospital):
+        partition = Partition([[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]], 10)
+        generalized = GeneralizedTable.from_partition(hospital, partition)
+        record = generalized.decoded_record(2)  # Calvin
+        assert record["Age"] == "*"
+        assert record["Education"] == "*"
+        assert record["Gender"] == "M"
+        assert record["Disease"] == "pneumonia"
+
+    def test_groups_mapping(self, hospital):
+        partition = Partition([[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]], 10)
+        generalized = GeneralizedTable.from_partition(hospital, partition)
+        groups = generalized.groups()
+        assert sorted(len(rows) for rows in groups.values()) == [2, 4, 4]
+
+
+class TestGeneralizedTableValidation:
+    def test_wrong_cell_dimension_rejected(self, hospital):
+        with pytest.raises(ValueError):
+            GeneralizedTable(hospital.schema, [(0,)], [0], [0])
+
+    def test_length_mismatch_rejected(self, hospital):
+        with pytest.raises(ValueError):
+            GeneralizedTable(hospital.schema, [(0, 0, 0)], [0, 1], [0])
+
+    def test_invalid_l_rejected(self, hospital):
+        generalized = GeneralizedTable.from_partition(
+            hospital, Partition.single_group(len(hospital))
+        )
+        with pytest.raises(ValueError):
+            generalized.is_l_diverse(0)
+        with pytest.raises(ValueError):
+            generalized.is_k_anonymous(0)
+
+    def test_subdomain_cells_counted_as_generalized_not_stars(self, hospital):
+        cells = []
+        for row in range(len(hospital)):
+            qi = hospital.qi_row(row)
+            cells.append((frozenset({0, 1}), qi[1], qi[2]))
+        generalized = GeneralizedTable(
+            hospital.schema, cells, hospital.sa_values, [0] * len(hospital)
+        )
+        assert generalized.star_count() == 0
+        assert generalized.generalized_cell_count() == len(hospital)
+
+
+class TestSuppressionProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=25),
+        seed=st.integers(min_value=0, max_value=40),
+        group_count=st.integers(min_value=1, max_value=5),
+    )
+    def test_definition1_star_consistency(self, n, seed, group_count):
+        """Within a group an attribute is starred iff the group disagrees on it."""
+        table = make_random_table(n, d=3, seed=seed)
+        groups = [[] for _ in range(min(group_count, n))]
+        for row in range(n):
+            groups[row % len(groups)].append(row)
+        partition = Partition(groups, n)
+        generalized = GeneralizedTable.from_partition(table, partition)
+        for group in partition:
+            for position in range(table.dimension):
+                values = {table.qi_row(row)[position] for row in group}
+                cells = {generalized.cell(row, position) for row in group}
+                assert len(cells) == 1
+                cell = cells.pop()
+                if len(values) == 1:
+                    assert cell == values.pop()
+                else:
+                    assert cell is STAR

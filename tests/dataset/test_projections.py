@@ -1,0 +1,73 @@
+"""Tests for the SAL-d / OCC-d workload construction."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.dataset.projections import cardinality_samples, projection_family
+from repro.dataset.synthetic import CensusConfig, make_sal
+
+
+class TestProjectionFamily:
+    @pytest.fixture(scope="class")
+    def base(self):
+        return make_sal(400, seed=0, config=CensusConfig.scaled(0.25))
+
+    def test_family_size_is_binomial(self, base):
+        """SAL-d contains C(7, d) tables (Section 6.1)."""
+        for d in (1, 2, 3):
+            family = projection_family(base, d)
+            assert len(family) == math.comb(7, d)
+
+    def test_family_of_full_dimension(self, base):
+        family = projection_family(base, 7)
+        assert len(family) == 1
+        assert family[0].table.dimension == 7
+
+    def test_max_tables_cap(self, base):
+        family = projection_family(base, 4, max_tables=5)
+        assert len(family) == 5
+
+    def test_projection_dimensions_and_labels(self, base):
+        family = projection_family(base, 2, max_tables=3)
+        for projected in family:
+            assert projected.table.dimension == 2
+            assert projected.label == "+".join(projected.qi_names)
+            assert len(projected.table) == len(base)
+
+    def test_qi_subsets_are_distinct(self, base):
+        family = projection_family(base, 3)
+        names = {projected.qi_names for projected in family}
+        assert len(names) == len(family)
+
+    def test_invalid_d(self, base):
+        with pytest.raises(ValueError):
+            projection_family(base, 0)
+        with pytest.raises(ValueError):
+            projection_family(base, 8)
+
+
+class TestCardinalitySamples:
+    @pytest.fixture(scope="class")
+    def base(self):
+        return make_sal(600, seed=1, config=CensusConfig.scaled(0.25))
+
+    def test_sizes(self, base):
+        samples = cardinality_samples(base, [100, 300, 600])
+        assert [len(sample) for sample in samples] == [100, 300, 600]
+
+    def test_schema_preserved(self, base):
+        (sample,) = cardinality_samples(base, [50])
+        assert sample.schema is base.schema
+
+    def test_too_large_rejected(self, base):
+        with pytest.raises(ValueError):
+            cardinality_samples(base, [601])
+
+    def test_deterministic(self, base):
+        first = cardinality_samples(base, [100, 200], seed=9)
+        second = cardinality_samples(base, [100, 200], seed=9)
+        for a, b in zip(first, second):
+            assert a.qi_rows == b.qi_rows

@@ -1,0 +1,126 @@
+"""Tests for the synthetic census generator (the SAL / OCC substitute)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.synthetic import (
+    CENSUS_DOMAIN_SIZES,
+    CENSUS_QI_NAMES,
+    CensusConfig,
+    make_census,
+    make_occ,
+    make_sal,
+)
+
+
+class TestDomainSizes:
+    def test_table6_domain_sizes(self):
+        """Table 6 of the paper: the attribute domain sizes."""
+        assert CENSUS_DOMAIN_SIZES == {
+            "Age": 79,
+            "Gender": 2,
+            "Race": 9,
+            "Marital Status": 6,
+            "Birth Place": 56,
+            "Education": 17,
+            "Work Class": 9,
+            "Income": 50,
+            "Occupation": 50,
+        }
+
+    def test_sal_schema_matches_table6(self):
+        table = make_sal(200, seed=0)
+        sizes = table.schema.domain_sizes
+        for name in CENSUS_QI_NAMES:
+            assert sizes[name] == CENSUS_DOMAIN_SIZES[name]
+        assert sizes["Income"] == 50
+
+    def test_occ_uses_occupation(self):
+        table = make_occ(100, seed=0)
+        assert table.schema.sensitive.name == "Occupation"
+        assert table.schema.qi_names == CENSUS_QI_NAMES
+
+    def test_seven_qi_attributes(self):
+        assert len(CENSUS_QI_NAMES) == 7
+        assert make_sal(50).dimension == 7
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        first = make_sal(300, seed=5)
+        second = make_sal(300, seed=5)
+        assert first.qi_rows == second.qi_rows
+        assert first.sa_values == second.sa_values
+
+    def test_different_seeds_differ(self):
+        first = make_sal(300, seed=1)
+        second = make_sal(300, seed=2)
+        assert first.qi_rows != second.qi_rows
+
+    def test_cardinality(self):
+        assert len(make_sal(123)) == 123
+
+    @pytest.mark.parametrize("maker", [make_sal, make_occ])
+    def test_eligible_for_all_experiment_l_values(self, maker):
+        """The paper sweeps l from 2 to 10; the data must support that."""
+        table = maker(5000, seed=0)
+        assert table.max_l >= 10
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            make_census(0)
+        with pytest.raises(ValueError):
+            make_census(10, sensitive="Nope")
+
+    def test_values_within_domains(self):
+        table = make_sal(500, seed=2)
+        for position, attribute in enumerate(table.schema.qi):
+            codes = {row[position] for row in table.qi_rows}
+            assert max(codes) < attribute.size
+            assert min(codes) >= 0
+
+    def test_age_education_correlation_present(self):
+        """Older respondents should skew to lower education codes (by construction)."""
+        table = make_sal(8000, seed=1)
+        age_position = table.schema.qi_position("Age")
+        education_position = table.schema.qi_position("Education")
+        age_size = table.schema.qi_attribute("Age").size
+        young = [
+            row[education_position]
+            for row in table.qi_rows
+            if row[age_position] < age_size * 0.25
+        ]
+        old = [
+            row[education_position]
+            for row in table.qi_rows
+            if row[age_position] >= age_size * 0.55
+        ]
+        assert sum(young) / len(young) > sum(old) / len(old)
+
+
+class TestScaledConfig:
+    def test_scaled_domains_shrink_qi_only(self):
+        config = CensusConfig.scaled(0.3)
+        assert config.domain("Age") == round(79 * 0.3)
+        assert config.domain("Gender") == 2  # clamped at 2
+        assert config.domain("Income") == 50  # SA untouched
+        assert config.domain("Occupation") == 50
+
+    def test_scaled_validation(self):
+        with pytest.raises(ValueError):
+            CensusConfig.scaled(0.0)
+        with pytest.raises(ValueError):
+            CensusConfig.scaled(1.5)
+
+    def test_scaled_generation_respects_domains(self):
+        config = CensusConfig.scaled(0.25)
+        table = make_sal(400, seed=0, config=config)
+        assert table.schema.qi_attribute("Age").size == config.domain("Age")
+        assert table.max_l >= 10
+
+    def test_scaling_increases_group_sizes(self):
+        """Smaller QI domains → fewer distinct QI vectors for the same n."""
+        full = make_sal(2000, seed=0)
+        scaled = make_sal(2000, seed=0, config=CensusConfig.scaled(0.2))
+        assert scaled.distinct_qi_count < full.distinct_qi_count

@@ -1,0 +1,39 @@
+"""Tests for the experiment configuration presets."""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+
+
+class TestPresets:
+    def test_smoke_is_smaller_than_default(self):
+        smoke = ExperimentConfig.smoke()
+        default = ExperimentConfig.default()
+        assert smoke.n < default.n
+        assert len(smoke.l_values) < len(default.l_values)
+        assert smoke.max_tables_per_family <= default.max_tables_per_family
+
+    def test_paper_scale_matches_paper_parameters(self):
+        paper = ExperimentConfig.paper_scale()
+        assert paper.n == 600_000
+        assert paper.max_tables_per_family is None
+        assert paper.domain_scale == 1.0
+        assert paper.sample_sizes[-1] == 600_000
+
+    def test_default_sweeps_match_paper_ranges(self):
+        config = ExperimentConfig.default()
+        assert config.l_values == tuple(range(2, 11))
+        assert config.d_values == tuple(range(1, 8))
+        assert config.l_for_d_sweep == 6
+        assert config.l_for_time_d_sweep == 4
+        assert config.l_for_cardinality_sweep == 6
+        assert config.base_dimension == 4
+
+    def test_frozen(self):
+        config = ExperimentConfig.smoke()
+        try:
+            config.n = 5
+        except AttributeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("ExperimentConfig should be immutable")

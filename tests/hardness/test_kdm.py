@@ -1,0 +1,125 @@
+"""Tests for the generalized l-dimensional matching construction (l > 3)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core import three_phase
+from repro.core.exact import optimal_star_count
+from repro.hardness.kdm import (
+    KDMInstance,
+    matching_to_generalization,
+    reduce_kdm_to_l_diversity,
+    solve_kdm,
+)
+
+
+def _planted_instance(k: int, n: int, extra: int = 1, seed: int = 0) -> KDMInstance:
+    import random
+
+    rng = random.Random(seed)
+    points: set[tuple[int, ...]] = set()
+    permutations = [list(range(n)) for _ in range(k)]
+    for dimension in range(1, k):
+        rng.shuffle(permutations[dimension])
+    for index in range(n):
+        points.add(tuple(permutations[dimension][index] for dimension in range(k)))
+    while len(points) < n + extra:
+        points.add(tuple(rng.randrange(n) for _ in range(k)))
+    return KDMInstance(k=k, n=n, points=tuple(sorted(points)))
+
+
+class TestInstanceAndSolver:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KDMInstance(k=2, n=2, points=((0, 0), (1, 1)))
+        with pytest.raises(ValueError):
+            KDMInstance(k=3, n=0, points=())
+        with pytest.raises(ValueError):
+            KDMInstance(k=3, n=2, points=((0, 0, 0), (0, 0, 0)))
+        with pytest.raises(ValueError):
+            KDMInstance(k=3, n=2, points=((0, 0, 5), (1, 1, 1)))
+
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_planted_instances_are_solved(self, k):
+        instance = _planted_instance(k, n=3, extra=2, seed=k)
+        solution = solve_kdm(instance)
+        assert solution is not None
+        assert instance.is_matching(solution)
+
+    def test_unsolvable_instance(self):
+        # Every point uses value 0 on the last dimension.
+        points = tuple(
+            (first, second, 0, 0)
+            for first, second in itertools.product(range(2), repeat=2)
+        )
+        instance = KDMInstance(k=4, n=2, points=points)
+        assert solve_kdm(instance) is None
+
+    def test_is_matching_rejects_wrong_size(self):
+        instance = _planted_instance(4, n=2)
+        assert not instance.is_matching((0,))
+
+
+class TestReduction:
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_gadget_structure(self, k):
+        instance = _planted_instance(k, n=3, extra=2, seed=10 + k)
+        reduced = reduce_kdm_to_l_diversity(instance)
+        table = reduced.table
+        assert len(table) == k * 3
+        assert table.dimension == instance.point_count
+        assert reduced.l == k
+        # Every column has exactly k zeros (generalized Property 1).
+        for position in range(table.dimension):
+            zeros = sum(1 for row in range(len(table)) if table.qi_row(row)[position] == 0)
+            assert zeros == k
+        # Exactly m distinct sensitive values; dimensions never share values.
+        assert table.distinct_sa_count == reduced.m
+        by_dimension: dict[int, set[int]] = {}
+        for row, (dimension, _value) in enumerate(reduced.row_values):
+            by_dimension.setdefault(dimension, set()).add(table.sa_value(row))
+        for first, second in itertools.combinations(by_dimension.values(), 2):
+            assert not (first & second)
+        # The gadget table is k-eligible, so the target problem is feasible.
+        assert table.is_l_eligible(k)
+
+    def test_m_bounds(self):
+        instance = _planted_instance(4, n=2)
+        with pytest.raises(ValueError):
+            reduce_kdm_to_l_diversity(instance, m=3)
+        with pytest.raises(ValueError):
+            reduce_kdm_to_l_diversity(instance, m=9)
+
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_matching_yields_threshold_generalization(self, k):
+        instance = _planted_instance(k, n=3, extra=2, seed=20 + k)
+        reduced = reduce_kdm_to_l_diversity(instance)
+        matching = solve_kdm(instance)
+        generalized = matching_to_generalization(reduced, matching)
+        assert generalized.star_count() == reduced.star_threshold
+        assert generalized.is_l_diverse(k)
+        assert all(len(rows) == k for rows in generalized.groups().values())
+
+    def test_non_matching_rejected(self):
+        instance = _planted_instance(4, n=2, extra=2)
+        reduced = reduce_kdm_to_l_diversity(instance)
+        with pytest.raises(ValueError):
+            matching_to_generalization(reduced, (0, 0))
+
+    def test_exhaustive_optimum_matches_threshold_for_tiny_yes_instance(self):
+        # k = 4, n = 2: 8 rows, small enough for brute force.
+        instance = _planted_instance(4, n=2, extra=1, seed=3)
+        reduced = reduce_kdm_to_l_diversity(instance)
+        assert solve_kdm(instance) is not None
+        optimum = optimal_star_count(reduced.table, l=4, max_rows=8)
+        assert optimum == reduced.star_threshold
+
+    def test_tp_respects_the_lower_bound(self):
+        instance = _planted_instance(4, n=3, extra=2, seed=9)
+        reduced = reduce_kdm_to_l_diversity(instance)
+        result = three_phase.anonymize(reduced.table, 4)
+        assert result.generalized.is_l_diverse(4)
+        assert result.star_count >= reduced.star_threshold

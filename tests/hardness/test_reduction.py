@@ -1,0 +1,103 @@
+"""Tests for the Section-4 reduction, including the exact Figure 1b table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardness.reduction import reduce_to_l_diversity, sensitive_value_for_row
+from repro.hardness.three_dm import ThreeDMInstance, paper_example_instance
+from repro.hardness.verify import verify_construction_properties
+
+#: Figure 1b of the paper: the table constructed from the Figure 1a instance
+#: with m = 8.  Columns A1..A6, last column is the sensitive attribute B.
+_FIGURE_1B = [
+    # A1 A2 A3 A4 A5 A6  B
+    (0, 0, 1, 1, 1, 1, 1),   # row for value 1 (D1)
+    (2, 2, 0, 0, 2, 2, 2),   # 2
+    (3, 3, 3, 3, 0, 3, 3),   # 3
+    (4, 4, 4, 4, 4, 0, 4),   # 4
+    (0, 5, 5, 5, 5, 5, 5),   # a (D2)
+    (6, 0, 6, 0, 0, 6, 6),   # b
+    (7, 7, 0, 7, 7, 7, 7),   # c
+    (7, 7, 7, 7, 7, 0, 7),   # d
+    (8, 8, 0, 0, 8, 8, 8),   # alpha (D3)
+    (8, 8, 8, 8, 8, 0, 8),   # beta
+    (8, 0, 8, 8, 0, 8, 8),   # gamma
+    (0, 8, 8, 8, 8, 8, 8),   # delta
+]
+
+
+class TestSensitiveValueRule:
+    def test_figure_1b_assignment(self):
+        """n = 4, m = 8: SA values 1..6 then 7,7 then 8,8,8,8."""
+        expected = [1, 2, 3, 4, 5, 6, 7, 7, 8, 8, 8, 8]
+        assert [sensitive_value_for_row(j, 4, 8) for j in range(1, 13)] == expected
+
+    def test_large_m_case(self):
+        # m - 1 > 2n: n = 2, m = 6 (3n = 6).
+        values = [sensitive_value_for_row(j, 2, 6) for j in range(1, 7)]
+        assert values == [1, 2, 3, 4, 5, 6]
+        assert len(set(values)) == 6
+
+    def test_small_m_case(self):
+        # n >= m - 1: n = 4, m = 3.
+        values = [sensitive_value_for_row(j, 4, 3) for j in range(1, 13)]
+        assert values == [1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3]
+
+    def test_out_of_range_row(self):
+        with pytest.raises(ValueError):
+            sensitive_value_for_row(0, 4, 8)
+        with pytest.raises(ValueError):
+            sensitive_value_for_row(13, 4, 8)
+
+
+class TestFigure1bTable:
+    def test_reduction_reproduces_figure_1b_exactly(self):
+        reduced = reduce_to_l_diversity(paper_example_instance(), m=8)
+        table = reduced.table
+        assert len(table) == 12
+        assert table.dimension == 6
+        for row, expected in enumerate(_FIGURE_1B):
+            qi = tuple(
+                table.schema.qi[i].decode(table.qi_row(row)[i]) for i in range(6)
+            )
+            sa = table.schema.sensitive.decode(table.sa_value(row))
+            assert qi == expected[:6], f"row {row} QI mismatch"
+            assert sa == expected[6], f"row {row} SA mismatch"
+
+    def test_star_threshold(self):
+        reduced = reduce_to_l_diversity(paper_example_instance(), m=8)
+        assert reduced.star_threshold == 3 * 4 * (6 - 1) == 60
+
+    def test_construction_properties(self):
+        reduced = reduce_to_l_diversity(paper_example_instance(), m=8)
+        verify_construction_properties(reduced)
+
+    def test_row_values_metadata(self):
+        reduced = reduce_to_l_diversity(paper_example_instance(), m=8)
+        dimensions = [dimension for dimension, _value in reduced.row_values]
+        assert dimensions == [0] * 4 + [1] * 4 + [2] * 4
+
+
+class TestParameterValidation:
+    def test_default_m(self):
+        reduced = reduce_to_l_diversity(paper_example_instance())
+        assert reduced.m == 8
+
+    def test_m_bounds(self):
+        instance = paper_example_instance()
+        with pytest.raises(ValueError):
+            reduce_to_l_diversity(instance, m=2)
+        with pytest.raises(ValueError):
+            reduce_to_l_diversity(instance, m=13)
+
+    def test_small_instance_default_m_clamped(self):
+        instance = ThreeDMInstance(n=1, points=((0, 0, 0),))
+        reduced = reduce_to_l_diversity(instance)
+        assert reduced.m == 3
+
+    @pytest.mark.parametrize("m", [3, 5, 8, 12])
+    def test_properties_hold_for_all_m(self, m):
+        reduced = reduce_to_l_diversity(paper_example_instance(), m=m)
+        verify_construction_properties(reduced)
+        assert reduced.table.distinct_sa_count == m

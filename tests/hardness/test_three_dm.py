@@ -1,0 +1,90 @@
+"""Tests for the 3-dimensional matching machinery."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardness.three_dm import (
+    ThreeDMInstance,
+    enumerate_matchings,
+    paper_example_instance,
+    random_instance,
+    solve_3dm,
+)
+
+
+class TestInstanceValidation:
+    def test_paper_example_shape(self):
+        instance = paper_example_instance()
+        assert instance.n == 4
+        assert instance.point_count == 6
+
+    def test_rejects_duplicate_points(self):
+        with pytest.raises(ValueError):
+            ThreeDMInstance(n=2, points=((0, 0, 0), (0, 0, 0)))
+
+    def test_rejects_out_of_range_coordinates(self):
+        with pytest.raises(ValueError):
+            ThreeDMInstance(n=2, points=((0, 0, 2), (1, 1, 1)))
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(ValueError):
+            ThreeDMInstance(n=3, points=((0, 0, 0), (1, 1, 1)))
+
+    def test_rejects_non_triples(self):
+        with pytest.raises(ValueError):
+            ThreeDMInstance(n=1, points=((0, 0),))
+
+
+class TestMatchingCheck:
+    def test_paper_solution(self):
+        """{p1, p3, p5, p6} is a matching of the Figure 1a instance."""
+        instance = paper_example_instance()
+        assert instance.is_matching((0, 2, 4, 5))
+        assert not instance.is_matching((0, 1, 2, 3))
+        assert not instance.is_matching((0, 2, 4))
+
+
+class TestSolver:
+    def test_solves_paper_example(self):
+        instance = paper_example_instance()
+        solution = solve_3dm(instance)
+        assert solution is not None
+        assert instance.is_matching(solution)
+
+    def test_detects_unsolvable_instance(self):
+        # Both points collide on the second dimension.
+        instance = ThreeDMInstance(n=2, points=((0, 0, 0), (1, 0, 1), (0, 0, 1)))
+        assert solve_3dm(instance) is None
+
+    def test_solution_agrees_with_enumeration(self):
+        instance = paper_example_instance()
+        matchings = enumerate_matchings(instance)
+        assert matchings  # yes-instance
+        solution = solve_3dm(instance)
+        assert tuple(sorted(solution)) in {tuple(sorted(m)) for m in matchings}
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        n=st.integers(min_value=1, max_value=4),
+        extra=st.integers(min_value=0, max_value=3),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_planted_instances_are_solvable(self, n, extra, seed):
+        instance = random_instance(n, extra_points=extra, seed=seed, solvable=True)
+        solution = solve_3dm(instance)
+        assert solution is not None
+        assert instance.is_matching(solution)
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        n=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_solver_matches_enumeration_on_random_instances(self, n, seed):
+        instance = random_instance(n, extra_points=2, seed=seed, solvable=False)
+        solution = solve_3dm(instance)
+        matchings = enumerate_matchings(instance)
+        assert (solution is not None) == bool(matchings)

@@ -1,0 +1,76 @@
+"""Tests for Lemma 3 verification (both directions where feasible)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import three_phase
+from repro.hardness.reduction import reduce_to_l_diversity
+from repro.hardness.three_dm import ThreeDMInstance, paper_example_instance, random_instance, solve_3dm
+from repro.hardness.verify import (
+    matching_to_generalization,
+    minimum_star_threshold,
+    verify_lemma3,
+)
+
+
+class TestMatchingToGeneralization:
+    def test_paper_example_matching_gives_threshold_stars(self):
+        reduced = reduce_to_l_diversity(paper_example_instance(), m=8)
+        matching = solve_3dm(reduced.instance)
+        generalized = matching_to_generalization(reduced, matching)
+        assert generalized.star_count() == minimum_star_threshold(reduced) == 60
+        assert generalized.is_l_diverse(3)
+        # Property 3: every useful QI-group has exactly three tuples.
+        assert all(len(rows) == 3 for rows in generalized.groups().values())
+
+    def test_rejects_non_matching(self):
+        reduced = reduce_to_l_diversity(paper_example_instance(), m=8)
+        with pytest.raises(ValueError):
+            matching_to_generalization(reduced, (0, 1, 2, 3))
+
+
+class TestLemma3:
+    def test_paper_example_is_consistent(self):
+        reduced = reduce_to_l_diversity(paper_example_instance(), m=8)
+        report = verify_lemma3(reduced)
+        assert report.has_matching
+        assert report.constructed_stars == report.star_threshold == 60
+        assert report.consistent
+
+    def test_small_yes_instance_with_exhaustive_check(self):
+        """n = 2 (6 rows): the 'if' direction is checked by brute force."""
+        instance = ThreeDMInstance(n=2, points=((0, 0, 0), (1, 1, 1), (0, 1, 1)))
+        reduced = reduce_to_l_diversity(instance, m=3)
+        report = verify_lemma3(reduced)
+        assert report.has_matching
+        assert report.optimal_stars == report.star_threshold
+        assert report.consistent
+
+    def test_small_no_instance_needs_more_stars(self):
+        """A no-instance's optimal 3-diverse generalization exceeds the threshold."""
+        instance = ThreeDMInstance(n=2, points=((0, 0, 0), (1, 0, 1), (0, 0, 1)))
+        assert solve_3dm(instance) is None
+        reduced = reduce_to_l_diversity(instance, m=3)
+        report = verify_lemma3(reduced)
+        assert not report.has_matching
+        assert report.optimal_stars is not None
+        assert report.optimal_stars > report.star_threshold
+        assert report.consistent
+
+    def test_random_planted_instances(self):
+        for seed in range(3):
+            instance = random_instance(2, extra_points=2, seed=seed, solvable=True)
+            reduced = reduce_to_l_diversity(instance, m=3)
+            report = verify_lemma3(reduced)
+            assert report.has_matching
+            assert report.consistent
+
+
+class TestAlgorithmOnHardInstances:
+    def test_tp_respects_property4_lower_bound(self):
+        """Any 3-diverse generalization has at least 3n(d-1) stars (Property 4)."""
+        reduced = reduce_to_l_diversity(paper_example_instance(), m=8)
+        result = three_phase.anonymize(reduced.table, 3)
+        assert result.star_count >= reduced.star_threshold
+        assert result.generalized.is_l_diverse(3)

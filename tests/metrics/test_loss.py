@@ -1,0 +1,50 @@
+"""Tests for the auxiliary information-loss metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.generalized import GeneralizedTable, Partition
+from repro.metrics.loss import average_group_size, discernibility, gcp, ncp
+
+
+class TestNCP:
+    def test_zero_for_identity(self, hospital):
+        generalized = GeneralizedTable.from_partition(hospital, Partition.by_qi(hospital))
+        assert ncp(generalized) == 0.0
+        assert gcp(generalized) == 0.0
+
+    def test_star_costs_one(self, hospital):
+        partition = Partition([[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]], 10)
+        generalized = GeneralizedTable.from_partition(hospital, partition)
+        # 8 stars, each on an attribute with domain size 3 -> each costs 1.
+        assert ncp(generalized) == pytest.approx(8.0)
+        assert gcp(generalized) == pytest.approx(8.0 / 30.0)
+
+    def test_subdomain_costs_fractionally(self, hospital):
+        cells = []
+        for row in range(len(hospital)):
+            qi = hospital.qi_row(row)
+            cells.append((frozenset({0, 1}), qi[1], qi[2]))
+        generalized = GeneralizedTable(
+            hospital.schema, cells, hospital.sa_values, [0] * len(hospital)
+        )
+        # Age has domain size 3; a 2-value sub-domain costs (2-1)/(3-1) = 0.5.
+        assert ncp(generalized) == pytest.approx(0.5 * 10)
+
+
+class TestGroupMetrics:
+    def test_discernibility(self, hospital):
+        partition = Partition([[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]], 10)
+        generalized = GeneralizedTable.from_partition(hospital, partition)
+        assert discernibility(generalized) == 16 + 16 + 4
+
+    def test_average_group_size(self, hospital):
+        partition = Partition([[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]], 10)
+        generalized = GeneralizedTable.from_partition(hospital, partition)
+        assert average_group_size(generalized) == pytest.approx(10 / 3)
+
+    def test_single_group(self, hospital):
+        generalized = GeneralizedTable.from_partition(hospital, Partition.single_group(10))
+        assert discernibility(generalized) == 100
+        assert average_group_size(generalized) == 10

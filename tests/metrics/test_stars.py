@@ -1,0 +1,39 @@
+"""Tests for star-based metrics."""
+
+from __future__ import annotations
+
+from repro.dataset.generalized import GeneralizedTable, Partition
+from repro.metrics.stars import (
+    star_count,
+    star_count_by_attribute,
+    suppressed_tuple_count,
+    suppression_ratio,
+)
+
+
+def _table3(hospital):
+    partition = Partition([[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]], 10)
+    return GeneralizedTable.from_partition(hospital, partition)
+
+
+class TestStarMetrics:
+    def test_star_count(self, hospital):
+        assert star_count(_table3(hospital)) == 8
+
+    def test_star_count_by_attribute(self, hospital):
+        by_attribute = star_count_by_attribute(_table3(hospital))
+        assert by_attribute == {"Age": 4, "Gender": 0, "Education": 4}
+
+    def test_suppressed_tuple_count(self, hospital):
+        assert suppressed_tuple_count(_table3(hospital)) == 4
+
+    def test_suppression_ratio(self, hospital):
+        generalized = _table3(hospital)
+        assert suppression_ratio(generalized) == 8 / 30
+
+    def test_zero_for_identity_partition(self, hospital):
+        generalized = GeneralizedTable.from_partition(hospital, Partition.by_qi(hospital))
+        assert star_count(generalized) == 0
+        assert suppressed_tuple_count(generalized) == 0
+        assert suppression_ratio(generalized) == 0.0
+        assert all(count == 0 for count in star_count_by_attribute(generalized).values())

@@ -1,0 +1,60 @@
+"""Tests for the linking / homogeneity attack simulator (Section 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import hybrid, three_phase
+from repro.dataset.generalized import GeneralizedTable, Partition
+from repro.privacy.attack import simulate_linking_attack
+
+
+def _publish(hospital, groups):
+    return GeneralizedTable.from_partition(hospital, Partition(groups, len(hospital)))
+
+
+class TestHomogeneityAttack:
+    def test_table2_leaks_adam_and_bob(self, hospital):
+        """Section 1: Table 2 is 2-anonymous yet reveals that Adam/Bob have HIV."""
+        table2 = _publish(hospital, [[0, 1], [2, 3], [4, 5, 6, 7], [8, 9]])
+        report = simulate_linking_attack(hospital, table2, confidence_threshold=0.5)
+        assert report.max_confidence == 1.0
+        assert report.above_threshold_rate >= 2 / 10
+
+    def test_table3_bounds_confidence_by_half(self, hospital):
+        """A 2-diverse publication caps the adversary's confidence at 50%."""
+        table3 = _publish(hospital, [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]])
+        report = simulate_linking_attack(hospital, table3, confidence_threshold=0.5)
+        assert report.max_confidence <= 0.5 + 1e-9
+        assert report.above_threshold_rate == 0.0
+
+    def test_unsuppressed_table_fully_leaks(self, hospital):
+        original = _publish(hospital, list(hospital.group_by_qi().values()))
+        report = simulate_linking_attack(hospital, original)
+        # Every individual whose QI-group is SA-homogeneous is fully exposed;
+        # for Table 1 that includes Adam, Bob, Calvin and Danny.
+        assert report.max_confidence == 1.0
+        assert report.correct_inference_rate >= 0.4
+
+    def test_tp_output_respects_l(self, hospital):
+        result = three_phase.anonymize(hospital, 2)
+        report = simulate_linking_attack(hospital, result.generalized, confidence_threshold=0.5)
+        assert report.above_threshold_rate == 0.0
+
+    def test_hybrid_output_respects_l_on_census(self, small_census):
+        projected = small_census.project(small_census.schema.qi_names[:3])
+        l = 4
+        result = hybrid.anonymize(projected, l)
+        report = simulate_linking_attack(projected, result.generalized, confidence_threshold=1 / l)
+        assert report.above_threshold_rate == 0.0
+        assert report.individuals == len(projected)
+
+    def test_length_mismatch_rejected(self, hospital):
+        table3 = _publish(hospital, [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]])
+        with pytest.raises(ValueError):
+            simulate_linking_attack(hospital.subset([0, 1]), table3)
+
+    def test_mean_confidence_bounded_by_max(self, hospital):
+        table3 = _publish(hospital, [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]])
+        report = simulate_linking_attack(hospital, table3)
+        assert report.mean_confidence <= report.max_confidence + 1e-12

@@ -1,0 +1,70 @@
+"""Hypothesis strategies shared by the property-based tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.dataset.table import Attribute, Schema, Table
+
+
+@st.composite
+def sa_histograms(draw, max_values: int = 6, max_count: int = 8):
+    """A histogram ``{sensitive value: count}`` with at least one tuple."""
+    size = draw(st.integers(min_value=1, max_value=max_values))
+    counts = draw(
+        st.lists(st.integers(min_value=0, max_value=max_count), min_size=size, max_size=size)
+    )
+    histogram = {value: count for value, count in enumerate(counts) if count > 0}
+    if not histogram:
+        histogram = {0: 1}
+    return histogram
+
+
+@st.composite
+def small_tables(
+    draw,
+    max_rows: int = 9,
+    max_dimension: int = 3,
+    max_qi_domain: int = 3,
+    max_sensitive: int = 4,
+):
+    """A random small table (suitable for comparison against brute force)."""
+    n = draw(st.integers(min_value=1, max_value=max_rows))
+    d = draw(st.integers(min_value=1, max_value=max_dimension))
+    qi_domain = draw(st.integers(min_value=1, max_value=max_qi_domain))
+    m = draw(st.integers(min_value=1, max_value=max_sensitive))
+    schema = Schema(
+        qi=tuple(Attribute(f"Q{i}", tuple(range(qi_domain))) for i in range(d)),
+        sensitive=Attribute("S", tuple(range(m))),
+    )
+    qi_rows = draw(
+        st.lists(
+            st.tuples(*[st.integers(min_value=0, max_value=qi_domain - 1) for _ in range(d)]),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    sa_values = draw(
+        st.lists(st.integers(min_value=0, max_value=m - 1), min_size=n, max_size=n)
+    )
+    return Table(schema, qi_rows, sa_values)
+
+
+@st.composite
+def eligible_tables(draw, l: int = 2, max_rows: int = 9, **kwargs):
+    """A small table that is l-eligible (so anonymization is feasible)."""
+    table = draw(small_tables(max_rows=max_rows, **kwargs))
+    if table.is_l_eligible(l):
+        return table
+    # Rebalance: replicate the rows cyclically over l distinct sensitive values
+    # so that no value exceeds n / l.
+    m = table.schema.sensitive.size
+    if m < l:
+        schema = Schema(
+            qi=table.schema.qi,
+            sensitive=Attribute("S", tuple(range(l))),
+        )
+    else:
+        schema = table.schema
+    sa_values = [index % l for index in range(len(table))]
+    return Table(schema, table.qi_rows, sa_values)

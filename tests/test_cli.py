@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.dataset.examples import hospital_microdata
+
+
+@pytest.fixture
+def hospital_csv(tmp_path):
+    path = tmp_path / "hospital.csv"
+    hospital_microdata().to_csv(str(path))
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_anonymize_arguments(self):
+        arguments = build_parser().parse_args(
+            [
+                "anonymize",
+                "--input", "in.csv",
+                "--qi", "Age,Gender",
+                "--sa", "Disease",
+                "--l", "2",
+                "--output", "out.csv",
+            ]
+        )
+        assert arguments.command == "anonymize"
+        assert arguments.algorithm == "TP+"
+        assert arguments.l == 2
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "figure99"])
+
+
+class TestCommands:
+    def test_anonymize_writes_csv(self, hospital_csv, tmp_path, capsys):
+        output = str(tmp_path / "published.csv")
+        code = main(
+            [
+                "anonymize",
+                "--input", hospital_csv,
+                "--qi", "Age,Gender,Education",
+                "--sa", "Disease",
+                "--l", "2",
+                "--algorithm", "TP",
+                "--output", output,
+            ]
+        )
+        assert code == 0
+        with open(output, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 10
+        stars = sum(1 for row in rows for value in row.values() if value == "*")
+        assert stars == 8
+        captured = capsys.readouterr()
+        assert "published table written" in captured.out
+
+    def test_evaluate_prints_metrics(self, hospital_csv, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--input", hospital_csv,
+                "--qi", "Age,Gender,Education",
+                "--sa", "Disease",
+                "--l", "2",
+                "--algorithms", "TP,Hilbert",
+                "--kl",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "TP" in output and "Hilbert" in output
+        assert "stars" in output
+
+    def test_experiment_phase3(self, capsys):
+        code = main(["experiment", "phase3", "--scale", "smoke"])
+        assert code == 0
+        assert "phase 3" in capsys.readouterr().out
+
+    def test_experiment_figure2_smoke(self, capsys):
+        code = main(["experiment", "figure2", "--dataset", "SAL", "--scale", "smoke"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Figure 2" in output
+        assert "TP+" in output
+
+    def test_experiment_csv_export(self, tmp_path, capsys):
+        path = str(tmp_path / "fig3.csv")
+        code = main(
+            ["experiment", "figure3", "--dataset", "OCC", "--scale", "smoke", "--csv", path]
+        )
+        assert code == 0
+        with open(path) as handle:
+            header = handle.readline().strip().split(",")
+        assert header[0] == "d"
+        assert "TP+" in header
+        assert "series written" in capsys.readouterr().out

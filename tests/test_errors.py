@@ -1,0 +1,27 @@
+"""Tests for the shared exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AlgorithmInvariantError, IneligibleTableError, ReproError
+
+
+class TestHierarchy:
+    def test_subclassing(self):
+        assert issubclass(IneligibleTableError, ReproError)
+        assert issubclass(AlgorithmInvariantError, ReproError)
+        assert issubclass(ReproError, Exception)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise IneligibleTableError("nope")
+        with pytest.raises(ReproError):
+            raise AlgorithmInvariantError("nope")
+
+    def test_algorithms_raise_the_shared_type(self):
+        from repro.core import three_phase
+        from repro.dataset.examples import hospital_microdata
+
+        with pytest.raises(ReproError):
+            three_phase.anonymize(hospital_microdata(), 4)

@@ -1,0 +1,95 @@
+"""Cross-module integration tests: the full pipeline on census-like data.
+
+These tests run every algorithm end to end on the same synthetic census
+projection and check the contracts that hold *across* modules: privacy of the
+published tables, consistency of the metrics, the relative quality ordering
+the paper reports, and the attack simulator agreeing with the checkers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import hilbert, mondrian, tds
+from repro.core import hybrid, three_phase
+from repro.metrics import gcp, kl_divergence, suppression_ratio
+from repro.privacy import adversary_confidence, diversity_report, simulate_linking_attack
+
+_L = 4
+
+
+@pytest.fixture(scope="module")
+def census4(small_census):
+    return small_census.project(small_census.schema.qi_names[:4])
+
+
+@pytest.fixture(scope="module")
+def outputs(census4):
+    return {
+        "TP": three_phase.anonymize(census4, _L).generalized,
+        "TP+": hybrid.anonymize(census4, _L).generalized,
+        "Hilbert": hilbert.anonymize(census4, _L).generalized,
+        "TDS": tds.anonymize(census4, _L).generalized,
+        "Mondrian": mondrian.anonymize(census4, _L).generalized,
+    }
+
+
+class TestPrivacyAcrossAlgorithms:
+    def test_every_algorithm_publishes_an_l_diverse_table(self, outputs):
+        for name, generalized in outputs.items():
+            assert generalized.is_l_diverse(_L), f"{name} output is not {_L}-diverse"
+
+    def test_adversary_confidence_bounded(self, outputs):
+        for name, generalized in outputs.items():
+            assert adversary_confidence(generalized) <= 1 / _L + 1e-9, name
+
+    def test_linking_attack_never_exceeds_the_bound(self, census4, outputs):
+        for name, generalized in outputs.items():
+            report = simulate_linking_attack(census4, generalized, confidence_threshold=1 / _L)
+            assert report.above_threshold_rate == 0.0, name
+
+    def test_sensitive_values_preserved(self, census4, outputs):
+        for name, generalized in outputs.items():
+            assert generalized.sa_values == census4.sa_values, name
+
+    def test_achieved_l_reported_consistently(self, outputs):
+        for name, generalized in outputs.items():
+            report = diversity_report(generalized)
+            assert report.achieved_l >= _L, name
+
+
+class TestQualityOrdering:
+    def test_tp_plus_never_worse_than_tp_in_stars(self, outputs):
+        assert outputs["TP+"].star_count() <= outputs["TP"].star_count()
+
+    def test_suppression_ratio_consistent_with_star_count(self, census4, outputs):
+        for generalized in outputs.values():
+            expected = generalized.star_count() / (len(census4) * census4.dimension)
+            assert suppression_ratio(generalized) == pytest.approx(expected)
+
+    def test_generalization_baselines_have_no_stars(self, outputs):
+        assert outputs["TDS"].star_count() == 0
+        assert outputs["Mondrian"].star_count() == 0
+
+    def test_kl_divergence_finite_for_all(self, census4, outputs):
+        values = {name: kl_divergence(census4, generalized) for name, generalized in outputs.items()}
+        for name, value in values.items():
+            assert value >= 0.0, name
+        # The headline utility result of Section 6.2 at l=4 scale.
+        assert values["TP+"] <= values["TDS"] + 1e-9
+
+    def test_gcp_in_unit_interval(self, outputs):
+        for name, generalized in outputs.items():
+            assert 0.0 <= gcp(generalized) <= 1.0, name
+
+
+class TestGroupStructure:
+    def test_groups_partition_rows(self, census4, outputs):
+        for name, generalized in outputs.items():
+            rows = sorted(row for group in generalized.groups().values() for row in group)
+            assert rows == list(range(len(census4))), name
+
+    def test_group_ids_dense(self, outputs):
+        for generalized in outputs.values():
+            ids = set(generalized.group_ids)
+            assert ids == set(range(len(ids)))
