@@ -1,0 +1,130 @@
+"""Record (or check) the figure-6 performance baseline of the two backends.
+
+Runs ``bench_fig6_time_vs_n`` (the Figure 6 driver at ``BENCH_CONFIG`` scale)
+once per backend — the vectorized NumPy data plane and the pure-Python
+reference path — and writes the per-algorithm time-vs-n trajectories plus the
+end-to-end speedup at the largest cardinality to a JSON baseline::
+
+    PYTHONPATH=src python scripts/bench_baseline.py --output BENCH_fig6.json
+
+Future PRs compare against the committed ``BENCH_fig6.json``; the CI smoke
+mode re-times only the NumPy backend (fast) and fails when it has regressed
+more than ``--tolerance``-fold against the recorded baseline::
+
+    PYTHONPATH=src python scripts/bench_baseline.py --check BENCH_fig6.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from datetime import datetime, timezone
+
+sys.path.insert(0, "benchmarks")
+from _config import BENCH_CONFIG  # noqa: E402
+
+from repro.backend import use_backend  # noqa: E402
+from repro.experiments import figures  # noqa: E402
+
+ALGORITHMS = ("Hilbert", "TP", "TP+")
+
+
+def _series(dataset: str, repeats: int) -> dict[str, dict[str, float]]:
+    """Per-algorithm {n: seconds} for figure 6, minimum over ``repeats`` runs."""
+    best: dict[str, dict[str, float]] = {name: {} for name in ALGORITHMS}
+    for _ in range(repeats):
+        result = figures.figure6(dataset, BENCH_CONFIG)
+        for name in ALGORITHMS:
+            for x, y in result.series[name]:
+                key = str(int(x))
+                previous = best[name].get(key)
+                best[name][key] = y if previous is None else min(previous, y)
+    return best
+
+
+def _total_at_max_n(series: dict[str, dict[str, float]]) -> float:
+    key = str(max(BENCH_CONFIG.sample_sizes))
+    return sum(series[name][key] for name in ALGORITHMS)
+
+
+def record(dataset: str, repeats: int, output: str) -> None:
+    print(f"timing figure6 [{dataset}] at BENCH_CONFIG scale, {repeats} repeats per backend")
+    numpy_series = _series(dataset, repeats)
+    with use_backend("reference"):
+        reference_series = _series(dataset, repeats)
+    numpy_total = _total_at_max_n(numpy_series)
+    reference_total = _total_at_max_n(reference_series)
+    baseline = {
+        "benchmark": "bench_fig6_time_vs_n",
+        "dataset": dataset,
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "config": {
+            "n": BENCH_CONFIG.n,
+            "seed": BENCH_CONFIG.seed,
+            "l": BENCH_CONFIG.l_for_cardinality_sweep,
+            "sample_sizes": list(BENCH_CONFIG.sample_sizes),
+            "domain_scale": BENCH_CONFIG.domain_scale,
+            "base_dimension": BENCH_CONFIG.base_dimension,
+        },
+        "seconds": {"numpy": numpy_series, "reference": reference_series},
+        "total_seconds_at_max_n": {"numpy": numpy_total, "reference": reference_total},
+        "speedup_at_max_n": reference_total / numpy_total,
+    }
+    with open(output, "w") as handle:
+        json.dump(baseline, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"numpy backend total at n={max(BENCH_CONFIG.sample_sizes)}: {numpy_total * 1000:.2f} ms")
+    print(f"reference backend total:            {reference_total * 1000:.2f} ms")
+    print(f"end-to-end speedup:                 {baseline['speedup_at_max_n']:.2f}x")
+    print(f"baseline written to {output}")
+
+
+def check(dataset: str, repeats: int, baseline_path: str, tolerance: float) -> int:
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    recorded = baseline["total_seconds_at_max_n"]["numpy"]
+    series = _series(dataset, repeats)
+    current = _total_at_max_n(series)
+    ratio = current / recorded if recorded else float("inf")
+    print(
+        f"figure6 [{dataset}] numpy backend at n={max(BENCH_CONFIG.sample_sizes)}: "
+        f"{current * 1000:.2f} ms (baseline {recorded * 1000:.2f} ms, {ratio:.2f}x)"
+    )
+    if ratio > tolerance:
+        print(f"FAIL: regression above the {tolerance:g}x tolerance")
+        return 1
+    print("OK: within tolerance")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="SAL", choices=["SAL", "OCC"])
+    parser.add_argument("--output", default="BENCH_fig6.json")
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="runs per backend; per-point minimum is kept"
+    )
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="smoke mode: re-time only the NumPy backend and compare against this baseline",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.0,
+        help="maximum allowed slowdown factor in --check mode",
+    )
+    arguments = parser.parse_args()
+    if arguments.check:
+        return check(arguments.dataset, arguments.repeats, arguments.check, arguments.tolerance)
+    record(arguments.dataset, arguments.repeats, arguments.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

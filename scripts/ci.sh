@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 test suite plus a fast performance smoke check.
+#
+#   scripts/ci.sh
+#
+# The perf check re-times the figure-6 benchmark on the NumPy backend only
+# (well under a minute) and fails when it has regressed more than 2x against
+# the committed BENCH_fig6.json baseline.  Regenerate the baseline after an
+# intentional performance change with:
+#
+#   PYTHONPATH=src python scripts/bench_baseline.py --output BENCH_fig6.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== perf smoke: bench_fig6 vs committed baseline =="
+python scripts/bench_baseline.py --check BENCH_fig6.json --repeats 3 --tolerance 2.0

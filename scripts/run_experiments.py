@@ -2,7 +2,8 @@
 
 Used to produce the numbers recorded in EXPERIMENTS.md::
 
-    python scripts/run_experiments.py [--scale default|smoke|report] [--output results.txt]
+    python scripts/run_experiments.py [--scale default|smoke|report] \
+        [--output results.txt] [--workers N] [--backend numpy|reference]
 """
 
 from __future__ import annotations
@@ -11,6 +12,7 @@ import argparse
 import dataclasses
 import time
 
+from repro import backend
 from repro.experiments import figures
 from repro.experiments.config import ExperimentConfig
 
@@ -36,8 +38,21 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", default="report", choices=["smoke", "default", "report"])
     parser.add_argument("--output", default="experiment_results.txt")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fan independent (table, l, algorithm) runs over N processes",
+    )
+    parser.add_argument(
+        "--backend",
+        default="numpy",
+        choices=["numpy", "reference"],
+        help="data-plane backend: vectorized NumPy or the pure-Python reference",
+    )
     arguments = parser.parse_args()
-    config = _config(arguments.scale)
+    backend.set_backend(arguments.backend)
+    config = dataclasses.replace(_config(arguments.scale), workers=arguments.workers)
 
     sections: list[str] = [f"scale={arguments.scale}  config={config}"]
     drivers = [

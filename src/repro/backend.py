@@ -1,0 +1,65 @@
+"""Data-plane backend selection: vectorized NumPy versus pure-Python reference.
+
+The hot paths of the data plane — QI-grouping, suppression (Definition 1),
+Hilbert key computation and the information-loss metrics — exist in two
+provably-equivalent implementations:
+
+* a **vectorized** NumPy implementation operating on the columnar code
+  arrays carried by :class:`~repro.dataset.table.Table` (the default), and
+* a **reference** pure-Python implementation, retained both as the oracle for
+  the property tests (mirroring the ``GroupState`` / ``NaiveGroupState``
+  ablation pattern of Section 5.5) and as the baseline that
+  ``scripts/bench_baseline.py`` measures speedups against.
+
+The switch is a process-wide flag so that an *end-to-end* run (a whole figure
+driver) can be executed on either backend without touching call sites:
+
+>>> from repro.backend import use_backend
+>>> with use_backend("reference"):
+...     ...  # every hot path now takes the pure-Python route
+
+Workers forked by the parallel experiment harness inherit the flag.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+__all__ = ["BACKENDS", "current_backend", "set_backend", "use_backend", "vectorized_enabled"]
+
+#: The recognized backend names.
+BACKENDS = ("numpy", "reference")
+
+_backend = os.environ.get("REPRO_BACKEND", "numpy")
+if _backend not in BACKENDS:  # pragma: no cover - misconfiguration guard
+    raise ValueError(f"REPRO_BACKEND must be one of {BACKENDS}, got {_backend!r}")
+
+
+def current_backend() -> str:
+    """The name of the active data-plane backend."""
+    return _backend
+
+
+def set_backend(name: str) -> None:
+    """Select the data-plane backend (``"numpy"`` or ``"reference"``)."""
+    global _backend
+    if name not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {name!r}")
+    _backend = name
+
+
+@contextmanager
+def use_backend(name: str):
+    """Temporarily switch the data-plane backend."""
+    previous = current_backend()
+    set_backend(name)
+    try:
+        yield
+    finally:
+        set_backend(previous)
+
+
+def vectorized_enabled() -> bool:
+    """Whether hot paths should take the vectorized NumPy route."""
+    return _backend == "numpy"

@@ -22,6 +22,9 @@ from repro.core.eligibility import is_l_eligible_counts
 
 __all__ = ["GroupState", "NaiveGroupState"]
 
+#: Shared empty pillar set returned by the non-copying views.
+_EMPTY_PILLARS: frozenset[int] = frozenset()
+
 
 class GroupState:
     """A multiset of (sensitive value, row index) pairs with pillar tracking.
@@ -36,9 +39,22 @@ class GroupState:
     def __init__(self) -> None:
         self._counts: dict[int, int] = {}
         self._rows: dict[int, list[int]] = {}
-        self._buckets: dict[int, set[int]] = {}
+        # ``None`` means "not materialized yet": bulk construction defers the
+        # count -> values inversion until the first update or pillar read,
+        # because most QI-groups are born l-eligible and never touched.
+        self._buckets: dict[int, set[int]] | None = {}
         self._height = 0
         self._size = 0
+
+    def _materialize_buckets(self) -> None:
+        buckets: dict[int, set[int]] = {}
+        for value, count in self._counts.items():
+            bucket = buckets.get(count)
+            if bucket is None:
+                buckets[count] = {value}
+            else:
+                bucket.add(value)
+        self._buckets = buckets
 
     @classmethod
     def from_pairs(cls, pairs: Iterable[tuple[int, int]]) -> "GroupState":
@@ -47,6 +63,35 @@ class GroupState:
         for value, row in pairs:
             state.add(value, row)
         return state
+
+    def bulk_load(self, runs: Iterable[tuple[int, list[int]]]) -> None:
+        """Load pre-grouped ``(value, rows)`` runs into an *empty* state.
+
+        Equivalent to calling :meth:`add` once per row but with O(1) dict
+        work per distinct value instead of per tuple; the vectorized
+        :class:`~repro.core.state.AlgorithmState` initialization produces the
+        runs with one lexicographic sort.  Each value must appear in at most
+        one run and the state must be empty; the rows list is adopted as-is
+        (rows ascending matches the order repeated :meth:`add` would build).
+        """
+        if self._size:
+            raise ValueError("bulk_load requires an empty state")
+        counts = self._counts
+        rows = self._rows
+        height = 0
+        size = 0
+        for value, value_rows in runs:
+            count = len(value_rows)
+            if count == 0:
+                continue
+            counts[value] = count
+            rows[value] = value_rows
+            if count > height:
+                height = count
+            size += count
+        self._height = height
+        self._size = size
+        self._buckets = None  # materialized on first update / pillar read
 
     # ----------------------------------------------------------------- reads
 
@@ -71,11 +116,37 @@ class GroupState:
         """The set of pillar sensitive values (a copy; safe to mutate)."""
         if self._height == 0:
             return set()
+        if self._buckets is None:
+            self._materialize_buckets()
         return set(self._buckets[self._height])
+
+    def pillars_view(self) -> frozenset[int] | set[int]:
+        """The pillar set *without* copying — strictly read-only.
+
+        The phases call this in their inner loops (liveness checks, greedy
+        cover, conflict tests), where the per-call copy made by
+        :meth:`pillars` dominated the cost.  Callers must not mutate the
+        result and must not hold it across an :meth:`add`/:meth:`remove_one`.
+        """
+        if self._height == 0:
+            return _EMPTY_PILLARS
+        if self._buckets is None:
+            self._materialize_buckets()
+        return self._buckets[self._height]
 
     def values_present(self) -> list[int]:
         """Sensitive values with non-zero multiplicity, in ascending order."""
         return sorted(self._counts)
+
+    def values_view(self):
+        """Sensitive values with non-zero multiplicity, unordered, no copy.
+
+        A dict-keys view: read-only, invalidated by updates.  Used by the
+        phases wherever the selection is order-independent (min-by-key
+        scans, seeding sets), avoiding the per-call sort of
+        :meth:`values_present`.
+        """
+        return self._counts.keys()
 
     def distinct_value_count(self) -> int:
         return len(self._counts)
@@ -90,6 +161,14 @@ class GroupState:
         for rows in self._rows.values():
             collected.extend(rows)
         return collected
+
+    def iter_rows(self) -> Iterable[int]:
+        """Iterate over the row indices without building a list.
+
+        Read-only and invalidated by updates, like :meth:`values_view`.
+        """
+        for rows in self._rows.values():
+            yield from rows
 
     def rows_of(self, value: int) -> list[int]:
         """Row indices carrying sensitive value ``value`` (a copy)."""
@@ -113,6 +192,8 @@ class GroupState:
 
     def add(self, value: int, row: int) -> None:
         """Insert one tuple with sensitive value ``value`` and row index ``row``."""
+        if self._buckets is None:
+            self._materialize_buckets()
         old = self._counts.get(value, 0)
         new = old + 1
         if old > 0:
@@ -138,6 +219,8 @@ class GroupState:
         old = self._counts.get(value, 0)
         if old == 0:
             raise KeyError(f"sensitive value {value} not present")
+        if self._buckets is None:
+            self._materialize_buckets()
         new = old - 1
         bucket = self._buckets[old]
         bucket.discard(value)
@@ -186,6 +269,16 @@ class NaiveGroupState:
             state.add(value, row)
         return state
 
+    def bulk_load(self, runs: Iterable[tuple[int, list[int]]]) -> None:
+        if self._size:
+            raise ValueError("bulk_load requires an empty state")
+        for value, value_rows in runs:
+            if not value_rows:
+                continue
+            self._counts[value] = len(value_rows)
+            self._rows[value] = value_rows
+            self._size += len(value_rows)
+
     @property
     def size(self) -> int:
         return self._size
@@ -206,8 +299,16 @@ class NaiveGroupState:
             return set()
         return {value for value, count in self._counts.items() if count == height}
 
+    def pillars_view(self) -> set[int] | frozenset[int]:
+        # No stored pillar set to expose: recompute (the point of this class
+        # is to pay the scan on every read).
+        return self.pillars() or _EMPTY_PILLARS
+
     def values_present(self) -> list[int]:
         return sorted(self._counts)
+
+    def values_view(self):
+        return self._counts.keys()
 
     def distinct_value_count(self) -> int:
         return len(self._counts)
@@ -220,6 +321,10 @@ class NaiveGroupState:
         for rows in self._rows.values():
             collected.extend(rows)
         return collected
+
+    def iter_rows(self) -> Iterable[int]:
+        for rows in self._rows.values():
+            yield from rows
 
     def rows_of(self, value: int) -> list[int]:
         return list(self._rows.get(value, ()))

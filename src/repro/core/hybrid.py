@@ -82,10 +82,13 @@ def anonymize(
 
     refined: list[list[int]] = []
     if residue:
-        refined = refiner(table, residue, l)
+        # Custom refiners may emit empty groups; drop them before the trusted
+        # partition (which, unlike Partition(), adopts groups unfiltered).
+        refined = [list(group) for group in refiner(table, residue, l) if len(group) > 0]
         _validate_refinement(table, residue, refined, l)
 
-    partition = Partition(retained + refined, len(table))
+    # Valid by construction (retained groups + refined residue cover all rows).
+    partition = Partition.trusted(retained + refined, len(table))
     generalized = GeneralizedTable.from_partition(table, partition)
     return HybridResult(
         table=table,

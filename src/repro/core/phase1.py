@@ -43,7 +43,7 @@ def run_phase_one(state: AlgorithmState) -> PhaseOneReport:
     for group_id in range(state.group_count):
         group = state.group(group_id)
         while not group.is_l_eligible(l):
-            pillar = min(group.pillars())
+            pillar = min(group.pillars_view())
             state.move_to_residue(group_id, pillar)
             moved += 1
     return PhaseOneReport(

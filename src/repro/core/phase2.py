@@ -56,7 +56,7 @@ def run_phase_two(state: AlgorithmState) -> PhaseTwoReport:
         group = state.group(group_id)
         if group.size == 0:
             continue
-        for value in group.values_present():
+        for value in group.values_view():
             groups_with_value.setdefault(value, set()).add(group_id)
 
     heap: list[tuple[int, int]] = [
@@ -91,8 +91,8 @@ def run_phase_two(state: AlgorithmState) -> PhaseTwoReport:
             touched.append(value)
         else:
             # Thin and alive, hence non-conflicting (Section 5.3).
-            pillars = sorted(group.pillars())
-            if set(pillars) & residue.pillars():
+            pillars = sorted(group.pillars_view())
+            if not residue.pillars_view().isdisjoint(pillars):
                 raise AlgorithmInvariantError(
                     "phase two selected a thin group that conflicts with R"
                 )

@@ -72,7 +72,7 @@ def _run_round(state: AlgorithmState, progress: _Progress) -> None:
     # for the final overshoot of at most l - 1 tuples).
     selected = _greedy_cover(state)
     for group_id in selected:
-        for pillar in sorted(state.group(group_id).pillars()):
+        for pillar in sorted(state.group(group_id).pillars_view()):
             state.move_to_residue(group_id, pillar)
             progress.record()
         if state.residue_is_eligible():
@@ -115,7 +115,7 @@ def _greedy_cover(state: AlgorithmState) -> list[int]:
         for group_id in candidates:
             if group_id in selected_set:
                 continue
-            overlap = state.group(group_id).pillars() & pending
+            overlap = state.group(group_id).pillars_view() & pending
             if best_overlap is None or len(overlap) < len(best_overlap):
                 best_group = group_id
                 best_overlap = overlap
@@ -152,8 +152,9 @@ def _kill_group(state: AlgorithmState, group_id: int, progress: _Progress) -> in
         else:
             # Thin.  If it conflicted with R it would be dead and the loop
             # guard would have caught it, so it is non-conflicting: shed one
-            # tuple from each pillar (an atomic batch — see _run_round).
-            for pillar in sorted(group.pillars()):
+            # tuple from each pillar (an atomic batch — see _run_round; the
+            # sorted() copy also shields the iteration from the moves below).
+            for pillar in sorted(group.pillars_view()):
                 state.move_to_residue(group_id, pillar)
                 progress.record()
                 moved += 1
@@ -171,10 +172,10 @@ def _cheapest_non_pillar_value(state: AlgorithmState, group_id: int) -> int:
     Among the candidates we pick the one least frequent in ``R`` so that the
     removal also narrows future gaps, breaking ties by sensitive code.
     """
-    residue_pillars = state.residue.pillars()
+    residue_pillars = state.residue.pillars_view()
     group = state.group(group_id)
     best: tuple[int, int] | None = None
-    for value in group.values_present():
+    for value in group.values_view():
         if value in residue_pillars:
             continue
         key = (state.residue.count(value), value)

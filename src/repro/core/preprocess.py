@@ -22,6 +22,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.backend import vectorized_enabled
 from repro.baselines.hierarchy import Taxonomy
 from repro.core import hybrid as hybrid_module
 from repro.core import three_phase
@@ -93,11 +96,21 @@ def coarsen(
         attributes.append(Attribute(attribute.name, labels))
 
     schema = Schema(qi=tuple(attributes), sensitive=table.schema.sensitive)
-    qi_rows = [
-        tuple(code_maps[position][row[position]] for position in range(table.dimension))
-        for row in table.qi_rows
-    ]
-    coarse = Table(schema, qi_rows, list(table.sa_values))
+    if vectorized_enabled():
+        # Remap every column through its code map with one gather per attribute.
+        columns = table.qi_columns
+        coarse_columns = np.empty_like(columns)
+        for position, code_map in enumerate(code_maps):
+            coarse_columns[:, position] = np.asarray(code_map, dtype=np.int32)[
+                columns[:, position]
+            ]
+        coarse = Table.from_arrays(schema, coarse_columns, table.sa_array)
+    else:
+        qi_rows = [
+            tuple(code_maps[position][row[position]] for position in range(table.dimension))
+            for row in table.qi_rows
+        ]
+        coarse = Table(schema, qi_rows, list(table.sa_values))
     return CoarsenedTable(
         table=coarse,
         original=table,

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 
+from repro.backend import vectorized_enabled
 from repro.core.groups import GroupState
 from repro.dataset.table import Table
 from repro.errors import IneligibleTableError
@@ -50,6 +51,16 @@ class AlgorithmState:
             )
         self._table = table
         self._l = l
+        self._group_keys: list[tuple[int, ...]]
+        self._groups: list[GroupState]
+        if vectorized_enabled() and len(table) > 0:
+            self._init_vectorized(table, state_factory)
+        else:
+            self._init_reference(table, state_factory)
+        self._residue = state_factory()
+
+    def _init_reference(self, table: Table, state_factory: StateFactory) -> None:
+        """Build the per-group multiset states one :meth:`add` at a time."""
         # Deterministic group order: sort by QI vector so runs are reproducible.
         grouped = sorted(table.group_by_qi().items())
         self._group_keys = [key for key, _rows in grouped]
@@ -59,7 +70,55 @@ class AlgorithmState:
             for row in rows:
                 state.add(table.sa_value(row), row)
             self._groups.append(state)
-        self._residue = state_factory()
+
+    def _init_vectorized(self, table: Table, state_factory: StateFactory) -> None:
+        """Build the per-group states from the table's cached run encoding.
+
+        :meth:`Table.qi_sa_runs` sorts the rows by ``(QI vector, sensitive
+        value)``, which yields every QI-group as a contiguous block (already
+        in the deterministic sorted-key order) and, inside each block, every
+        sensitive value as a contiguous run — exactly the ``(value, rows)``
+        runs that :meth:`~repro.core.groups.GroupState.bulk_load` consumes.
+        Stability of the sort keeps row indices ascending within a run, so
+        the result is indistinguishable from the per-row reference
+        construction; the per-state row lists are sliced fresh (they are
+        mutated as tuples move to the residue), everything else is shared.
+        """
+        group_keys, group_run_bounds, run_bounds, run_values, order_list = table.qi_sa_runs()
+        self._group_keys = group_keys
+        run_rows = [
+            order_list[start:end] for start, end in zip(run_bounds[:-1], run_bounds[1:])
+        ]
+        run_lengths = [end - start for start, end in zip(run_bounds[:-1], run_bounds[1:])]
+
+        groups: list[GroupState] = []
+        if state_factory is GroupState:
+            # Fast path for the default state: fill the slots directly — the
+            # zip/dict constructors run at C speed, and buckets materialize
+            # lazily (most groups are born l-eligible and never touched).
+            for first, last in zip(group_run_bounds[:-1], group_run_bounds[1:]):
+                values = run_values[first:last]
+                lengths = run_lengths[first:last]
+                state = GroupState.__new__(GroupState)
+                state._counts = dict(zip(values, lengths))
+                state._rows = dict(zip(values, run_rows[first:last]))
+                state._buckets = None  # materialized on first update / pillar read
+                state._height = max(lengths)
+                state._size = sum(lengths)
+                groups.append(state)
+        else:
+            for first, last in zip(group_run_bounds[:-1], group_run_bounds[1:]):
+                state = state_factory()
+                runs = list(zip(run_values[first:last], run_rows[first:last]))
+                loader = getattr(state, "bulk_load", None)
+                if loader is not None:
+                    loader(runs)
+                else:  # custom state factories without bulk support
+                    for value, rows in runs:
+                        for row in rows:
+                            state.add(value, row)
+                groups.append(state)
+        self._groups = groups
 
     # ----------------------------------------------------------------- basics
 
@@ -114,10 +173,13 @@ class AlgorithmState:
 
     def conflicting_pillars(self, group_id: int) -> set[int]:
         """``C(Q)``: pillars of the group that are also pillars of ``R``."""
-        return self._groups[group_id].pillars() & self._residue.pillars()
+        # Intersecting the read-only views allocates only the result set.
+        return set(self._groups[group_id].pillars_view() & self._residue.pillars_view())
 
     def group_is_conflicting(self, group_id: int) -> bool:
-        return bool(self.conflicting_pillars(group_id))
+        return not self._groups[group_id].pillars_view().isdisjoint(
+            self._residue.pillars_view()
+        )
 
     def group_is_dead(self, group_id: int) -> bool:
         """Dead = thin and conflicting (cannot shed tuples without harm)."""

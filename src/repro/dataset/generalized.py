@@ -21,6 +21,9 @@ from collections import Counter
 from collections.abc import Iterable, Sequence
 from typing import Any
 
+import numpy as np
+
+from repro.backend import vectorized_enabled
 from repro.dataset.table import Schema, Table
 
 __all__ = ["STAR", "GeneralizedTable", "Partition", "cell_size", "cell_contains"]
@@ -78,6 +81,38 @@ class Partition:
 
     def __init__(self, groups: Iterable[Sequence[int]], n_rows: int) -> None:
         cleaned = [list(group) for group in groups if len(group) > 0]
+        if vectorized_enabled():
+            self._validate_vectorized(cleaned, n_rows)
+        else:
+            self._validate_reference(cleaned, n_rows)
+        self._groups = cleaned
+        self._n_rows = n_rows
+
+    @staticmethod
+    def _validate_vectorized(cleaned: list[list[int]], n_rows: int) -> None:
+        """Coverage/disjointness checks via one concatenation and bincount."""
+        if not cleaned:
+            if n_rows:
+                raise ValueError(f"partition covers 0 of {n_rows} rows ({n_rows} missing)")
+            return
+        members = np.concatenate([np.asarray(group, dtype=np.int64) for group in cleaned])
+        total = int(members.size)
+        if total and (members.min() < 0 or members.max() >= n_rows):
+            bad = int(members.min()) if members.min() < 0 else int(members.max())
+            raise ValueError(f"row index {bad} out of range for n={n_rows}")
+        occurrences = np.bincount(members, minlength=n_rows)
+        duplicates = np.flatnonzero(occurrences > 1)
+        if duplicates.size:
+            raise ValueError(
+                f"row index {int(duplicates[0])} appears in more than one group"
+            )
+        if total != n_rows:
+            missing = n_rows - total
+            raise ValueError(f"partition covers {total} of {n_rows} rows ({missing} missing)")
+
+    @staticmethod
+    def _validate_reference(cleaned: list[list[int]], n_rows: int) -> None:
+        """Pure-Python validation (one pass over every index)."""
         seen: set[int] = set()
         total = 0
         for group in cleaned:
@@ -91,8 +126,6 @@ class Partition:
         if total != n_rows:
             missing = n_rows - total
             raise ValueError(f"partition covers {total} of {n_rows} rows ({missing} missing)")
-        self._groups = cleaned
-        self._n_rows = n_rows
 
     @property
     def groups(self) -> list[list[int]]:
@@ -123,6 +156,21 @@ class Partition:
         return [len(group) for group in self._groups]
 
     @classmethod
+    def trusted(cls, groups: list[list[int]], n_rows: int) -> "Partition":
+        """Adopt ``groups`` without validation (internal fast path).
+
+        For partitions that are valid *by construction* — the output of the
+        three-phase algorithm, the Hilbert scan, or a QI-grouping — the
+        O(n) coverage/disjointness check is pure overhead on the hot path.
+        Groups must be non-empty, disjoint, cover ``0..n_rows-1``, and are
+        adopted without copying; callers must relinquish ownership.
+        """
+        partition = cls.__new__(cls)
+        partition._groups = groups
+        partition._n_rows = n_rows
+        return partition
+
+    @classmethod
     def single_group(cls, n_rows: int) -> "Partition":
         """The trivial partition with all rows in one QI-group."""
         return cls([list(range(n_rows))], n_rows)
@@ -130,7 +178,7 @@ class Partition:
     @classmethod
     def by_qi(cls, table: Table) -> "Partition":
         """The finest zero-star partition: group rows by identical QI vector."""
-        return cls(list(table.group_by_qi().values()), len(table))
+        return cls.trusted([list(rows) for rows in table.group_by_qi().values()], len(table))
 
     def is_l_diverse(self, table: Table, l: int) -> bool:
         """Whether every group of the partition is l-eligible w.r.t. ``table``."""
@@ -166,6 +214,37 @@ class GeneralizedTable:
         self._cells = [tuple(row) for row in cells]
         self._sa_values = list(sa_values)
         self._group_ids = list(group_ids)
+        self._reset_caches()
+
+    def _reset_caches(self) -> None:
+        # Lazily-filled caches; the table is immutable so none ever invalidates.
+        self._groups_cache: dict[int, list[int]] | None = None
+        self._star_mask: np.ndarray | None = None
+        self._star_count: int | None = None
+        self._suppressed_count: int | None = None
+        self._width_matrix: np.ndarray | None = None
+
+    @classmethod
+    def _from_trusted(
+        cls,
+        schema: Schema,
+        cells: list[tuple[Cell, ...]],
+        sa_values: list[int],
+        group_ids: list[int],
+    ) -> "GeneralizedTable":
+        """Adopt pre-validated row data without the defensive copies.
+
+        Internal fast path for constructors that just built ``cells`` /
+        ``group_ids`` themselves (``from_partition``); the lists are adopted
+        as-is and must not be mutated afterwards by the caller.
+        """
+        table = cls.__new__(cls)
+        table._schema = schema
+        table._cells = cells
+        table._sa_values = list(sa_values)
+        table._group_ids = group_ids
+        table._reset_caches()
+        return table
 
     # ------------------------------------------------------------ constructors
 
@@ -176,6 +255,46 @@ class GeneralizedTable:
         Within each QI-group, attribute ``A_i`` keeps its value when all
         tuples of the group agree on it, and becomes :data:`STAR` otherwise.
         """
+        if not vectorized_enabled():
+            return cls.from_partition_reference(table, partition)
+        if partition.n_rows != len(table):
+            raise ValueError("partition size does not match table size")
+        n = len(table)
+        if n == 0:
+            return cls(table.schema, [], [], [])
+        groups = partition.groups
+        columns = table.qi_columns
+        sizes = np.asarray(partition.group_sizes(), dtype=np.intp)
+        members = np.concatenate([np.asarray(group, dtype=np.intp) for group in groups])
+        starts = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        grouped = columns[members]
+        # An attribute survives in a group exactly when its min equals its max
+        # over the group — one reduceat pair replaces the per-row scan.
+        minima = np.minimum.reduceat(grouped, starts, axis=0)
+        maxima = np.maximum.reduceat(grouped, starts, axis=0)
+        star = minima != maxima
+
+        representatives: list[tuple[Cell, ...]] = [
+            tuple(STAR if starred else value for value, starred in zip(values, flags))
+            for values, flags in zip(minima.tolist(), star.tolist())
+        ]
+        group_of = np.empty(n, dtype=np.intp)
+        group_of[members] = np.repeat(np.arange(len(groups), dtype=np.intp), sizes)
+        group_ids = group_of.tolist()
+        # Rows of a group share one representative tuple, so materializing the
+        # per-row cells is a single O(n) list comprehension.
+        cells = [representatives[group_id] for group_id in group_ids]
+
+        result = cls._from_trusted(table.schema, cells, table.sa_values, group_ids)
+        stars_per_group = star.sum(axis=1)
+        result._star_mask = star[group_of]
+        result._star_count = int((stars_per_group * sizes).sum())
+        result._suppressed_count = int(sizes[stars_per_group > 0].sum())
+        return result
+
+    @classmethod
+    def from_partition_reference(cls, table: Table, partition: Partition) -> "GeneralizedTable":
+        """Pure-Python suppression (the oracle for the vectorized path)."""
         if partition.n_rows != len(table):
             raise ValueError("partition size does not match table size")
         dimension = table.dimension
@@ -213,6 +332,15 @@ class GeneralizedTable:
     def row_cells(self, row: int) -> tuple[Cell, ...]:
         return self._cells[row]
 
+    @property
+    def cell_rows(self) -> list[tuple[Cell, ...]]:
+        """All generalized rows (a copy is *not* made; treat as read-only).
+
+        Rows belonging to the same QI-group typically share one tuple object,
+        which the metrics exploit to memoize per-row work by identity.
+        """
+        return self._cells
+
     def sa_value(self, row: int) -> int:
         return self._sa_values[row]
 
@@ -225,11 +353,17 @@ class GeneralizedTable:
         return self._group_ids
 
     def groups(self) -> dict[int, list[int]]:
-        """Mapping of group id to the list of row indices in that group."""
-        result: dict[int, list[int]] = {}
-        for index, group_id in enumerate(self._group_ids):
-            result.setdefault(group_id, []).append(index)
-        return result
+        """Mapping of group id to the list of row indices in that group.
+
+        The result is cached (the table is immutable) and must be treated as
+        read-only by callers; the metrics all share one computation per table.
+        """
+        if self._groups_cache is None:
+            result: dict[int, list[int]] = {}
+            for index, group_id in enumerate(self._group_ids):
+                result.setdefault(group_id, []).append(index)
+            self._groups_cache = result
+        return self._groups_cache
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -239,12 +373,75 @@ class GeneralizedTable:
 
     # ------------------------------------------------------------ information
 
+    def star_mask(self) -> np.ndarray:
+        """Boolean ``(n, d)`` matrix marking the suppressed cells.
+
+        Tables produced by :meth:`from_partition` get this for free from the
+        vectorized group reduction; for tables built from explicit cells the
+        mask is derived once and cached.  Rows of a group share one cells
+        tuple, so the derivation memoizes per distinct tuple (by identity —
+        the tuples are pinned alive by ``self._cells``).
+        """
+        if self._star_mask is None:
+            memo: dict[int, list[bool]] = {}
+            rows: list[list[bool]] = []
+            for cells in self._cells:
+                flags = memo.get(id(cells))
+                if flags is None:
+                    flags = [cell is STAR for cell in cells]
+                    memo[id(cells)] = flags
+                rows.append(flags)
+            self._star_mask = np.asarray(rows, dtype=bool).reshape(
+                len(self._cells), self._schema.dimension
+            )
+        return self._star_mask
+
+    def width_matrix(self) -> np.ndarray:
+        """``(n, d)`` matrix of :func:`cell_size` values (cached).
+
+        Entry ``(i, j)`` is the number of domain values cell ``j`` of row
+        ``i`` may stand for: 1 for exact cells, the sub-domain size for
+        frozensets, the full domain size for stars.
+        """
+        if self._width_matrix is None:
+            sizes = [attribute.size for attribute in self._schema.qi]
+            memo: dict[int, list[int]] = {}
+            rows: list[list[int]] = []
+            for cells in self._cells:
+                widths = memo.get(id(cells))
+                if widths is None:
+                    widths = [cell_size(cell, size) for cell, size in zip(cells, sizes)]
+                    memo[id(cells)] = widths
+                rows.append(widths)
+            self._width_matrix = np.asarray(rows, dtype=np.int64).reshape(
+                len(self._cells), self._schema.dimension
+            )
+        return self._width_matrix
+
     def star_count(self) -> int:
         """Total number of suppressed QI cells (the Problem 1 objective)."""
+        if self._star_count is None:
+            if vectorized_enabled():
+                self._star_count = int(np.count_nonzero(self.star_mask()))
+            else:
+                self._star_count = self.star_count_reference()
+        return self._star_count
+
+    def star_count_reference(self) -> int:
+        """Pure-Python star count (the oracle for the vectorized path)."""
         return sum(1 for row in self._cells for cell in row if cell is STAR)
 
     def suppressed_tuple_count(self) -> int:
         """Number of rows with at least one star (the Problem 2 objective)."""
+        if self._suppressed_count is None:
+            if vectorized_enabled():
+                self._suppressed_count = int(self.star_mask().any(axis=1).sum())
+            else:
+                self._suppressed_count = self.suppressed_tuple_count_reference()
+        return self._suppressed_count
+
+    def suppressed_tuple_count_reference(self) -> int:
+        """Pure-Python suppressed-row count (the oracle for the vectorized path)."""
         return sum(1 for row in self._cells if any(cell is STAR for cell in row))
 
     def generalized_cell_count(self) -> int:

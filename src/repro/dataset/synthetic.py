@@ -250,9 +250,9 @@ def make_census(
     schema = Schema(qi=qi_attributes, sensitive=sensitive_attribute)
 
     qi_matrix = np.column_stack([columns[name] for name in CENSUS_QI_NAMES])
-    qi_rows = [tuple(int(code) for code in row) for row in qi_matrix]
-    sa_values = [int(code) for code in columns[sensitive]]
-    return Table(schema, qi_rows, sa_values)
+    # Hand the generator's code arrays straight to the columnar backend; the
+    # row-tuple representation is materialized only if an algorithm asks.
+    return Table.from_arrays(schema, qi_matrix, columns[sensitive])
 
 
 def make_sal(n: int, seed: int = 0, config: CensusConfig | None = None) -> Table:

@@ -11,10 +11,18 @@ sensitive attribute (SA) ``B``.  This module provides that substrate:
   algorithms and experiments need (projection, sampling, grouping by QI
   vector, eligibility checks).
 
-All rows are stored as tuples of integer codes.  Encoding once up front keeps
-the anonymization algorithms allocation-free and makes equality checks cheap,
-which matters because the three-phase algorithm and the baselines repeatedly
-group and compare rows.
+Rows have two interchangeable physical representations, materialized lazily
+from one another and kept in sync by construction (tables are immutable):
+
+* **row tuples** — ``qi_rows`` holds tuples of QI codes; this is what the
+  three-phase algorithm's per-tuple bookkeeping consumes;
+* **columnar code arrays** — a single ``(n, d)`` ``numpy.int32`` matrix plus
+  an ``(n,)`` sensitive-value array; this is what the vectorized data plane
+  (QI-grouping, suppression, Hilbert keys, metrics) consumes.
+
+Encoding once up front keeps the anonymization algorithms allocation-free and
+makes equality checks cheap, which matters because the three-phase algorithm
+and the baselines repeatedly group and compare rows.
 """
 
 from __future__ import annotations
@@ -25,6 +33,10 @@ from collections import Counter
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import Any
+
+import numpy as np
+
+from repro.backend import vectorized_enabled
 
 __all__ = ["Attribute", "Schema", "Table"]
 
@@ -151,7 +163,11 @@ class Table:
     """An encoded categorical microdata table.
 
     Rows are stored as two parallel sequences: ``qi_rows`` holds tuples of QI
-    codes and ``sa_values`` the sensitive-attribute codes.  The class is
+    codes and ``sa_values`` the sensitive-attribute codes.  A columnar NumPy
+    mirror (``qi_columns`` / ``sa_array``) is materialized lazily; either
+    representation can be the one supplied at construction time
+    (:meth:`from_arrays` builds a table directly from code arrays, and the
+    row tuples are only realized if something asks for them).  The class is
     intentionally immutable from the outside; anonymization algorithms build
     partitions of row indices rather than mutating the table.
     """
@@ -173,9 +189,70 @@ class Table:
                     f"QI row {row!r} has {len(row)} values, expected {dimension}"
                 )
         self._schema = schema
-        self._qi_rows = [tuple(row) for row in qi_rows]
-        self._sa_values = list(sa_values)
+        self._qi_rows: list[tuple[int, ...]] | None = [tuple(row) for row in qi_rows]
+        self._sa_values: list[int] | None = list(sa_values)
+        self._n = len(self._qi_rows)
+        self._columns: np.ndarray | None = None
+        self._sa_array: np.ndarray | None = None
+        self._qi_groups: dict[tuple[int, ...], list[int]] | None = None
+        self._qi_sa_runs: tuple | None = None
+        self._sa_counts: dict[int, int] | None = None
         self._validate_codes()
+
+    @classmethod
+    def from_arrays(
+        cls,
+        schema: Schema,
+        qi_columns: np.ndarray,
+        sa_array: np.ndarray,
+    ) -> "Table":
+        """Build a table directly from columnar code arrays.
+
+        ``qi_columns`` must be an ``(n, d)`` integer matrix and ``sa_array``
+        an ``(n,)`` integer vector.  Codes are validated with vectorized
+        bounds checks; the row-tuple representation is materialized lazily,
+        so tables that only ever travel through the vectorized data plane
+        never pay for it.
+        """
+        columns = np.ascontiguousarray(qi_columns, dtype=np.int32)
+        sa = np.ascontiguousarray(sa_array, dtype=np.int32)
+        if columns.ndim != 2 or columns.shape[1] != schema.dimension:
+            raise ValueError(
+                f"qi_columns must have shape (n, {schema.dimension}), got {columns.shape}"
+            )
+        if sa.ndim != 1 or sa.shape[0] != columns.shape[0]:
+            raise ValueError(
+                f"sa_array has {sa.shape} entries but qi_columns has {columns.shape[0]} rows"
+            )
+        table = cls.__new__(cls)
+        table._schema = schema
+        table._qi_rows = None
+        table._sa_values = None
+        table._n = columns.shape[0]
+        table._columns = columns
+        table._sa_array = sa
+        table._qi_groups = None
+        table._qi_sa_runs = None
+        table._sa_counts = None
+        if table._n:
+            for position, attribute in enumerate(schema.qi):
+                column = columns[:, position]
+                low = int(column.min())
+                high = int(column.max())
+                if low < 0 or high >= attribute.size:
+                    code = low if low < 0 else high
+                    raise DomainError(
+                        f"code {code} out of range for attribute {attribute.name!r}"
+                    )
+            low = int(sa.min())
+            high = int(sa.max())
+            if low < 0 or high >= schema.sensitive.size:
+                code = low if low < 0 else high
+                raise DomainError(
+                    f"code {code} out of range for sensitive attribute "
+                    f"{schema.sensitive.name!r}"
+                )
+        return table
 
     def _validate_codes(self) -> None:
         for position, attribute in enumerate(self._schema.qi):
@@ -194,6 +271,21 @@ class Table:
                     f"{self._schema.sensitive.name!r}"
                 )
 
+    # --------------------------------------------------------------- pickling
+
+    def __getstate__(self) -> dict:
+        # Ship only the compact columnar form; derived caches (row tuples,
+        # QI-group index) are rebuilt on demand in the receiving process.
+        return {
+            "schema": self._schema,
+            "columns": self.qi_columns,
+            "sa": self.sa_array,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        restored = Table.from_arrays(state["schema"], state["columns"], state["sa"])
+        self.__dict__.update(restored.__dict__)
+
     # ------------------------------------------------------------------ basics
 
     @property
@@ -206,43 +298,68 @@ class Table:
         return self._schema.dimension
 
     def __len__(self) -> int:
-        return len(self._qi_rows)
+        return self._n
 
     @property
     def cardinality(self) -> int:
         """The number ``n`` of rows."""
-        return len(self._qi_rows)
+        return self._n
 
     def qi_row(self, index: int) -> tuple[int, ...]:
         """Return the encoded QI vector of row ``index``."""
-        return self._qi_rows[index]
+        return self.qi_rows[index]
 
     def sa_value(self, index: int) -> int:
         """Return the encoded SA value of row ``index``."""
-        return self._sa_values[index]
+        return self.sa_values[index]
 
     @property
     def qi_rows(self) -> list[tuple[int, ...]]:
         """All encoded QI vectors (a copy is *not* made; treat as read-only)."""
+        if self._qi_rows is None:
+            self._qi_rows = [tuple(row) for row in self._columns.tolist()]
         return self._qi_rows
 
     @property
     def sa_values(self) -> list[int]:
         """All encoded SA values (treat as read-only)."""
+        if self._sa_values is None:
+            self._sa_values = self._sa_array.tolist()
         return self._sa_values
+
+    @property
+    def qi_columns(self) -> np.ndarray:
+        """The QI codes as an ``(n, d)`` ``int32`` matrix (treat as read-only).
+
+        This is the columnar mirror of :attr:`qi_rows`, materialized lazily
+        and cached; the vectorized grouping, generalization and metric paths
+        all operate on it.
+        """
+        if self._columns is None:
+            self._columns = np.asarray(self._qi_rows, dtype=np.int32).reshape(
+                self._n, self._schema.dimension
+            )
+        return self._columns
+
+    @property
+    def sa_array(self) -> np.ndarray:
+        """The SA codes as an ``(n,)`` ``int32`` array (treat as read-only)."""
+        if self._sa_array is None:
+            self._sa_array = np.asarray(self._sa_values, dtype=np.int32).reshape(self._n)
+        return self._sa_array
 
     def rows(self) -> Iterable[tuple[tuple[int, ...], int]]:
         """Iterate over ``(qi_codes, sa_code)`` pairs."""
-        return zip(self._qi_rows, self._sa_values)
+        return zip(self.qi_rows, self.sa_values)
 
     def decoded_record(self, index: int) -> dict[str, Any]:
         """Return row ``index`` as a ``{attribute name: raw value}`` mapping."""
         record = {
             attribute.name: attribute.decode(code)
-            for attribute, code in zip(self._schema.qi, self._qi_rows[index])
+            for attribute, code in zip(self._schema.qi, self.qi_rows[index])
         }
         record[self._schema.sensitive.name] = self._schema.sensitive.decode(
-            self._sa_values[index]
+            self.sa_values[index]
         )
         return record
 
@@ -260,12 +377,20 @@ class Table:
 
     def sa_counts(self) -> Counter[int]:
         """Histogram of SA codes (``h(T, v)`` for every ``v``)."""
-        return Counter(self._sa_values)
+        if self._sa_counts is None:
+            if self._sa_values is None and self._n:
+                counts = np.bincount(self._sa_array)
+                self._sa_counts = {
+                    int(value): int(count) for value, count in enumerate(counts) if count
+                }
+            else:
+                self._sa_counts = dict(Counter(self.sa_values))
+        return Counter(self._sa_counts)
 
     @property
     def distinct_sa_count(self) -> int:
         """The number ``m`` of distinct sensitive values present in the table."""
-        return len(set(self._sa_values))
+        return len(self.sa_counts())
 
     def is_l_eligible(self, l: int) -> bool:
         """Whether the whole table is l-eligible (Definition 2 applied to T).
@@ -297,8 +422,10 @@ class Table:
         """
         positions = [self._schema.qi_position(name) for name in qi_names]
         schema = self._schema.project(qi_names)
-        qi_rows = [tuple(row[position] for position in positions) for row in self._qi_rows]
-        return Table(schema, qi_rows, list(self._sa_values))
+        if vectorized_enabled():
+            return Table.from_arrays(schema, self.qi_columns[:, positions], self.sa_array)
+        qi_rows = [tuple(row[position] for position in positions) for row in self.qi_rows]
+        return Table(schema, qi_rows, list(self.sa_values))
 
     def sample(self, size: int, seed: int = 0) -> "Table":
         """Return a uniform random sample of ``size`` rows (without replacement)."""
@@ -310,8 +437,13 @@ class Table:
 
     def subset(self, indices: Sequence[int]) -> "Table":
         """Return a table containing exactly the given rows (in the given order)."""
-        qi_rows = [self._qi_rows[index] for index in indices]
-        sa_values = [self._sa_values[index] for index in indices]
+        if vectorized_enabled():
+            index_array = np.asarray(list(indices), dtype=np.intp)
+            return Table.from_arrays(
+                self._schema, self.qi_columns[index_array], self.sa_array[index_array]
+            )
+        qi_rows = [self.qi_rows[index] for index in indices]
+        sa_values = [self.sa_values[index] for index in indices]
         return Table(self._schema, qi_rows, sa_values)
 
     def group_by_qi(self) -> dict[tuple[int, ...], list[int]]:
@@ -320,16 +452,110 @@ class Table:
         These are the initial QI-groups ``Q_1..Q_s`` of Section 5.1: tuples in
         the same group agree on every QI attribute, so generalizing a group
         that was never touched costs zero stars.
+
+        Within each group, row indices are ascending.  The result is cached
+        (the table is immutable, so the grouping can never change) and must
+        be treated as read-only by callers.
         """
+        if self._qi_groups is None:
+            if vectorized_enabled():
+                self._qi_groups = self._group_by_qi_vectorized()
+            else:
+                self._qi_groups = self.group_by_qi_reference()
+        return self._qi_groups
+
+    def _group_by_qi_vectorized(self) -> dict[tuple[int, ...], list[int]]:
+        """Grouping via a lexicographic sort over the QI columns.
+
+        ``np.lexsort`` is stable, so within a group the original row indices
+        come out ascending — the same order the reference implementation
+        produces by scanning rows first to last.
+        """
+        if self._n == 0:
+            return {}
+        columns = self.qi_columns
+        # lexsort sorts by the *last* key first; reverse so the first QI
+        # attribute is the primary key and keys come out in sorted order.
+        order = np.lexsort(columns.T[::-1])
+        ordered = columns[order]
+        if self._n == 1:
+            return {tuple(ordered[0].tolist()): [int(order[0])]}
+        changed = np.flatnonzero(np.any(ordered[1:] != ordered[:-1], axis=1)) + 1
+        starts = np.concatenate(([0], changed))
+        ends = np.concatenate((changed, [self._n]))
+        keys = ordered[starts].tolist()
+        order_list = order.tolist()
+        return {
+            tuple(key): order_list[start:end]
+            for key, start, end in zip(keys, starts.tolist(), ends.tolist())
+        }
+
+    def qi_sa_runs(
+        self,
+    ) -> tuple[list[tuple[int, ...]], list[int], list[int], list[int], list[int]]:
+        """Run-length encoding of the rows sorted by ``(QI vector, SA code)``.
+
+        Returns ``(group_keys, group_run_bounds, run_bounds, run_values,
+        order)`` where ``order`` lists row indices sorted lexicographically by
+        QI vector then SA code (stable, so ascending within ties),
+        ``run_bounds`` are the ``r + 1`` boundaries of the maximal constant
+        ``(QI, SA)`` runs inside ``order``, ``run_values`` the SA code of each
+        run, ``group_keys`` the distinct QI vectors in ascending order, and
+        ``group_run_bounds`` the ``s + 1`` boundaries delimiting each QI
+        group's runs inside the run arrays.
+
+        This is the whole l-independent preprocessing of the three-phase
+        algorithm (Section 5.1), so it is cached on the (immutable) table:
+        TP+ — which runs TP internally — and repeated sweeps over the same
+        table pay for the sort once.  All five lists are shared; treat them
+        as read-only.
+        """
+        if self._qi_sa_runs is None:
+            columns = self.qi_columns
+            sa = self.sa_array
+            n = self._n
+            if n == 0:
+                self._qi_sa_runs = ([], [0], [0], [], [])
+                return self._qi_sa_runs
+            # lexsort sorts by the last key first: QI attribute 0 is primary,
+            # then the remaining attributes, then the sensitive value.
+            order = np.lexsort(
+                (sa,) + tuple(columns[:, position] for position in reversed(range(columns.shape[1])))
+            )
+            ordered_columns = columns[order]
+            ordered_sa = sa[order]
+            if n == 1:
+                new_group = np.zeros(0, dtype=bool)
+            else:
+                new_group = np.any(ordered_columns[1:] != ordered_columns[:-1], axis=1)
+            new_run = new_group | (ordered_sa[1:] != ordered_sa[:-1])
+            group_starts = np.concatenate(([0], np.flatnonzero(new_group) + 1))
+            run_starts = np.concatenate(([0], np.flatnonzero(new_run) + 1))
+            group_keys = [tuple(key) for key in ordered_columns[group_starts].tolist()]
+            run_bounds = np.concatenate((run_starts, [n])).tolist()
+            group_run_bounds = np.searchsorted(run_starts, group_starts).tolist()
+            group_run_bounds.append(len(run_starts))
+            run_values = ordered_sa[run_starts].tolist()
+            self._qi_sa_runs = (
+                group_keys,
+                group_run_bounds,
+                run_bounds,
+                run_values,
+                order.tolist(),
+            )
+        return self._qi_sa_runs
+
+    def group_by_qi_reference(self) -> dict[tuple[int, ...], list[int]]:
+        """Pure-Python QI-grouping (the oracle for the vectorized path)."""
         groups: dict[tuple[int, ...], list[int]] = {}
-        for index, row in enumerate(self._qi_rows):
+        for index, row in enumerate(self.qi_rows):
             groups.setdefault(row, []).append(index)
         return groups
 
     @property
     def distinct_qi_count(self) -> int:
         """The number ``s`` of distinct QI vectors."""
-        return len(set(self._qi_rows))
+        return len(self.group_by_qi())
 
     # --------------------------------------------------------------- builders
 

@@ -53,6 +53,10 @@ class ExperimentConfig:
     #: domains to stay in the paper's rows-per-QI-group regime; see
     #: :meth:`repro.dataset.synthetic.CensusConfig.scaled`.
     domain_scale: float = 0.30
+    #: Number of processes the harness fans independent (table, l, algorithm)
+    #: runs over; 1 = sequential.  Per-run timings are taken inside the
+    #: workers, so recorded seconds stay comparable across settings.
+    workers: int = 1
     #: Extra fields reserved for forward compatibility of saved configs.
     extras: dict = field(default_factory=dict, compare=False)
 

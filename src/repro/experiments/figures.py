@@ -119,8 +119,9 @@ def _sweep(
     algorithms: tuple[str, ...],
     metric: str,
     with_kl: bool = False,
+    workers: int | None = None,
 ) -> None:
-    records = run_suite(tables, l, algorithms, with_kl=with_kl)
+    records = run_suite(tables, l, algorithms, with_kl=with_kl, workers=workers)
     result.records.extend(records)
     for algorithm in algorithms:
         values = [getattr(record, metric) for record in records if record.algorithm == algorithm]
@@ -146,7 +147,7 @@ def figure2(dataset: str = "SAL", config: ExperimentConfig | None = None) -> Fig
     )
     tables = _family(dataset, config.base_dimension, config)
     for l in config.l_values:
-        _sweep(result, tables, l, float(l), _SUPPRESSION_ALGORITHMS, "stars")
+        _sweep(result, tables, l, float(l), _SUPPRESSION_ALGORITHMS, "stars", workers=config.workers)
     return result
 
 
@@ -161,7 +162,7 @@ def figure3(dataset: str = "SAL", config: ExperimentConfig | None = None) -> Fig
     )
     for d in config.d_values:
         tables = _family(dataset, d, config)
-        _sweep(result, tables, config.l_for_d_sweep, float(d), _SUPPRESSION_ALGORITHMS, "stars")
+        _sweep(result, tables, config.l_for_d_sweep, float(d), _SUPPRESSION_ALGORITHMS, "stars", workers=config.workers)
     return result
 
 
@@ -176,7 +177,7 @@ def figure4(dataset: str = "SAL", config: ExperimentConfig | None = None) -> Fig
     )
     tables = _family(dataset, config.base_dimension, config)
     for l in config.l_values:
-        _sweep(result, tables, l, float(l), _SUPPRESSION_ALGORITHMS, "seconds")
+        _sweep(result, tables, l, float(l), _SUPPRESSION_ALGORITHMS, "seconds", workers=config.workers)
     return result
 
 
@@ -191,7 +192,7 @@ def figure5(dataset: str = "SAL", config: ExperimentConfig | None = None) -> Fig
     )
     for d in config.d_values:
         tables = _family(dataset, d, config)
-        _sweep(result, tables, config.l_for_time_d_sweep, float(d), _SUPPRESSION_ALGORITHMS, "seconds")
+        _sweep(result, tables, config.l_for_time_d_sweep, float(d), _SUPPRESSION_ALGORITHMS, "seconds", workers=config.workers)
     return result
 
 
@@ -218,6 +219,7 @@ def figure6(dataset: str = "SAL", config: ExperimentConfig | None = None) -> Fig
             float(size),
             _SUPPRESSION_ALGORITHMS,
             "seconds",
+            workers=config.workers,
         )
     return result
 
@@ -233,7 +235,7 @@ def figure7(dataset: str = "SAL", config: ExperimentConfig | None = None) -> Fig
     )
     tables = _family(dataset, config.base_dimension, config)
     for l in config.l_values:
-        _sweep(result, tables, l, float(l), _KL_ALGORITHMS, "kl", with_kl=True)
+        _sweep(result, tables, l, float(l), _KL_ALGORITHMS, "kl", with_kl=True, workers=config.workers)
     return result
 
 
@@ -248,7 +250,7 @@ def figure8(dataset: str = "SAL", config: ExperimentConfig | None = None) -> Fig
     )
     for d in config.d_values:
         tables = _family(dataset, d, config)
-        _sweep(result, tables, config.l_for_d_sweep, float(d), _KL_ALGORITHMS, "kl", with_kl=True)
+        _sweep(result, tables, config.l_for_d_sweep, float(d), _KL_ALGORITHMS, "kl", with_kl=True, workers=config.workers)
     return result
 
 

@@ -3,6 +3,12 @@
 Every algorithm of the evaluation is wrapped behind the same interface
 (``table, l -> AlgorithmOutput``) so the per-figure drivers can sweep
 parameters, time executions and aggregate metrics uniformly.
+
+Independent ``(table, l, algorithm)`` runs can be fanned out across a
+process pool with :func:`run_suite`'s ``workers=`` option: each worker times
+its own run (so the recorded ``seconds`` stay comparable to sequential
+execution) and ships back only the scalar :class:`RunRecord`; tables travel
+to workers in their compact columnar form.
 """
 
 from __future__ import annotations
@@ -10,7 +16,10 @@ from __future__ import annotations
 import statistics
 import time
 from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
+
+from repro import backend
 
 from repro.baselines import hilbert as hilbert_baseline
 from repro.baselines import mondrian as mondrian_baseline
@@ -127,18 +136,41 @@ def run_algorithm(
     return record
 
 
+def _run_job(job: tuple[str, Table, int, str, bool, str]) -> RunRecord:
+    """Process-pool entry point: one (algorithm, table, l) measurement."""
+    name, table, l, label, with_kl, backend_name = job
+    # Workers started via spawn/forkserver re-import repro.backend and would
+    # otherwise fall back to the default; mirror the parent's choice.
+    backend.set_backend(backend_name)
+    return run_algorithm(name, table, l, dataset=label, with_kl=with_kl)
+
+
 def run_suite(
     tables: Sequence[tuple[str, Table]],
     l: int,
     algorithms: Sequence[str],
     with_kl: bool = False,
+    workers: int | None = None,
 ) -> list[RunRecord]:
-    """Run several algorithms over several labelled tables."""
-    records = []
-    for label, table in tables:
-        for name in algorithms:
-            records.append(run_algorithm(name, table, l, dataset=label, with_kl=with_kl))
-    return records
+    """Run several algorithms over several labelled tables.
+
+    Parameters
+    ----------
+    workers:
+        When greater than 1, the independent runs are distributed over a
+        process pool of that many workers.  Records come back in the same
+        order as sequential execution (tables outer, algorithms inner);
+        timings are taken inside each worker.
+    """
+    jobs = [
+        (name, table, l, label, with_kl, backend.current_backend())
+        for label, table in tables
+        for name in algorithms
+    ]
+    if workers is not None and workers > 1 and len(jobs) > 1:
+        with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+            return list(pool.map(_run_job, jobs))
+    return [_run_job(job) for job in jobs]
 
 
 def average_by(

@@ -8,13 +8,27 @@ generalization baselines on equal footing:
   a generalized cell spans;
 * discernibility — the classic ``sum over groups of |G|^2`` penalty;
 * average group size.
+
+NCP and discernibility run as array reductions over the generalized table's
+cached width matrix and group-id vector; the ``*_reference`` variants retain
+the pure-Python loops as oracles for the property tests.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.backend import vectorized_enabled
 from repro.dataset.generalized import GeneralizedTable, cell_size
 
-__all__ = ["ncp", "gcp", "discernibility", "average_group_size"]
+__all__ = [
+    "ncp",
+    "ncp_reference",
+    "gcp",
+    "discernibility",
+    "discernibility_reference",
+    "average_group_size",
+]
 
 
 def ncp(generalized: GeneralizedTable) -> float:
@@ -24,6 +38,21 @@ def ncp(generalized: GeneralizedTable) -> float:
     ``(w - 1) / (|dom| - 1)`` (0 for exact cells, 1 for stars); single-valued
     domains cost nothing.
     """
+    if not vectorized_enabled():
+        return ncp_reference(generalized)
+    if len(generalized) == 0 or generalized.dimension == 0:
+        return 0.0
+    sizes = np.asarray([attribute.size for attribute in generalized.schema.qi], dtype=np.float64)
+    widths = generalized.width_matrix()
+    multi = sizes > 1
+    if not multi.any():
+        return 0.0
+    penalties = (widths[:, multi] - 1.0) / (sizes[multi] - 1.0)
+    return float(penalties.sum())
+
+
+def ncp_reference(generalized: GeneralizedTable) -> float:
+    """Pure-Python NCP (the oracle for the vectorized path)."""
     total = 0.0
     sizes = [attribute.size for attribute in generalized.schema.qi]
     for row in range(len(generalized)):
@@ -46,6 +75,16 @@ def gcp(generalized: GeneralizedTable) -> float:
 
 def discernibility(generalized: GeneralizedTable) -> int:
     """The discernibility metric: ``sum over QI-groups of |G|^2``."""
+    if not vectorized_enabled():
+        return discernibility_reference(generalized)
+    if len(generalized) == 0:
+        return 0
+    _ids, counts = np.unique(np.asarray(generalized.group_ids), return_counts=True)
+    return int((counts.astype(np.int64) ** 2).sum())
+
+
+def discernibility_reference(generalized: GeneralizedTable) -> int:
+    """Pure-Python discernibility (the oracle for the vectorized path)."""
     return sum(len(rows) ** 2 for rows in generalized.groups().values())
 
 

@@ -74,3 +74,28 @@ class TestSuiteAndAggregation:
 
     def test_format_records_empty(self):
         assert "algorithm" in format_records([])
+
+
+class TestParallelSuite:
+    def test_workers_produce_same_records(self, hospital):
+        sequential = run_suite([("h1", hospital), ("h2", hospital)], 2, ["TP", "Hilbert"])
+        parallel = run_suite(
+            [("h1", hospital), ("h2", hospital)], 2, ["TP", "Hilbert"], workers=2
+        )
+        key = lambda record: (  # noqa: E731 - everything except the timing
+            record.algorithm,
+            record.dataset,
+            record.l,
+            record.d,
+            record.n,
+            record.stars,
+            record.suppressed_tuples,
+            record.groups,
+            record.phase_reached,
+            record.kl,
+        )
+        assert [key(record) for record in parallel] == [key(record) for record in sequential]
+
+    def test_workers_one_is_sequential(self, hospital):
+        records = run_suite([("h", hospital)], 2, ["TP"], workers=1)
+        assert len(records) == 1

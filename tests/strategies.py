@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from hypothesis import strategies as st
 
+from repro.dataset.generalized import Partition
 from repro.dataset.table import Attribute, Schema, Table
 
 
@@ -48,6 +49,35 @@ def small_tables(
         st.lists(st.integers(min_value=0, max_value=m - 1), min_size=n, max_size=n)
     )
     return Table(schema, qi_rows, sa_values)
+
+
+@st.composite
+def tables_with_partitions(draw, max_rows: int = 9, **kwargs):
+    """A random small table together with a random partition of its rows.
+
+    Used to cross-check the vectorized generalization/metric paths against
+    their pure-Python ``_reference`` oracles; covers single-group, all-
+    singleton and arbitrary mixed partitions.
+    """
+    table = draw(small_tables(max_rows=max_rows, **kwargs))
+    n = len(table)
+    order = draw(st.permutations(list(range(n))))
+    cut_count = draw(st.integers(min_value=0, max_value=n - 1))
+    cuts = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=1, max_value=n - 1),
+                min_size=cut_count,
+                max_size=cut_count,
+                unique=True,
+            )
+        )
+        if n > 1
+        else []
+    )
+    bounds = [0] + cuts + [n]
+    groups = [list(order[start:end]) for start, end in zip(bounds[:-1], bounds[1:])]
+    return table, Partition(groups, n)
 
 
 @st.composite
