@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 test suite plus a fast performance smoke check.
+# CI entry point: lint gate, tier-1 test suite, sharded-engine smoke and a
+# fast performance smoke check.
 #
 #   scripts/ci.sh
+#
+# The sharded-engine smoke (scripts/shard_smoke.py) checks that a 4-shard
+# engine run is bit-identical to the unsharded run on a fixed seed and stays
+# within the documented suppression merge bound.
 #
 # The perf check re-times the figure-6 benchmark on the NumPy backend only
 # (well under a minute) and fails when it has regressed more than 2x against
@@ -13,8 +18,20 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
 
+echo "== lint: ruff check =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src tests scripts
+elif python -c "import ruff" >/dev/null 2>&1; then
+    python -m ruff check src tests scripts
+else
+    echo "ruff not installed; skipping lint gate"
+fi
+
 echo "== tier-1 tests =="
 python -m pytest -x -q
+
+echo "== sharded-engine smoke: 4 shards bit-identical to unsharded =="
+python scripts/shard_smoke.py
 
 echo "== perf smoke: bench_fig6 vs committed baseline =="
 python scripts/bench_baseline.py --check BENCH_fig6.json --repeats 3 --tolerance 2.0

@@ -2,8 +2,13 @@
 
 Used to produce the numbers recorded in EXPERIMENTS.md::
 
-    python scripts/run_experiments.py [--scale default|smoke|report] \
+    python scripts/run_experiments.py [--scale default|smoke|paper|report] \
         [--output results.txt] [--workers N] [--backend numpy|reference]
+
+Figure drivers are taken from ``repro.experiments.figures.FIGURES`` and all
+runs go through the engine's result cache, so combinations shared between
+figures (e.g. the stars-vs-l and time-vs-l sweeps) are computed once; the
+cache hit/miss tally is appended to the report.
 """
 
 from __future__ import annotations
@@ -13,15 +18,15 @@ import dataclasses
 import time
 
 from repro import backend
+from repro.engine.cache import default_cache
 from repro.experiments import figures
 from repro.experiments.config import ExperimentConfig
 
 
 def _config(scale: str) -> ExperimentConfig:
-    if scale == "smoke":
-        return ExperimentConfig.smoke()
-    if scale == "default":
-        return ExperimentConfig.default()
+    presets = ExperimentConfig.presets()
+    if scale in presets:
+        return presets[scale]()
     if scale == "report":
         # The scale used for EXPERIMENTS.md: full l/d sweeps, two projections
         # per family, 12k rows.
@@ -36,7 +41,11 @@ def _config(scale: str) -> ExperimentConfig:
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", default="report", choices=["smoke", "default", "report"])
+    parser.add_argument(
+        "--scale",
+        default="report",
+        choices=sorted(ExperimentConfig.presets()) + ["report"],
+    )
     parser.add_argument("--output", default="experiment_results.txt")
     parser.add_argument(
         "--workers",
@@ -55,15 +64,7 @@ def main() -> None:
     config = dataclasses.replace(_config(arguments.scale), workers=arguments.workers)
 
     sections: list[str] = [f"scale={arguments.scale}  config={config}"]
-    drivers = [
-        ("figure2", figures.figure2),
-        ("figure3", figures.figure3),
-        ("figure4", figures.figure4),
-        ("figure5", figures.figure5),
-        ("figure6", figures.figure6),
-        ("figure7", figures.figure7),
-        ("figure8", figures.figure8),
-    ]
+    drivers = sorted(figures.FIGURES.items())
     for dataset in ("SAL", "OCC"):
         for name, driver in drivers:
             started = time.perf_counter()
@@ -77,6 +78,11 @@ def main() -> None:
         sections.append(f"[{dataset}] " + frequency.format() + f"  [{elapsed:.1f}s]")
         print(sections[-1], flush=True)
 
+    cache = default_cache().stats()
+    sections.append(
+        f"run cache: {cache['hits']} hits / {cache['misses']} misses "
+        f"({cache['entries']} entries retained)"
+    )
     with open(arguments.output, "w") as handle:
         handle.write("\n\n".join(sections) + "\n")
     print(f"\nreport written to {arguments.output}")

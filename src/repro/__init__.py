@@ -14,7 +14,9 @@ Tao (EDBT 2010):
   (:mod:`repro.baselines`);
 * the census-like synthetic datasets, utility metrics and experiment harness
   that regenerate every figure of the evaluation section
-  (:mod:`repro.dataset`, :mod:`repro.metrics`, :mod:`repro.experiments`).
+  (:mod:`repro.dataset`, :mod:`repro.metrics`, :mod:`repro.experiments`);
+* the pluggable execution engine — algorithm/metric registries, dataset
+  adapters, QI-prefix sharding and result caching (:mod:`repro.engine`).
 
 Quickstart
 ----------
@@ -26,22 +28,27 @@ Quickstart
 True
 """
 
+from repro import engine
 from repro.core import exact, hybrid, matching, three_phase
 from repro.core.three_phase import ThreePhaseResult, anonymize
 from repro.dataset import examples as datasets
 from repro.dataset.generalized import STAR, GeneralizedTable, Partition
 from repro.dataset.table import Attribute, Schema, Table
+from repro.engine import Engine, RunPlan
 
 __all__ = [
     "Attribute",
+    "Engine",
     "GeneralizedTable",
     "Partition",
+    "RunPlan",
     "STAR",
     "Schema",
     "Table",
     "ThreePhaseResult",
     "anonymize",
     "datasets",
+    "engine",
     "exact",
     "hybrid",
     "matching",

@@ -1,16 +1,24 @@
 """Command-line interface.
 
-Three sub-commands:
+Five sub-commands:
 
 ``ldiversity anonymize``
-    Anonymize a CSV file with one of the implemented algorithms and write the
-    published table back to CSV (stars rendered as ``*``).
+    Anonymize a CSV file with one of the registered algorithms — optionally
+    sharded over a process pool — and write the published table back to CSV
+    (stars rendered as ``*``).
 ``ldiversity evaluate``
     Anonymize a CSV file with several algorithms and print the standard
     metrics side by side.
 ``ldiversity experiment``
     Re-run one of the paper's figures (or the phase-3 frequency census) at a
     chosen scale and print the resulting series.
+``ldiversity algorithms`` / ``ldiversity metrics``
+    List the registered algorithms / metrics with their capability metadata.
+
+Every choice set is derived from a single source of truth — the engine's
+registries for algorithms and metrics, :data:`repro.experiments.figures.FIGURES`
+for experiments, :meth:`repro.experiments.config.ExperimentConfig.presets`
+for scales — so the help text can never drift from what is implemented.
 """
 
 from __future__ import annotations
@@ -20,28 +28,13 @@ import csv
 import sys
 from collections.abc import Sequence
 
-from repro.dataset.table import Table
+from repro.engine import CsvSource, Engine, RunPlan, algorithm_registry, metric_registry
 from repro.experiments import figures
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.harness import ALGORITHMS, format_records, run_algorithm
+from repro.experiments.harness import format_records, record_from_report
+from repro.text import format_fixed_width
 
 __all__ = ["main", "build_parser"]
-
-_FIGURES = {
-    "figure2": figures.figure2,
-    "figure3": figures.figure3,
-    "figure4": figures.figure4,
-    "figure5": figures.figure5,
-    "figure6": figures.figure6,
-    "figure7": figures.figure7,
-    "figure8": figures.figure8,
-}
-
-_SCALES = {
-    "smoke": ExperimentConfig.smoke,
-    "default": ExperimentConfig.default,
-    "paper": ExperimentConfig.paper_scale,
-}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,11 +48,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_io_arguments(anonymize)
     anonymize.add_argument(
         "--algorithm",
-        choices=sorted(ALGORITHMS),
+        choices=sorted(algorithm_registry.names()),
         default="TP+",
         help="anonymization algorithm (default: TP+)",
     )
     anonymize.add_argument("--output", required=True, help="path of the published CSV")
+    anonymize.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="split the table into N QI-prefix shards and merge the results (default: 1)",
+    )
+    anonymize.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool width for sharded runs (default: 1 = sequential)",
+    )
+    anonymize.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=None,
+        help="stream the input CSV in chunks of this many rows",
+    )
 
     evaluate = subparsers.add_parser("evaluate", help="compare algorithms on a CSV file")
     _add_io_arguments(evaluate)
@@ -75,14 +86,19 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = subparsers.add_parser("experiment", help="re-run one of the paper's figures")
     experiment.add_argument(
         "name",
-        choices=sorted(_FIGURES) + ["phase3"],
+        choices=sorted(figures.FIGURES) + ["phase3"],
         help="which experiment to run",
     )
     experiment.add_argument("--dataset", choices=["SAL", "OCC"], default="SAL")
-    experiment.add_argument("--scale", choices=sorted(_SCALES), default="smoke")
+    experiment.add_argument(
+        "--scale", choices=sorted(ExperimentConfig.presets()), default="smoke"
+    )
     experiment.add_argument(
         "--csv", default=None, help="also write the series to this CSV file"
     )
+
+    subparsers.add_parser("algorithms", help="list the registered algorithms")
+    subparsers.add_parser("metrics", help="list the registered metrics")
     return parser
 
 
@@ -93,22 +109,32 @@ def _add_io_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--l", type=int, required=True, help="diversity parameter l (>= 2)")
 
 
-def _load_table(arguments: argparse.Namespace) -> Table:
-    qi_names = [name.strip() for name in arguments.qi.split(",") if name.strip()]
-    return Table.from_csv(arguments.input, qi_names, arguments.sa)
+def _csv_source(arguments: argparse.Namespace) -> CsvSource:
+    qi_names = tuple(name.strip() for name in arguments.qi.split(",") if name.strip())
+    return CsvSource(arguments.input, qi_names, arguments.sa)
 
 
 def _command_anonymize(arguments: argparse.Namespace) -> int:
-    table = _load_table(arguments)
-    record = run_algorithm(arguments.algorithm, table, arguments.l)
-    output = ALGORITHMS[arguments.algorithm](table, arguments.l)
-    names = list(table.schema.qi_names) + [table.schema.sensitive.name]
+    report = Engine().run(
+        RunPlan(
+            source=_csv_source(arguments),
+            algorithm=arguments.algorithm,
+            l=arguments.l,
+            shards=arguments.shards,
+            workers=arguments.workers,
+            chunk_rows=arguments.chunk_rows,
+        )
+    )
+    generalized = report.generalized
+    names = list(generalized.schema.qi_names) + [generalized.schema.sensitive.name]
     with open(arguments.output, "w", newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=names)
         writer.writeheader()
-        for row in output.generalized.decoded_records():
+        for row in generalized.decoded_records():
             writer.writerow({name: _render(row[name]) for name in names})
-    print(format_records([record]))
+    print(format_records([record_from_report(report, dataset=arguments.input)]))
+    if len(report.shard_sizes) > 1:
+        print(f"sharded over {len(report.shard_sizes)} shards: {list(report.shard_sizes)}")
     print(f"published table written to {arguments.output}")
     return 0
 
@@ -120,10 +146,15 @@ def _render(value: object) -> object:
 
 
 def _command_evaluate(arguments: argparse.Namespace) -> int:
-    table = _load_table(arguments)
+    engine = Engine()
+    table = _csv_source(arguments).load()
     names = [name.strip() for name in arguments.algorithms.split(",") if name.strip()]
+    metrics = ("kl",) if arguments.kl else ()
     records = [
-        run_algorithm(name, table, arguments.l, dataset=arguments.input, with_kl=arguments.kl)
+        record_from_report(
+            engine.run_table(table, name, arguments.l, metrics=metrics),
+            dataset=arguments.input,
+        )
         for name in names
     ]
     print(format_records(records))
@@ -131,17 +162,54 @@ def _command_evaluate(arguments: argparse.Namespace) -> int:
 
 
 def _command_experiment(arguments: argparse.Namespace) -> int:
-    config = _SCALES[arguments.scale]()
+    config = ExperimentConfig.presets()[arguments.scale]()
     if arguments.name == "phase3":
         result = figures.phase3_frequency(dataset=arguments.dataset, config=config)
         print(result.format())
         return 0
-    figure = _FIGURES[arguments.name](dataset=arguments.dataset, config=config)
+    figure = figures.FIGURES[arguments.name](dataset=arguments.dataset, config=config)
     print(figure.format())
     if arguments.csv:
         figure.to_csv(arguments.csv)
         print(f"series written to {arguments.csv}")
     return 0
+
+
+def _command_algorithms() -> int:
+    rows = [
+        (
+            info.name,
+            info.complexity,
+            info.approximation,
+            "yes" if info.supports_sharding else "no",
+            "yes" if info.deterministic else "no",
+            info.description,
+        )
+        for info in algorithm_registry.entries()
+    ]
+    _print_table(
+        ["algorithm", "complexity", "approximation", "sharding", "deterministic", "description"],
+        rows,
+    )
+    return 0
+
+
+def _command_metrics() -> int:
+    rows = [
+        (
+            info.name,
+            "table + published" if info.needs_source else "published",
+            info.better,
+            info.description,
+        )
+        for info in metric_registry.entries()
+    ]
+    _print_table(["metric", "inputs", "better", "description"], rows)
+    return 0
+
+
+def _print_table(headers: list[str], rows: list[tuple[str, ...]]) -> None:
+    print(format_fixed_width(headers, rows))
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -154,6 +222,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_evaluate(arguments)
     if arguments.command == "experiment":
         return _command_experiment(arguments)
+    if arguments.command == "algorithms":
+        return _command_algorithms()
+    if arguments.command == "metrics":
+        return _command_metrics()
     parser.error(f"unknown command {arguments.command!r}")
     return 2  # pragma: no cover
 

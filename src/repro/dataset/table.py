@@ -197,6 +197,7 @@ class Table:
         self._qi_groups: dict[tuple[int, ...], list[int]] | None = None
         self._qi_sa_runs: tuple | None = None
         self._sa_counts: dict[int, int] | None = None
+        self._fingerprint: str | None = None
         self._validate_codes()
 
     @classmethod
@@ -234,6 +235,7 @@ class Table:
         table._qi_groups = None
         table._qi_sa_runs = None
         table._sa_counts = None
+        table._fingerprint = None
         if table._n:
             for position, attribute in enumerate(schema.qi):
                 column = columns[:, position]
@@ -351,6 +353,29 @@ class Table:
     def rows(self) -> Iterable[tuple[tuple[int, ...], int]]:
         """Iterate over ``(qi_codes, sa_code)`` pairs."""
         return zip(self.qi_rows, self.sa_values)
+
+    def fingerprint(self) -> str:
+        """Content hash identifying the table (schema, QI codes, SA codes).
+
+        Two tables with equal schemas and equal row contents (in the same
+        order) have equal fingerprints, regardless of which physical
+        representation they were built from.  The engine's result cache keys
+        runs by ``(fingerprint, algorithm, l)``; the hash is computed once and
+        cached (tables are immutable).
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            digest = hashlib.sha256()
+            for attribute in (*self._schema.qi, self._schema.sensitive):
+                digest.update(attribute.name.encode())
+                digest.update(repr(attribute.values).encode())
+                digest.update(b"\x00")
+            digest.update(str(self._n).encode())
+            digest.update(np.ascontiguousarray(self.qi_columns).tobytes())
+            digest.update(np.ascontiguousarray(self.sa_array).tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def decoded_record(self, index: int) -> dict[str, Any]:
         """Return row ``index`` as a ``{attribute name: raw value}`` mapping."""

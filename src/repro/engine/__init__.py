@@ -1,0 +1,83 @@
+"""Pluggable anonymization engine.
+
+The engine layer sits between the algorithm/metric implementations and their
+consumers (CLI, experiment harness, scripts) and consists of:
+
+* :mod:`repro.engine.registry` — decorator-based algorithm and metric
+  registries with capability metadata; the single source of truth for what
+  can run (``repro.engine.algorithms`` / ``repro.engine.metrics`` register
+  the built-ins at import time);
+* :mod:`repro.engine.sources` — dataset adapters unifying CSV files,
+  synthetic generators and in-memory columnar tables behind one loader with
+  schema inference and chunked reads;
+* :mod:`repro.engine.sharding` — QI-prefix sharding and shard-output
+  merging for out-of-core / large-``n`` runs;
+* :mod:`repro.engine.cache` — per-run result caching keyed by
+  ``(table fingerprint, algorithm, l)``;
+* :mod:`repro.engine.core` — the :class:`Engine` executor tying it together.
+
+Quickstart::
+
+    from repro.engine import Engine, RunPlan, SyntheticSource
+
+    report = Engine().run(
+        RunPlan(
+            source=SyntheticSource("SAL", n=10_000, dimension=4),
+            algorithm="TP+", l=4, shards=4, metrics=("stars", "kl"),
+        )
+    )
+    assert report.verified
+"""
+
+from repro.engine.cache import CachedRun, ResultCache, default_cache
+from repro.engine.core import Engine, RunPlan, RunReport, StageTimings
+from repro.engine.registry import (
+    AlgorithmInfo,
+    AlgorithmOutput,
+    AlgorithmRegistry,
+    Anonymizer,
+    MetricInfo,
+    MetricRegistry,
+    algorithm_registry,
+    metric_registry,
+)
+from repro.engine.sharding import (
+    merge_shard_outputs,
+    qi_prefix_shards,
+    suppression_merge_bound,
+)
+from repro.engine.sources import (
+    CsvSource,
+    DataSource,
+    SyntheticSource,
+    TableSource,
+    concat_tables,
+    infer_csv_schema,
+)
+
+__all__ = [
+    "AlgorithmInfo",
+    "AlgorithmOutput",
+    "AlgorithmRegistry",
+    "Anonymizer",
+    "CachedRun",
+    "CsvSource",
+    "DataSource",
+    "Engine",
+    "MetricInfo",
+    "MetricRegistry",
+    "ResultCache",
+    "RunPlan",
+    "RunReport",
+    "StageTimings",
+    "SyntheticSource",
+    "TableSource",
+    "algorithm_registry",
+    "concat_tables",
+    "default_cache",
+    "infer_csv_schema",
+    "merge_shard_outputs",
+    "metric_registry",
+    "qi_prefix_shards",
+    "suppression_merge_bound",
+]

@@ -1,0 +1,95 @@
+"""Per-run result caching keyed by (table fingerprint, algorithm, l).
+
+Figure sweeps re-run identical ``(table, algorithm, l)`` combinations — the
+stars-vs-l and time-vs-l drivers share every run, and TP+ re-runs TP
+internally at the harness level when both are requested.  The cache stores
+the :class:`~repro.engine.registry.AlgorithmOutput` *and* the seconds the
+original run took, so a hit reproduces both the published table and a
+faithful timing record.
+
+All registered algorithms are deterministic (see their
+:class:`~repro.engine.registry.AlgorithmInfo`), which is what makes replaying
+a cached output equivalent to re-running; the engine refuses to cache runs of
+algorithms declaring ``deterministic=False``.
+
+The default cache is process-global and LRU-bounded; the parallel harness
+consults it in the parent before dispatching jobs to the pool and stores the
+results that come back.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.engine.registry import AlgorithmOutput
+
+__all__ = ["CachedRun", "ResultCache", "default_cache"]
+
+#: Cache key: (table fingerprint, algorithm name, l, shard count).
+CacheKey = tuple[str, str, int, int]
+
+
+@dataclass(frozen=True)
+class CachedRun:
+    """One memoized anonymization run."""
+
+    output: AlgorithmOutput
+    #: Wall-clock seconds of the anonymization stage of the original run.
+    anonymize_seconds: float
+    #: Row count of each shard the original run executed (empty when the
+    #: caller did not record a breakdown, e.g. harness-level entries).
+    shard_sizes: tuple[int, ...] = ()
+
+
+class ResultCache:
+    """A bounded LRU cache of anonymization runs."""
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self._max_entries = max_entries
+        self._entries: OrderedDict[CacheKey, CachedRun] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(fingerprint: str, algorithm: str, l: int, shards: int = 1) -> CacheKey:
+        return (fingerprint, algorithm, l, shards)
+
+    def get(self, key: CacheKey) -> CachedRun | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: CacheKey, run: CachedRun) -> None:
+        self._entries[key] = run
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def stats(self) -> dict[str, int]:
+        return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
+
+
+_default_cache = ResultCache()
+
+
+def default_cache() -> ResultCache:
+    """The process-global result cache shared by the harness and the engine."""
+    return _default_cache

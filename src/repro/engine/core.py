@@ -1,0 +1,244 @@
+"""The execution engine: plans, sharded runs, caching, verification.
+
+:class:`Engine` is the one entry point through which the CLI, the experiment
+harness and the scripts run anonymization:
+
+* an unsharded :meth:`Engine.run` resolves the algorithm in the registry,
+  loads the plan's :class:`~repro.engine.sources.DataSource` (optionally in
+  bounded chunks), runs, verifies and computes the requested metrics;
+* a sharded run (``plan.shards > 1``) splits the table into l-eligible
+  QI-prefix shards (:func:`~repro.engine.sharding.qi_prefix_shards`),
+  anonymizes them sequentially or on a process pool, merges the published
+  shard tables and verifies that the merged table still satisfies
+  l-diversity — this is the out-of-core / large-``n`` execution path;
+* results are memoized in a :class:`~repro.engine.cache.ResultCache` keyed
+  by ``(table fingerprint, algorithm, l, shards)`` so figure sweeps that
+  revisit a combination replay it instead of recomputing.
+
+Every stage is timed separately (load / anonymize / metrics) so regressions
+can be attributed to the right layer.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro import backend
+from repro.dataset.generalized import GeneralizedTable
+from repro.dataset.table import Table
+from repro.engine import algorithms as _builtin_algorithms  # noqa: F401 - registers entries
+from repro.engine import metrics as _builtin_metrics  # noqa: F401 - registers entries
+from repro.engine.cache import CachedRun, ResultCache, default_cache
+from repro.engine.registry import (
+    AlgorithmOutput,
+    AlgorithmRegistry,
+    MetricRegistry,
+    algorithm_registry,
+    metric_registry,
+)
+from repro.engine.sharding import merge_shard_outputs, qi_prefix_shards
+from repro.engine.sources import DataSource, TableSource, concat_tables
+from repro.errors import IneligibleTableError, VerificationError
+
+__all__ = ["Engine", "RunPlan", "RunReport", "StageTimings"]
+
+
+@dataclass(frozen=True)
+class StageTimings:
+    """Wall-clock seconds of the three pipeline stages."""
+
+    load_seconds: float = 0.0
+    anonymize_seconds: float = 0.0
+    metrics_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.load_seconds + self.anonymize_seconds + self.metrics_seconds
+
+
+@dataclass(frozen=True)
+class RunPlan:
+    """A declarative description of one anonymization run."""
+
+    source: DataSource
+    algorithm: str = "TP+"
+    l: int = 2
+    #: Number of QI-prefix shards; 1 = unsharded.  The effective count may be
+    #: lower when the eligibility repair pass merges shards.
+    shards: int = 1
+    #: Process-pool width for sharded runs; 1 = sequential.
+    workers: int = 1
+    #: Metric names (from the metric registry) to evaluate on the output.
+    metrics: tuple[str, ...] = ()
+    #: Whether to consult/fill the result cache.
+    use_cache: bool = True
+    #: Whether to verify l-diversity of the published table.
+    verify: bool = True
+    #: When set, load the source through bounded chunks of this many rows.
+    chunk_rows: int | None = None
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Everything one :meth:`Engine.run` produced."""
+
+    plan: RunPlan
+    label: str
+    n: int
+    d: int
+    generalized: GeneralizedTable
+    timings: StageTimings
+    #: Phase in which TP terminated; for sharded runs, the deepest phase any
+    #: shard reached.
+    phase_reached: int | None = None
+    #: Metric name -> value, for the metrics requested by the plan.
+    metric_values: dict[str, float] = field(default_factory=dict)
+    cache_hit: bool = False
+    #: Row count of each executed shard (one entry, ``n``, when unsharded).
+    shard_sizes: tuple[int, ...] = ()
+    #: Whether the published table was verified l-diverse.
+    verified: bool = False
+
+
+def _run_shard(job: tuple[str, Table, int, str]) -> AlgorithmOutput:
+    """Process-pool entry point: anonymize one shard."""
+    name, shard, l, backend_name = job
+    # Workers started via spawn/forkserver re-import repro.backend and would
+    # otherwise fall back to the default; mirror the parent's choice.
+    backend.set_backend(backend_name)
+    return algorithm_registry.get(name).runner(shard, l)
+
+
+class Engine:
+    """Executes :class:`RunPlan`\\ s against the algorithm/metric registries."""
+
+    def __init__(
+        self,
+        algorithms: AlgorithmRegistry | None = None,
+        metrics: MetricRegistry | None = None,
+        cache: ResultCache | None = None,
+    ) -> None:
+        self.algorithms = algorithms if algorithms is not None else algorithm_registry
+        self.metrics = metrics if metrics is not None else metric_registry
+        self.cache = cache if cache is not None else default_cache()
+
+    # ------------------------------------------------------------------- runs
+
+    def run(self, plan: RunPlan) -> RunReport:
+        """Execute one plan: load, anonymize (possibly sharded), verify, measure."""
+        info = self.algorithms.get(plan.algorithm)  # fail before loading anything
+        for metric_name in plan.metrics:
+            self.metrics.get(metric_name)
+        if plan.shards > 1 and not info.supports_sharding:
+            raise ValueError(
+                f"algorithm {info.name!r} does not support sharded execution"
+            )
+
+        started = time.perf_counter()
+        table = self._load(plan)
+        load_seconds = time.perf_counter() - started
+
+        output, anonymize_seconds, cache_hit, shard_sizes = self._anonymize(
+            plan, info.name, table, cacheable=info.deterministic
+        )
+
+        started = time.perf_counter()
+        verified = False
+        if plan.verify:
+            from repro.privacy.checks import verify_l_diversity
+
+            if not verify_l_diversity(output.generalized, plan.l):
+                raise VerificationError(
+                    f"published table violates {plan.l}-diversity"
+                )
+            verified = True
+        metric_values = {
+            name: self.metrics.compute(name, table, output.generalized)
+            for name in plan.metrics
+        }
+        metrics_seconds = time.perf_counter() - started
+
+        return RunReport(
+            plan=plan,
+            label=plan.source.label,
+            n=len(table),
+            d=table.dimension,
+            generalized=output.generalized,
+            timings=StageTimings(load_seconds, anonymize_seconds, metrics_seconds),
+            phase_reached=output.phase_reached,
+            metric_values=metric_values,
+            cache_hit=cache_hit,
+            shard_sizes=shard_sizes,
+            verified=verified,
+        )
+
+    def run_table(self, table: Table, algorithm: str, l: int, **plan_fields) -> RunReport:
+        """Convenience wrapper: run directly on an in-memory table."""
+        plan = RunPlan(source=TableSource(table), algorithm=algorithm, l=l, **plan_fields)
+        return self.run(plan)
+
+    # ---------------------------------------------------------------- stages
+
+    @staticmethod
+    def _load(plan: RunPlan) -> Table:
+        if plan.chunk_rows is not None:
+            return concat_tables(list(plan.source.iter_chunks(plan.chunk_rows)))
+        return plan.source.load()
+
+    def _anonymize(
+        self, plan: RunPlan, name: str, table: Table, cacheable: bool
+    ) -> tuple[AlgorithmOutput, float, bool, tuple[int, ...]]:
+        use_cache = plan.use_cache and cacheable
+        key = None
+        if use_cache:
+            key = ResultCache.key(table.fingerprint(), name, plan.l, plan.shards)
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached.output, cached.anonymize_seconds, True, cached.shard_sizes
+
+        started = time.perf_counter()
+        if plan.shards > 1:
+            output, shard_sizes = self._run_sharded(plan, name, table)
+        else:
+            if not table.is_l_eligible(plan.l):
+                raise IneligibleTableError(
+                    f"table is not {plan.l}-eligible; no l-diverse generalization exists"
+                )
+            output = self.algorithms.get(name).runner(table, plan.l)
+            shard_sizes = (len(table),)
+        anonymize_seconds = time.perf_counter() - started
+
+        if use_cache and key is not None:
+            self.cache.put(
+                key,
+                CachedRun(
+                    output=output,
+                    anonymize_seconds=anonymize_seconds,
+                    shard_sizes=shard_sizes,
+                ),
+            )
+        return output, anonymize_seconds, False, shard_sizes
+
+    def _run_sharded(
+        self, plan: RunPlan, name: str, table: Table
+    ) -> tuple[AlgorithmOutput, tuple[int, ...]]:
+        shard_rows = qi_prefix_shards(table, plan.shards, plan.l)
+        shard_tables = [table.subset(rows) for rows in shard_rows]
+        jobs = [
+            (name, shard, plan.l, backend.current_backend()) for shard in shard_tables
+        ]
+        if plan.workers > 1 and len(jobs) > 1:
+            with ProcessPoolExecutor(max_workers=min(plan.workers, len(jobs))) as pool:
+                outputs = list(pool.map(_run_shard, jobs))
+        else:
+            outputs = [_run_shard(job) for job in jobs]
+        # Structural merge only; the single l-diversity verification of the
+        # merged table happens in run()'s verify stage (plan.verify).
+        merged = merge_shard_outputs(table, shard_rows, outputs, plan.l, verify=False)
+        phases = [output.phase_reached for output in outputs if output.phase_reached]
+        return (
+            AlgorithmOutput(merged, phase_reached=max(phases) if phases else None),
+            tuple(len(rows) for rows in shard_rows),
+        )

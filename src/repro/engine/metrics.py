@@ -1,0 +1,60 @@
+"""Built-in metric registrations.
+
+Mirrors :mod:`repro.engine.algorithms`: every metric of the evaluation is
+registered once here and looked up by name everywhere else (``Engine.run``
+plans, the ``ldiversity metrics`` listing, report columns).
+"""
+
+from __future__ import annotations
+
+from repro.metrics.kl import kl_divergence
+from repro.metrics.loss import average_group_size, discernibility, gcp, ncp
+from repro.metrics.stars import (
+    star_count,
+    suppressed_tuple_count,
+    suppression_ratio,
+)
+from repro.engine.registry import metric_registry
+
+__all__ = ["metric_registry"]
+
+metric_registry.register(
+    "stars",
+    description="Total suppressed QI cells (Problem 1 objective).",
+)(star_count)
+
+metric_registry.register(
+    "suppressed",
+    description="Rows with at least one star (Problem 2 objective).",
+)(suppressed_tuple_count)
+
+metric_registry.register(
+    "suppression_ratio",
+    description="Fraction of QI cells suppressed.",
+)(suppression_ratio)
+
+metric_registry.register(
+    "ncp",
+    description="Normalized certainty penalty over generalized cells.",
+)(ncp)
+
+metric_registry.register(
+    "gcp",
+    description="Global certainty penalty (NCP normalized to [0, 1]).",
+)(gcp)
+
+metric_registry.register(
+    "discernibility",
+    description="Sum of squared QI-group sizes.",
+)(discernibility)
+
+metric_registry.register(
+    "average_group_size",
+    description="Mean QI-group cardinality of the published table.",
+)(average_group_size)
+
+metric_registry.register(
+    "kl",
+    needs_source=True,
+    description="KL-divergence between original and reconstructed distributions (Eq. 2).",
+)(kl_divergence)

@@ -1,0 +1,250 @@
+"""Algorithm and metric registries.
+
+The registries are the single source of truth for *what* this package can
+run: the harness, the CLI and the sharded execution pipeline all look up
+algorithms and metrics here instead of carrying their own hardcoded maps.
+Each entry pairs the callable with capability metadata (does the algorithm
+tolerate QI-prefix sharding, is it deterministic, what complexity class and
+approximation guarantee does it carry), so callers can make placement
+decisions — and render help text — without importing the implementation.
+
+New algorithms and metrics plug in with a decorator::
+
+    @algorithm_registry.register(
+        "MyAlg", complexity="O(n log n)", approximation="heuristic"
+    )
+    def _run_my_alg(table: Table, l: int) -> AlgorithmOutput:
+        ...
+
+and immediately become available to ``ldiversity anonymize/evaluate``, the
+experiment harness, and ``Engine.run`` — including its sharded mode when
+``supports_sharding`` is true.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Mapping
+from dataclasses import dataclass
+from typing import Generic, Protocol, TypeVar, runtime_checkable
+
+from repro.dataset.generalized import GeneralizedTable
+from repro.dataset.table import Table
+from repro.errors import DuplicateRegistrationError, UnknownEntryError
+
+__all__ = [
+    "AlgorithmInfo",
+    "AlgorithmOutput",
+    "AlgorithmRegistry",
+    "Anonymizer",
+    "MetricInfo",
+    "MetricRegistry",
+    "algorithm_registry",
+    "metric_registry",
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmOutput:
+    """Uniform result of one anonymization run."""
+
+    generalized: GeneralizedTable
+    #: Phase in which TP terminated, when applicable.
+    phase_reached: int | None = None
+
+
+@runtime_checkable
+class Anonymizer(Protocol):
+    """The common callable shape of every registered algorithm."""
+
+    def __call__(self, table: Table, l: int) -> AlgorithmOutput: ...
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """A registered algorithm plus its capability metadata."""
+
+    name: str
+    runner: Anonymizer
+    #: Whether per-shard runs merged over a QI-prefix sharding still yield a
+    #: valid l-diverse table (true for every partition-based algorithm here).
+    supports_sharding: bool = True
+    #: Whether repeated runs on the same table produce identical output.
+    deterministic: bool = True
+    #: Asymptotic running time, as reported in the paper / module docs.
+    complexity: str = "?"
+    #: Approximation guarantee for Problem 1/2 ("heuristic" when none).
+    approximation: str = "heuristic"
+    description: str = ""
+
+    def __call__(self, table: Table, l: int) -> AlgorithmOutput:
+        return self.runner(table, l)
+
+
+@dataclass(frozen=True)
+class MetricInfo:
+    """A registered information-loss / utility metric."""
+
+    name: str
+    func: Callable
+    #: Whether the metric needs the original microdata table in addition to
+    #: the published one (KL-divergence does; the star counts do not).
+    needs_source: bool = False
+    #: Direction of improvement, for display ("lower" for every loss metric).
+    better: str = "lower"
+    description: str = ""
+
+    def compute(self, table: Table, generalized: GeneralizedTable) -> float:
+        """Evaluate the metric with a uniform ``(table, generalized)`` call."""
+        if self.needs_source:
+            return self.func(table, generalized)
+        return self.func(generalized)
+
+
+E = TypeVar("E", bound=AlgorithmInfo | MetricInfo)
+
+
+class _Registry(Generic[E]):
+    """Name -> entry mapping with decorator registration and rich errors."""
+
+    #: Human label used in error messages ("algorithm" / "metric").
+    kind = "entry"
+
+    def __init__(self) -> None:
+        self._entries: dict[str, E] = {}
+
+    def add(self, entry: E) -> E:
+        if entry.name in self._entries:
+            raise DuplicateRegistrationError(
+                f"{self.kind} {entry.name!r} is already registered"
+            )
+        self._entries[entry.name] = entry
+        return entry
+
+    def get(self, name: str) -> E:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownEntryError(
+                f"unknown {self.kind} {name!r}; available: {sorted(self._entries)}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._entries))
+
+    def entries(self) -> list[E]:
+        return [self._entries[name] for name in self.names()]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class AlgorithmRegistry(_Registry[AlgorithmInfo]):
+    """Registry of anonymization algorithms."""
+
+    kind = "algorithm"
+
+    def register(
+        self,
+        name: str,
+        *,
+        supports_sharding: bool = True,
+        deterministic: bool = True,
+        complexity: str = "?",
+        approximation: str = "heuristic",
+        description: str = "",
+    ) -> Callable[[Anonymizer], Anonymizer]:
+        """Decorator: register ``runner`` under ``name`` with metadata."""
+
+        def decorate(runner: Anonymizer) -> Anonymizer:
+            self.add(
+                AlgorithmInfo(
+                    name=name,
+                    runner=runner,
+                    supports_sharding=supports_sharding,
+                    deterministic=deterministic,
+                    complexity=complexity,
+                    approximation=approximation,
+                    description=description,
+                )
+            )
+            return runner
+
+        return decorate
+
+    def runners(self) -> "RunnerView":
+        """A live ``name -> runner`` mapping view over the registry.
+
+        This is what :data:`repro.experiments.harness.ALGORITHMS` now is: not
+        a copy but a window, so algorithms registered later (e.g. by a
+        plugin or a test) appear in it immediately and CLI choices can never
+        drift from what is actually runnable.
+        """
+        return RunnerView(self)
+
+
+class RunnerView(Mapping):
+    """Read-only ``name -> runner`` mapping backed by an :class:`AlgorithmRegistry`."""
+
+    def __init__(self, registry: AlgorithmRegistry) -> None:
+        self._registry = registry
+
+    def __getitem__(self, name: str) -> Anonymizer:
+        return self._registry.get(name).runner
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._registry)
+
+    def __len__(self) -> int:
+        return len(self._registry)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._registry
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RunnerView({list(self._registry)})"
+
+
+class MetricRegistry(_Registry[MetricInfo]):
+    """Registry of information-loss / utility metrics."""
+
+    kind = "metric"
+
+    def register(
+        self,
+        name: str,
+        *,
+        needs_source: bool = False,
+        better: str = "lower",
+        description: str = "",
+    ) -> Callable[[Callable], Callable]:
+        """Decorator: register a metric function under ``name``."""
+
+        def decorate(func: Callable) -> Callable:
+            self.add(
+                MetricInfo(
+                    name=name,
+                    func=func,
+                    needs_source=needs_source,
+                    better=better,
+                    description=description,
+                )
+            )
+            return func
+
+        return decorate
+
+    def compute(self, name: str, table: Table, generalized: GeneralizedTable) -> float:
+        """Look up and evaluate one metric."""
+        return self.get(name).compute(table, generalized)
+
+
+#: The default registries; populated by :mod:`repro.engine.algorithms` and
+#: :mod:`repro.engine.metrics` at import time.
+algorithm_registry = AlgorithmRegistry()
+metric_registry = MetricRegistry()

@@ -1,0 +1,168 @@
+"""QI-prefix sharding and shard-output merging.
+
+The sharded execution pipeline splits a large table into shards that are
+each a union of *complete* QI-groups, contiguous in the lexicographic order
+of their QI vectors ("QI-prefix" shards: every shard owns an interval of the
+sorted QI keyspace, so rows agreeing on a QI prefix land together).  Each
+shard is anonymized independently — sequentially or on the harness's process
+pool — and the published shard tables are merged back in original row order.
+
+Correctness: generalization operates per QI-group, a merged table's
+QI-groups are exactly the union of the shard outputs' QI-groups, and each
+shard output is l-diverse; therefore the merged table is l-diverse by
+construction (the engine still verifies it through
+:func:`repro.privacy.checks.verify_l_diversity` and raises
+:class:`~repro.errors.ShardMergeError` on violation).
+
+Utility (the documented merge bound): sharding constrains the algorithm to
+never build a bucket from QI-groups in different shards, so for the bucket-
+building algorithms (TP, TP+, Hilbert) each of the ``shards - 1`` boundaries
+can strand at most one under-full residue of fewer than ``l`` tuples per
+side, each costing at most ``d`` stars per tuple.  The engine therefore
+documents
+
+    |stars(sharded) - stars(unsharded)|  <=  2 * (shards - 1) * l * d
+    |suppressed(sharded) - suppressed(unsharded)|  <=  2 * (shards - 1) * l
+
+as the merge bound; ``scripts/shard_smoke.py`` and the engine tests assert
+it on fixed seeds.  Shards whose residents are not l-eligible on their own
+are merged into their successor before execution, so every dispatched shard
+is guaranteed anonymizable (Lemma 1).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.dataset.generalized import GeneralizedTable
+from repro.dataset.table import Table
+from repro.engine.registry import AlgorithmOutput
+from repro.errors import IneligibleTableError, ShardMergeError
+
+__all__ = ["merge_shard_outputs", "qi_prefix_shards", "suppression_merge_bound"]
+
+
+def suppression_merge_bound(shards: int, l: int, d: int = 1) -> int:
+    """The documented bound on sharded-vs-unsharded suppression differences."""
+    return 2 * max(shards - 1, 0) * l * d
+
+
+def qi_prefix_shards(table: Table, shard_count: int, l: int) -> list[list[int]]:
+    """Partition row indices into at most ``shard_count`` l-eligible shards.
+
+    QI-groups are walked in ascending lexicographic order of their QI vectors
+    and packed greedily into contiguous shards of roughly equal cardinality.
+    A repair pass then merges any shard that is not l-eligible on its own
+    into its successor (eligibility of the union is not guaranteed by
+    eligibility of the parts, so the pass iterates until stable).  The
+    returned shards are therefore a disjoint cover of ``range(len(table))``,
+    each a union of complete QI-groups, each l-eligible; fewer than
+    ``shard_count`` shards come back when repair had to merge.
+    """
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+    n = len(table)
+    if n == 0:
+        return []
+    if not table.is_l_eligible(l):
+        raise IneligibleTableError(
+            f"table is not {l}-eligible; no l-diverse generalization exists"
+        )
+    if shard_count == 1:
+        return [list(range(n))]
+
+    # group_by_qi is insertion-ordered by backend-dependent traversal; sort
+    # keys so shard layout is identical on the numpy and reference backends.
+    groups = table.group_by_qi()
+    ordered_keys = sorted(groups)
+
+    shards: list[list[int]] = []
+    current: list[int] = []
+    assigned = 0
+    for key in ordered_keys:
+        current.extend(groups[key])
+        # Close the shard once the cumulative row count reaches its quota
+        # (i * n / shard_count for the i-th shard), keeping sizes balanced
+        # even when one QI-group is much larger than the others.
+        quota = ((len(shards) + 1) * n + shard_count - 1) // shard_count
+        if len(shards) < shard_count - 1 and assigned + len(current) >= quota:
+            assigned += len(current)
+            shards.append(current)
+            current = []
+    if current:
+        shards.append(current)
+
+    return _repair_eligibility(table, shards, l)
+
+
+def _repair_eligibility(table: Table, shards: list[list[int]], l: int) -> list[list[int]]:
+    """Merge ineligible shards into a neighbour until every shard is l-eligible."""
+    sa_values = table.sa_values
+    while len(shards) > 1:
+        merged_any = False
+        repaired: list[list[int]] = []
+        for shard in shards:
+            if repaired and not _is_eligible(sa_values, repaired[-1], l):
+                repaired[-1] = repaired[-1] + shard
+                merged_any = True
+            else:
+                repaired.append(shard)
+        # The last shard may itself be ineligible: fold it backwards.
+        if len(repaired) > 1 and not _is_eligible(sa_values, repaired[-1], l):
+            last = repaired.pop()
+            repaired[-1] = repaired[-1] + last
+            merged_any = True
+        shards = repaired
+        if not merged_any:
+            break
+    return shards
+
+
+def _is_eligible(sa_values: list[int], rows: list[int], l: int) -> bool:
+    counts = Counter(sa_values[index] for index in rows)
+    return max(counts.values()) * l <= len(rows)
+
+
+def merge_shard_outputs(
+    table: Table,
+    shard_rows: list[list[int]],
+    outputs: list[AlgorithmOutput],
+    l: int,
+    verify: bool = True,
+) -> GeneralizedTable:
+    """Merge per-shard published tables back into one table in original row order.
+
+    ``outputs[i]`` must be the anonymization of ``table.subset(shard_rows[i])``;
+    its rows therefore correspond positionally to ``shard_rows[i]``.  Group
+    ids are offset per shard so groups never collide across shards.
+    """
+    if len(shard_rows) != len(outputs):
+        raise ValueError(
+            f"{len(shard_rows)} shards but {len(outputs)} outputs to merge"
+        )
+    n = len(table)
+    cells: list = [None] * n
+    group_ids = [0] * n
+    group_offset = 0
+    for rows, output in zip(shard_rows, outputs):
+        shard_table = output.generalized
+        if len(shard_table) != len(rows):
+            raise ShardMergeError(
+                f"shard output has {len(shard_table)} rows, expected {len(rows)}"
+            )
+        shard_cells = shard_table.cell_rows
+        shard_groups = shard_table.group_ids
+        for local, global_index in enumerate(rows):
+            cells[global_index] = shard_cells[local]
+            group_ids[global_index] = group_offset + shard_groups[local]
+        group_offset += len(shard_table.groups())
+    if any(cell is None for cell in cells):
+        raise ShardMergeError("shards do not cover every row of the table")
+    merged = GeneralizedTable._from_trusted(
+        table.schema, cells, table.sa_values, group_ids
+    )
+    if verify and not merged.is_l_diverse(l):
+        raise ShardMergeError(
+            f"merged table violates {l}-diversity; sharding invariant broken"
+        )
+    return merged

@@ -1,0 +1,220 @@
+"""Dataset adapters: one loading interface over CSV, synthetic and in-memory data.
+
+A :class:`DataSource` is a recipe for obtaining an encoded
+:class:`~repro.dataset.table.Table`.  The engine, harness and CLI all accept
+sources rather than tables or file paths, so the same run plan works for
+
+* :class:`CsvSource` — a CSV file with a header row; the schema (attribute
+  domains) is inferred from the observed values unless supplied, and the file
+  can be streamed in bounded-size chunks (two passes: one to infer the
+  domains, one to encode) for tables that should not be materialized row-wise;
+* :class:`SyntheticSource` — the seeded census-like SAL / OCC generators used
+  by the experiments;
+* :class:`TableSource` — an already-built (possibly columnar) in-memory table.
+
+Chunked reads yield tables that all share one schema object, so their
+columnar arrays can be concatenated without re-encoding
+(:func:`concat_tables`).
+"""
+
+from __future__ import annotations
+
+import csv
+from abc import ABC, abstractmethod
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataset.synthetic import CensusConfig, make_occ, make_sal
+from repro.dataset.table import Attribute, Schema, Table
+from repro.errors import DataSourceError
+
+__all__ = [
+    "CsvSource",
+    "DataSource",
+    "SyntheticSource",
+    "TableSource",
+    "concat_tables",
+    "infer_csv_schema",
+]
+
+
+class DataSource(ABC):
+    """A recipe for loading one encoded microdata table."""
+
+    @property
+    @abstractmethod
+    def label(self) -> str:
+        """Short human-readable name used in run records and reports."""
+
+    @abstractmethod
+    def load(self) -> Table:
+        """Materialize the full table."""
+
+    def iter_chunks(self, chunk_rows: int) -> Iterator[Table]:
+        """Yield the table in chunks of at most ``chunk_rows`` rows.
+
+        All chunks share one schema, so they concatenate without re-encoding.
+        The default implementation slices the fully-loaded table; file-backed
+        sources override it to stream.
+        """
+        if chunk_rows < 1:
+            raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        table = self.load()
+        for start in range(0, len(table), chunk_rows):
+            yield table.subset(range(start, min(start + chunk_rows, len(table))))
+
+
+def concat_tables(chunks: Sequence[Table]) -> Table:
+    """Concatenate schema-sharing chunks back into one table."""
+    if not chunks:
+        raise ValueError("cannot concatenate zero chunks")
+    schema = chunks[0].schema
+    for chunk in chunks[1:]:
+        if chunk.schema != schema:
+            raise DataSourceError("chunks do not share a schema")
+    if len(chunks) == 1:
+        return chunks[0]
+    return Table.from_arrays(
+        schema,
+        np.concatenate([chunk.qi_columns for chunk in chunks], axis=0),
+        np.concatenate([chunk.sa_array for chunk in chunks]),
+    )
+
+
+def infer_csv_schema(
+    path: str, qi_names: Sequence[str], sa_name: str, delimiter: str = ","
+) -> Schema:
+    """Infer attribute domains from one streaming pass over a CSV file."""
+    observed: dict[str, set] = {name: set() for name in (*qi_names, sa_name)}
+    try:
+        handle = open(path, newline="")
+    except OSError as error:
+        raise DataSourceError(f"cannot load {path}: {error}") from error
+    with handle:
+        reader = csv.DictReader(handle, delimiter=delimiter)
+        if reader.fieldnames is None:
+            raise DataSourceError(f"{path}: empty CSV file (no header row)")
+        missing = [name for name in observed if name not in reader.fieldnames]
+        if missing:
+            raise DataSourceError(
+                f"{path}: columns {missing} not in header {reader.fieldnames}"
+            )
+        for row in reader:
+            for name, values in observed.items():
+                values.add(row[name])
+    for name, values in observed.items():
+        if not values:
+            raise DataSourceError(f"{path}: no rows to infer a domain for {name!r}")
+    return Schema(
+        qi=tuple(Attribute.from_values(name, observed[name]) for name in qi_names),
+        sensitive=Attribute.from_values(sa_name, observed[sa_name]),
+    )
+
+
+@dataclass(frozen=True)
+class CsvSource(DataSource):
+    """A CSV file with a header row, encoded against an inferred or given schema."""
+
+    path: str
+    qi_names: tuple[str, ...]
+    sa_name: str
+    schema: Schema | None = None
+    delimiter: str = ","
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "qi_names", tuple(self.qi_names))
+
+    @property
+    def label(self) -> str:
+        return self.path
+
+    def resolved_schema(self) -> Schema:
+        """The supplied schema, or one inferred from the file's values."""
+        if self.schema is not None:
+            return self.schema
+        return infer_csv_schema(self.path, self.qi_names, self.sa_name, self.delimiter)
+
+    def load(self) -> Table:
+        try:
+            return Table.from_csv(
+                self.path, list(self.qi_names), self.sa_name, schema=self.schema,
+                delimiter=self.delimiter,
+            )
+        except (OSError, KeyError) as error:
+            raise DataSourceError(f"cannot load {self.path}: {error}") from error
+
+    def iter_chunks(self, chunk_rows: int) -> Iterator[Table]:
+        """Stream the file in bounded chunks (schema inferred in a first pass)."""
+        if chunk_rows < 1:
+            raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        schema = self.resolved_schema()
+        encoders = [schema.qi_attribute(name).encode for name in self.qi_names]
+        sa_encode = schema.sensitive.encode
+        d = schema.dimension
+        try:
+            with open(self.path, newline="") as handle:
+                reader = csv.DictReader(handle, delimiter=self.delimiter)
+                qi_buffer: list[int] = []
+                sa_buffer: list[int] = []
+                for row in reader:
+                    qi_buffer.extend(
+                        encode(row[name]) for encode, name in zip(encoders, self.qi_names)
+                    )
+                    sa_buffer.append(sa_encode(row[self.sa_name]))
+                    if len(sa_buffer) >= chunk_rows:
+                        yield self._chunk(schema, qi_buffer, sa_buffer, d)
+                        qi_buffer, sa_buffer = [], []
+                if sa_buffer:
+                    yield self._chunk(schema, qi_buffer, sa_buffer, d)
+        except (OSError, KeyError) as error:
+            raise DataSourceError(f"cannot load {self.path}: {error}") from error
+
+    @staticmethod
+    def _chunk(schema: Schema, qi_buffer: list[int], sa_buffer: list[int], d: int) -> Table:
+        columns = np.asarray(qi_buffer, dtype=np.int32).reshape(len(sa_buffer), d)
+        return Table.from_arrays(schema, columns, np.asarray(sa_buffer, dtype=np.int32))
+
+
+@dataclass(frozen=True)
+class SyntheticSource(DataSource):
+    """A seeded synthetic census table (the SAL / OCC generators)."""
+
+    dataset: str = "SAL"
+    n: int = 10_000
+    seed: int = 7
+    config: CensusConfig | None = None
+    #: Optional projection onto the first ``dimension`` QI attributes.
+    dimension: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.dataset.upper() not in ("SAL", "OCC"):
+            raise DataSourceError(f"unknown synthetic dataset {self.dataset!r}")
+
+    @property
+    def label(self) -> str:
+        suffix = f"-{self.dimension}" if self.dimension is not None else ""
+        return f"{self.dataset.upper()}{suffix}@{self.n}"
+
+    def load(self) -> Table:
+        maker = make_sal if self.dataset.upper() == "SAL" else make_occ
+        table = maker(self.n, seed=self.seed, config=self.config or CensusConfig())
+        if self.dimension is not None:
+            table = table.project(table.schema.qi_names[: self.dimension])
+        return table
+
+
+@dataclass(frozen=True)
+class TableSource(DataSource):
+    """An in-memory (row-wise or columnar) table, adapted to the source interface."""
+
+    table: Table
+    name: str = "memory"
+
+    @property
+    def label(self) -> str:
+        return self.name
+
+    def load(self) -> Table:
+        return self.table

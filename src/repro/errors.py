@@ -2,7 +2,17 @@
 
 from __future__ import annotations
 
-__all__ = ["ReproError", "IneligibleTableError", "AlgorithmInvariantError"]
+__all__ = [
+    "ReproError",
+    "IneligibleTableError",
+    "AlgorithmInvariantError",
+    "RegistryError",
+    "DuplicateRegistrationError",
+    "UnknownEntryError",
+    "DataSourceError",
+    "ShardMergeError",
+    "VerificationError",
+]
 
 
 class ReproError(Exception):
@@ -24,4 +34,48 @@ class AlgorithmInvariantError(ReproError):
     These checks guard the implementation against bugs (e.g. the greedy set
     cover of phase three failing to make progress, which Lemma 7 proves
     impossible); they should never trigger on valid inputs.
+    """
+
+
+class RegistryError(ReproError):
+    """Base class for algorithm/metric registry errors."""
+
+
+class DuplicateRegistrationError(RegistryError, ValueError):
+    """Raised when two entries are registered under the same name."""
+
+
+class UnknownEntryError(RegistryError, KeyError):
+    """Raised when a registry lookup misses.
+
+    Inherits :class:`KeyError` so callers that guarded the old hardcoded
+    algorithm dicts with ``except KeyError`` keep working unchanged.
+    """
+
+    def __str__(self) -> str:  # KeyError repr()s its argument; keep the message readable
+        return self.args[0] if self.args else super().__str__()
+
+
+class DataSourceError(ReproError):
+    """Raised when a :class:`~repro.engine.sources.DataSource` cannot load its table."""
+
+
+class VerificationError(ReproError):
+    """Raised when a published table fails the engine's l-diversity verification.
+
+    Every registered algorithm proves its output l-diverse, so this firing
+    on an unsharded run means an algorithm bug; on a sharded run it means a
+    sharding/merge invariant was broken.
+    """
+
+
+class ShardMergeError(ReproError):
+    """Raised when shard outputs cannot be merged into a valid published table.
+
+    Covers structural problems (outputs not covering every row, shard/output
+    count mismatches) and, when :func:`repro.engine.sharding.merge_shard_outputs`
+    is asked to verify, a merged table violating l-diversity.  Shards are
+    unions of complete QI-groups and each shard output is l-diverse, so the
+    merged table is l-diverse by construction; this error firing means a
+    sharding/merge invariant was broken.
     """

@@ -19,6 +19,7 @@ preserved.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 __all__ = ["ExperimentConfig"]
@@ -89,3 +90,12 @@ class ExperimentConfig:
             sample_sizes=(100_000, 200_000, 300_000, 400_000, 500_000, 600_000),
             domain_scale=1.0,
         )
+
+    @classmethod
+    def presets(cls) -> dict[str, Callable[[], "ExperimentConfig"]]:
+        """Name -> factory for every preset; CLI/scripts derive choices from this."""
+        return {
+            "smoke": cls.smoke,
+            "default": cls.default,
+            "paper": cls.paper_scale,
+        }

@@ -18,8 +18,10 @@ from repro.dataset.synthetic import CensusConfig, make_occ, make_sal
 from repro.dataset.table import Table
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import RunRecord, run_suite
+from repro.text import format_fixed_width
 
 __all__ = [
+    "FIGURES",
     "FigureResult",
     "figure2",
     "figure3",
@@ -31,6 +33,18 @@ __all__ = [
     "phase3_frequency",
     "Phase3FrequencyResult",
 ]
+
+#: Figure name -> driver; the single source of truth the CLI and
+#: ``scripts/run_experiments.py`` derive their choices from.  Populated by
+#: the :func:`_figure` decorator below, so a new driver is registered by
+#: definition and help text can never drift from what is implemented.
+FIGURES: dict = {}
+
+
+def _figure(driver):
+    """Register a ``figureN`` driver in :data:`FIGURES` under its own name."""
+    FIGURES[driver.__name__] = driver
+    return driver
 
 
 @dataclass
@@ -85,16 +99,8 @@ class FigureResult:
                 value = lookup.get((algorithm, x))
                 row.append("-" if value is None else f"{value:.4g}")
             rows.append(row)
-        widths = [
-            max(len(header[column]), *(len(row[column]) for row in rows)) if rows else len(header[column])
-            for column in range(len(header))
-        ]
-        lines = [f"{self.name} [{self.dataset}] — {self.y_label}"]
-        lines.append("  ".join(cell.ljust(width) for cell, width in zip(header, widths)))
-        lines.append("  ".join("-" * width for width in widths))
-        for row in rows:
-            lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
-        return "\n".join(lines)
+        title = f"{self.name} [{self.dataset}] — {self.y_label}"
+        return title + "\n" + format_fixed_width(header, rows)
 
 
 def _base_table(dataset: str, config: ExperimentConfig, n: int | None = None) -> Table:
@@ -136,6 +142,7 @@ _SUPPRESSION_ALGORITHMS = ("Hilbert", "TP", "TP+")
 _KL_ALGORITHMS = ("TDS", "TP+")
 
 
+@_figure
 def figure2(dataset: str = "SAL", config: ExperimentConfig | None = None) -> FigureResult:
     """Figure 2: average number of stars vs ``l`` on the 4-QI projections."""
     config = config or ExperimentConfig.default()
@@ -151,6 +158,7 @@ def figure2(dataset: str = "SAL", config: ExperimentConfig | None = None) -> Fig
     return result
 
 
+@_figure
 def figure3(dataset: str = "SAL", config: ExperimentConfig | None = None) -> FigureResult:
     """Figure 3: average number of stars vs ``d`` at ``l = 6``."""
     config = config or ExperimentConfig.default()
@@ -166,6 +174,7 @@ def figure3(dataset: str = "SAL", config: ExperimentConfig | None = None) -> Fig
     return result
 
 
+@_figure
 def figure4(dataset: str = "SAL", config: ExperimentConfig | None = None) -> FigureResult:
     """Figure 4: computation time vs ``l`` on the 4-QI projections."""
     config = config or ExperimentConfig.default()
@@ -181,6 +190,7 @@ def figure4(dataset: str = "SAL", config: ExperimentConfig | None = None) -> Fig
     return result
 
 
+@_figure
 def figure5(dataset: str = "SAL", config: ExperimentConfig | None = None) -> FigureResult:
     """Figure 5: computation time vs ``d`` at ``l = 4``."""
     config = config or ExperimentConfig.default()
@@ -196,6 +206,7 @@ def figure5(dataset: str = "SAL", config: ExperimentConfig | None = None) -> Fig
     return result
 
 
+@_figure
 def figure6(dataset: str = "SAL", config: ExperimentConfig | None = None) -> FigureResult:
     """Figure 6: computation time vs cardinality ``n`` at ``l = 6``."""
     config = config or ExperimentConfig.default()
@@ -224,6 +235,7 @@ def figure6(dataset: str = "SAL", config: ExperimentConfig | None = None) -> Fig
     return result
 
 
+@_figure
 def figure7(dataset: str = "SAL", config: ExperimentConfig | None = None) -> FigureResult:
     """Figure 7: KL-divergence vs ``l`` — TP+ against the TDS baseline."""
     config = config or ExperimentConfig.default()
@@ -239,6 +251,7 @@ def figure7(dataset: str = "SAL", config: ExperimentConfig | None = None) -> Fig
     return result
 
 
+@_figure
 def figure8(dataset: str = "SAL", config: ExperimentConfig | None = None) -> FigureResult:
     """Figure 8: KL-divergence vs ``d`` at ``l = 6`` — TP+ against TDS."""
     config = config or ExperimentConfig.default()

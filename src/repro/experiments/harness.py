@@ -1,14 +1,19 @@
 """Common machinery for running anonymization algorithms over workloads.
 
-Every algorithm of the evaluation is wrapped behind the same interface
-(``table, l -> AlgorithmOutput``) so the per-figure drivers can sweep
-parameters, time executions and aggregate metrics uniformly.
+Algorithms are resolved through the engine's
+:data:`~repro.engine.registry.algorithm_registry` — :data:`ALGORITHMS` is a
+live view over it, not a copy, so anything registered there is immediately
+runnable here and the CLI's choices can never drift from the harness.
 
 Independent ``(table, l, algorithm)`` runs can be fanned out across a
 process pool with :func:`run_suite`'s ``workers=`` option: each worker times
 its own run (so the recorded ``seconds`` stay comparable to sequential
 execution) and ships back only the scalar :class:`RunRecord`; tables travel
-to workers in their compact columnar form.
+to workers in their compact columnar form.  Runs are memoized in the
+engine's result cache (keyed by table fingerprint, algorithm and ``l``), so
+sweeps that revisit a combination — e.g. the stars-vs-l and time-vs-l
+figures, which share every run — replay the stored output and its original
+timing instead of recomputing.
 """
 
 from __future__ import annotations
@@ -20,14 +25,12 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 
 from repro import backend
-
-from repro.baselines import hilbert as hilbert_baseline
-from repro.baselines import mondrian as mondrian_baseline
-from repro.baselines import tds as tds_baseline
-from repro.core import hybrid, three_phase
-from repro.dataset.generalized import GeneralizedTable
 from repro.dataset.table import Table
+from repro.engine.cache import CachedRun, ResultCache, default_cache
+from repro.engine.core import RunReport
+from repro.engine.registry import AlgorithmOutput, algorithm_registry
 from repro.metrics.kl import kl_divergence
+from repro.text import format_fixed_width
 
 __all__ = [
     "ALGORITHMS",
@@ -35,23 +38,26 @@ __all__ = [
     "RunRecord",
     "average_by",
     "format_records",
+    "record_from_report",
     "run_algorithm",
     "run_suite",
 ]
 
 
-@dataclass(frozen=True)
-class AlgorithmOutput:
-    """Uniform result of one anonymization run."""
-
-    generalized: GeneralizedTable
-    #: Phase in which TP terminated, when applicable.
-    phase_reached: int | None = None
+#: Live ``name -> runner`` view over the engine's algorithm registry (the
+#: registrations themselves live in :mod:`repro.engine.algorithms`).
+ALGORITHMS = algorithm_registry.runners()
 
 
 @dataclass(frozen=True)
 class RunRecord:
-    """One (algorithm, table, l) measurement."""
+    """One (algorithm, table, l) measurement.
+
+    ``seconds`` is the anonymization stage only (what the figures plot and
+    what ``BENCH_fig6.json`` baselines); loading and metric evaluation are
+    attributed separately so a regression in the BENCH JSON points at the
+    stage that caused it.
+    """
 
     algorithm: str
     dataset: str
@@ -60,64 +66,35 @@ class RunRecord:
     n: int
     stars: int
     suppressed_tuples: int
+    #: Anonymization wall-clock seconds (excludes loading and metrics).
     seconds: float
     groups: int
     phase_reached: int | None = None
     kl: float | None = None
+    #: Wall-clock seconds spent loading/building the table, when the caller
+    #: routed the load through the engine (0.0 for pre-built tables).
+    load_seconds: float = 0.0
+    #: Wall-clock seconds spent computing the record's metrics.
+    metrics_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end seconds across the load/anonymize/metrics stages."""
+        return self.load_seconds + self.seconds + self.metrics_seconds
 
 
-def _run_tp(table: Table, l: int) -> AlgorithmOutput:
-    result = three_phase.anonymize(table, l)
-    return AlgorithmOutput(result.generalized, phase_reached=result.stats.phase_reached)
-
-
-def _run_tp_plus(table: Table, l: int) -> AlgorithmOutput:
-    result = hybrid.anonymize(table, l)
-    return AlgorithmOutput(result.generalized, phase_reached=result.tp_stats.phase_reached)
-
-
-def _run_hilbert(table: Table, l: int) -> AlgorithmOutput:
-    result = hilbert_baseline.anonymize(table, l)
-    return AlgorithmOutput(result.generalized)
-
-
-def _run_tds(table: Table, l: int) -> AlgorithmOutput:
-    result = tds_baseline.anonymize(table, l)
-    return AlgorithmOutput(result.generalized)
-
-
-def _run_mondrian(table: Table, l: int) -> AlgorithmOutput:
-    result = mondrian_baseline.anonymize(table, l)
-    return AlgorithmOutput(result.generalized)
-
-
-#: The algorithms of the evaluation, keyed by the labels used in the figures.
-ALGORITHMS: dict[str, Callable[[Table, int], AlgorithmOutput]] = {
-    "TP": _run_tp,
-    "TP+": _run_tp_plus,
-    "Hilbert": _run_hilbert,
-    "TDS": _run_tds,
-    "Mondrian": _run_mondrian,
-}
-
-
-def run_algorithm(
+def _measure(
     name: str,
     table: Table,
     l: int,
-    dataset: str = "",
-    with_kl: bool = False,
+    dataset: str,
+    with_kl: bool,
+    output: AlgorithmOutput,
+    anonymize_seconds: float,
+    load_seconds: float = 0.0,
 ) -> RunRecord:
-    """Run one algorithm on one table and collect the standard metrics."""
-    try:
-        runner = ALGORITHMS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
-        ) from None
+    """Assemble a :class:`RunRecord` from a finished run, timing the metrics."""
     started = time.perf_counter()
-    output = runner(table, l)
-    elapsed = time.perf_counter() - started
     generalized = output.generalized
     record = RunRecord(
         algorithm=name,
@@ -127,22 +104,87 @@ def run_algorithm(
         n=len(table),
         stars=generalized.star_count(),
         suppressed_tuples=generalized.suppressed_tuple_count(),
-        seconds=elapsed,
+        seconds=anonymize_seconds,
         groups=len(generalized.groups()),
         phase_reached=output.phase_reached,
+        load_seconds=load_seconds,
     )
-    if with_kl:
-        record = replace(record, kl=kl_divergence(table, generalized))
-    return record
+    kl = kl_divergence(table, generalized) if with_kl else None
+    metrics_seconds = time.perf_counter() - started
+    return replace(record, kl=kl, metrics_seconds=metrics_seconds)
 
 
-def _run_job(job: tuple[str, Table, int, str, bool, str]) -> RunRecord:
-    """Process-pool entry point: one (algorithm, table, l) measurement."""
+def run_algorithm(
+    name: str,
+    table: Table,
+    l: int,
+    dataset: str = "",
+    with_kl: bool = False,
+    cache: ResultCache | None = None,
+) -> RunRecord:
+    """Run one algorithm on one table and collect the standard metrics.
+
+    ``cache`` defaults to the engine's process-global result cache; pass an
+    isolated :class:`~repro.engine.cache.ResultCache` to control reuse, or
+    consult :func:`repro.engine.cache.default_cache` for hit statistics.
+    """
+    info = algorithm_registry.get(name)
+    cache = cache if cache is not None else default_cache()
+    key = None
+    if info.deterministic:
+        key = ResultCache.key(table.fingerprint(), name, l)
+        cached = cache.get(key)
+        if cached is not None:
+            return _measure(
+                name, table, l, dataset, with_kl, cached.output, cached.anonymize_seconds
+            )
+    started = time.perf_counter()
+    output = info.runner(table, l)
+    elapsed = time.perf_counter() - started
+    if key is not None:
+        cache.put(key, CachedRun(output=output, anonymize_seconds=elapsed))
+    return _measure(name, table, l, dataset, with_kl, output, elapsed)
+
+
+def record_from_report(report: RunReport, dataset: str | None = None) -> RunRecord:
+    """Project an engine :class:`~repro.engine.core.RunReport` onto a record."""
+    generalized = report.generalized
+    return RunRecord(
+        algorithm=report.plan.algorithm,
+        dataset=dataset if dataset is not None else report.label,
+        l=report.plan.l,
+        d=report.d,
+        n=report.n,
+        stars=generalized.star_count(),
+        suppressed_tuples=generalized.suppressed_tuple_count(),
+        seconds=report.timings.anonymize_seconds,
+        groups=len(generalized.groups()),
+        phase_reached=report.phase_reached,
+        kl=report.metric_values.get("kl"),
+        load_seconds=report.timings.load_seconds,
+        metrics_seconds=report.timings.metrics_seconds,
+    )
+
+
+def _run_job(
+    job: tuple[str, Table, int, str, bool, str],
+) -> tuple[RunRecord, CachedRun | None]:
+    """Process-pool entry point: one (algorithm, table, l) measurement.
+
+    Besides the scalar record, the run's output travels back so the parent
+    can memoize it; ``None`` when the algorithm is not deterministic.
+    """
     name, table, l, label, with_kl, backend_name = job
     # Workers started via spawn/forkserver re-import repro.backend and would
     # otherwise fall back to the default; mirror the parent's choice.
     backend.set_backend(backend_name)
-    return run_algorithm(name, table, l, dataset=label, with_kl=with_kl)
+    info = algorithm_registry.get(name)
+    started = time.perf_counter()
+    output = info.runner(table, l)
+    elapsed = time.perf_counter() - started
+    record = _measure(name, table, l, label, with_kl, output, elapsed)
+    cached = CachedRun(output=output, anonymize_seconds=elapsed) if info.deterministic else None
+    return record, cached
 
 
 def run_suite(
@@ -151,6 +193,7 @@ def run_suite(
     algorithms: Sequence[str],
     with_kl: bool = False,
     workers: int | None = None,
+    cache: ResultCache | None = None,
 ) -> list[RunRecord]:
     """Run several algorithms over several labelled tables.
 
@@ -161,16 +204,64 @@ def run_suite(
         process pool of that many workers.  Records come back in the same
         order as sequential execution (tables outer, algorithms inner);
         timings are taken inside each worker.
+    cache:
+        Result cache consulted before running (defaults to the engine's
+        process-global cache).  On the parallel path the cache lives in the
+        parent: hits are answered locally, only misses are dispatched to the
+        pool, and their outputs are stored when the workers return.
     """
+    cache = cache if cache is not None else default_cache()
     jobs = [
         (name, table, l, label, with_kl, backend.current_backend())
         for label, table in tables
         for name in algorithms
     ]
     if workers is not None and workers > 1 and len(jobs) > 1:
-        with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
-            return list(pool.map(_run_job, jobs))
-    return [_run_job(job) for job in jobs]
+        return _run_jobs_parallel(jobs, workers, cache)
+    return [
+        run_algorithm(name, table, l, dataset=label, with_kl=with_kl, cache=cache)
+        for name, table, l, label, with_kl, _backend_name in jobs
+    ]
+
+
+def _run_jobs_parallel(
+    jobs: list[tuple[str, Table, int, str, bool, str]],
+    workers: int,
+    cache: ResultCache,
+) -> list[RunRecord]:
+    """Answer cache hits in the parent, dispatch only the misses to the pool.
+
+    Workers ship their outputs back alongside the scalar records, and the
+    parent stores them, so a later sweep over the same combinations (or a
+    duplicate job inside this one) hits the cache even though the runs
+    happened in other processes.
+    """
+    records: list[RunRecord | None] = [None] * len(jobs)
+    keys: dict[int, tuple] = {}
+    misses: list[int] = []
+    for position, (name, table, l, label, with_kl, _backend_name) in enumerate(jobs):
+        info = algorithm_registry.get(name)
+        if not info.deterministic:
+            misses.append(position)
+            continue
+        key = ResultCache.key(table.fingerprint(), name, l)
+        keys[position] = key
+        cached = cache.get(key)
+        if cached is None:
+            misses.append(position)
+        else:
+            records[position] = _measure(
+                name, table, l, label, with_kl, cached.output, cached.anonymize_seconds
+            )
+    if misses:
+        with ProcessPoolExecutor(max_workers=min(workers, len(misses))) as pool:
+            for position, (record, cached) in zip(
+                misses, pool.map(_run_job, [jobs[i] for i in misses])
+            ):
+                records[position] = record
+                if cached is not None and position in keys:
+                    cache.put(keys[position], cached)
+    return [record for record in records if record is not None]
 
 
 def average_by(
@@ -206,12 +297,4 @@ def format_records(records: Sequence[RunRecord]) -> str:
         ]
         for record in records
     ]
-    widths = [
-        max(len(headers[column]), *(len(row[column]) for row in rows)) if rows else len(headers[column])
-        for column in range(len(headers))
-    ]
-    lines = ["  ".join(header.ljust(width) for header, width in zip(headers, widths))]
-    lines.append("  ".join("-" * width for width in widths))
-    for row in rows:
-        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
-    return "\n".join(lines)
+    return format_fixed_width(headers, rows)

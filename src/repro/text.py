@@ -1,0 +1,20 @@
+"""Tiny text-rendering helpers shared by the CLI and the experiment reports."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_fixed_width"]
+
+
+def format_fixed_width(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render string cells as an aligned table with a dash separator row."""
+    widths = [
+        max(len(headers[column]), *(len(row[column]) for row in rows)) if rows else len(headers[column])
+        for column in range(len(headers))
+    ]
+    lines = ["  ".join(header.ljust(width) for header, width in zip(headers, widths))]
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,241 @@
+"""Tests for the Engine executor: plans, caching, sharded runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.synthetic import CensusConfig
+from repro.engine import (
+    AlgorithmRegistry,
+    CsvSource,
+    Engine,
+    ResultCache,
+    RunPlan,
+    SyntheticSource,
+    TableSource,
+    suppression_merge_bound,
+)
+from repro.engine.registry import algorithm_registry
+from repro.errors import IneligibleTableError, UnknownEntryError
+from repro.privacy import checks
+
+
+def _plan(source, **fields) -> RunPlan:
+    fields.setdefault("algorithm", "TP")
+    fields.setdefault("l", 2)
+    return RunPlan(source=source, **fields)
+
+
+def _engine() -> Engine:
+    """An engine with an isolated cache (tests must not share hits)."""
+    return Engine(cache=ResultCache())
+
+
+class TestUnshardedRuns:
+    def test_run_matches_direct_runner(self, hospital):
+        report = _engine().run(_plan(TableSource(hospital, "hospital")))
+        direct = algorithm_registry.get("TP").runner(hospital, 2)
+        assert report.generalized.cell_rows == direct.generalized.cell_rows
+        assert report.label == "hospital"
+        assert report.n == len(hospital)
+        assert report.d == hospital.dimension
+        assert report.shard_sizes == (len(hospital),)
+        assert report.verified
+
+    def test_unknown_algorithm_fails_before_loading(self, tmp_path):
+        source = CsvSource(str(tmp_path / "absent.csv"), ("Q",), "S")
+        with pytest.raises(UnknownEntryError):
+            _engine().run(_plan(source, algorithm="nope"))
+
+    def test_unknown_metric_fails_before_loading(self, tmp_path):
+        source = CsvSource(str(tmp_path / "absent.csv"), ("Q",), "S")
+        with pytest.raises(UnknownEntryError):
+            _engine().run(_plan(source, metrics=("nope",)))
+
+    def test_requested_metrics_are_computed(self, hospital):
+        report = _engine().run(
+            _plan(TableSource(hospital), metrics=("stars", "suppressed", "kl"))
+        )
+        assert report.metric_values["stars"] == report.generalized.star_count()
+        assert report.metric_values["suppressed"] == report.generalized.suppressed_tuple_count()
+        assert report.metric_values["kl"] >= 0.0
+
+    def test_ineligible_table_raises(self, hospital):
+        with pytest.raises(IneligibleTableError):
+            _engine().run(_plan(TableSource(hospital), l=len(hospital) + 1))
+
+    def test_stage_timings_are_separated(self, hospital):
+        report = _engine().run(_plan(TableSource(hospital), metrics=("kl",)))
+        timings = report.timings
+        assert timings.load_seconds >= 0
+        assert timings.anonymize_seconds > 0
+        assert timings.metrics_seconds > 0
+        assert timings.total_seconds == pytest.approx(
+            timings.load_seconds + timings.anonymize_seconds + timings.metrics_seconds
+        )
+
+    def test_chunked_load_equals_plain_load(self, tmp_path, hospital):
+        path = str(tmp_path / "hospital.csv")
+        hospital.to_csv(path)
+        source = CsvSource(path, ("Age", "Gender", "Education"), "Disease")
+        plain = _engine().run(_plan(source))
+        chunked = _engine().run(_plan(source, chunk_rows=3))
+        assert plain.generalized.cell_rows == chunked.generalized.cell_rows
+
+    def test_run_table_convenience(self, hospital):
+        report = _engine().run_table(hospital, "TP+", 2)
+        assert report.plan.algorithm == "TP+"
+        assert report.verified
+
+
+class TestResultCache:
+    def test_second_run_hits_and_replays_identical_output(self, hospital):
+        engine = _engine()
+        first = engine.run(_plan(TableSource(hospital)))
+        second = engine.run(_plan(TableSource(hospital)))
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.generalized is first.generalized
+        assert second.timings.anonymize_seconds == first.timings.anonymize_seconds
+        assert engine.cache.stats()["hits"] == 1
+
+    def test_cache_key_includes_l_algorithm_and_shards(self, small_census):
+        engine = _engine()
+        source = TableSource(small_census)
+        engine.run(_plan(source, l=2))
+        assert engine.run(_plan(source, l=3)).cache_hit is False
+        assert engine.run(_plan(source, algorithm="Hilbert", l=2)).cache_hit is False
+        assert engine.run(_plan(source, l=2, shards=2)).cache_hit is False
+        assert engine.run(_plan(source, l=2)).cache_hit is True
+
+    def test_use_cache_false_bypasses(self, hospital):
+        engine = _engine()
+        engine.run(_plan(TableSource(hospital)))
+        report = engine.run(_plan(TableSource(hospital), use_cache=False))
+        assert not report.cache_hit
+
+    def test_equal_content_different_instances_share_entries(self, hospital):
+        engine = _engine()
+        copy = hospital.subset(range(len(hospital)))
+        engine.run(_plan(TableSource(hospital)))
+        assert engine.run(_plan(TableSource(copy))).cache_hit
+
+    def test_nondeterministic_algorithms_are_not_cached(self, hospital):
+        registry = AlgorithmRegistry()
+        runner = algorithm_registry.get("TP").runner
+        registry.register("Rand", deterministic=False)(runner)
+        engine = Engine(algorithms=registry, cache=ResultCache())
+        engine.run(_plan(TableSource(hospital), algorithm="Rand"))
+        report = engine.run(_plan(TableSource(hospital), algorithm="Rand"))
+        assert not report.cache_hit
+        assert len(engine.cache) == 0
+
+    def test_lru_bound_evicts(self, hospital):
+        engine = Engine(cache=ResultCache(max_entries=1))
+        engine.run(_plan(TableSource(hospital), l=2))
+        engine.run(_plan(TableSource(hospital), algorithm="Hilbert", l=2))
+        assert len(engine.cache) == 1
+        assert not engine.run(_plan(TableSource(hospital), l=2)).cache_hit
+
+
+class TestShardedRuns:
+    @pytest.fixture(scope="class")
+    def census_source(self):
+        # The acceptance-scale workload: n >= 10k rows, 4-QI projection.
+        return SyntheticSource(
+            "SAL", n=10_000, seed=7, dimension=4, config=CensusConfig.scaled(0.3)
+        )
+
+    def test_acceptance_run(self, census_source):
+        """Sharded run at n >= 10k with >= 4 shards: verified l-diverse output
+        whose suppression matches the unsharded run within the merge bound."""
+        engine = _engine()
+        l = 4
+        unsharded = engine.run(_plan(census_source, l=l, use_cache=False))
+        sharded = engine.run(_plan(census_source, l=l, shards=4, use_cache=False))
+        assert len(sharded.shard_sizes) >= 4
+        assert sharded.n >= 10_000
+        assert checks.verify_l_diversity(sharded.generalized, l)
+        assert sharded.verified
+        stars_delta = abs(
+            sharded.generalized.star_count() - unsharded.generalized.star_count()
+        )
+        tuples_delta = abs(
+            sharded.generalized.suppressed_tuple_count()
+            - unsharded.generalized.suppressed_tuple_count()
+        )
+        assert stars_delta <= suppression_merge_bound(4, l, sharded.d)
+        assert tuples_delta <= suppression_merge_bound(4, l)
+
+    def test_workers_match_sequential_sharded_run(self, census_source):
+        engine = _engine()
+        sequential = engine.run(_plan(census_source, l=4, shards=4, use_cache=False))
+        parallel = engine.run(
+            _plan(census_source, l=4, shards=4, workers=2, use_cache=False)
+        )
+        assert parallel.generalized.cell_rows == sequential.generalized.cell_rows
+        assert parallel.shard_sizes == sequential.shard_sizes
+
+    @pytest.mark.parametrize("algorithm", ["TP", "TP+", "Hilbert", "TDS", "Mondrian"])
+    def test_all_registered_algorithms_run_sharded(self, small_census, algorithm):
+        report = _engine().run(
+            _plan(TableSource(small_census), algorithm=algorithm, l=2, shards=2)
+        )
+        assert report.verified
+        assert len(report.shard_sizes) >= 1
+
+    def test_sharding_refused_without_capability(self, hospital):
+        registry = AlgorithmRegistry()
+        runner = algorithm_registry.get("TP").runner
+        registry.register("NoShard", supports_sharding=False)(runner)
+        engine = Engine(algorithms=registry, cache=ResultCache())
+        with pytest.raises(ValueError, match="NoShard"):
+            engine.run(_plan(TableSource(hospital), algorithm="NoShard", shards=2))
+
+    def test_cached_sharded_replay_keeps_shard_sizes(self, small_census):
+        engine = _engine()
+        first = engine.run(_plan(TableSource(small_census), shards=2))
+        replay = engine.run(_plan(TableSource(small_census), shards=2))
+        assert replay.cache_hit
+        assert replay.shard_sizes == first.shard_sizes
+        assert len(replay.shard_sizes) == 2
+
+    def test_phase_reached_aggregates_over_shards(self, census_source):
+        report = _engine().run(_plan(census_source, l=4, shards=4, use_cache=False))
+        assert report.phase_reached in (1, 2, 3)
+
+
+class TestHarnessIntegration:
+    def test_run_algorithm_uses_shared_cache(self, hospital):
+        from repro.experiments.harness import run_algorithm
+
+        cache = ResultCache()
+        first = run_algorithm("TP", hospital, 2, cache=cache)
+        second = run_algorithm("TP", hospital, 2, cache=cache)
+        assert cache.stats()["hits"] == 1
+        assert second.stars == first.stars
+        assert second.seconds == first.seconds  # replayed timing, not re-run
+
+    def test_run_suite_parallel_answers_hits_in_parent(self, hospital):
+        from repro.experiments.harness import run_suite
+
+        cache = ResultCache()
+        sequential = run_suite([("h", hospital)], 2, ["TP", "Hilbert"], cache=cache)
+        hits_before = cache.stats()["hits"]
+        parallel = run_suite(
+            [("h", hospital)], 2, ["TP", "Hilbert"], workers=2, cache=cache
+        )
+        assert cache.stats()["hits"] == hits_before + 2
+        assert [record.stars for record in parallel] == [
+            record.stars for record in sequential
+        ]
+
+    def test_run_suite_parallel_fills_parent_cache(self, hospital):
+        from repro.experiments.harness import run_suite
+
+        cache = ResultCache()
+        run_suite([("h", hospital)], 2, ["TP", "Hilbert"], workers=2, cache=cache)
+        assert cache.stats()["entries"] == 2  # worker outputs shipped back
+        repeat = run_suite([("h", hospital)], 2, ["TP", "Hilbert"], workers=2, cache=cache)
+        assert cache.stats()["misses"] == 2  # second sweep is all hits
+        assert len(repeat) == 2

@@ -1,0 +1,117 @@
+"""Tests for the algorithm / metric registries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.generalized import GeneralizedTable, Partition
+from repro.engine.registry import (
+    AlgorithmInfo,
+    AlgorithmOutput,
+    AlgorithmRegistry,
+    Anonymizer,
+    MetricRegistry,
+    algorithm_registry,
+    metric_registry,
+)
+from repro.errors import DuplicateRegistrationError, RegistryError, UnknownEntryError
+
+
+def _identity_runner(table, l):
+    return AlgorithmOutput(
+        GeneralizedTable.from_partition(table, Partition.single_group(len(table)))
+    )
+
+
+class TestAlgorithmRegistry:
+    def test_builtins_registered(self):
+        assert set(algorithm_registry.names()) == {"TP", "TP+", "Hilbert", "TDS", "Mondrian"}
+
+    def test_get_returns_info_with_metadata(self):
+        info = algorithm_registry.get("TP")
+        assert isinstance(info, AlgorithmInfo)
+        assert info.supports_sharding
+        assert info.deterministic
+        assert "l" in info.approximation
+
+    def test_unknown_lookup_raises_and_names_candidates(self):
+        with pytest.raises(UnknownEntryError, match="Mondrian"):
+            algorithm_registry.get("nope")
+
+    def test_unknown_lookup_is_a_key_error(self):
+        with pytest.raises(KeyError):
+            algorithm_registry.get("nope")
+
+    def test_duplicate_registration_raises(self):
+        registry = AlgorithmRegistry()
+        registry.register("X")(_identity_runner)
+        with pytest.raises(DuplicateRegistrationError):
+            registry.register("X")(_identity_runner)
+
+    def test_duplicate_error_is_registry_and_value_error(self):
+        registry = AlgorithmRegistry()
+        registry.register("X")(_identity_runner)
+        with pytest.raises(RegistryError):
+            registry.register("X")(_identity_runner)
+        with pytest.raises(ValueError):
+            registry.register("X")(_identity_runner)
+
+    def test_registered_runner_satisfies_protocol_and_runs(self, hospital):
+        registry = AlgorithmRegistry()
+        registry.register("Identity", complexity="O(n)")(_identity_runner)
+        info = registry.get("Identity")
+        assert isinstance(info.runner, Anonymizer)
+        output = info(hospital, 2)
+        assert len(output.generalized) == len(hospital)
+
+    def test_runner_view_is_live(self, hospital):
+        registry = AlgorithmRegistry()
+        view = registry.runners()
+        assert len(view) == 0 and "Identity" not in view
+        registry.register("Identity")(_identity_runner)
+        assert "Identity" in view
+        assert set(view) == {"Identity"}
+        assert view["Identity"] is _identity_runner
+
+    def test_runner_view_unknown_key(self):
+        with pytest.raises(KeyError):
+            AlgorithmRegistry().runners()["nope"]
+
+    def test_contains_iter_len(self):
+        assert "TP" in algorithm_registry
+        assert "nope" not in algorithm_registry
+        assert list(algorithm_registry) == sorted(algorithm_registry.names())
+        assert len(algorithm_registry) == 5
+
+
+class TestMetricRegistry:
+    def test_builtins_registered(self):
+        expected = {
+            "stars", "suppressed", "suppression_ratio", "ncp", "gcp",
+            "discernibility", "average_group_size", "kl",
+        }
+        assert set(metric_registry.names()) == expected
+
+    def test_compute_dispatches_published_only_metric(self, hospital):
+        generalized = GeneralizedTable.from_partition(
+            hospital, Partition.single_group(len(hospital))
+        )
+        value = metric_registry.compute("stars", hospital, generalized)
+        assert value == generalized.star_count()
+
+    def test_compute_dispatches_source_needing_metric(self, hospital):
+        generalized = GeneralizedTable.from_partition(
+            hospital, Partition.by_qi(hospital)
+        )
+        assert metric_registry.get("kl").needs_source
+        assert metric_registry.compute("kl", hospital, generalized) == pytest.approx(0.0)
+
+    def test_unknown_metric_raises(self, hospital):
+        with pytest.raises(UnknownEntryError):
+            metric_registry.compute("nope", hospital, None)
+
+    def test_duplicate_metric_registration_raises(self):
+        registry = MetricRegistry()
+        registry.register("m")(lambda generalized: 0.0)
+        with pytest.raises(DuplicateRegistrationError):
+            registry.register("m")(lambda generalized: 1.0)

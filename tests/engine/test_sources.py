@@ -1,0 +1,123 @@
+"""Tests for the dataset adapter layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.examples import hospital_microdata
+from repro.dataset.synthetic import CensusConfig
+from repro.engine.sources import (
+    CsvSource,
+    SyntheticSource,
+    TableSource,
+    concat_tables,
+    infer_csv_schema,
+)
+from repro.errors import DataSourceError
+
+QI = ("Age", "Gender", "Education")
+SA = "Disease"
+
+
+@pytest.fixture
+def hospital_csv(tmp_path):
+    path = tmp_path / "hospital.csv"
+    hospital_microdata().to_csv(str(path))
+    return str(path)
+
+
+class TestCsvSource:
+    def test_load_round_trips(self, hospital_csv):
+        original = hospital_microdata()
+        loaded = CsvSource(hospital_csv, QI, SA).load()
+        assert len(loaded) == len(original)
+        assert loaded.decoded_records() == original.decoded_records()
+
+    def test_schema_inference_matches_observed_domains(self, hospital_csv):
+        schema = infer_csv_schema(hospital_csv, QI, SA)
+        assert schema.qi_names == QI
+        assert schema.sensitive.name == SA
+        table = hospital_microdata()
+        for name in QI:
+            observed = {str(record[name]) for record in table.decoded_records()}
+            assert set(schema.qi_attribute(name).values) == observed
+
+    def test_missing_column_raises(self, hospital_csv):
+        with pytest.raises(DataSourceError, match="Nope"):
+            infer_csv_schema(hospital_csv, ("Age", "Nope"), SA)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DataSourceError):
+            CsvSource(str(tmp_path / "absent.csv"), QI, SA).load()
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataSourceError):
+            infer_csv_schema(str(path), QI, SA)
+
+    @pytest.mark.parametrize("chunk_rows", [1, 3, 7, 10, 100])
+    def test_chunked_read_equals_full_load(self, hospital_csv, chunk_rows):
+        source = CsvSource(hospital_csv, QI, SA)
+        chunks = list(source.iter_chunks(chunk_rows))
+        assert all(len(chunk) <= chunk_rows for chunk in chunks)
+        # All chunks share one schema object, so concatenation never re-encodes.
+        assert all(chunk.schema == chunks[0].schema for chunk in chunks)
+        reassembled = concat_tables(chunks)
+        assert reassembled.fingerprint() == source.load().fingerprint()
+
+    def test_chunk_rows_must_be_positive(self, hospital_csv):
+        with pytest.raises(ValueError):
+            list(CsvSource(hospital_csv, QI, SA).iter_chunks(0))
+
+    def test_label_is_path(self, hospital_csv):
+        assert CsvSource(hospital_csv, QI, SA).label == hospital_csv
+
+
+class TestSyntheticSource:
+    def test_load_is_deterministic(self):
+        source = SyntheticSource("SAL", n=300, seed=5, config=CensusConfig.scaled(0.2))
+        assert source.load().fingerprint() == source.load().fingerprint()
+
+    def test_seed_changes_fingerprint(self):
+        config = CensusConfig.scaled(0.2)
+        a = SyntheticSource("SAL", n=300, seed=5, config=config).load()
+        b = SyntheticSource("SAL", n=300, seed=6, config=config).load()
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_projection_dimension(self):
+        source = SyntheticSource("OCC", n=200, dimension=3, config=CensusConfig.scaled(0.2))
+        table = source.load()
+        assert table.dimension == 3
+        assert source.label == "OCC-3@200"
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(DataSourceError):
+            SyntheticSource("XYZ", n=10)
+
+    def test_default_chunking_slices(self):
+        source = SyntheticSource("SAL", n=250, config=CensusConfig.scaled(0.2))
+        chunks = list(source.iter_chunks(100))
+        assert [len(chunk) for chunk in chunks] == [100, 100, 50]
+        assert concat_tables(chunks).fingerprint() == source.load().fingerprint()
+
+
+class TestTableSource:
+    def test_wraps_table(self, hospital):
+        source = TableSource(hospital, name="hospital")
+        assert source.load() is hospital
+        assert source.label == "hospital"
+
+
+class TestConcatTables:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            concat_tables([])
+
+    def test_rejects_mixed_schemas(self, hospital):
+        other = SyntheticSource("SAL", n=50, config=CensusConfig.scaled(0.2)).load()
+        with pytest.raises(DataSourceError):
+            concat_tables([hospital, other])
+
+    def test_single_chunk_is_identity(self, hospital):
+        assert concat_tables([hospital]) is hospital
