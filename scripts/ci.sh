@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
-# CI entry point: lint gate, tier-1 test suite, sharded-engine smoke and a
-# fast performance smoke check.
+# CI entry point: lint gate, tier-1 test suite, sharded-engine smoke,
+# streaming smoke and a fast performance smoke check.
 #
 #   scripts/ci.sh
 #
 # The sharded-engine smoke (scripts/shard_smoke.py) checks that a 4-shard
 # engine run is bit-identical to the unsharded run on a fixed seed and stays
 # within the documented suppression merge bound.
+#
+# The streaming smoke (scripts/streaming_smoke.py) anonymizes a 50k-row
+# synthetic CSV through the bounded-memory CSV->CSV pipeline under a capped
+# chunk size, verifies the published file l-diverse with an independent
+# streaming checker, and proves a fresh-process rerun is served from the
+# persistent run store.
 #
 # The perf check re-times the figure-6 benchmark on the NumPy backend only
 # (well under a minute) and fails when it has regressed more than 2x against
@@ -32,6 +38,9 @@ python -m pytest -x -q
 
 echo "== sharded-engine smoke: 4 shards bit-identical to unsharded =="
 python scripts/shard_smoke.py
+
+echo "== streaming smoke: 50k-row CSV->CSV under capped chunk size =="
+python scripts/streaming_smoke.py
 
 echo "== perf smoke: bench_fig6 vs committed baseline =="
 python scripts/bench_baseline.py --check BENCH_fig6.json --repeats 3 --tolerance 2.0

@@ -3,12 +3,15 @@
 Used to produce the numbers recorded in EXPERIMENTS.md::
 
     python scripts/run_experiments.py [--scale default|smoke|paper|report] \
-        [--output results.txt] [--workers N] [--backend numpy|reference]
+        [--output results.txt] [--workers N] [--backend numpy|reference] \
+        [--workspace DIR]
 
 Figure drivers are taken from ``repro.experiments.figures.FIGURES`` and all
 runs go through the engine's result cache, so combinations shared between
 figures (e.g. the stars-vs-l and time-vs-l sweeps) are computed once; the
-cache hit/miss tally is appended to the report.
+per-tier hit tally is appended to the report.  ``--workers`` defaults to
+the cost-based planner's choice; ``--workspace`` backs the cache with a
+persistent run store so repeated sweeps reuse results across processes.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from repro import backend
 from repro.engine.cache import default_cache
 from repro.experiments import figures
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import cache_summary
 
 
 def _config(scale: str) -> ExperimentConfig:
@@ -50,8 +54,15 @@ def main() -> None:
     parser.add_argument(
         "--workers",
         type=int,
-        default=1,
-        help="fan independent (table, l, algorithm) runs over N processes",
+        default=None,
+        help="fan independent (table, l, algorithm) runs over N processes "
+        "(default: cost-based planner)",
+    )
+    parser.add_argument(
+        "--workspace",
+        default=None,
+        help="back the run cache with this workspace's persistent store, so "
+        "repeated sweeps reuse results across processes",
     )
     parser.add_argument(
         "--backend",
@@ -61,6 +72,10 @@ def main() -> None:
     )
     arguments = parser.parse_args()
     backend.set_backend(arguments.backend)
+    if arguments.workspace:
+        from repro.service import Workspace
+
+        default_cache().store = Workspace(arguments.workspace).run_store()
     config = dataclasses.replace(_config(arguments.scale), workers=arguments.workers)
 
     sections: list[str] = [f"scale={arguments.scale}  config={config}"]
@@ -78,11 +93,7 @@ def main() -> None:
         sections.append(f"[{dataset}] " + frequency.format() + f"  [{elapsed:.1f}s]")
         print(sections[-1], flush=True)
 
-    cache = default_cache().stats()
-    sections.append(
-        f"run cache: {cache['hits']} hits / {cache['misses']} misses "
-        f"({cache['entries']} entries retained)"
-    )
+    sections.append(cache_summary(default_cache()))
     with open(arguments.output, "w") as handle:
         handle.write("\n\n".join(sections) + "\n")
     print(f"\nreport written to {arguments.output}")

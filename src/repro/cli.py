@@ -1,11 +1,22 @@
 """Command-line interface.
 
-Five sub-commands:
+Sub-commands:
 
 ``ldiversity anonymize``
-    Anonymize a CSV file with one of the registered algorithms — optionally
-    sharded over a process pool — and write the published table back to CSV
-    (stars rendered as ``*``).
+    Anonymize a CSV file with one of the registered algorithms and export
+    the published table with a :class:`~repro.engine.sinks.CsvSink`.
+    Shards / workers / backend left unspecified are chosen by the
+    cost-based planner; runs are memoized in the workspace's persistent
+    :class:`~repro.service.store.RunStore`, so repeating an invocation in a
+    fresh process replays the stored result (``--no-store`` opts out).
+    ``--stream`` switches to the bounded-memory CSV-to-CSV pipeline for
+    inputs larger than RAM.
+``ldiversity plan``
+    Explain what the planner would choose for a workload (and why), without
+    running it.
+``ldiversity jobs submit / list / show``
+    Run through the job service, which appends an auditable record of every
+    submission to the workspace ledger.
 ``ldiversity evaluate``
     Anonymize a CSV file with several algorithms and print the standard
     metrics side by side.
@@ -28,7 +39,15 @@ import csv
 import sys
 from collections.abc import Sequence
 
-from repro.engine import CsvSource, Engine, RunPlan, algorithm_registry, metric_registry
+from repro.engine import (
+    CsvSink,
+    CsvSource,
+    Engine,
+    ResultCache,
+    RunPlan,
+    algorithm_registry,
+    metric_registry,
+)
 from repro.experiments import figures
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import format_records, record_from_report
@@ -46,31 +65,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     anonymize = subparsers.add_parser("anonymize", help="anonymize a CSV file")
     _add_io_arguments(anonymize)
+    _add_algorithm_argument(anonymize)
     anonymize.add_argument(
-        "--algorithm",
-        choices=sorted(algorithm_registry.names()),
-        default="TP+",
-        help="anonymization algorithm (default: TP+)",
+        "--output", default=None, help="write the published table to this CSV file"
     )
-    anonymize.add_argument("--output", required=True, help="path of the published CSV")
+    _add_execution_arguments(anonymize)
+    _add_workspace_arguments(anonymize)
     anonymize.add_argument(
-        "--shards",
-        type=int,
-        default=1,
-        help="split the table into N QI-prefix shards and merge the results (default: 1)",
+        "--stream",
+        action="store_true",
+        help="bounded-memory CSV-to-CSV pipeline (requires --output; rows come "
+        "back in QI-sorted shard order, not input order)",
     )
-    anonymize.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="process-pool width for sharded runs (default: 1 = sequential)",
+
+    plan = subparsers.add_parser(
+        "plan", help="explain the planner's execution choice for a workload"
     )
-    anonymize.add_argument(
-        "--chunk-rows",
-        type=int,
-        default=None,
-        help="stream the input CSV in chunks of this many rows",
+    _add_io_arguments(plan)
+    _add_algorithm_argument(plan)
+    _add_execution_arguments(plan)
+
+    jobs = subparsers.add_parser("jobs", help="submit and inspect persistent jobs")
+    jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
+    submit = jobs_sub.add_parser("submit", help="run a job and record it in the ledger")
+    _add_io_arguments(submit)
+    _add_algorithm_argument(submit)
+    submit.add_argument(
+        "--output", default=None, help="write the published table to this CSV file"
     )
+    _add_execution_arguments(submit)
+    _add_workspace_arguments(submit)
+    jobs_list = jobs_sub.add_parser("list", help="list the recorded jobs")
+    _add_workspace_arguments(jobs_list)
+    show = jobs_sub.add_parser("show", help="show one recorded job in full")
+    show.add_argument("job_id", help="job id as printed by `jobs list`")
+    _add_workspace_arguments(show)
 
     evaluate = subparsers.add_parser("evaluate", help="compare algorithms on a CSV file")
     _add_io_arguments(evaluate)
@@ -109,40 +138,201 @@ def _add_io_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--l", type=int, required=True, help="diversity parameter l (>= 2)")
 
 
+def _add_algorithm_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--algorithm",
+        choices=sorted(algorithm_registry.names()),
+        default="TP+",
+        help="anonymization algorithm (default: TP+)",
+    )
+
+
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="split the table into N QI-prefix shards and merge the results "
+        "(default: cost-based planner)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool width for sharded runs (default: cost-based planner)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["auto", "numpy", "reference"],
+        default=None,
+        help="data-plane backend (default: process default; auto = planner)",
+    )
+    parser.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=None,
+        help="stream the input CSV in chunks of this many rows",
+    )
+
+
+def _add_workspace_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workspace",
+        default=None,
+        help="workspace directory for the persistent run store and job ledger "
+        "(default: $REPRO_WORKSPACE or ~/.cache/ldiversity)",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="do not read or write the persistent run store",
+    )
+
+
 def _csv_source(arguments: argparse.Namespace) -> CsvSource:
     qi_names = tuple(name.strip() for name in arguments.qi.split(",") if name.strip())
     return CsvSource(arguments.input, qi_names, arguments.sa)
 
 
-def _command_anonymize(arguments: argparse.Namespace) -> int:
-    report = Engine().run(
-        RunPlan(
-            source=_csv_source(arguments),
-            algorithm=arguments.algorithm,
-            l=arguments.l,
-            shards=arguments.shards,
-            workers=arguments.workers,
-            chunk_rows=arguments.chunk_rows,
-        )
+def _engine(arguments: argparse.Namespace) -> Engine:
+    """An engine whose cache reads through the workspace run store."""
+    if getattr(arguments, "no_store", False):
+        return Engine(cache=ResultCache())
+    from repro.service import Workspace
+
+    store = Workspace(arguments.workspace).run_store()
+    return Engine(cache=ResultCache(store=store))
+
+
+def _run_plan(arguments: argparse.Namespace) -> RunPlan:
+    return RunPlan(
+        source=_csv_source(arguments),
+        algorithm=arguments.algorithm,
+        l=arguments.l,
+        shards=arguments.shards,
+        workers=arguments.workers,
+        backend=arguments.backend,
+        chunk_rows=arguments.chunk_rows,
     )
-    generalized = report.generalized
-    names = list(generalized.schema.qi_names) + [generalized.schema.sensitive.name]
-    with open(arguments.output, "w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=names)
-        writer.writeheader()
-        for row in generalized.decoded_records():
-            writer.writerow({name: _render(row[name]) for name in names})
+
+
+def _cache_line(report) -> str:
+    if report.store_hit:
+        return "served from the persistent run store (cross-process hit)"
+    if report.cache_hit:
+        return "served from the in-memory result cache"
+    return "computed (result cached for future runs)"
+
+
+def _command_anonymize(arguments: argparse.Namespace) -> int:
+    if arguments.stream:
+        return _command_anonymize_stream(arguments)
+    report = _engine(arguments).run(_run_plan(arguments))
+    if arguments.output:
+        with CsvSink(arguments.output) as sink:
+            sink.write_table(report.generalized)
     print(format_records([record_from_report(report, dataset=arguments.input)]))
     if len(report.shard_sizes) > 1:
         print(f"sharded over {len(report.shard_sizes)} shards: {list(report.shard_sizes)}")
+    if report.decision is not None and arguments.shards is None:
+        print(
+            f"planner: shards={report.decision.shards} workers={report.decision.workers} "
+            f"backend={report.decision.backend}"
+        )
+    print(_cache_line(report))
+    if arguments.output:
+        print(f"published table written to {arguments.output}")
+    return 0
+
+
+def _command_anonymize_stream(arguments: argparse.Namespace) -> int:
+    if not arguments.output:
+        print("--stream requires --output", file=sys.stderr)
+        return 2
+    if arguments.workers is not None and arguments.workers > 1:
+        print(
+            "note: --stream processes shards sequentially to bound memory; "
+            "--workers is ignored",
+            file=sys.stderr,
+        )
+    from repro.service import stream_anonymize
+
+    report = stream_anonymize(
+        _csv_source(arguments),
+        arguments.output,
+        algorithm=arguments.algorithm,
+        l=arguments.l,
+        shards=arguments.shards,
+        chunk_rows=arguments.chunk_rows or 50_000,
+        backend=arguments.backend,
+    )
+    print(report.format())
     print(f"published table written to {arguments.output}")
     return 0
 
 
-def _render(value: object) -> object:
-    if isinstance(value, tuple):
-        return "{" + "|".join(str(item) for item in value) + "}"
-    return value
+def _command_plan(arguments: argparse.Namespace) -> int:
+    from repro.service import default_planner
+
+    info = algorithm_registry.get(arguments.algorithm)
+    source = _csv_source(arguments)
+    schema = source.resolved_schema()
+    with open(arguments.input, newline="") as handle:
+        n = sum(1 for _row in csv.DictReader(handle))
+    decision = default_planner().decide(
+        info,
+        n=n,
+        d=schema.dimension,
+        l=arguments.l,
+        shards=arguments.shards,
+        workers=arguments.workers,
+        backend=arguments.backend,
+    )
+    print(f"workload: n={n} d={schema.dimension} l={arguments.l} algorithm={info.name}")
+    print(decision.explain())
+    return 0
+
+
+def _job_service(arguments: argparse.Namespace):
+    from repro.service import JobService, Workspace
+
+    workspace = Workspace(arguments.workspace)
+    if getattr(arguments, "no_store", False):
+        # Still record the job in the ledger, but run on an isolated
+        # in-memory cache so nothing is read from or written to the store.
+        return JobService(workspace, engine=Engine(cache=ResultCache()))
+    return JobService(workspace)
+
+
+def _command_jobs(arguments: argparse.Namespace) -> int:
+    if arguments.jobs_command == "submit":
+        service = _job_service(arguments)
+        record, report = service.submit(_run_plan(arguments), output=arguments.output or None)
+        print(format_records([record_from_report(report, dataset=arguments.input)]))
+        print(f"job {record.id}: {record.status} ({_cache_line(report)})")
+        if record.output:
+            print(f"published table written to {record.output}")
+        return 0
+    if arguments.jobs_command == "list":
+        records = _job_service(arguments).list()
+        if not records:
+            print("no jobs recorded")
+            return 0
+        headers = ["job", "status", "algorithm", "l", "n", "stars", "seconds", "served", "input"]
+        print(format_fixed_width(headers, [list(record.summary_row()) for record in records]))
+        return 0
+    if arguments.jobs_command == "show":
+        import dataclasses
+
+        try:
+            record = _job_service(arguments).get(arguments.job_id)
+        except KeyError as error:
+            print(str(error), file=sys.stderr)
+            return 1
+        for key, value in dataclasses.asdict(record).items():
+            print(f"{key}: {value}")
+        return 0
+    return 2  # pragma: no cover - argparse enforces the choices
 
 
 def _command_evaluate(arguments: argparse.Namespace) -> int:
@@ -218,6 +408,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     arguments = parser.parse_args(argv)
     if arguments.command == "anonymize":
         return _command_anonymize(arguments)
+    if arguments.command == "plan":
+        return _command_plan(arguments)
+    if arguments.command == "jobs":
+        return _command_jobs(arguments)
     if arguments.command == "evaluate":
         return _command_evaluate(arguments)
     if arguments.command == "experiment":

@@ -12,9 +12,14 @@ consumers (CLI, experiment harness, scripts) and consists of:
   schema inference and chunked reads;
 * :mod:`repro.engine.sharding` — QI-prefix sharding and shard-output
   merging for out-of-core / large-``n`` runs;
+* :mod:`repro.engine.sinks` — incremental CSV export of published tables
+  (:class:`CsvSink`), shared by the CLI and the streaming pipeline;
 * :mod:`repro.engine.cache` — per-run result caching keyed by
-  ``(table fingerprint, algorithm, l)``;
-* :mod:`repro.engine.core` — the :class:`Engine` executor tying it together.
+  ``(fingerprint, algorithm, l, shards, backend, seed)``, optionally read-
+  through over the persistent :class:`~repro.service.store.RunStore`;
+* :mod:`repro.engine.core` — the :class:`Engine` executor tying it together;
+  plan dimensions left unset are resolved by the cost-based
+  :class:`~repro.service.planner.ExecutionPlanner`.
 
 Quickstart::
 
@@ -41,6 +46,7 @@ from repro.engine.registry import (
     algorithm_registry,
     metric_registry,
 )
+from repro.engine.sinks import CsvSink, render_cell_value
 from repro.engine.sharding import (
     merge_shard_outputs,
     qi_prefix_shards,
@@ -61,6 +67,7 @@ __all__ = [
     "AlgorithmRegistry",
     "Anonymizer",
     "CachedRun",
+    "CsvSink",
     "CsvSource",
     "DataSource",
     "Engine",
@@ -79,5 +86,6 @@ __all__ = [
     "merge_shard_outputs",
     "metric_registry",
     "qi_prefix_shards",
+    "render_cell_value",
     "suppression_merge_bound",
 ]

@@ -1,4 +1,4 @@
-"""Per-run result caching keyed by (table fingerprint, algorithm, l).
+"""Per-run result caching: an in-process LRU tier over a persistent store.
 
 Figure sweeps re-run identical ``(table, algorithm, l)`` combinations — the
 stars-vs-l and time-vs-l drivers share every run, and TP+ re-runs TP
@@ -7,27 +7,43 @@ the :class:`~repro.engine.registry.AlgorithmOutput` *and* the seconds the
 original run took, so a hit reproduces both the published table and a
 faithful timing record.
 
+The cache key is ``(fingerprint, algorithm, l, shards, backend, seed)``.
+Backend and seed are part of the key because a run's output is only
+guaranteed reproducible for a fixed data-plane backend (group traversal
+order can differ between the NumPy and reference paths) and a fixed RNG
+seed; omitting them allowed a ``repro.backend`` toggle to replay stale runs.
+
+:class:`ResultCache` is a bounded in-memory LRU that can optionally sit as a
+**read-through tier** over a persistent :class:`~repro.service.store.RunStore`:
+misses in memory fall through to the store (when the caller supplies the
+source table needed to rehydrate the published output), and puts are written
+through, so repeated CLI invocations and figure sweeps reuse results across
+processes.
+
 All registered algorithms are deterministic (see their
 :class:`~repro.engine.registry.AlgorithmInfo`), which is what makes replaying
 a cached output equivalent to re-running; the engine refuses to cache runs of
 algorithms declaring ``deterministic=False``.
-
-The default cache is process-global and LRU-bounded; the parallel harness
-consults it in the parent before dispatching jobs to the pool and stores the
-results that come back.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
+from repro import backend as _backend
 from repro.engine.registry import AlgorithmOutput
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service -> engine)
+    from repro.dataset.table import Table
+    from repro.service.store import RunStore
 
 __all__ = ["CachedRun", "ResultCache", "default_cache"]
 
-#: Cache key: (table fingerprint, algorithm name, l, shard count).
-CacheKey = tuple[str, str, int, int]
+#: Cache key: (table fingerprint, algorithm name, l, shard count, data-plane
+#: backend, RNG seed).
+CacheKey = tuple[str, str, int, int, str, int]
 
 
 @dataclass(frozen=True)
@@ -43,30 +59,77 @@ class CachedRun:
 
 
 class ResultCache:
-    """A bounded LRU cache of anonymization runs."""
+    """A bounded LRU cache of anonymization runs, optionally store-backed.
 
-    def __init__(self, max_entries: int = 64) -> None:
+    Without a ``store`` this is a plain in-process LRU.  With one, ``get``
+    falls through to the persistent tier on a memory miss (promoting hits
+    back into memory) and ``put`` writes through, making results durable
+    across processes.
+    """
+
+    def __init__(self, max_entries: int = 64, store: "RunStore | None" = None) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self._max_entries = max_entries
         self._entries: OrderedDict[CacheKey, CachedRun] = OrderedDict()
-        self.hits = 0
+        self.store = store
+        self.memory_hits = 0
+        self.store_hits = 0
         self.misses = 0
 
-    @staticmethod
-    def key(fingerprint: str, algorithm: str, l: int, shards: int = 1) -> CacheKey:
-        return (fingerprint, algorithm, l, shards)
+    @property
+    def hits(self) -> int:
+        """Total hits across the memory and store tiers."""
+        return self.memory_hits + self.store_hits
 
-    def get(self, key: CacheKey) -> CachedRun | None:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
+    @staticmethod
+    def key(
+        fingerprint: str,
+        algorithm: str,
+        l: int,
+        shards: int = 1,
+        backend: str | None = None,
+        seed: int = 0,
+    ) -> CacheKey:
+        """Build a cache key; ``backend`` defaults to the active backend."""
+        if backend is None:
+            backend = _backend.current_backend()
+        return (fingerprint, algorithm, l, shards, backend, seed)
+
+    def get(self, key: CacheKey, table: "Table | None" = None) -> CachedRun | None:
+        """Look up a run; memory first, then the persistent store.
+
+        The store tier holds only the encoded generalization, so rehydrating
+        a hit needs the source ``table`` (schema and SA values); without it
+        only the memory tier is consulted.
+        """
+        entry, _tier = self.lookup(key, table)
         return entry
 
+    def lookup(
+        self, key: CacheKey, table: "Table | None" = None
+    ) -> tuple[CachedRun | None, str | None]:
+        """Like :meth:`get` but also reports which tier answered."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.memory_hits += 1
+            return entry, "memory"
+        if self.store is not None and table is not None:
+            entry = self.store.get(key, table)
+            if entry is not None:
+                self.store_hits += 1
+                self._insert(key, entry)  # promote for subsequent in-process hits
+                return entry, "store"
+        self.misses += 1
+        return None, None
+
     def put(self, key: CacheKey, run: CachedRun) -> None:
+        self._insert(key, run)
+        if self.store is not None:
+            self.store.put(key, run)
+
+    def _insert(self, key: CacheKey, run: CachedRun) -> None:
         self._entries[key] = run
         self._entries.move_to_end(key)
         while len(self._entries) > self._max_entries:
@@ -74,7 +137,8 @@ class ResultCache:
 
     def clear(self) -> None:
         self._entries.clear()
-        self.hits = 0
+        self.memory_hits = 0
+        self.store_hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
@@ -84,7 +148,16 @@ class ResultCache:
         return key in self._entries
 
     def stats(self) -> dict[str, int]:
-        return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
+        stats = {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "memory_hits": self.memory_hits,
+            "store_hits": self.store_hits,
+            "misses": self.misses,
+        }
+        if self.store is not None:
+            stats["store_entries"] = len(self.store)
+        return stats
 
 
 _default_cache = ResultCache()

@@ -1,19 +1,24 @@
 """The execution engine: plans, sharded runs, caching, verification.
 
 :class:`Engine` is the one entry point through which the CLI, the experiment
-harness and the scripts run anonymization:
+harness, the job service and the scripts run anonymization:
 
 * an unsharded :meth:`Engine.run` resolves the algorithm in the registry,
   loads the plan's :class:`~repro.engine.sources.DataSource` (optionally in
   bounded chunks), runs, verifies and computes the requested metrics;
-* a sharded run (``plan.shards > 1``) splits the table into l-eligible
-  QI-prefix shards (:func:`~repro.engine.sharding.qi_prefix_shards`),
-  anonymizes them sequentially or on a process pool, merges the published
-  shard tables and verifies that the merged table still satisfies
-  l-diversity — this is the out-of-core / large-``n`` execution path;
+* a sharded run splits the table into l-eligible QI-prefix shards
+  (:func:`~repro.engine.sharding.qi_prefix_shards`), anonymizes them
+  sequentially or on a process pool, merges the published shard tables and
+  verifies that the merged table still satisfies l-diversity — this is the
+  out-of-core / large-``n`` execution path;
+* plan dimensions left unset (``shards``/``workers`` of ``None``) are
+  resolved by the cost-based
+  :class:`~repro.service.planner.ExecutionPlanner` from the loaded table's
+  statistics, replacing hand-tuned per-invocation defaults;
 * results are memoized in a :class:`~repro.engine.cache.ResultCache` keyed
-  by ``(table fingerprint, algorithm, l, shards)`` so figure sweeps that
-  revisit a combination replay it instead of recomputing.
+  by ``(fingerprint, algorithm, l, shards, backend, seed)``; when the cache
+  is backed by a persistent :class:`~repro.service.store.RunStore`, repeated
+  runs are served across processes and the report says which tier answered.
 
 Every stage is timed separately (load / anonymize / metrics) so regressions
 can be attributed to the right layer.
@@ -24,6 +29,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro import backend
 from repro.dataset.generalized import GeneralizedTable
@@ -41,6 +47,10 @@ from repro.engine.registry import (
 from repro.engine.sharding import merge_shard_outputs, qi_prefix_shards
 from repro.engine.sources import DataSource, TableSource, concat_tables
 from repro.errors import IneligibleTableError, VerificationError
+
+if TYPE_CHECKING:  # pragma: no cover - layering: service imports engine
+    from repro.service.planner import ExecutionDecision, ExecutionPlanner
+    from repro.service.store import RunStore
 
 __all__ = ["Engine", "RunPlan", "RunReport", "StageTimings"]
 
@@ -60,16 +70,28 @@ class StageTimings:
 
 @dataclass(frozen=True)
 class RunPlan:
-    """A declarative description of one anonymization run."""
+    """A declarative description of one anonymization run.
+
+    ``shards`` and ``workers`` default to ``None``, meaning *let the
+    cost-based planner decide from the loaded table's statistics*; pass
+    explicit integers to pin them.  ``backend`` of ``None`` keeps the
+    process-wide data-plane backend, ``"auto"`` asks the planner for the
+    calibrated choice, and a concrete name pins it for this run.
+    """
 
     source: DataSource
     algorithm: str = "TP+"
     l: int = 2
-    #: Number of QI-prefix shards; 1 = unsharded.  The effective count may be
-    #: lower when the eligibility repair pass merges shards.
-    shards: int = 1
-    #: Process-pool width for sharded runs; 1 = sequential.
-    workers: int = 1
+    #: Number of QI-prefix shards; 1 = unsharded, None = planner-chosen.  The
+    #: effective count may be lower when the eligibility repair pass merges.
+    shards: int | None = None
+    #: Process-pool width for sharded runs; 1 = sequential, None = planner.
+    workers: int | None = None
+    #: Data-plane backend: None = process default, "auto" = planner-chosen.
+    backend: str | None = None
+    #: RNG seed recorded in the cache key (reserved for randomized algorithms;
+    #: every built-in is deterministic and ignores it).
+    seed: int = 0
     #: Metric names (from the metric registry) to evaluate on the output.
     metrics: tuple[str, ...] = ()
     #: Whether to consult/fill the result cache.
@@ -95,11 +117,18 @@ class RunReport:
     phase_reached: int | None = None
     #: Metric name -> value, for the metrics requested by the plan.
     metric_values: dict[str, float] = field(default_factory=dict)
+    #: Whether the anonymization was replayed from a cache tier at all.
     cache_hit: bool = False
+    #: Whether the hit came from the *persistent* store tier (cross-process).
+    store_hit: bool = False
+    #: Snapshot of the engine cache's hit/miss counters after this run.
+    cache_stats: dict[str, int] = field(default_factory=dict)
     #: Row count of each executed shard (one entry, ``n``, when unsharded).
     shard_sizes: tuple[int, ...] = ()
     #: Whether the published table was verified l-diverse.
     verified: bool = False
+    #: The planner's resolved configuration for this run.
+    decision: "ExecutionDecision | None" = None
 
 
 def _run_shard(job: tuple[str, Table, int, str]) -> AlgorithmOutput:
@@ -119,19 +148,35 @@ class Engine:
         algorithms: AlgorithmRegistry | None = None,
         metrics: MetricRegistry | None = None,
         cache: ResultCache | None = None,
+        planner: "ExecutionPlanner | None" = None,
+        store: "RunStore | None" = None,
     ) -> None:
         self.algorithms = algorithms if algorithms is not None else algorithm_registry
         self.metrics = metrics if metrics is not None else metric_registry
-        self.cache = cache if cache is not None else default_cache()
+        if cache is None:
+            cache = ResultCache(store=store) if store is not None else default_cache()
+        elif store is not None and cache.store is not store:
+            # Attaching the store to a caller-owned cache (possibly the
+            # process-global default) would be a lasting side effect the
+            # caller never asked for; make the conflict explicit instead.
+            raise ValueError(
+                "pass either cache= or store=, or a cache already backed by that store"
+            )
+        self.cache = cache
+        if planner is None:
+            from repro.service.planner import default_planner
+
+            planner = default_planner()
+        self.planner = planner
 
     # ------------------------------------------------------------------- runs
 
     def run(self, plan: RunPlan) -> RunReport:
-        """Execute one plan: load, anonymize (possibly sharded), verify, measure."""
+        """Execute one plan: load, resolve, anonymize (possibly sharded), verify."""
         info = self.algorithms.get(plan.algorithm)  # fail before loading anything
         for metric_name in plan.metrics:
             self.metrics.get(metric_name)
-        if plan.shards > 1 and not info.supports_sharding:
+        if plan.shards is not None and plan.shards > 1 and not info.supports_sharding:
             raise ValueError(
                 f"algorithm {info.name!r} does not support sharded execution"
             )
@@ -140,25 +185,36 @@ class Engine:
         table = self._load(plan)
         load_seconds = time.perf_counter() - started
 
-        output, anonymize_seconds, cache_hit, shard_sizes = self._anonymize(
-            plan, info.name, table, cacheable=info.deterministic
+        decision = self.planner.decide(
+            info,
+            n=len(table),
+            d=table.dimension,
+            l=plan.l,
+            shards=plan.shards,
+            workers=plan.workers,
+            backend=plan.backend,
         )
 
-        started = time.perf_counter()
-        verified = False
-        if plan.verify:
-            from repro.privacy.checks import verify_l_diversity
+        with backend.use_backend(decision.backend):
+            output, anonymize_seconds, tier, shard_sizes = self._anonymize(
+                plan, info.name, table, decision, cacheable=info.deterministic
+            )
 
-            if not verify_l_diversity(output.generalized, plan.l):
-                raise VerificationError(
-                    f"published table violates {plan.l}-diversity"
-                )
-            verified = True
-        metric_values = {
-            name: self.metrics.compute(name, table, output.generalized)
-            for name in plan.metrics
-        }
-        metrics_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            verified = False
+            if plan.verify:
+                from repro.privacy.checks import verify_l_diversity
+
+                if not verify_l_diversity(output.generalized, plan.l):
+                    raise VerificationError(
+                        f"published table violates {plan.l}-diversity"
+                    )
+                verified = True
+            metric_values = {
+                name: self.metrics.compute(name, table, output.generalized)
+                for name in plan.metrics
+            }
+            metrics_seconds = time.perf_counter() - started
 
         return RunReport(
             plan=plan,
@@ -169,9 +225,12 @@ class Engine:
             timings=StageTimings(load_seconds, anonymize_seconds, metrics_seconds),
             phase_reached=output.phase_reached,
             metric_values=metric_values,
-            cache_hit=cache_hit,
+            cache_hit=tier is not None,
+            store_hit=tier == "store",
+            cache_stats=self.cache.stats(),
             shard_sizes=shard_sizes,
             verified=verified,
+            decision=decision,
         )
 
     def run_table(self, table: Table, algorithm: str, l: int, **plan_fields) -> RunReport:
@@ -188,19 +247,31 @@ class Engine:
         return plan.source.load()
 
     def _anonymize(
-        self, plan: RunPlan, name: str, table: Table, cacheable: bool
-    ) -> tuple[AlgorithmOutput, float, bool, tuple[int, ...]]:
+        self,
+        plan: RunPlan,
+        name: str,
+        table: Table,
+        decision: "ExecutionDecision",
+        cacheable: bool,
+    ) -> tuple[AlgorithmOutput, float, str | None, tuple[int, ...]]:
         use_cache = plan.use_cache and cacheable
         key = None
         if use_cache:
-            key = ResultCache.key(table.fingerprint(), name, plan.l, plan.shards)
-            cached = self.cache.get(key)
+            key = ResultCache.key(
+                table.fingerprint(),
+                name,
+                plan.l,
+                decision.shards,
+                decision.backend,
+                plan.seed,
+            )
+            cached, tier = self.cache.lookup(key, table)
             if cached is not None:
-                return cached.output, cached.anonymize_seconds, True, cached.shard_sizes
+                return cached.output, cached.anonymize_seconds, tier, cached.shard_sizes
 
         started = time.perf_counter()
-        if plan.shards > 1:
-            output, shard_sizes = self._run_sharded(plan, name, table)
+        if decision.shards > 1:
+            output, shard_sizes = self._run_sharded(plan, name, table, decision)
         else:
             if not table.is_l_eligible(plan.l):
                 raise IneligibleTableError(
@@ -219,18 +290,18 @@ class Engine:
                     shard_sizes=shard_sizes,
                 ),
             )
-        return output, anonymize_seconds, False, shard_sizes
+        return output, anonymize_seconds, None, shard_sizes
 
     def _run_sharded(
-        self, plan: RunPlan, name: str, table: Table
+        self, plan: RunPlan, name: str, table: Table, decision: "ExecutionDecision"
     ) -> tuple[AlgorithmOutput, tuple[int, ...]]:
-        shard_rows = qi_prefix_shards(table, plan.shards, plan.l)
+        shard_rows = qi_prefix_shards(table, decision.shards, plan.l)
         shard_tables = [table.subset(rows) for rows in shard_rows]
         jobs = [
             (name, shard, plan.l, backend.current_backend()) for shard in shard_tables
         ]
-        if plan.workers > 1 and len(jobs) > 1:
-            with ProcessPoolExecutor(max_workers=min(plan.workers, len(jobs))) as pool:
+        if decision.workers > 1 and len(jobs) > 1:
+            with ProcessPoolExecutor(max_workers=min(decision.workers, len(jobs))) as pool:
                 outputs = list(pool.map(_run_shard, jobs))
         else:
             outputs = [_run_shard(job) for job in jobs]

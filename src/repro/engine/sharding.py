@@ -33,13 +33,19 @@ is guaranteed anonymizable (Lemma 1).
 from __future__ import annotations
 
 from collections import Counter
+from collections.abc import Mapping, Sequence
 
 from repro.dataset.generalized import GeneralizedTable
 from repro.dataset.table import Table
 from repro.engine.registry import AlgorithmOutput
 from repro.errors import IneligibleTableError, ShardMergeError
 
-__all__ = ["merge_shard_outputs", "qi_prefix_shards", "suppression_merge_bound"]
+__all__ = [
+    "merge_shard_outputs",
+    "partition_group_keys",
+    "qi_prefix_shards",
+    "suppression_merge_bound",
+]
 
 
 def suppression_merge_bound(shards: int, l: int, d: int = 1) -> int:
@@ -47,17 +53,81 @@ def suppression_merge_bound(shards: int, l: int, d: int = 1) -> int:
     return 2 * max(shards - 1, 0) * l * d
 
 
+def partition_group_keys(
+    ordered_keys: Sequence,
+    histograms: Mapping,
+    shard_count: int,
+    l: int,
+    n: int,
+) -> list[list]:
+    """Pack ordered QI-group keys into at most ``shard_count`` l-eligible shards.
+
+    ``histograms`` maps each key to a ``Counter`` of its sensitive values;
+    only the histograms are consulted, so this is shared verbatim by the
+    in-memory path (:func:`qi_prefix_shards`) and the streaming pipeline,
+    which never materializes the rows.  Keys are walked in the given order
+    and packed greedily into contiguous shards of roughly equal cardinality
+    (closing a shard once its cumulative row count reaches the quota
+    ``i * n / shard_count``), then a repair pass merges any shard that is
+    not l-eligible on its own into its successor (eligibility of the union
+    is not guaranteed by eligibility of the parts, so the pass iterates
+    until stable).
+    """
+    if shard_count <= 1 or len(ordered_keys) <= 1:
+        return [list(ordered_keys)]
+
+    def shard_size(keys: list) -> int:
+        return sum(sum(histograms[key].values()) for key in keys)
+
+    shards: list[list] = []
+    current: list = []
+    current_rows = 0
+    assigned = 0
+    for key in ordered_keys:
+        current.append(key)
+        current_rows += sum(histograms[key].values())
+        quota = ((len(shards) + 1) * n + shard_count - 1) // shard_count
+        if len(shards) < shard_count - 1 and assigned + current_rows >= quota:
+            assigned += current_rows
+            shards.append(current)
+            current, current_rows = [], 0
+    if current:
+        shards.append(current)
+
+    def eligible(keys: list) -> bool:
+        histogram: Counter = Counter()
+        for key in keys:
+            histogram.update(histograms[key])
+        return max(histogram.values()) * l <= shard_size(keys)
+
+    while len(shards) > 1:
+        merged_any = False
+        repaired: list[list] = []
+        for shard in shards:
+            if repaired and not eligible(repaired[-1]):
+                repaired[-1] = repaired[-1] + shard
+                merged_any = True
+            else:
+                repaired.append(shard)
+        # The last shard may itself be ineligible: fold it backwards.
+        if len(repaired) > 1 and not eligible(repaired[-1]):
+            last = repaired.pop()
+            repaired[-1] = repaired[-1] + last
+            merged_any = True
+        shards = repaired
+        if not merged_any:
+            break
+    return shards
+
+
 def qi_prefix_shards(table: Table, shard_count: int, l: int) -> list[list[int]]:
     """Partition row indices into at most ``shard_count`` l-eligible shards.
 
     QI-groups are walked in ascending lexicographic order of their QI vectors
-    and packed greedily into contiguous shards of roughly equal cardinality.
-    A repair pass then merges any shard that is not l-eligible on its own
-    into its successor (eligibility of the union is not guaranteed by
-    eligibility of the parts, so the pass iterates until stable).  The
-    returned shards are therefore a disjoint cover of ``range(len(table))``,
-    each a union of complete QI-groups, each l-eligible; fewer than
-    ``shard_count`` shards come back when repair had to merge.
+    and packed/repaired by :func:`partition_group_keys`.  The returned shards
+    are a disjoint cover of ``range(len(table))``, each a union of complete
+    QI-groups, each l-eligible; fewer than ``shard_count`` shards come back
+    when repair had to merge.
     """
     if shard_count < 1:
         raise ValueError(f"shard_count must be >= 1, got {shard_count}")
@@ -75,52 +145,14 @@ def qi_prefix_shards(table: Table, shard_count: int, l: int) -> list[list[int]]:
     # keys so shard layout is identical on the numpy and reference backends.
     groups = table.group_by_qi()
     ordered_keys = sorted(groups)
-
-    shards: list[list[int]] = []
-    current: list[int] = []
-    assigned = 0
-    for key in ordered_keys:
-        current.extend(groups[key])
-        # Close the shard once the cumulative row count reaches its quota
-        # (i * n / shard_count for the i-th shard), keeping sizes balanced
-        # even when one QI-group is much larger than the others.
-        quota = ((len(shards) + 1) * n + shard_count - 1) // shard_count
-        if len(shards) < shard_count - 1 and assigned + len(current) >= quota:
-            assigned += len(current)
-            shards.append(current)
-            current = []
-    if current:
-        shards.append(current)
-
-    return _repair_eligibility(table, shards, l)
-
-
-def _repair_eligibility(table: Table, shards: list[list[int]], l: int) -> list[list[int]]:
-    """Merge ineligible shards into a neighbour until every shard is l-eligible."""
     sa_values = table.sa_values
-    while len(shards) > 1:
-        merged_any = False
-        repaired: list[list[int]] = []
-        for shard in shards:
-            if repaired and not _is_eligible(sa_values, repaired[-1], l):
-                repaired[-1] = repaired[-1] + shard
-                merged_any = True
-            else:
-                repaired.append(shard)
-        # The last shard may itself be ineligible: fold it backwards.
-        if len(repaired) > 1 and not _is_eligible(sa_values, repaired[-1], l):
-            last = repaired.pop()
-            repaired[-1] = repaired[-1] + last
-            merged_any = True
-        shards = repaired
-        if not merged_any:
-            break
-    return shards
-
-
-def _is_eligible(sa_values: list[int], rows: list[int], l: int) -> bool:
-    counts = Counter(sa_values[index] for index in rows)
-    return max(counts.values()) * l <= len(rows)
+    histograms = {
+        key: Counter(sa_values[index] for index in rows) for key, rows in groups.items()
+    }
+    key_shards = partition_group_keys(ordered_keys, histograms, shard_count, l, n)
+    return [
+        [index for key in keys for index in groups[key]] for keys in key_shards
+    ]
 
 
 def merge_shard_outputs(

@@ -1,0 +1,91 @@
+"""Output adapters: incremental CSV export of published tables.
+
+The mirror image of :mod:`repro.engine.sources`: a :class:`CsvSink` writes
+the published generalized table to a CSV file **incrementally** — header
+first, then any number of row batches — so the streaming pipeline can emit
+each anonymized shard as soon as it is finished instead of materializing the
+whole published table.  The in-memory CLI path uses the same sink for its
+``--output`` export, so both paths render cells identically:
+
+* exact cells decode to their raw value;
+* suppressed cells render as ``*``;
+* sub-domain cells (TDS / Mondrian) render as ``{a|b|c}`` over the sorted
+  decoded values.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.dataset.generalized import GeneralizedTable
+from repro.dataset.table import Schema
+
+__all__ = ["CsvSink", "render_cell_value"]
+
+
+def render_cell_value(value: object) -> object:
+    """Render one decoded cell value for CSV export."""
+    if isinstance(value, tuple):
+        return "{" + "|".join(str(item) for item in value) + "}"
+    return value
+
+
+class CsvSink:
+    """Writes published generalized rows to a CSV file, batch by batch.
+
+    Usage::
+
+        with CsvSink(path) as sink:
+            sink.open(schema)
+            for generalized in shard_outputs:
+                sink.write_table(generalized)
+    """
+
+    def __init__(self, path: str | Path, delimiter: str = ",") -> None:
+        self.path = str(path)
+        self.delimiter = delimiter
+        self._handle = None
+        self._writer: csv.DictWriter | None = None
+        self._field_names: list[str] = []
+        self.rows_written = 0
+
+    def open(self, schema: Schema) -> "CsvSink":
+        """Open the file and write the header row for ``schema``."""
+        if self._writer is not None:
+            raise ValueError(f"sink for {self.path} is already open")
+        self._field_names = list(schema.qi_names) + [schema.sensitive.name]
+        self._handle = open(self.path, "w", newline="")
+        self._writer = csv.DictWriter(
+            self._handle, fieldnames=self._field_names, delimiter=self.delimiter
+        )
+        self._writer.writeheader()
+        return self
+
+    def write_table(self, generalized: GeneralizedTable) -> int:
+        """Append every row of ``generalized``; returns the rows written."""
+        if self._writer is None:
+            self.open(generalized.schema)
+        assert self._writer is not None
+        for row in range(len(generalized)):
+            record = generalized.decoded_record(row)
+            self._writer.writerow(
+                {name: render_cell_value(record[name]) for name in self._field_names}
+            )
+        self.rows_written += len(generalized)
+        return len(generalized)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+            self._writer = None
+
+    def __enter__(self) -> "CsvSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CsvSink({self.path!r}, rows_written={self.rows_written})"

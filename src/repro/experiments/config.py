@@ -55,9 +55,10 @@ class ExperimentConfig:
     #: :meth:`repro.dataset.synthetic.CensusConfig.scaled`.
     domain_scale: float = 0.30
     #: Number of processes the harness fans independent (table, l, algorithm)
-    #: runs over; 1 = sequential.  Per-run timings are taken inside the
-    #: workers, so recorded seconds stay comparable across settings.
-    workers: int = 1
+    #: runs over; 1 = sequential, None = let the cost-based planner size the
+    #: pool from calibrated run estimates.  Per-run timings are taken inside
+    #: the workers, so recorded seconds stay comparable across settings.
+    workers: int | None = None
     #: Extra fields reserved for forward compatibility of saved configs.
     extras: dict = field(default_factory=dict, compare=False)
 

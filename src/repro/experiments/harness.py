@@ -9,11 +9,19 @@ Independent ``(table, l, algorithm)`` runs can be fanned out across a
 process pool with :func:`run_suite`'s ``workers=`` option: each worker times
 its own run (so the recorded ``seconds`` stay comparable to sequential
 execution) and ships back only the scalar :class:`RunRecord`; tables travel
-to workers in their compact columnar form.  Runs are memoized in the
-engine's result cache (keyed by table fingerprint, algorithm and ``l``), so
-sweeps that revisit a combination — e.g. the stars-vs-l and time-vs-l
-figures, which share every run — replay the stored output and its original
-timing instead of recomputing.
+to workers in their compact columnar form.  ``workers=None`` (the default)
+asks the cost-based :class:`~repro.service.planner.ExecutionPlanner` to
+size the pool from the calibrated run estimates — smoke-scale suites stay
+sequential, heavy sweeps fan out to the machine's cores.
+
+Runs are memoized in the engine's result cache (keyed by table fingerprint,
+algorithm, ``l``, shard count, data-plane backend and seed), so sweeps that
+revisit a combination — e.g. the stars-vs-l and time-vs-l figures, which
+share every run — replay the stored output and its original timing instead
+of recomputing.  When the cache is backed by a persistent
+:class:`~repro.service.store.RunStore`, the replay works across processes;
+:func:`cache_summary` renders the per-tier hit statistics for report
+footers.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ __all__ = [
     "AlgorithmOutput",
     "RunRecord",
     "average_by",
+    "cache_summary",
     "format_records",
     "record_from_report",
     "run_algorithm",
@@ -133,7 +142,7 @@ def run_algorithm(
     key = None
     if info.deterministic:
         key = ResultCache.key(table.fingerprint(), name, l)
-        cached = cache.get(key)
+        cached = cache.get(key, table)
         if cached is not None:
             return _measure(
                 name, table, l, dataset, with_kl, cached.output, cached.anonymize_seconds
@@ -203,7 +212,9 @@ def run_suite(
         When greater than 1, the independent runs are distributed over a
         process pool of that many workers.  Records come back in the same
         order as sequential execution (tables outer, algorithms inner);
-        timings are taken inside each worker.
+        timings are taken inside each worker.  ``None`` (the default) lets
+        the cost-based planner size the pool: sequential when the calibrated
+        estimate says pool startup would dominate, full fan-out otherwise.
     cache:
         Result cache consulted before running (defaults to the engine's
         process-global cache).  On the parallel path the cache lives in the
@@ -216,12 +227,26 @@ def run_suite(
         for label, table in tables
         for name in algorithms
     ]
-    if workers is not None and workers > 1 and len(jobs) > 1:
+    if workers is None:
+        workers = _auto_workers(jobs)
+    if workers > 1 and len(jobs) > 1:
         return _run_jobs_parallel(jobs, workers, cache)
     return [
         run_algorithm(name, table, l, dataset=label, with_kl=with_kl, cache=cache)
         for name, table, l, label, with_kl, _backend_name in jobs
     ]
+
+
+def _auto_workers(jobs: list[tuple[str, Table, int, str, bool, str]]) -> int:
+    """Planner-chosen pool width for a batch of independent runs."""
+    from repro.service.planner import default_planner
+
+    planner = default_planner()
+    estimated = sum(
+        planner.estimate_run_seconds(name, len(table), backend_name)
+        for name, table, _l, _label, _kl, backend_name in jobs
+    )
+    return planner.suite_workers(len(jobs), estimated)
 
 
 def _run_jobs_parallel(
@@ -239,14 +264,14 @@ def _run_jobs_parallel(
     records: list[RunRecord | None] = [None] * len(jobs)
     keys: dict[int, tuple] = {}
     misses: list[int] = []
-    for position, (name, table, l, label, with_kl, _backend_name) in enumerate(jobs):
+    for position, (name, table, l, label, with_kl, backend_name) in enumerate(jobs):
         info = algorithm_registry.get(name)
         if not info.deterministic:
             misses.append(position)
             continue
-        key = ResultCache.key(table.fingerprint(), name, l)
+        key = ResultCache.key(table.fingerprint(), name, l, backend=backend_name)
         keys[position] = key
-        cached = cache.get(key)
+        cached = cache.get(key, table)
         if cached is None:
             misses.append(position)
         else:
@@ -277,6 +302,20 @@ def average_by(
             continue
         buckets.setdefault(key(record), []).append(float(value))
     return {group: statistics.fmean(values) for group, values in buckets.items()}
+
+
+def cache_summary(cache: ResultCache | None = None) -> str:
+    """One-line per-tier hit summary for harness reports and CLI footers."""
+    cache = cache if cache is not None else default_cache()
+    stats = cache.stats()
+    line = (
+        f"run cache: {stats['memory_hits']} memory hits, "
+        f"{stats['store_hits']} store hits, {stats['misses']} misses "
+        f"({stats['entries']} entries retained"
+    )
+    if "store_entries" in stats:
+        line += f", {stats['store_entries']} persisted"
+    return line + ")"
 
 
 def format_records(records: Sequence[RunRecord]) -> str:

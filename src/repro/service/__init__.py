@@ -1,0 +1,59 @@
+"""The job service layer: persistence, planning and streaming over the engine.
+
+``repro.service`` sits on top of :mod:`repro.engine` and provides what a
+long-lived deployment needs beyond a single in-process run:
+
+* :mod:`repro.service.store` — the persistent :class:`RunStore` (append-only
+  JSONL under a workspace directory) that the engine's result cache reads
+  through, so repeated CLI invocations and figure sweeps reuse results
+  **across processes**;
+* :mod:`repro.service.planner` — the cost-based :class:`ExecutionPlanner`
+  that picks shards / workers / backend from table statistics, calibrated
+  against the committed ``BENCH_fig6.json`` baseline;
+* :mod:`repro.service.streaming` — CSV-to-CSV anonymization in bounded
+  memory (scan, spill to QI-prefix shards, anonymize shard-by-shard into a
+  :class:`~repro.engine.sinks.CsvSink`);
+* :mod:`repro.service.jobs` — the :class:`JobService` behind
+  ``ldiversity jobs submit/list/show``;
+* :mod:`repro.service.workspace` — where all of the above keeps its state.
+
+Quickstart::
+
+    from repro.engine import CsvSource, RunPlan
+    from repro.service import JobService, Workspace
+
+    service = JobService(Workspace("/tmp/ws"))
+    record, report = service.submit(
+        RunPlan(source=CsvSource("big.csv", ("Age", "Zip"), "Disease"), l=4)
+    )
+    assert record.status == "done"   # planner chose shards/workers; store filled
+"""
+
+from repro.service.store import RunStore, StoreError
+from repro.service.planner import (
+    ExecutionDecision,
+    ExecutionPlanner,
+    PlannerCalibration,
+    default_planner,
+    load_bench_calibration,
+)
+from repro.service.workspace import Workspace, default_workspace_root
+from repro.service.streaming import StreamReport, stream_anonymize, verify_csv_l_diverse
+from repro.service.jobs import JobRecord, JobService
+
+__all__ = [
+    "ExecutionDecision",
+    "ExecutionPlanner",
+    "JobRecord",
+    "JobService",
+    "PlannerCalibration",
+    "RunStore",
+    "StoreError",
+    "StreamReport",
+    "Workspace",
+    "default_planner",
+    "default_workspace_root",
+    "load_bench_calibration",
+    "stream_anonymize",
+    "verify_csv_l_diverse",
+]

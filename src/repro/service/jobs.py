@@ -1,0 +1,182 @@
+"""The job service: submit anonymization runs, persist their records.
+
+``ldiversity jobs submit`` executes a run through the engine — with the
+workspace's persistent :class:`~repro.service.store.RunStore` backing the
+result cache — and appends a :class:`JobRecord` to the workspace's
+``jobs.jsonl`` ledger.  ``jobs list`` / ``jobs show`` read the ledger back,
+so a sweep of CLI invocations leaves an auditable history of what ran, how
+it was planned, how long it took, and whether it was served from a cache
+tier instead of recomputed.
+
+The ledger shares the run store's durability model: append-only JSONL, one
+record per line, corrupt lines skipped on read.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.engine.cache import ResultCache
+from repro.engine.core import Engine, RunPlan, RunReport
+from repro.engine.sinks import CsvSink
+from repro.service.workspace import Workspace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.service.planner import ExecutionPlanner
+
+__all__ = ["JobRecord", "JobService"]
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One submitted job, as persisted in the workspace ledger."""
+
+    id: str
+    created: float
+    status: str  # "done" | "failed"
+    label: str
+    algorithm: str
+    l: int
+    n: int = 0
+    d: int = 0
+    shards: int = 1
+    workers: int = 1
+    backend: str = ""
+    stars: int = 0
+    suppressed_tuples: int = 0
+    groups: int = 0
+    seconds: float = 0.0
+    cache_hit: bool = False
+    store_hit: bool = False
+    output: str = ""
+    error: str = ""
+    metric_values: dict = field(default_factory=dict)
+
+    def summary_row(self) -> tuple[str, ...]:
+        """The fixed-width row rendered by ``ldiversity jobs list``."""
+        served = "store" if self.store_hit else ("memory" if self.cache_hit else "-")
+        return (
+            self.id,
+            self.status,
+            self.algorithm,
+            str(self.l),
+            str(self.n),
+            str(self.stars),
+            f"{self.seconds:.3f}",
+            served,
+            self.label,
+        )
+
+
+class JobService:
+    """Submits runs through the engine and persists their job records."""
+
+    def __init__(
+        self,
+        workspace: Workspace | None = None,
+        engine: Engine | None = None,
+        planner: "ExecutionPlanner | None" = None,
+    ) -> None:
+        self.workspace = workspace if workspace is not None else Workspace()
+        self.store = self.workspace.run_store()
+        if engine is None:
+            engine = Engine(cache=ResultCache(store=self.store), planner=planner)
+        self.engine = engine
+
+    # ----------------------------------------------------------------- ledger
+
+    def list(self) -> list[JobRecord]:
+        """All jobs in the ledger, oldest first (corrupt lines skipped)."""
+        path = self.workspace.jobs_path
+        if not path.exists():
+            return []
+        records: list[JobRecord] = []
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                    records.append(JobRecord(**payload))
+                except (json.JSONDecodeError, TypeError):
+                    continue
+        return records
+
+    def get(self, job_id: str) -> JobRecord:
+        for record in self.list():
+            if record.id == job_id:
+                return record
+        raise KeyError(f"no job {job_id!r} in workspace {self.workspace.root}")
+
+    def _append(self, record: JobRecord) -> None:
+        with open(self.workspace.jobs_path, "a") as handle:
+            handle.write(json.dumps(asdict(record), separators=(",", ":")) + "\n")
+
+    def _next_id(self) -> str:
+        """Next sequential id, from a line count of the ledger.
+
+        Ids are per-workspace sequence numbers; two *simultaneous* submits
+        against one workspace can race to the same number (the ledger keeps
+        both lines, ``get`` returns the first).  Interactive CLI use — the
+        intended writer model — submits one job at a time.
+        """
+        path = self.workspace.jobs_path
+        if not path.exists():
+            return "job-0001"
+        with open(path) as handle:
+            count = sum(1 for line in handle if line.strip())
+        return f"job-{count + 1:04d}"
+
+    # ----------------------------------------------------------------- submit
+
+    def submit(
+        self, plan: RunPlan, output: str | None = None
+    ) -> tuple[JobRecord, RunReport | None]:
+        """Run one plan, optionally export the published table, record the job."""
+        job_id = self._next_id()
+        created = time.time()
+        try:
+            report = self.engine.run(plan)
+        except Exception as error:
+            record = JobRecord(
+                id=job_id,
+                created=created,
+                status="failed",
+                label=plan.source.label,
+                algorithm=plan.algorithm,
+                l=plan.l,
+                error=f"{type(error).__name__}: {error}",
+            )
+            self._append(record)
+            raise
+        if output:
+            with CsvSink(output) as sink:
+                sink.write_table(report.generalized)
+        decision = report.decision
+        record = JobRecord(
+            id=job_id,
+            created=created,
+            status="done",
+            label=report.label,
+            algorithm=plan.algorithm,
+            l=plan.l,
+            n=report.n,
+            d=report.d,
+            shards=decision.shards if decision else 1,
+            workers=decision.workers if decision else 1,
+            backend=decision.backend if decision else "",
+            stars=report.generalized.star_count(),
+            suppressed_tuples=report.generalized.suppressed_tuple_count(),
+            groups=len(report.generalized.groups()),
+            seconds=report.timings.total_seconds,
+            cache_hit=report.cache_hit,
+            store_hit=report.store_hit,
+            output=output or "",
+            metric_values=dict(report.metric_values),
+        )
+        self._append(record)
+        return record, report

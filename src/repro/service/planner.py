@@ -1,0 +1,304 @@
+"""Cost-based execution planning: pick shards / workers / backend from table stats.
+
+Hand-tuning ``--shards`` and ``--workers`` per invocation does not survive
+contact with a figure sweep that spans three orders of magnitude in ``n``.
+The :class:`ExecutionPlanner` replaces those hand-passed defaults with a
+small cost model calibrated against the committed ``BENCH_fig6.json``
+baseline:
+
+* **per-algorithm run cost** — the benchmark's measured seconds at its
+  largest cardinality give a rate per ``n log2 n`` unit (every registered
+  algorithm is ``O(d n log n)``-ish); algorithms absent from the benchmark
+  fall back to the mean benched rate;
+* **sharding** — ``s`` QI-prefix shards of ``n/s`` rows run in
+  ``ceil(s / w)`` waves on ``w`` workers, at the price of per-shard setup,
+  per-worker process spawn, and an O(n) merge pass;
+* **backend** — whichever backend the calibration says is faster for the
+  algorithm at hand (NumPy, on every committed baseline).
+
+The planner enumerates a small candidate grid, estimates each
+configuration's wall-clock seconds, and returns the argmin as an
+:class:`ExecutionDecision` — including the full candidate table so
+``ldiversity plan`` can *explain* the choice.  Caller-supplied values always
+win: a decision only fills in the dimensions the caller left as ``None``.
+
+Capability metadata matters: algorithms registered with
+``supports_sharding=False`` are never sharded, and the decision degrades to
+a single sequential run when the table is too small for sharding to pay for
+its overhead (the empirically dominant case at benchmark scale).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro import backend as _backend
+from repro.engine.registry import AlgorithmInfo
+
+__all__ = [
+    "ExecutionDecision",
+    "ExecutionPlanner",
+    "PlannerCalibration",
+    "default_planner",
+    "load_bench_calibration",
+]
+
+#: Estimated seconds to spawn one process-pool worker (pool startup, imports).
+WORKER_SPAWN_SECONDS = 0.05
+#: Estimated fixed seconds per shard (split, subset build, dispatch).
+SHARD_SETUP_SECONDS = 0.01
+#: Estimated seconds per row of the shard-output merge pass.
+MERGE_SECONDS_PER_ROW = 2.5e-7
+#: A shard below this many rows is all overhead; never split finer.
+MIN_SHARD_ROWS = 2_000
+#: Shard counts the planner considers.
+SHARD_CANDIDATES = (1, 2, 4, 8, 16, 32)
+#: Fallback per-``n log2 n`` rates when no benchmark file is available.
+DEFAULT_RATES = {"numpy": 1.0e-7, "reference": 4.0e-7}
+
+
+def _nlogn(n: int | float) -> float:
+    return float(n) * math.log2(max(float(n), 2.0))
+
+
+@dataclass(frozen=True)
+class PlannerCalibration:
+    """Per-backend, per-algorithm cost rates (seconds per ``n log2 n`` unit)."""
+
+    #: backend -> algorithm -> rate.
+    rates: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: Where the rates came from ("BENCH_fig6.json" or "defaults").
+    source: str = "defaults"
+
+    def rate(self, algorithm: str, backend: str) -> float:
+        per_algorithm = self.rates.get(backend, {})
+        if algorithm in per_algorithm:
+            return per_algorithm[algorithm]
+        if per_algorithm:
+            return sum(per_algorithm.values()) / len(per_algorithm)
+        return DEFAULT_RATES.get(backend, DEFAULT_RATES["numpy"])
+
+    def backends(self) -> tuple[str, ...]:
+        return tuple(sorted(self.rates)) or tuple(sorted(DEFAULT_RATES))
+
+
+def load_bench_calibration(path: str | Path | None = None) -> PlannerCalibration:
+    """Calibrate rates from a ``BENCH_fig6.json`` baseline file.
+
+    When ``path`` is ``None`` the repository-root baseline is looked up
+    relative to this file and the working directory; a missing or unreadable
+    file yields the built-in default rates, so planning always works.
+    """
+    candidates: list[Path] = []
+    if path is not None:
+        candidates.append(Path(path))
+    else:
+        candidates.append(Path.cwd() / "BENCH_fig6.json")
+        candidates.append(Path(__file__).resolve().parents[3] / "BENCH_fig6.json")
+    for candidate in candidates:
+        try:
+            with open(candidate) as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            continue
+        rates: dict[str, dict[str, float]] = {}
+        for backend_name, algorithms in payload.get("seconds", {}).items():
+            for algorithm, by_n in algorithms.items():
+                points = sorted(
+                    (int(n), float(seconds)) for n, seconds in by_n.items() if float(seconds) > 0
+                )
+                if not points:
+                    continue
+                n_ref, t_ref = points[-1]
+                rates.setdefault(backend_name, {})[algorithm] = t_ref / _nlogn(n_ref)
+        if rates:
+            return PlannerCalibration(rates=rates, source=str(candidate))
+    return PlannerCalibration(source="defaults")
+
+
+@dataclass(frozen=True)
+class ExecutionDecision:
+    """The planner's resolved configuration for one run."""
+
+    shards: int
+    workers: int
+    backend: str
+    estimated_seconds: float
+    #: Every (shards, workers, estimated seconds) configuration considered.
+    candidates: tuple[tuple[int, int, float], ...] = ()
+    reasons: tuple[str, ...] = ()
+
+    def explain(self) -> str:
+        """Human-readable account of the decision (``ldiversity plan``)."""
+        lines = [
+            f"chosen: shards={self.shards} workers={self.workers} "
+            f"backend={self.backend} (estimated {self.estimated_seconds:.4f}s)"
+        ]
+        lines.extend(f"  - {reason}" for reason in self.reasons)
+        if self.candidates:
+            lines.append("  candidates (shards, workers -> estimated seconds):")
+            for shards, workers, seconds in self.candidates:
+                marker = " *" if (shards, workers) == (self.shards, self.workers) else ""
+                lines.append(f"    s={shards:<3} w={workers:<3} {seconds:.4f}s{marker}")
+        return "\n".join(lines)
+
+
+class ExecutionPlanner:
+    """Chooses shards/workers/backend for a run from (n, d, l) table stats."""
+
+    def __init__(
+        self,
+        calibration: PlannerCalibration | None = None,
+        cpu_count: int | None = None,
+        bench_path: str | Path | None = None,
+    ) -> None:
+        self.calibration = (
+            calibration if calibration is not None else load_bench_calibration(bench_path)
+        )
+        self.cpu_count = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+
+    # ------------------------------------------------------------- cost model
+
+    def estimate_run_seconds(self, algorithm: str, n: int, backend: str) -> float:
+        """Estimated anonymize seconds of one unsharded run."""
+        return self.calibration.rate(algorithm, backend) * _nlogn(n)
+
+    def _estimate(self, rate: float, n: int, shards: int, workers: int) -> float:
+        per_shard = rate * _nlogn(n / shards)
+        waves = math.ceil(shards / workers)
+        seconds = waves * per_shard
+        if workers > 1:
+            seconds += WORKER_SPAWN_SECONDS * workers
+        if shards > 1:
+            seconds += SHARD_SETUP_SECONDS * shards + MERGE_SECONDS_PER_ROW * n
+        return seconds
+
+    # --------------------------------------------------------------- planning
+
+    def decide(
+        self,
+        info: AlgorithmInfo,
+        n: int,
+        d: int,
+        l: int,
+        shards: int | None = None,
+        workers: int | None = None,
+        backend: str | None = None,
+    ) -> ExecutionDecision:
+        """Resolve a run configuration, honouring caller-fixed dimensions.
+
+        ``shards``/``workers``/``backend`` left as ``None`` are chosen by the
+        cost model; ``backend`` may also be ``"auto"`` to request the
+        calibrated choice explicitly (``None`` keeps the process backend).
+        """
+        del d, l  # current model depends on n only; kept for API stability
+        reasons: list[str] = [f"calibration: {self.calibration.source}"]
+
+        chosen_backend = self._decide_backend(info.name, backend, reasons)
+        rate = self.calibration.rate(info.name, chosen_backend)
+
+        shard_candidates = self._shard_candidates(info, n, shards, reasons)
+        candidates: list[tuple[int, int, float]] = []
+        for shard_count in shard_candidates:
+            for worker_count in self._worker_candidates(shard_count, workers):
+                candidates.append(
+                    (shard_count, worker_count, self._estimate(rate, max(n, 1), shard_count, worker_count))
+                )
+        best_shards, best_workers, best_seconds = min(
+            candidates, key=lambda entry: (entry[2], entry[0], entry[1])
+        )
+        reasons.append(
+            f"cost model over n={n}: {len(candidates)} candidate configurations, "
+            f"unsharded estimate {self._estimate(rate, max(n, 1), 1, 1):.4f}s"
+        )
+        return ExecutionDecision(
+            shards=best_shards,
+            workers=best_workers,
+            backend=chosen_backend,
+            estimated_seconds=best_seconds,
+            candidates=tuple(candidates),
+            reasons=tuple(reasons),
+        )
+
+    def _decide_backend(
+        self, algorithm: str, requested: str | None, reasons: list[str]
+    ) -> str:
+        if requested is not None and requested != "auto":
+            reasons.append(f"backend fixed by caller: {requested}")
+            return requested
+        if requested is None:
+            current = _backend.current_backend()
+            reasons.append(f"backend: keeping process backend {current!r}")
+            return current
+        best = min(
+            self.calibration.backends(),
+            key=lambda name: self.calibration.rate(algorithm, name),
+        )
+        reasons.append(
+            f"backend: {best!r} has the lowest calibrated rate for {algorithm!r}"
+        )
+        return best
+
+    def _shard_candidates(
+        self, info: AlgorithmInfo, n: int, requested: int | None, reasons: list[str]
+    ) -> tuple[int, ...]:
+        if requested is not None:
+            if requested > 1 and not info.supports_sharding:
+                raise ValueError(
+                    f"algorithm {info.name!r} does not support sharded execution"
+                )
+            reasons.append(f"shards fixed by caller: {requested}")
+            return (requested,)
+        if not info.supports_sharding:
+            reasons.append(f"{info.name!r} declares supports_sharding=False: never sharded")
+            return (1,)
+        viable = tuple(
+            count for count in SHARD_CANDIDATES if count == 1 or count * MIN_SHARD_ROWS <= n
+        )
+        if viable == (1,):
+            reasons.append(
+                f"n={n} below {2 * MIN_SHARD_ROWS} rows: sharding cannot amortize its overhead"
+            )
+        return viable
+
+    def _worker_candidates(self, shards: int, requested: int | None) -> tuple[int, ...]:
+        if requested is not None:
+            return (min(requested, max(shards, 1)) if requested > 0 else 1,)
+        ceiling = min(shards, self.cpu_count)
+        candidates = {1}
+        width = 2
+        while width <= ceiling:
+            candidates.add(width)
+            width *= 2
+        candidates.add(ceiling)
+        return tuple(sorted(candidates))
+
+    # ------------------------------------------------------------ suite width
+
+    def suite_workers(self, jobs: int, estimated_total_seconds: float) -> int:
+        """Process-pool width for a batch of independent harness runs.
+
+        Fan-out only pays once the sequential estimate dwarfs pool startup;
+        tiny (smoke-scale) suites always run sequentially.
+        """
+        if jobs < 2 or self.cpu_count < 2:
+            return 1
+        width = min(self.cpu_count, jobs)
+        if estimated_total_seconds < 2.0 * WORKER_SPAWN_SECONDS * width:
+            return 1
+        return width
+
+
+_default_planner: ExecutionPlanner | None = None
+
+
+def default_planner() -> ExecutionPlanner:
+    """A process-global planner with the repository-root calibration."""
+    global _default_planner
+    if _default_planner is None:
+        _default_planner = ExecutionPlanner()
+    return _default_planner

@@ -29,6 +29,16 @@ def make_random_table(
     return Table(schema, qi_rows, sa_values)
 
 
+@pytest.fixture(autouse=True)
+def _isolated_workspace(tmp_path, monkeypatch):
+    """Point the service workspace at a per-test directory.
+
+    Keeps CLI/service tests from reading or writing the developer's real
+    ``~/.cache/ldiversity`` run store and job ledger.
+    """
+    monkeypatch.setenv("REPRO_WORKSPACE", str(tmp_path / "workspace"))
+
+
 @pytest.fixture
 def hospital() -> Table:
     """The paper's Table 1."""

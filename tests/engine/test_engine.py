@@ -239,3 +239,111 @@ class TestHarnessIntegration:
         repeat = run_suite([("h", hospital)], 2, ["TP", "Hilbert"], workers=2, cache=cache)
         assert cache.stats()["misses"] == 2  # second sweep is all hits
         assert len(repeat) == 2
+
+
+class TestCacheKeyBackendAndSeed:
+    """Regression: toggling repro.backend or the seed must never replay stale runs."""
+
+    def test_backend_toggle_misses_the_cache(self, hospital):
+        from repro.backend import use_backend
+
+        engine = _engine()
+        first = engine.run(_plan(TableSource(hospital)))
+        assert not first.cache_hit
+        with use_backend("reference"):
+            second = engine.run(_plan(TableSource(hospital)))
+        assert not second.cache_hit  # stale numpy-backend entry must not answer
+        third = engine.run(_plan(TableSource(hospital)))
+        assert third.cache_hit  # back on numpy: the original entry answers
+
+    def test_explicit_plan_backend_is_part_of_the_key(self, hospital):
+        engine = _engine()
+        engine.run(_plan(TableSource(hospital), backend="numpy"))
+        report = engine.run(_plan(TableSource(hospital), backend="reference"))
+        assert not report.cache_hit
+
+    def test_seed_is_part_of_the_key(self, hospital):
+        engine = _engine()
+        engine.run(_plan(TableSource(hospital), seed=0))
+        assert not engine.run(_plan(TableSource(hospital), seed=1)).cache_hit
+        assert engine.run(_plan(TableSource(hospital), seed=0)).cache_hit
+
+
+class TestStoreBackedEngine:
+    def test_fresh_engine_is_served_from_the_store(self, hospital, tmp_path):
+        from repro.service.store import RunStore
+
+        path = tmp_path / "runs.jsonl"
+        first = Engine(cache=ResultCache(store=RunStore(path))).run(
+            _plan(TableSource(hospital))
+        )
+        assert not first.cache_hit
+        # Fresh engine + fresh cache + fresh store instance = fresh process.
+        replay = Engine(cache=ResultCache(store=RunStore(path))).run(
+            _plan(TableSource(hospital))
+        )
+        assert replay.cache_hit
+        assert replay.store_hit
+        assert replay.generalized.cell_rows == first.generalized.cell_rows
+        assert replay.timings.anonymize_seconds == first.timings.anonymize_seconds
+
+    def test_engine_store_argument_wires_the_cache(self, hospital, tmp_path):
+        from repro.service.store import RunStore
+
+        store = RunStore(tmp_path / "runs.jsonl")
+        engine = Engine(store=store)
+        engine.run(_plan(TableSource(hospital)))
+        assert len(store) == 1
+
+    def test_conflicting_cache_and_store_rejected(self, tmp_path):
+        from repro.service.store import RunStore
+
+        store = RunStore(tmp_path / "runs.jsonl")
+        with pytest.raises(ValueError, match="cache"):
+            Engine(cache=ResultCache(), store=store)
+        # A cache already backed by that store is fine.
+        Engine(cache=ResultCache(store=store), store=store)
+
+    def test_report_surfaces_cache_stats(self, hospital):
+        engine = _engine()
+        first = engine.run(_plan(TableSource(hospital)))
+        assert first.cache_stats["misses"] == 1
+        second = engine.run(_plan(TableSource(hospital)))
+        assert second.cache_stats["memory_hits"] == 1
+        assert second.cache_stats["hits"] == 1
+        assert not second.store_hit  # memory tier, not the persistent one
+
+
+class TestPlannerIntegration:
+    def test_default_plan_resolves_small_tables_unsharded(self, hospital):
+        report = _engine().run(_plan(TableSource(hospital)))
+        assert report.decision is not None
+        assert report.decision.shards == 1
+        assert report.decision.workers == 1
+        assert report.shard_sizes == (len(hospital),)
+
+    def test_explicit_shards_override_the_planner(self, small_census):
+        report = _engine().run(_plan(TableSource(small_census), shards=2))
+        assert report.decision is not None
+        assert report.decision.shards == 2
+        assert len(report.shard_sizes) == 2
+
+    def test_pinned_planner_is_used(self):
+        from repro.service.planner import ExecutionPlanner, PlannerCalibration
+
+        # A calibration so slow that 10k rows justify sharding even without
+        # workers (the per-shard log factor dominates the tiny overheads).
+        slow = PlannerCalibration(rates={"numpy": {"TP": 1.0}}, source="test")
+        engine = Engine(cache=ResultCache(), planner=ExecutionPlanner(slow, cpu_count=1))
+        source = SyntheticSource(
+            "SAL", n=10_000, seed=7, dimension=4, config=CensusConfig.scaled(0.3)
+        )
+        report = engine.run(_plan(source, l=4))
+        assert report.decision.shards > 1
+        assert len(report.shard_sizes) > 1
+        assert report.verified
+
+    def test_plan_backend_runs_on_that_backend(self, hospital):
+        report = _engine().run(_plan(TableSource(hospital), backend="reference"))
+        assert report.decision.backend == "reference"
+        assert report.verified

@@ -1,0 +1,80 @@
+"""Tests for the incremental CsvSink output adapter."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.engine import CsvSink, Engine, ResultCache, TableSource, RunPlan
+from repro.engine.sinks import render_cell_value
+
+
+def _generalized(table, algorithm="TP", l=2):
+    report = Engine(cache=ResultCache()).run(
+        RunPlan(source=TableSource(table), algorithm=algorithm, l=l)
+    )
+    return report.generalized
+
+
+class TestRenderCellValue:
+    def test_plain_values_pass_through(self):
+        assert render_cell_value("Flu") == "Flu"
+        assert render_cell_value(7) == 7
+        assert render_cell_value("*") == "*"
+
+    def test_subdomains_render_as_braced_unions(self):
+        assert render_cell_value(("a", "b")) == "{a|b}"
+        assert render_cell_value((1, 2, 3)) == "{1|2|3}"
+
+
+class TestCsvSink:
+    def test_single_batch_export(self, hospital, tmp_path):
+        generalized = _generalized(hospital)
+        path = tmp_path / "published.csv"
+        with CsvSink(path) as sink:
+            written = sink.write_table(generalized)
+        assert written == len(hospital) == sink.rows_written
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(hospital)
+        assert any("*" in row.values() for row in rows)  # stars rendered
+
+    def test_incremental_batches_equal_one_shot(self, hospital, tmp_path):
+        generalized = _generalized(hospital)
+        one_shot = tmp_path / "one.csv"
+        incremental = tmp_path / "two.csv"
+        with CsvSink(one_shot) as sink:
+            sink.write_table(generalized)
+            sink.write_table(generalized)
+        with CsvSink(incremental) as sink:
+            sink.open(generalized.schema)
+            for _ in range(2):
+                sink.write_table(generalized)
+        assert one_shot.read_text() == incremental.read_text()
+        assert sum(1 for _ in open(incremental)) == 2 * len(hospital) + 1
+
+    def test_subdomain_cells_exported(self, hospital, tmp_path):
+        generalized = _generalized(hospital, algorithm="Mondrian")
+        path = tmp_path / "mondrian.csv"
+        with CsvSink(path) as sink:
+            sink.write_table(generalized)
+        content = path.read_text()
+        assert "{" in content and "|" in content  # at least one sub-domain cell
+
+    def test_double_open_rejected(self, hospital, tmp_path):
+        generalized = _generalized(hospital)
+        with CsvSink(tmp_path / "x.csv") as sink:
+            sink.open(generalized.schema)
+            with pytest.raises(ValueError, match="already open"):
+                sink.open(generalized.schema)
+
+    def test_header_matches_schema(self, hospital, tmp_path):
+        generalized = _generalized(hospital)
+        path = tmp_path / "h.csv"
+        with CsvSink(path) as sink:
+            sink.open(generalized.schema)
+        header = path.read_text().strip().split(",")
+        assert header == list(generalized.schema.qi_names) + [
+            generalized.schema.sensitive.name
+        ]

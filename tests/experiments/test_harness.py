@@ -99,3 +99,38 @@ class TestParallelSuite:
     def test_workers_one_is_sequential(self, hospital):
         records = run_suite([("h", hospital)], 2, ["TP"], workers=1)
         assert len(records) == 1
+
+
+class TestCacheSummary:
+    def test_summary_reports_both_tiers(self, hospital, tmp_path):
+        from repro.engine.cache import ResultCache
+        from repro.experiments.harness import cache_summary, run_algorithm
+        from repro.service.store import RunStore
+
+        path = tmp_path / "runs.jsonl"
+        warm = ResultCache(store=RunStore(path))
+        run_algorithm("TP", hospital, 2, cache=warm)  # miss; persisted
+        # Fresh cache over the same store file: the hit must come from the
+        # persistent tier and the summary line must say so.
+        cold = ResultCache(store=RunStore(path))
+        run_algorithm("TP", hospital, 2, cache=cold)
+        summary = cache_summary(cold)
+        assert "1 store hits" in summary
+        assert "0 memory hits" in summary
+        assert "persisted" in summary
+
+    def test_summary_defaults_to_the_process_cache(self):
+        from repro.experiments.harness import cache_summary
+
+        assert cache_summary().startswith("run cache:")
+
+
+class TestAutoWorkers:
+    def test_default_workers_resolve_via_planner(self, hospital):
+        from repro.experiments.harness import run_suite
+
+        # workers=None must resolve (planner says sequential at this scale)
+        # and produce the same records as an explicit sequential run.
+        auto = run_suite([("h", hospital)], 2, ["TP"])
+        explicit = run_suite([("h", hospital)], 2, ["TP"], workers=1)
+        assert [record.stars for record in auto] == [record.stars for record in explicit]

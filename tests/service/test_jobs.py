@@ -1,0 +1,90 @@
+"""Tests for the job service: submission, ledger, cross-process reuse."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import RunPlan, TableSource
+from repro.errors import IneligibleTableError
+from repro.service import JobService, Workspace
+
+
+def _service(tmp_path) -> JobService:
+    return JobService(Workspace(tmp_path / "workspace"))
+
+
+def _plan(table, **fields) -> RunPlan:
+    fields.setdefault("algorithm", "TP")
+    fields.setdefault("l", 2)
+    return RunPlan(source=TableSource(table, "t"), **fields)
+
+
+class TestSubmit:
+    def test_submit_records_a_done_job(self, hospital, tmp_path):
+        service = _service(tmp_path)
+        record, report = service.submit(_plan(hospital))
+        assert record.status == "done"
+        assert record.id == "job-0001"
+        assert record.n == len(hospital)
+        assert record.stars == report.generalized.star_count()
+        assert record.shards == 1 and record.workers == 1
+        assert record.backend in ("numpy", "reference")
+        assert service.get("job-0001") == record
+
+    def test_submit_exports_through_the_sink(self, hospital, tmp_path):
+        import csv
+
+        output = str(tmp_path / "published.csv")
+        record, _report = _service(tmp_path).submit(_plan(hospital), output=output)
+        assert record.output == output
+        with open(output, newline="") as handle:
+            assert len(list(csv.DictReader(handle))) == len(hospital)
+
+    def test_second_submission_is_served_from_the_store(self, hospital, tmp_path):
+        workspace = Workspace(tmp_path / "workspace")
+        first_record, _ = JobService(workspace).submit(_plan(hospital))
+        # A brand-new service = fresh process: only the JSONL store persists.
+        second_record, second_report = JobService(workspace).submit(_plan(hospital))
+        assert not first_record.store_hit
+        assert second_record.store_hit
+        assert second_report.store_hit
+        assert second_record.stars == first_record.stars
+
+    def test_failed_submission_is_recorded_and_reraised(self, hospital, tmp_path):
+        service = _service(tmp_path)
+        with pytest.raises(IneligibleTableError):
+            service.submit(_plan(hospital, l=len(hospital) + 1))
+        records = service.list()
+        assert len(records) == 1
+        assert records[0].status == "failed"
+        assert "IneligibleTableError" in records[0].error
+
+
+class TestLedger:
+    def test_list_orders_and_numbers_jobs(self, hospital, tmp_path):
+        service = _service(tmp_path)
+        service.submit(_plan(hospital, algorithm="TP"))
+        service.submit(_plan(hospital, algorithm="Hilbert"))
+        records = service.list()
+        assert [record.id for record in records] == ["job-0001", "job-0002"]
+        assert [record.algorithm for record in records] == ["TP", "Hilbert"]
+
+    def test_unknown_job_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            _service(tmp_path).get("job-9999")
+
+    def test_corrupt_ledger_lines_are_skipped(self, hospital, tmp_path):
+        service = _service(tmp_path)
+        service.submit(_plan(hospital))
+        with open(service.workspace.jobs_path, "a") as handle:
+            handle.write("{torn record\n")
+            handle.write(json.dumps({"unexpected": "shape"}) + "\n")
+        assert [record.id for record in service.list()] == ["job-0001"]
+
+    def test_summary_row_reports_cache_tier(self, hospital, tmp_path):
+        workspace = Workspace(tmp_path / "workspace")
+        JobService(workspace).submit(_plan(hospital))
+        record, _ = JobService(workspace).submit(_plan(hospital))
+        assert record.summary_row()[7] == "store"

@@ -1,0 +1,181 @@
+"""Tests for the cost-based ExecutionPlanner and its BENCH calibration."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.engine.registry import AlgorithmInfo, algorithm_registry
+from repro.service.planner import (
+    ExecutionPlanner,
+    PlannerCalibration,
+    load_bench_calibration,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_PATH = REPO_ROOT / "BENCH_fig6.json"
+
+
+def _noop_runner(table, l):  # pragma: no cover - never executed
+    raise AssertionError("planner tests must not run algorithms")
+
+
+@pytest.fixture(scope="module")
+def planner() -> ExecutionPlanner:
+    """A planner pinned to 8 CPUs so decisions are machine-independent."""
+    return ExecutionPlanner(cpu_count=8, bench_path=BENCH_PATH)
+
+
+@pytest.fixture(scope="module")
+def tp() -> AlgorithmInfo:
+    return algorithm_registry.get("TP")
+
+
+class TestCalibration:
+    def test_loads_committed_bench(self):
+        calibration = load_bench_calibration(BENCH_PATH)
+        assert calibration.source == str(BENCH_PATH)
+        assert set(calibration.rates) == {"numpy", "reference"}
+        for backend in ("numpy", "reference"):
+            for algorithm in ("TP", "TP+", "Hilbert"):
+                assert calibration.rate(algorithm, backend) > 0
+
+    def test_missing_file_falls_back_to_defaults(self, tmp_path):
+        calibration = load_bench_calibration(tmp_path / "absent.json")
+        assert calibration.source == "defaults"
+        assert calibration.rate("TP", "numpy") > 0
+
+    def test_unknown_algorithm_uses_mean_rate(self):
+        calibration = load_bench_calibration(BENCH_PATH)
+        benched = [calibration.rate(name, "numpy") for name in ("TP", "TP+", "Hilbert")]
+        assert min(benched) <= calibration.rate("TDS", "numpy") <= max(benched)
+
+
+class TestShardDecisions:
+    def test_monotone_in_n(self, planner, tp):
+        """More rows never means fewer shards (the satellite requirement)."""
+        sizes = [1_000, 10_000, 100_000, 1_000_000, 5_000_000]
+        shard_choices = [planner.decide(tp, n=n, d=4, l=4).shards for n in sizes]
+        assert shard_choices == sorted(shard_choices)
+        assert shard_choices[0] == 1  # tiny tables are never sharded
+        assert shard_choices[-1] > 1  # huge tables are
+
+    def test_small_tables_run_unsharded_sequential(self, planner, tp):
+        decision = planner.decide(tp, n=2_500, d=4, l=6)
+        assert decision.shards == 1
+        assert decision.workers == 1
+
+    def test_bench_workload_matches_hand_tuned_best(self, planner, tp):
+        """Acceptance: within 10% of the best hand-tuned setting on BENCH_fig6.
+
+        Measured, not self-referential: every hand-tunable sequential shard
+        count is actually run and timed at the benchmark's largest
+        cardinality, and the planner's chosen configuration must be within
+        10% of the fastest measured one.  Process-pool configurations are
+        excluded from the measured grid — ~50ms of pool spawn against a
+        ~3ms run can never win at this scale, it would only add noise.
+        """
+        for n in (800, 1_600, 2_500):
+            assert (planner.decide(tp, n=n, d=4, l=6).shards) == 1
+
+        from repro.dataset.synthetic import CensusConfig
+        from repro.engine import Engine, ResultCache, RunPlan, SyntheticSource
+
+        decision = planner.decide(tp, n=2_500, d=4, l=6)
+        source = SyntheticSource(
+            "SAL", n=2_500, seed=7, dimension=4, config=CensusConfig.scaled(0.24)
+        )
+        engine = Engine(cache=ResultCache())
+        measured: dict[int, float] = {}
+        for shards in (1, 2, 4):
+            measured[shards] = min(
+                engine.run(
+                    RunPlan(
+                        source=source, algorithm="TP", l=6,
+                        shards=shards, workers=1, use_cache=False,
+                    )
+                ).timings.anonymize_seconds
+                for _repeat in range(3)
+            )
+        assert measured[decision.shards] <= min(measured.values()) * 1.10
+
+    def test_never_shards_unsupported_algorithms(self, planner):
+        info = AlgorithmInfo(name="NoShard", runner=_noop_runner, supports_sharding=False)
+        for n in (1_000, 100_000, 10_000_000):
+            decision = planner.decide(info, n=n, d=4, l=4)
+            assert decision.shards == 1
+        assert any("supports_sharding=False" in reason for reason in decision.reasons)
+
+    def test_explicit_shards_on_unsupported_algorithm_raises(self, planner):
+        info = AlgorithmInfo(name="NoShard", runner=_noop_runner, supports_sharding=False)
+        with pytest.raises(ValueError, match="NoShard"):
+            planner.decide(info, n=10_000, d=4, l=4, shards=4)
+
+    def test_caller_overrides_are_honoured(self, planner, tp):
+        decision = planner.decide(tp, n=5_000_000, d=4, l=4, shards=2, workers=1)
+        assert decision.shards == 2
+        assert decision.workers == 1
+
+    def test_workers_never_exceed_cpu_or_shards(self, tp):
+        planner = ExecutionPlanner(cpu_count=2, bench_path=BENCH_PATH)
+        decision = planner.decide(tp, n=5_000_000, d=4, l=4)
+        assert decision.workers <= 2
+        assert decision.workers <= decision.shards
+
+    def test_single_cpu_machines_stay_sequential(self, tp):
+        planner = ExecutionPlanner(cpu_count=1, bench_path=BENCH_PATH)
+        for n in (1_000, 1_000_000, 10_000_000):
+            assert planner.decide(tp, n=n, d=4, l=4).workers == 1
+
+
+class TestBackendDecisions:
+    def test_auto_picks_the_calibrated_faster_backend(self, planner, tp):
+        decision = planner.decide(tp, n=100_000, d=4, l=4, backend="auto")
+        # Every committed baseline has NumPy at or below the reference rate.
+        assert decision.backend == "numpy"
+
+    def test_none_keeps_the_process_backend(self, planner, tp):
+        from repro.backend import use_backend
+
+        with use_backend("reference"):
+            assert planner.decide(tp, n=1_000, d=4, l=4).backend == "reference"
+        assert planner.decide(tp, n=1_000, d=4, l=4).backend == "numpy"
+
+    def test_explicit_backend_wins(self, planner, tp):
+        decision = planner.decide(tp, n=1_000, d=4, l=4, backend="reference")
+        assert decision.backend == "reference"
+
+
+class TestExplain:
+    def test_explain_lists_candidates_and_choice(self, planner, tp):
+        decision = planner.decide(tp, n=1_000_000, d=4, l=4)
+        text = decision.explain()
+        assert f"shards={decision.shards}" in text
+        assert "candidates" in text
+        assert str(BENCH_PATH) in text
+
+    def test_decisions_are_deterministic(self, planner, tp):
+        first = planner.decide(tp, n=750_000, d=4, l=4)
+        second = planner.decide(tp, n=750_000, d=4, l=4)
+        assert first == second
+
+
+class TestSuiteWorkers:
+    def test_tiny_suites_stay_sequential(self):
+        planner = ExecutionPlanner(
+            calibration=PlannerCalibration(), cpu_count=8
+        )
+        assert planner.suite_workers(jobs=12, estimated_total_seconds=0.01) == 1
+
+    def test_heavy_suites_fan_out(self):
+        planner = ExecutionPlanner(calibration=PlannerCalibration(), cpu_count=8)
+        assert planner.suite_workers(jobs=12, estimated_total_seconds=60.0) == 8
+
+    def test_single_cpu_never_fans_out(self):
+        planner = ExecutionPlanner(calibration=PlannerCalibration(), cpu_count=1)
+        assert planner.suite_workers(jobs=100, estimated_total_seconds=600.0) == 1
+
+    def test_width_bounded_by_jobs(self):
+        planner = ExecutionPlanner(calibration=PlannerCalibration(), cpu_count=8)
+        assert planner.suite_workers(jobs=3, estimated_total_seconds=60.0) == 3

@@ -1,0 +1,122 @@
+"""Tests for the bounded-memory CSV-to-CSV streaming pipeline."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.dataset.synthetic import CensusConfig, make_sal
+from repro.engine import CsvSource, Engine, ResultCache, RunPlan
+from repro.errors import IneligibleTableError
+from repro.service.streaming import stream_anonymize, verify_csv_l_diverse
+
+QI = ("Age", "Gender", "Race")
+SA = "Income"
+
+
+@pytest.fixture(scope="module")
+def census_csv(tmp_path_factory):
+    path = tmp_path_factory.mktemp("stream") / "census.csv"
+    table = make_sal(1_200, seed=7, config=CensusConfig.scaled(0.25)).project(QI)
+    table.to_csv(str(path))
+    return str(path), table
+
+
+def _source(path: str) -> CsvSource:
+    return CsvSource(path, QI, SA)
+
+
+def _published_rows(path: str) -> list[tuple[str, ...]]:
+    with open(path, newline="") as handle:
+        return [tuple(row[name] for name in (*QI, SA)) for row in csv.DictReader(handle)]
+
+
+class TestStreamAnonymize:
+    def test_matches_in_memory_sharded_run(self, census_csv, tmp_path):
+        """Streaming and the in-memory engine build identical QI-prefix shards,
+        so their published tables agree as multisets of rendered rows."""
+        path, _table = census_csv
+        output = str(tmp_path / "streamed.csv")
+        report = stream_anonymize(
+            _source(path), output, algorithm="TP", l=3, shards=3, chunk_rows=250
+        )
+        in_memory = Engine(cache=ResultCache()).run(
+            RunPlan(source=_source(path), algorithm="TP", l=3, shards=3)
+        )
+        assert report.n == in_memory.n
+        assert report.shard_sizes == in_memory.shard_sizes
+        assert report.stars == in_memory.generalized.star_count()
+        assert report.suppressed_tuples == in_memory.generalized.suppressed_tuple_count()
+        from repro.engine.sinks import render_cell_value
+
+        expected = sorted(
+            tuple(str(render_cell_value(record[name])) for name in (*QI, SA))
+            for record in in_memory.generalized.decoded_records()
+        )
+        assert sorted(_published_rows(output)) == expected
+
+    def test_chunk_size_does_not_change_the_result(self, census_csv, tmp_path):
+        path, _table = census_csv
+        small = str(tmp_path / "small-chunks.csv")
+        large = str(tmp_path / "large-chunks.csv")
+        a = stream_anonymize(_source(path), small, algorithm="TP", l=3, shards=3, chunk_rows=100)
+        b = stream_anonymize(_source(path), large, algorithm="TP", l=3, shards=3, chunk_rows=100_000)
+        assert a.shard_sizes == b.shard_sizes
+        assert a.stars == b.stars
+        assert sorted(_published_rows(small)) == sorted(_published_rows(large))
+
+    def test_output_is_l_diverse_and_complete(self, census_csv, tmp_path):
+        path, table = census_csv
+        output = str(tmp_path / "streamed.csv")
+        report = stream_anonymize(_source(path), output, algorithm="TP+", l=4, shards=2)
+        assert report.verified
+        rows = _published_rows(output)
+        assert len(rows) == len(table)
+        assert verify_csv_l_diverse(output, QI, SA, 4)
+        # The sensitive column survives as a multiset.
+        from collections import Counter
+
+        assert Counter(row[-1] for row in rows) == Counter(
+            str(record[SA]) for record in table.decoded_records()
+        )
+
+    def test_planner_chooses_shards_when_unset(self, census_csv, tmp_path):
+        path, _table = census_csv
+        output = str(tmp_path / "auto.csv")
+        report = stream_anonymize(_source(path), output, algorithm="TP", l=3)
+        # 1200 rows is far below the sharding payoff threshold.
+        assert report.shard_sizes == (1_200,)
+        assert report.verified
+
+    def test_ineligible_table_raises(self, tmp_path):
+        path = tmp_path / "skewed.csv"
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["Q", "S"])
+            writer.writerows([["a", "flu"]] * 9 + [["b", "cold"]])
+        with pytest.raises(IneligibleTableError):
+            stream_anonymize(
+                CsvSource(str(path), ("Q",), "S"), str(tmp_path / "out.csv"), l=5
+            )
+
+    def test_invalid_chunk_rows_raises(self, census_csv, tmp_path):
+        path, _table = census_csv
+        with pytest.raises(ValueError, match="chunk_rows"):
+            stream_anonymize(_source(path), str(tmp_path / "o.csv"), l=2, chunk_rows=0)
+
+
+class TestVerifyCsv:
+    def test_rejects_a_non_diverse_file(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow([*QI, SA])
+            writer.writerows([["*", "*", "*", "flu"]] * 3 + [["*", "*", "*", "cold"]])
+        assert not verify_csv_l_diverse(path, QI, SA, 2)
+        assert verify_csv_l_diverse(path, QI, SA, 1)
+
+    def test_rejects_an_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("A,B,C,S\n")
+        assert not verify_csv_l_diverse(path, ("A", "B", "C"), "S", 2)

@@ -185,3 +185,204 @@ class TestShardedAnonymize:
         # Non-starred cells must round-trip through the published CSV.
         published_sa = [row["Income"] for row in rows]
         assert published_sa == [str(record["Income"]) for record in table.decoded_records()]
+
+
+class TestOutputSink:
+    def test_anonymize_without_output_prints_only(self, hospital_csv, capsys):
+        code = main(
+            [
+                "anonymize",
+                "--input", hospital_csv,
+                "--qi", "Age,Gender,Education",
+                "--sa", "Disease",
+                "--l", "2",
+                "--algorithm", "TP",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "stars" in captured
+        assert "published table written" not in captured
+
+    def test_output_round_trips_through_csv_sink(self, hospital_csv, tmp_path, capsys):
+        output = str(tmp_path / "published.csv")
+        code = main(
+            [
+                "anonymize",
+                "--input", hospital_csv,
+                "--qi", "Age,Gender,Education",
+                "--sa", "Disease",
+                "--l", "2",
+                "--algorithm", "TP",
+                "--output", output,
+            ]
+        )
+        assert code == 0
+        with open(output, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        # The sink's export must match the in-memory published table, cell
+        # for cell, including the star rendering.
+        from repro.engine import Engine, ResultCache, RunPlan, CsvSource
+
+        report = Engine(cache=ResultCache()).run(
+            RunPlan(
+                source=CsvSource(hospital_csv, ("Age", "Gender", "Education"), "Disease"),
+                algorithm="TP",
+                l=2,
+            )
+        )
+        expected = report.generalized.decoded_records()
+        assert len(rows) == len(expected)
+        for row, record in zip(rows, expected):
+            for name, value in record.items():
+                rendered = (
+                    "{" + "|".join(str(item) for item in value) + "}"
+                    if isinstance(value, tuple)
+                    else str(value)
+                )
+                assert row[name] == rendered
+
+
+class TestRunStoreReuse:
+    def test_fresh_invocation_is_served_from_the_store(self, hospital_csv, tmp_path, capsys):
+        workspace = str(tmp_path / "workspace")
+        arguments = [
+            "anonymize",
+            "--input", hospital_csv,
+            "--qi", "Age,Gender,Education",
+            "--sa", "Disease",
+            "--l", "2",
+            "--algorithm", "TP",
+            "--workspace", workspace,
+        ]
+        assert main(arguments) == 0
+        first = capsys.readouterr().out
+        assert "persistent run store" not in first
+        # Each main() builds a fresh Engine and ResultCache; only the JSONL
+        # store under the workspace persists — exactly the fresh-process case.
+        assert main(arguments) == 0
+        second = capsys.readouterr().out
+        assert "persistent run store" in second
+
+    def test_no_store_disables_reuse(self, hospital_csv, tmp_path, capsys):
+        arguments = [
+            "anonymize",
+            "--input", hospital_csv,
+            "--qi", "Age,Gender,Education",
+            "--sa", "Disease",
+            "--l", "2",
+            "--no-store",
+        ]
+        assert main(arguments) == 0
+        capsys.readouterr()
+        assert main(arguments) == 0
+        assert "persistent run store" not in capsys.readouterr().out
+
+
+class TestPlanCommand:
+    def test_plan_explains_the_decision(self, hospital_csv, capsys):
+        code = main(
+            [
+                "plan",
+                "--input", hospital_csv,
+                "--qi", "Age,Gender,Education",
+                "--sa", "Disease",
+                "--l", "2",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "workload: n=10 d=3 l=2" in output
+        assert "chosen: shards=1 workers=1" in output
+        assert "candidates" in output
+
+
+class TestJobsCommands:
+    def _submit(self, hospital_csv, workspace, extra=()):
+        return main(
+            [
+                "jobs", "submit",
+                "--input", hospital_csv,
+                "--qi", "Age,Gender,Education",
+                "--sa", "Disease",
+                "--l", "2",
+                "--algorithm", "TP",
+                "--workspace", workspace,
+                *extra,
+            ]
+        )
+
+    def test_submit_list_show_round_trip(self, hospital_csv, tmp_path, capsys):
+        workspace = str(tmp_path / "workspace")
+        assert self._submit(hospital_csv, workspace) == 0
+        assert "job job-0001: done" in capsys.readouterr().out
+
+        assert main(["jobs", "list", "--workspace", workspace]) == 0
+        listing = capsys.readouterr().out
+        assert "job-0001" in listing and "done" in listing
+
+        assert main(["jobs", "show", "job-0001", "--workspace", workspace]) == 0
+        shown = capsys.readouterr().out
+        assert "status: done" in shown
+        assert "algorithm: TP" in shown
+
+    def test_second_submission_reports_store_hit(self, hospital_csv, tmp_path, capsys):
+        workspace = str(tmp_path / "workspace")
+        assert self._submit(hospital_csv, workspace) == 0
+        capsys.readouterr()
+        assert self._submit(hospital_csv, workspace) == 0
+        assert "persistent run store" in capsys.readouterr().out
+
+    def test_show_unknown_job_fails(self, tmp_path, capsys):
+        workspace = str(tmp_path / "workspace")
+        assert main(["jobs", "show", "job-0042", "--workspace", workspace]) == 1
+
+    def test_empty_list(self, tmp_path, capsys):
+        assert main(["jobs", "list", "--workspace", str(tmp_path / "ws")]) == 0
+        assert "no jobs recorded" in capsys.readouterr().out
+
+
+class TestStreamingAnonymize:
+    def test_stream_round_trip(self, tmp_path, capsys):
+        from repro.dataset.synthetic import CensusConfig, make_sal
+        from repro.service import verify_csv_l_diverse
+
+        table = make_sal(1200, seed=7, config=CensusConfig.scaled(0.25)).project(
+            ("Age", "Gender", "Race")
+        )
+        source_path = str(tmp_path / "census.csv")
+        table.to_csv(source_path)
+        output_path = str(tmp_path / "published.csv")
+        code = main(
+            [
+                "anonymize",
+                "--input", source_path,
+                "--qi", "Age,Gender,Race",
+                "--sa", "Income",
+                "--l", "3",
+                "--algorithm", "TP",
+                "--shards", "3",
+                "--chunk-rows", "300",
+                "--stream",
+                "--output", output_path,
+            ]
+        )
+        assert code == 0
+        assert "streamed 1200 rows" in capsys.readouterr().out
+        with open(output_path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(table)
+        assert verify_csv_l_diverse(output_path, ("Age", "Gender", "Race"), "Income", 3)
+
+    def test_stream_requires_output(self, hospital_csv, capsys):
+        code = main(
+            [
+                "anonymize",
+                "--input", hospital_csv,
+                "--qi", "Age,Gender,Education",
+                "--sa", "Disease",
+                "--l", "2",
+                "--stream",
+            ]
+        )
+        assert code == 2

@@ -75,6 +75,19 @@ class TestSubpackageImports:
             "repro.experiments.config",
             "repro.experiments.harness",
             "repro.experiments.figures",
+            "repro.engine",
+            "repro.engine.registry",
+            "repro.engine.cache",
+            "repro.engine.core",
+            "repro.engine.sources",
+            "repro.engine.sinks",
+            "repro.engine.sharding",
+            "repro.service",
+            "repro.service.store",
+            "repro.service.planner",
+            "repro.service.streaming",
+            "repro.service.jobs",
+            "repro.service.workspace",
             "repro.cli",
             "repro.errors",
         ],
@@ -86,7 +99,8 @@ class TestSubpackageImports:
     @pytest.mark.parametrize(
         "module",
         ["repro.core", "repro.dataset", "repro.baselines", "repro.metrics",
-         "repro.privacy", "repro.hardness", "repro.experiments"],
+         "repro.privacy", "repro.hardness", "repro.experiments", "repro.engine",
+         "repro.service"],
     )
     def test_subpackage_all_resolves(self, module):
         imported = importlib.import_module(module)
