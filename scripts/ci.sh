@@ -14,6 +14,12 @@
 # streaming checker, and proves a fresh-process rerun is served from the
 # persistent run store.
 #
+# The server smoke (scripts/load_smoke.py) boots `ldiversity serve` in a
+# subprocess and hammers it with 8 concurrent clients (200 jobs): every
+# returned table must be independently l-diverse, repeated submissions must
+# be served from the persistent run store, a burst past the queue cap must
+# produce 429 + Retry-After, and the server must exit 0 on SIGTERM.
+#
 # The perf check re-times the figure-6 benchmark on the NumPy backend only
 # (well under a minute) and fails when it has regressed more than 2x against
 # the committed BENCH_fig6.json baseline.  Regenerate the baseline after an
@@ -41,6 +47,9 @@ python scripts/shard_smoke.py
 
 echo "== streaming smoke: 50k-row CSV->CSV under capped chunk size =="
 python scripts/streaming_smoke.py
+
+echo "== server smoke: 200 jobs / 8 clients against ldiversity serve =="
+python scripts/load_smoke.py --clients 8 --jobs 200
 
 echo "== perf smoke: bench_fig6 vs committed baseline =="
 python scripts/bench_baseline.py --check BENCH_fig6.json --repeats 3 --tolerance 2.0

@@ -1,0 +1,315 @@
+"""CI smoke check for the anonymization server under concurrent load.
+
+Boots ``ldiversity serve`` in a subprocess (unless ``--base-url`` points at a
+running server), then:
+
+1. **throughput + correctness** — ``--clients`` threads (default 8) submit
+   ``--jobs`` jobs (default 200) drawn from a small set of distinct
+   workloads, wait for each and fetch its result; every returned table must
+   be l-diverse (checked independently, in-process) and the sensitive
+   column must survive as a multiset on the inline workloads;
+2. **store reuse** — the workload set is much smaller than the job count, so
+   repeated identical submissions must be served from the persistent run
+   store (``store_hit``) rather than recomputed; the smoke asserts at least
+   one cross-request store hit (and reports the observed rate);
+3. **backpressure** — a burst of slow jobs from a non-retrying client must
+   produce at least one ``429`` with a ``Retry-After`` header once the
+   bounded queue fills, and still-queued burst jobs are then cancelled
+   through the API (exercising the ``cancelled`` lifecycle state);
+4. **clean shutdown** — the server subprocess must exit with code 0 on
+   SIGTERM.
+
+Exit code 0 on success, 1 on any violation::
+
+    PYTHONPATH=src python scripts/load_smoke.py
+    PYTHONPATH=src python scripts/load_smoke.py --base-url http://127.0.0.1:8350
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from collections import Counter
+
+from repro.client import BackpressureError, Client, ClientError
+from repro.dataset.examples import hospital_microdata
+
+QUEUE_CAP = 8
+WORKERS = 4
+BURST_JOBS = 20
+BURST_N = 25_000
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}")
+    sys.exit(1)
+
+
+def rows_l_diverse(rows: list[list[str]], qi_width: int, l: int) -> bool:
+    """Independent eligibility check of a returned table (last column = SA)."""
+    histograms: dict[tuple, Counter] = {}
+    for row in rows:
+        key = tuple(row[:qi_width])
+        histograms.setdefault(key, Counter())[row[qi_width]] += 1
+    if not histograms:
+        return False
+    return all(
+        max(histogram.values()) * l <= sum(histogram.values())
+        for histogram in histograms.values()
+    )
+
+
+def workload_set() -> list[dict]:
+    """Distinct submissions; deliberately few so repeats hit the store."""
+    table = hospital_microdata()
+    rows = [
+        {key: str(value) for key, value in table.decoded_record(index).items()}
+        for index in range(len(table))
+    ]
+    qi = list(table.schema.qi_names)
+    sa = table.schema.sensitive.name
+    workloads: list[dict] = [
+        {"rows": rows, "qi": qi, "sa": sa, "l": 2, "algorithm": "TP"},
+        {"rows": rows, "qi": qi, "sa": sa, "l": 2, "algorithm": "TP+"},
+        {"rows": rows, "qi": qi, "sa": sa, "l": 2, "algorithm": "Hilbert"},
+    ]
+    for l, n, algorithm in (
+        (2, 200, "TP"),
+        (3, 300, "TP+"),
+        (4, 400, "TP"),
+        (4, 400, "TP+"),
+        (5, 500, "Hilbert"),
+        (2, 250, "Mondrian"),
+        (3, 350, "TP+"),
+    ):
+        workloads.append(
+            {
+                "source": {"kind": "synthetic", "dataset": "SAL", "n": n,
+                           "seed": 11, "dimension": 3},
+                "l": l,
+                "algorithm": algorithm,
+                "metrics": ["stars"],
+            }
+        )
+    return workloads
+
+
+class ClientWorker(threading.Thread):
+    """One synthetic user: submit -> wait -> fetch -> verify, in a loop."""
+
+    def __init__(self, index: int, base_url: str, jobs: int, workloads: list[dict]):
+        super().__init__(daemon=True)
+        self.index = index
+        self.client = Client(
+            base_url,
+            client_id=f"load-{index}",
+            retries=30,
+            backoff_seconds=0.05,
+            timeout=60.0,
+        )
+        self.jobs = jobs
+        self.workloads = workloads
+        self.completed = 0
+        self.store_hits = 0
+        self.errors: list[str] = []
+
+    def run(self) -> None:
+        for round_number in range(self.jobs):
+            workload = self.workloads[(self.index + round_number) % len(self.workloads)]
+            try:
+                record, result = self.client.submit_and_wait(timeout=120.0, **workload)
+            except Exception as error:  # noqa: BLE001 - collected, reported below
+                self.errors.append(f"{type(error).__name__}: {error}")
+                return
+            qi_width = len(result["header"]) - 1
+            if not result["verified"]:
+                self.errors.append(f"{record['id']}: server did not verify the output")
+                return
+            if not rows_l_diverse(result["rows"], qi_width, workload["l"]):
+                self.errors.append(
+                    f"{record['id']}: returned table violates {workload['l']}-diversity"
+                )
+                return
+            if "rows" in workload:
+                sa_name = workload["sa"]
+                want = sorted(row[sa_name] for row in workload["rows"])
+                got = sorted(row[qi_width] for row in result["rows"])
+                if want != got:
+                    self.errors.append(f"{record['id']}: sensitive column was altered")
+                    return
+            self.completed += 1
+            if result["store_hit"]:
+                self.store_hits += 1
+
+
+def phase_backpressure(base_url: str) -> None:
+    """Burst slow jobs past the queue cap; demand a 429 with Retry-After."""
+    burst = Client(base_url, client_id="burst", retries=0)
+    accepted: list[str] = []
+    saw_429 = False
+    saw_retry_after = False
+    body = json.dumps(
+        {
+            "source": {"kind": "synthetic", "dataset": "SAL", "n": BURST_N, "seed": 5},
+            "l": 4,
+            "algorithm": "TP",
+        }
+    ).encode()
+    for _ in range(BURST_JOBS):
+        request = urllib.request.Request(
+            f"{base_url}/v1/jobs",
+            data=body,
+            headers={"Content-Type": "application/json", "X-Client-Id": "burst"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                accepted.append(json.loads(response.read())["id"])
+        except urllib.error.HTTPError as error:
+            error.read()
+            if error.code != 429:
+                fail(f"burst submission got HTTP {error.code}, expected 429")
+            saw_429 = True
+            if error.headers.get("Retry-After"):
+                saw_retry_after = True
+    if not saw_429:
+        fail(f"{BURST_JOBS} burst jobs never hit the {QUEUE_CAP}-deep queue cap (no 429)")
+    if not saw_retry_after:
+        fail("429 responses did not carry a Retry-After header")
+    # Free the queue: cancel everything still queued, let the rest finish.
+    cancelled = 0
+    for job_id in accepted:
+        try:
+            burst.cancel(job_id)
+            cancelled += 1
+        except ClientError:
+            pass  # already running or done; cancellation is queued-only
+    for job_id in accepted:
+        status = burst.status(job_id)["status"]
+        if status not in ("done", "failed", "cancelled"):
+            try:
+                burst.wait(job_id, timeout=180.0, poll_seconds=0.2)
+            except Exception:  # noqa: BLE001 - failed burst jobs are fine here
+                pass
+    print(
+        f"backpressure: {len(accepted)} accepted, "
+        f"{BURST_JOBS - len(accepted)} rejected with 429 (Retry-After set), "
+        f"{cancelled} cancelled"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--jobs", type=int, default=200, help="total jobs in phase 1")
+    parser.add_argument(
+        "--base-url", default=None, help="target an already-running server instead"
+    )
+    arguments = parser.parse_args()
+    if arguments.clients < 1 or arguments.jobs < arguments.clients:
+        parser.error("need at least one client and one job per client")
+
+    process: subprocess.Popen | None = None
+    workspace = tempfile.mkdtemp(prefix="load-smoke-ws-")
+    base_url = arguments.base_url
+    started = time.perf_counter()
+    try:
+        if base_url is None:
+            process = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro.cli", "serve",
+                    "--port", "0",
+                    "--workers", str(WORKERS),
+                    "--queue-cap", str(QUEUE_CAP),
+                    "--workspace", workspace,
+                ],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+            )
+            assert process.stdout is not None
+            boot_line = process.stdout.readline()
+            match = re.search(r"http://([\d.]+):(\d+)", boot_line)
+            if match is None:
+                process.kill()
+                fail(f"server did not announce an address: {boot_line!r}")
+            base_url = f"http://{match.group(1)}:{match.group(2)}"
+        probe = Client(base_url, client_id="probe")
+        health = probe.wait_until_ready(timeout=20.0)
+        print(f"server ready at {base_url} (version {health['version']})")
+
+        per_client = arguments.jobs // arguments.clients
+        workloads = workload_set()
+        workers = [
+            ClientWorker(index, base_url, per_client, workloads)
+            for index in range(arguments.clients)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=600)
+            if worker.is_alive():
+                fail(f"client {worker.index} did not finish within the deadline")
+        errors = [error for worker in workers for error in worker.errors]
+        if errors:
+            fail("; ".join(errors[:5]))
+        completed = sum(worker.completed for worker in workers)
+        store_hits = sum(worker.store_hits for worker in workers)
+        absorbed = sum(worker.client.backpressure_events for worker in workers)
+        elapsed = time.perf_counter() - started
+        if completed != per_client * arguments.clients:
+            fail(f"only {completed} of {per_client * arguments.clients} jobs completed")
+        if completed < 200 and arguments.jobs >= 200:
+            fail(f"acceptance requires >= 200 completed jobs, got {completed}")
+        if store_hits < 1:
+            fail("no submission was ever served from the persistent run store")
+        print(
+            f"throughput: {completed} jobs across {arguments.clients} clients "
+            f"in {elapsed:.1f}s ({completed / elapsed:.1f} jobs/s), "
+            f"{store_hits} store hits ({100.0 * store_hits / completed:.0f}%), "
+            f"{absorbed} backpressure responses absorbed by retries"
+        )
+
+        phase_backpressure(base_url)
+
+        health = probe.health()
+        jobs = health["jobs"]
+        if jobs["rejected_queue_full"] < 1:
+            fail("server health never counted a queue-full rejection")
+        if jobs["store_hits"] < 1:
+            fail("server health never counted a store hit")
+        print(f"health counters: {jobs}")
+
+        if process is not None:
+            process.send_signal(signal.SIGTERM)
+            output, _ = process.communicate(timeout=60)
+            if process.returncode != 0:
+                fail(f"server exited {process.returncode} on SIGTERM:\n{output}")
+            print("clean shutdown on SIGTERM (exit code 0)")
+            process = None
+        print("OK: load smoke passed")
+    except BackpressureError as error:
+        fail(f"client retry budget exhausted: {error}")
+    finally:
+        if process is not None:
+            # SIGTERM first: a SIGKILLed server cannot reap its pool workers,
+            # which would outlive the smoke blocked on the inherited call queue.
+            process.send_signal(signal.SIGTERM)
+            try:
+                process.communicate(timeout=30)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.communicate(timeout=10)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,10 +1,20 @@
 """Setup shim for environments without PEP 517 build isolation (offline installs)."""
 
+from pathlib import Path
+
 from setuptools import find_packages, setup
+
+# Single-sourced with repro.__version__; exec'd rather than imported so the
+# build does not require the runtime dependencies (numpy et al.).
+_version_globals: dict = {}
+exec(
+    Path(__file__).parent.joinpath("src", "repro", "_version.py").read_text(),
+    _version_globals,
+)
 
 setup(
     name="repro",
-    version="1.0.0",
+    version=_version_globals["__version__"],
     description=(
         "Reproduction of 'The Hardness and Approximation Algorithms for "
         "L-Diversity' (EDBT 2010)"

@@ -29,6 +29,7 @@ True
 """
 
 from repro import engine
+from repro._version import __version__
 from repro.core import exact, hybrid, matching, three_phase
 from repro.core.three_phase import ThreePhaseResult, anonymize
 from repro.dataset import examples as datasets
@@ -53,6 +54,5 @@ __all__ = [
     "hybrid",
     "matching",
     "three_phase",
+    "__version__",
 ]
-
-__version__ = "1.0.0"

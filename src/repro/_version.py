@@ -1,0 +1,9 @@
+"""Single source of truth for the package version.
+
+``setup.py`` exec's this file (it must stay importable without the package's
+dependencies installed), ``repro.__init__`` re-exports it, the CLI's
+``--version`` flag prints it, and the HTTP server reports it in
+``GET /v1/health``.
+"""
+
+__version__ = "1.0.0"

@@ -14,9 +14,18 @@ Sub-commands:
 ``ldiversity plan``
     Explain what the planner would choose for a workload (and why), without
     running it.
-``ldiversity jobs submit / list / show``
-    Run through the job service, which appends an auditable record of every
-    submission to the workspace ledger.
+``ldiversity jobs submit / list / show / cancel``
+    Run through the job service, which appends an auditable lifecycle record
+    of every submission to the workspace ledger; ``cancel`` moves a
+    queued/running job (e.g. left behind by a crashed server) to
+    ``cancelled``.
+``ldiversity serve``
+    Boot the asyncio anonymization server (:mod:`repro.server`) on a host /
+    port with a bounded worker pool, queue-depth backpressure and optional
+    per-client rate limiting.
+``ldiversity verify``
+    Independently check any published CSV for l-diversity with the streaming
+    verifier (exit code 1 on a violation).
 ``ldiversity evaluate``
     Anonymize a CSV file with several algorithms and print the standard
     metrics side by side.
@@ -57,9 +66,14 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro._version import __version__
+
     parser = argparse.ArgumentParser(
         prog="ldiversity",
         description="l-diversity anonymization (EDBT 2010 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -100,6 +114,50 @@ def build_parser() -> argparse.ArgumentParser:
     show = jobs_sub.add_parser("show", help="show one recorded job in full")
     show.add_argument("job_id", help="job id as printed by `jobs list`")
     _add_workspace_arguments(show)
+    cancel = jobs_sub.add_parser("cancel", help="cancel a queued/running job")
+    cancel.add_argument("job_id", help="job id as printed by `jobs list`")
+    _add_workspace_arguments(cancel)
+
+    verify = subparsers.add_parser(
+        "verify", help="check a published CSV for l-diversity (streaming)"
+    )
+    _add_io_arguments(verify)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the asynchronous anonymization HTTP server"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8350, help="bind port (0 = ephemeral, printed on boot)"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="process-pool width draining the job queue"
+    )
+    serve.add_argument(
+        "--queue-cap",
+        type=int,
+        default=16,
+        help="queued-job bound; submissions beyond it get 429 + Retry-After",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        help="per-client submissions per second (default: unlimited)",
+    )
+    serve.add_argument(
+        "--rate-burst",
+        type=float,
+        default=None,
+        help="per-client burst size (default: max(1, rate))",
+    )
+    serve.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=8 * 1024 * 1024,
+        help="reject request bodies larger than this with 413",
+    )
+    _add_workspace_arguments(serve)
 
     evaluate = subparsers.add_parser("evaluate", help="compare algorithms on a CSV file")
     _add_io_arguments(evaluate)
@@ -332,7 +390,74 @@ def _command_jobs(arguments: argparse.Namespace) -> int:
         for key, value in dataclasses.asdict(record).items():
             print(f"{key}: {value}")
         return 0
+    if arguments.jobs_command == "cancel":
+        from repro.service.jobs import JobStateError
+
+        service = _job_service(arguments)
+        try:
+            record = service.cancel(arguments.job_id)
+        except (KeyError, JobStateError) as error:
+            print(str(error), file=sys.stderr)
+            return 1
+        print(f"job {record.id}: {record.status}")
+        return 0
     return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _command_verify(arguments: argparse.Namespace) -> int:
+    from repro.service import verify_csv_l_diverse
+
+    qi_names = tuple(name.strip() for name in arguments.qi.split(",") if name.strip())
+    diverse = verify_csv_l_diverse(arguments.input, qi_names, arguments.sa, arguments.l)
+    if diverse:
+        print(f"OK: {arguments.input} satisfies {arguments.l}-diversity")
+        return 0
+    print(
+        f"FAIL: {arguments.input} violates {arguments.l}-diversity "
+        f"(or holds no rows)",
+        file=sys.stderr,
+    )
+    return 1
+
+
+def _command_serve(arguments: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.server import AnonymizationServer
+
+    server = AnonymizationServer(
+        workspace=arguments.workspace,
+        workers=arguments.workers,
+        queue_cap=arguments.queue_cap,
+        rate_limit=arguments.rate_limit,
+        rate_burst=arguments.rate_burst,
+        max_body_bytes=arguments.max_body_bytes,
+        use_store=not arguments.no_store,
+    )
+
+    async def _serve() -> None:
+        host, port = await server.start(arguments.host, arguments.port)
+        print(
+            f"serving on http://{host}:{port} "
+            f"(workers={arguments.workers} queue_cap={arguments.queue_cap} "
+            f"workspace={server.workspace.root})",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signal_number in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signal_number, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX loops
+                pass
+        await stop.wait()
+        print("shutting down (draining running jobs)...", flush=True)
+        await server.shutdown(drain_seconds=5.0)
+
+    asyncio.run(_serve())
+    print("server stopped", flush=True)
+    return 0
 
 
 def _command_evaluate(arguments: argparse.Namespace) -> int:
@@ -412,6 +537,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_plan(arguments)
     if arguments.command == "jobs":
         return _command_jobs(arguments)
+    if arguments.command == "verify":
+        return _command_verify(arguments)
+    if arguments.command == "serve":
+        return _command_serve(arguments)
     if arguments.command == "evaluate":
         return _command_evaluate(arguments)
     if arguments.command == "experiment":

@@ -1,0 +1,306 @@
+"""Python SDK for the anonymization server (:mod:`repro.server`).
+
+A thin, dependency-free HTTP client over :mod:`urllib.request` implementing
+the server's citizenship contract:
+
+* **retry with backoff** — ``429``/``503`` responses are retried after the
+  server's ``Retry-After`` (falling back to capped exponential backoff), so
+  a burst of submissions degrades into a queue instead of an error storm;
+  connection refusals retry the same way, which also makes
+  :meth:`Client.wait_until_ready` a one-liner for boot races;
+* **job lifecycle** — :meth:`Client.submit` (inline rows, CSV text/file, or
+  a synthetic spec), :meth:`Client.wait` (poll until terminal),
+  :meth:`Client.result` / :meth:`Client.result_csv`, :meth:`Client.cancel`;
+* **introspection** — :meth:`Client.health`, :meth:`Client.algorithms`,
+  :meth:`Client.metrics`, :meth:`Client.plan`.
+
+Example::
+
+    from repro.client import Client
+
+    client = Client("http://127.0.0.1:8350", client_id="analytics")
+    job_id = client.submit(rows=rows, qi=["Age", "Zip"], sa="Disease", l=4)
+    record = client.wait(job_id)
+    assert record["status"] == "done"
+    table = client.result(job_id)          # {"header": [...], "rows": [...]}
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Callable
+
+from repro.errors import ReproError
+
+__all__ = ["BackpressureError", "Client", "ClientError", "JobFailedError"]
+
+#: Statuses after which a job will never change again.
+TERMINAL_STATUSES = ("done", "failed", "cancelled")
+
+
+class ClientError(ReproError):
+    """An HTTP error response from the server (after retries, if any)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class BackpressureError(ClientError):
+    """The server kept answering 429/503 until the retry budget ran out."""
+
+
+class JobFailedError(ReproError):
+    """A waited-on job reached a terminal state other than ``done``."""
+
+    def __init__(self, record: dict) -> None:
+        super().__init__(
+            f"job {record.get('id')} {record.get('status')}: {record.get('error', '')}"
+        )
+        self.record = record
+
+
+class Client:
+    """HTTP client for one anonymization server."""
+
+    def __init__(
+        self,
+        base_url: str,
+        client_id: str | None = None,
+        timeout: float = 30.0,
+        retries: int = 6,
+        backoff_seconds: float = 0.1,
+        max_backoff_seconds: float = 5.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.client_id = client_id
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff_seconds = backoff_seconds
+        self.max_backoff_seconds = max_backoff_seconds
+        self._sleep = sleep
+        #: 429/503 responses absorbed by retries (useful in load tests).
+        self.backpressure_events = 0
+
+    # ---------------------------------------------------------------- plumbing
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        content_type: str = "application/json",
+        retry: bool = True,
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One HTTP exchange with retry-on-backpressure; returns (status, headers, body)."""
+        url = self.base_url + path
+        headers = {"Content-Type": content_type} if body is not None else {}
+        if self.client_id:
+            headers["X-Client-Id"] = self.client_id
+        attempts = self.retries if retry else 0
+        delay = self.backoff_seconds
+        last_error: ClientError | None = None
+        for attempt in range(attempts + 1):
+            request = urllib.request.Request(url, data=body, headers=headers, method=method)
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                    return response.status, dict(response.headers), response.read()
+            except urllib.error.HTTPError as error:
+                payload = error.read()
+                if error.code in (429, 503):
+                    if attempt < attempts:
+                        self.backpressure_events += 1
+                        wait = self._retry_after(dict(error.headers), delay)
+                        delay = min(delay * 2, self.max_backoff_seconds)
+                        self._sleep(wait)
+                        last_error = BackpressureError(
+                            error.code, self._message(payload)
+                        )
+                        continue
+                    if attempts:  # budget spent on backpressure alone
+                        raise BackpressureError(
+                            error.code, self._message(payload)
+                        ) from None
+                raise ClientError(error.code, self._message(payload)) from None
+            except urllib.error.URLError as error:
+                if attempt < attempts:
+                    self._sleep(delay)
+                    delay = min(delay * 2, self.max_backoff_seconds)
+                    last_error = ClientError(0, f"connection failed: {error.reason}")
+                    continue
+                raise ClientError(0, f"connection failed: {error.reason}") from None
+        assert last_error is not None
+        raise BackpressureError(last_error.status, last_error.message)
+
+    def _retry_after(self, headers: dict[str, str], fallback: float) -> float:
+        for name, value in headers.items():
+            if name.lower() == "retry-after":
+                try:
+                    return min(float(value), self.max_backoff_seconds)
+                except ValueError:
+                    break
+        return fallback
+
+    @staticmethod
+    def _message(payload: bytes) -> str:
+        try:
+            return json.loads(payload.decode("utf-8")).get("error", payload.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return payload.decode("utf-8", "replace")
+
+    def _json(self, method: str, path: str, payload: dict | None = None, retry: bool = True) -> dict:
+        body = None
+        if payload is not None:
+            body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        _status, _headers, raw = self._request(method, path, body=body, retry=retry)
+        return json.loads(raw.decode("utf-8")) if raw else {}
+
+    # ------------------------------------------------------------ introspection
+
+    def health(self) -> dict:
+        return self._json("GET", "/v1/health")
+
+    def wait_until_ready(self, timeout: float = 10.0, poll_seconds: float = 0.1) -> dict:
+        """Poll ``/v1/health`` until the server answers (boot race helper)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self._json("GET", "/v1/health", retry=False)
+            except ClientError as error:
+                if error.status != 0 or time.monotonic() >= deadline:
+                    raise
+            self._sleep(poll_seconds)
+
+    def algorithms(self) -> list[dict]:
+        return self._json("GET", "/v1/algorithms")["algorithms"]
+
+    def metrics(self) -> list[dict]:
+        return self._json("GET", "/v1/metrics")["metrics"]
+
+    def plan(self, n: int, l: int, algorithm: str = "TP+", d: int = 1, **fields) -> dict:
+        payload = {"n": n, "l": l, "algorithm": algorithm, "d": d, **fields}
+        return self._json("POST", "/v1/plan", payload)
+
+    # ---------------------------------------------------------------- lifecycle
+
+    def submit(
+        self,
+        l: int,
+        algorithm: str = "TP+",
+        rows: list | None = None,
+        columns: list[str] | None = None,
+        qi: list[str] | None = None,
+        sa: str | None = None,
+        source: dict | None = None,
+        csv_text: str | None = None,
+        csv_path: str | None = None,
+        metrics: list[str] | None = None,
+        shards: int | None = None,
+        backend: str | None = None,
+        seed: int = 0,
+    ) -> str:
+        """Submit one job (inline rows, a CSV body, or a source spec); returns its id.
+
+        Exactly one of ``rows``, ``source``, ``csv_text`` or ``csv_path`` must
+        be given.  ``rows`` may be dicts (keyed by column name) or lists with
+        ``columns``; CSV submissions upload the text with ``qi``/``sa``/``l``
+        as query parameters.
+        """
+        provided = [x is not None for x in (rows, source, csv_text, csv_path)]
+        if sum(provided) != 1:
+            raise ValueError("provide exactly one of rows / source / csv_text / csv_path")
+        if csv_path is not None:
+            with open(csv_path) as handle:
+                csv_text = handle.read()
+        if csv_text is not None:
+            if not qi or not sa:
+                raise ValueError("csv submissions require qi and sa")
+            from urllib.parse import urlencode
+
+            params: dict[str, str] = {
+                "qi": ",".join(qi),
+                "sa": sa,
+                "l": str(l),
+                "algorithm": algorithm,
+                "seed": str(seed),
+            }
+            if metrics:
+                params["metrics"] = ",".join(metrics)
+            if shards is not None:
+                params["shards"] = str(shards)
+            if backend is not None:
+                params["backend"] = backend
+            _status, _headers, raw = self._request(
+                "POST",
+                "/v1/jobs?" + urlencode(params),
+                body=csv_text.encode("utf-8"),
+                content_type="text/csv",
+            )
+            return json.loads(raw.decode("utf-8"))["id"]
+        payload: dict = {"algorithm": algorithm, "l": l, "seed": seed}
+        if metrics:
+            payload["metrics"] = list(metrics)
+        if shards is not None:
+            payload["shards"] = shards
+        if backend is not None:
+            payload["backend"] = backend
+        if rows is not None:
+            payload["rows"] = rows
+            payload["qi"] = list(qi or ())
+            payload["sa"] = sa
+            if columns is not None:
+                payload["columns"] = list(columns)
+        else:
+            payload["source"] = source
+        return self._json("POST", "/v1/jobs", payload)["id"]
+
+    def status(self, job_id: str) -> dict:
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        return self._json("GET", "/v1/jobs")["jobs"]
+
+    def wait(self, job_id: str, timeout: float = 120.0, poll_seconds: float = 0.05) -> dict:
+        """Poll until the job reaches a terminal status; returns its record.
+
+        Raises :class:`JobFailedError` when that status is not ``done`` and
+        :class:`TimeoutError` when the deadline passes first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.status(job_id)
+            if record["status"] in TERMINAL_STATUSES:
+                if record["status"] != "done":
+                    raise JobFailedError(record)
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} still {record['status']} after {timeout}s")
+            self._sleep(poll_seconds)
+
+    def result(self, job_id: str) -> dict:
+        """The JSON result payload of a done job (header, rows, metrics, tiers)."""
+        return self._json("GET", f"/v1/jobs/{job_id}/result")
+
+    def result_csv(self, job_id: str) -> str:
+        """The published table of a done job as CSV text."""
+        _status, _headers, raw = self._request(
+            "GET", f"/v1/jobs/{job_id}/result?format=csv"
+        )
+        return raw.decode("utf-8")
+
+    def job_metrics(self, job_id: str) -> dict:
+        return self._json("GET", f"/v1/jobs/{job_id}/metrics")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._json("POST", f"/v1/jobs/{job_id}/cancel", {})
+
+    def submit_and_wait(self, timeout: float = 120.0, **submit_fields) -> tuple[dict, dict]:
+        """Submit, wait for ``done``, fetch the result; returns (record, result)."""
+        job_id = self.submit(**submit_fields)
+        record = self.wait(job_id, timeout=timeout)
+        return record, self.result(job_id)

@@ -1,0 +1,722 @@
+"""Anonymization-as-a-service: the asyncio HTTP application.
+
+:class:`AnonymizationServer` exposes the planner/engine/store stack over a
+small JSON-over-HTTP surface (all under ``/v1``):
+
+====================================  ===================================================
+``POST /v1/jobs``                     submit a job: JSON body with inline ``rows``, a
+                                      ``source`` spec (synthetic or server-side CSV), or
+                                      a ``text/csv`` body with query parameters
+``GET  /v1/jobs``                     latest record of every job in the workspace ledger
+``GET  /v1/jobs/{id}``                job status (ledger record + queue position info)
+``GET  /v1/jobs/{id}/result``         published table (``?format=json`` or ``csv``)
+``GET  /v1/jobs/{id}/metrics``        metric values / timings / cache tier of a done job
+``POST /v1/jobs/{id}/cancel``         cancel a still-queued job
+``GET  /v1/algorithms``               algorithm registry with capability metadata
+``GET  /v1/metrics``                  metric registry
+``POST /v1/plan``                     explain the planner's decision for a workload
+``GET  /v1/health``                   liveness, version, queue depth, job counters
+====================================  ===================================================
+
+Submissions are validated against the registries *before* queueing, then run
+asynchronously on the bounded :class:`~repro.server.pool.WorkerPool`; the
+job lifecycle (``queued -> running -> done|failed|cancelled``) is persisted
+to the workspace's :class:`~repro.service.jobs.JobLedger`, so ``ldiversity
+jobs list`` sees server jobs and vice versa.  Two backpressure mechanisms
+protect the service under load, both answered with ``Retry-After``:
+
+* **queue depth** — a full worker queue rejects the submission with ``429``
+  (the estimate is an EMA of recent job durations);
+* **per-client rate limiting** — an optional token bucket per ``X-Client-Id``
+  (or peer address) rejects bursts with ``429`` before they reach the queue.
+
+``503`` is reserved for the draining window during shutdown.  Identical
+repeated submissions are served from the persistent run store by the worker
+(the result carries ``store_hit: true``), so a hot job costs one JSONL read
+instead of a recomputation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import csv
+import io
+import re
+import time
+from collections import OrderedDict
+from dataclasses import asdict
+from pathlib import Path
+from typing import Awaitable, Callable
+
+from repro._version import __version__
+from repro.engine.registry import algorithm_registry, metric_registry
+from repro.errors import UnknownEntryError
+from repro.server.pool import WorkerPool
+from repro.server.protocol import (
+    DEFAULT_MAX_BODY_BYTES,
+    HttpError,
+    Request,
+    json_response,
+    read_request,
+    render_response,
+)
+from repro.server.ratelimit import RateLimiter
+from repro.service.jobs import JobLedger, JobRecord, JobStateError
+from repro.service.workspace import Workspace
+
+__all__ = ["AnonymizationServer"]
+
+_BACKENDS = (None, "auto", "numpy", "reference")
+
+Handler = Callable[["AnonymizationServer", Request], Awaitable[bytes]]
+_ROUTES: list[tuple[str, re.Pattern[str], str]] = []
+
+
+def _route(method: str, pattern: str):
+    """Register a handler method for ``(method, path regex)``."""
+
+    def decorator(function):
+        _ROUTES.append((method, re.compile(pattern), function.__name__))
+        return function
+
+    return decorator
+
+
+def _require_int(payload: dict, key: str, minimum: int | None = None) -> int:
+    value = payload.get(key)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise HttpError(400, f"{key!r} must be an integer, got {value!r}")
+    if minimum is not None and value < minimum:
+        raise HttpError(400, f"{key!r} must be >= {minimum}, got {value}")
+    return value
+
+
+class AnonymizationServer:
+    """The asyncio HTTP server over the planner/engine/store stack."""
+
+    def __init__(
+        self,
+        workspace: Workspace | str | Path | None = None,
+        workers: int = 2,
+        queue_cap: int = 16,
+        rate_limit: float | None = None,
+        rate_burst: float | None = None,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        use_store: bool = True,
+        executor_kind: str = "process",
+        max_resident_jobs: int = 256,
+    ) -> None:
+        self.workspace = (
+            workspace if isinstance(workspace, Workspace) else Workspace(workspace)
+        )
+        self.ledger = JobLedger(self.workspace.jobs_path)
+        self.use_store = use_store
+        self.max_body_bytes = max_body_bytes
+        self.limiter = RateLimiter(rate_limit, rate_burst)
+        self.pool = WorkerPool(
+            workers=workers,
+            queue_cap=queue_cap,
+            transition=self._on_transition,
+            executor_kind=executor_kind,
+            workspace_root=str(self.workspace.root),
+            use_store=use_store,
+        )
+        #: job id -> {"record": JobRecord, "result": dict | None} for jobs
+        #: submitted to *this* server process.  Results are memory-resident
+        #: and bounded: beyond ``max_resident_jobs``, the oldest *terminal*
+        #: entries are evicted (status then falls back to the ledger; an
+        #: evicted result re-answers from the run store on resubmission).
+        self._jobs: OrderedDict[str, dict] = OrderedDict()
+        self.max_resident_jobs = max(max_resident_jobs, queue_cap + workers + 1)
+        self.stats = {
+            "submitted": 0,
+            "done": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "rejected_queue_full": 0,
+            "rejected_rate_limited": 0,
+            "store_hits": 0,
+        }
+        self._server: asyncio.base_events.Server | None = None
+        self._draining = False
+        self._started_at: float | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+
+    # -------------------------------------------------------------- lifecycle
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Bind and start serving; returns the actual (host, port)."""
+        await self.pool.start()
+        self._server = await asyncio.start_server(self._handle_connection, host, port)
+        name = self._server.sockets[0].getsockname()
+        self.host, self.port = name[0], name[1]
+        self._started_at = time.time()
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def shutdown(self, drain_seconds: float = 0.0) -> None:
+        """Stop accepting, optionally drain, cancel whatever never ran."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if drain_seconds > 0:
+            try:
+                await asyncio.wait_for(self.pool._queue.join(), timeout=drain_seconds)
+            except asyncio.TimeoutError:
+                pass
+        abandoned, interrupted = await self.pool.shutdown()
+        for job_id in abandoned:
+            self._discard_spool(job_id)
+            try:
+                record = self.ledger.cancel(job_id)
+            except (KeyError, JobStateError):
+                continue
+            self.stats["cancelled"] += 1
+            if job_id in self._jobs:
+                self._jobs[job_id]["record"] = record
+        for job_id in interrupted:
+            # The run outlived the grace window: the worker finished (or was
+            # torn down) without its drainer recording a terminal state.
+            # Close the lifecycle so clients never poll "running" forever.
+            self._discard_spool(job_id)
+            try:
+                record = self.ledger.transition(
+                    job_id,
+                    "cancelled",
+                    error="server shut down before the result was recorded",
+                )
+            except (KeyError, JobStateError):
+                continue
+            self.stats["cancelled"] += 1
+            if job_id in self._jobs:
+                self._jobs[job_id]["record"] = record
+
+    # ------------------------------------------------------------ connections
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        peer_name = peer[0] if isinstance(peer, tuple) else str(peer)
+        try:
+            try:
+                request = await read_request(reader, peer_name, self.max_body_bytes)
+                if request is None:
+                    return
+                response = await self._dispatch(request)
+            except HttpError as error:
+                response = json_response(
+                    error.status, {"error": error.message}, headers=error.headers
+                )
+            except Exception as error:  # noqa: BLE001 - last-resort 500
+                response = json_response(
+                    500, {"error": f"{type(error).__name__}: {error}"}
+                )
+            writer.write(response)
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - peer reset
+                pass
+
+    async def _dispatch(self, request: Request) -> bytes:
+        allowed: set[str] = set()
+        for method, pattern, handler_name in _ROUTES:
+            match = pattern.fullmatch(request.path)
+            if match is None:
+                continue
+            if method != request.method:
+                allowed.add(method)
+                continue
+            request.path_params = match.groupdict()
+            handler: Handler = getattr(type(self), handler_name)
+            return await handler(self, request)
+        if allowed:
+            raise HttpError(
+                405,
+                f"method {request.method} not allowed for {request.path}",
+                headers={"Allow": ", ".join(sorted(allowed))},
+            )
+        raise HttpError(404, f"no route for {request.path}")
+
+    # ------------------------------------------------------------- submission
+
+    @_route("POST", r"/v1/jobs")
+    async def _handle_submit(self, request: Request) -> bytes:
+        if self._draining:
+            raise HttpError(
+                503, "server is shutting down", headers={"Retry-After": "1"}
+            )
+        wait = self.limiter.check(request.client)
+        if wait > 0:
+            self.stats["rejected_rate_limited"] += 1
+            raise HttpError(
+                429,
+                f"client {request.client!r} is rate limited; retry in {wait:.3f}s",
+                headers={"Retry-After": str(max(1, int(wait + 0.999)))},
+            )
+        if self.pool.depth >= self.pool.queue_cap:
+            self.stats["rejected_queue_full"] += 1
+            retry_after = self.pool.retry_after()
+            raise HttpError(
+                429,
+                f"job queue is full ({self.pool.depth}/{self.pool.queue_cap})",
+                headers={"Retry-After": str(int(retry_after))},
+            )
+
+        content_type = request.headers.get("content-type", "application/json")
+        if content_type.split(";")[0].strip() == "text/csv":
+            label, spec, spool = self._spec_from_csv_upload(request)
+        else:
+            label, spec, spool = self._spec_from_json(request.json())
+
+        record = self.ledger.create(
+            label=label,
+            algorithm=spec["algorithm"],
+            l=spec["l"],
+            client=request.client,
+        )
+        if spool is not None:
+            # Spool files are named by job id so concurrent uploads never clash.
+            path = self.workspace.tmp_dir / f"upload-{record.id}.csv"
+            path.write_bytes(spool)
+            spec["source"]["path"] = str(path)
+        self._remember(record.id, record=record)
+        self.pool.submit(record.id, spec)  # capacity pre-checked above
+        self.stats["submitted"] += 1
+        return json_response(
+            202,
+            {"id": record.id, "status": record.status, "queue_depth": self.pool.depth},
+        )
+
+    def _spec_from_json(self, payload: dict) -> tuple[str, dict, bytes | None]:
+        """Validate a JSON submission; returns (label, spec, spooled CSV or None)."""
+        spec = self._base_spec(payload)
+        rows = payload.get("rows")
+        source = payload.get("source")
+        if (rows is None) == (source is None):
+            raise HttpError(400, "provide exactly one of 'rows' or 'source'")
+        if rows is not None:
+            label, spool = self._validate_inline_rows(payload, spec)
+            return label, spec, spool
+        if not isinstance(source, dict):
+            raise HttpError(400, f"'source' must be an object, got {source!r}")
+        kind = source.get("kind")
+        if kind == "synthetic":
+            dataset = str(source.get("dataset", "SAL")).upper()
+            if dataset not in ("SAL", "OCC"):
+                raise HttpError(400, f"unknown synthetic dataset {dataset!r}")
+            n = _require_int(source, "n", minimum=1) if "n" in source else 10_000
+            dimension = source.get("dimension")
+            if dimension is not None:
+                dimension = _require_int(source, "dimension", minimum=1)
+            spec["source"] = {
+                "kind": "synthetic",
+                "dataset": dataset,
+                "n": n,
+                "seed": _require_int(source, "seed") if "seed" in source else 7,
+                "dimension": dimension,
+            }
+            suffix = f"-{dimension}" if dimension is not None else ""
+            return f"{dataset}{suffix}@{n}", spec, None
+        if kind == "csv":
+            path = source.get("path")
+            if not isinstance(path, str) or not path:
+                raise HttpError(400, "csv source requires a 'path' string")
+            if not Path(path).is_file():
+                raise HttpError(400, f"csv source path {path!r} is not a server-side file")
+            qi, sa = self._validate_qi_sa(source)
+            spec["source"] = {"kind": "csv", "path": path, "qi": qi, "sa": sa}
+            return path, spec, None
+        raise HttpError(400, f"unknown source kind {kind!r} (use 'synthetic' or 'csv')")
+
+    def _spec_from_csv_upload(self, request: Request) -> tuple[str, dict, bytes]:
+        """Validate a ``text/csv`` upload driven by query parameters."""
+        query = dict(request.query)
+        if "l" not in query:
+            raise HttpError(400, "csv upload requires an 'l' query parameter")
+        try:
+            query["l"] = int(query["l"])
+        except ValueError:
+            raise HttpError(400, f"'l' must be an integer, got {query['l']!r}") from None
+        if "qi" in query:
+            query["qi"] = [name for name in query["qi"].split(",") if name]
+        if "metrics" in query:
+            query["metrics"] = [name for name in query["metrics"].split(",") if name]
+        for key in ("shards", "seed", "chunk_rows"):
+            if key in query:
+                try:
+                    query[key] = int(query[key])
+                except ValueError:
+                    raise HttpError(
+                        400, f"{key!r} must be an integer, got {query[key]!r}"
+                    ) from None
+        spec = self._base_spec(query)
+        qi, sa = self._validate_qi_sa(query)
+        if not request.body.strip():
+            raise HttpError(400, "csv upload body is empty")
+        header_line = request.body.split(b"\n", 1)[0].decode("utf-8", "replace")
+        header = next(csv.reader([header_line]))
+        missing = [name for name in (*qi, sa) if name not in header]
+        if missing:
+            raise HttpError(400, f"csv header {header} is missing columns {missing}")
+        spec["source"] = {"kind": "csv", "path": "", "qi": qi, "sa": sa}
+        label = f"upload({len(request.body)}B)"
+        return label, spec, request.body
+
+    def _base_spec(self, payload: dict) -> dict:
+        """The source-independent part of a job spec, validated against registries."""
+        algorithm = payload.get("algorithm", "TP+")
+        try:
+            info = algorithm_registry.get(algorithm)
+        except UnknownEntryError:
+            raise HttpError(
+                400,
+                f"unknown algorithm {algorithm!r}; known: "
+                f"{sorted(algorithm_registry.names())}",
+            ) from None
+        l = _require_int(payload, "l", minimum=2)
+        metrics = payload.get("metrics", [])
+        if not isinstance(metrics, list) or not all(isinstance(m, str) for m in metrics):
+            raise HttpError(400, f"'metrics' must be a list of names, got {metrics!r}")
+        for name in metrics:
+            try:
+                metric_registry.get(name)
+            except UnknownEntryError:
+                raise HttpError(
+                    400,
+                    f"unknown metric {name!r}; known: {sorted(metric_registry.names())}",
+                ) from None
+        shards = payload.get("shards")
+        if shards is not None:
+            shards = _require_int(payload, "shards", minimum=1)
+            if shards > 1 and not info.supports_sharding:
+                raise HttpError(
+                    400, f"algorithm {info.name!r} does not support sharded execution"
+                )
+        backend = payload.get("backend")
+        if backend not in _BACKENDS:
+            raise HttpError(400, f"unknown backend {backend!r}; known: {_BACKENDS[1:]}")
+        chunk_rows = payload.get("chunk_rows")
+        if chunk_rows is not None:
+            chunk_rows = _require_int(payload, "chunk_rows", minimum=1)
+        return {
+            "algorithm": info.name,
+            "l": l,
+            "metrics": list(metrics),
+            "shards": shards,
+            "backend": backend,
+            "seed": _require_int(payload, "seed") if "seed" in payload else 0,
+            "chunk_rows": chunk_rows,
+            "include_rows": True,
+        }
+
+    @staticmethod
+    def _validate_qi_sa(payload: dict) -> tuple[list[str], str]:
+        qi = payload.get("qi")
+        sa = payload.get("sa")
+        if not isinstance(qi, list) or not qi or not all(isinstance(q, str) for q in qi):
+            raise HttpError(400, f"'qi' must be a non-empty list of column names, got {qi!r}")
+        if not isinstance(sa, str) or not sa:
+            raise HttpError(400, f"'sa' must be a column name, got {sa!r}")
+        if sa in qi:
+            raise HttpError(400, f"sensitive column {sa!r} cannot also be a QI column")
+        return list(qi), sa
+
+    def _validate_inline_rows(self, payload: dict, spec: dict) -> tuple[str, bytes]:
+        """Validate inline ``rows`` and spool them into CSV bytes."""
+        qi, sa = self._validate_qi_sa(payload)
+        rows = payload["rows"]
+        if not isinstance(rows, list) or not rows:
+            raise HttpError(400, "'rows' must be a non-empty list")
+        columns = payload.get("columns")
+        if isinstance(rows[0], dict):
+            columns = list(qi) + [sa]
+            try:
+                cells = [[str(row[name]) for name in columns] for row in rows]
+            except (TypeError, KeyError) as error:
+                raise HttpError(
+                    400, f"row is missing column {error}: rows must be objects "
+                    f"with every qi/sa column"
+                ) from None
+        elif isinstance(rows[0], list):
+            if not isinstance(columns, list) or not columns:
+                raise HttpError(400, "list-shaped 'rows' require a 'columns' list")
+            missing = [name for name in (*qi, sa) if name not in columns]
+            if missing:
+                raise HttpError(400, f"'columns' {columns} is missing {missing}")
+            width = len(columns)
+            if any(not isinstance(row, list) or len(row) != width for row in rows):
+                raise HttpError(400, f"every row must be a list of {width} cells")
+            cells = [[str(cell) for cell in row] for row in rows]
+        else:
+            raise HttpError(400, "'rows' must contain objects or lists")
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(columns)
+        writer.writerows(cells)
+        spec["source"] = {"kind": "csv", "path": "", "qi": qi, "sa": sa}
+        return f"inline({len(rows)} rows)", buffer.getvalue().encode("utf-8")
+
+    # ------------------------------------------------------------ transitions
+
+    def _on_transition(
+        self, job_id: str, status: str, result: dict | None = None, error: str = ""
+    ) -> None:
+        """Pool callback (event-loop thread): persist + mirror a job transition."""
+        try:
+            if status == "running":
+                record = self.ledger.transition(job_id, "running")
+            elif status == "failed":
+                self.stats["failed"] += 1
+                record = self.ledger.transition(job_id, "failed", error=error)
+            elif status == "done":
+                assert result is not None
+                self.stats["done"] += 1
+                if result.get("store_hit"):
+                    self.stats["store_hits"] += 1
+                decision = result.get("decision") or {}
+                record = self.ledger.transition(
+                    job_id,
+                    "done",
+                    n=result["n"],
+                    d=result["d"],
+                    shards=decision.get("shards", 1),
+                    workers=decision.get("workers", 1),
+                    backend=decision.get("backend", ""),
+                    stars=result["stars"],
+                    suppressed_tuples=result["suppressed_tuples"],
+                    groups=result["groups"],
+                    seconds=result["seconds"],
+                    cache_hit=result["cache_hit"],
+                    store_hit=result["store_hit"],
+                    metric_values=result["metric_values"],
+                )
+            else:  # pragma: no cover - pool only emits the three above
+                return
+        except (KeyError, JobStateError):
+            # The ledger was mutated underneath us (e.g. an out-of-band CLI
+            # cancel); keep serving from memory rather than crash the drainer.
+            record = None
+        if status in ("done", "failed"):
+            self._discard_spool(job_id)
+        self._remember(job_id, record=record, result=result)
+
+    def _remember(
+        self, job_id: str, record: JobRecord | None, result: dict | None = None
+    ) -> None:
+        """Update the bounded in-memory job table (evicts oldest terminal entries)."""
+        entry = self._jobs.setdefault(job_id, {"record": None, "result": None})
+        if record is not None:
+            entry["record"] = record
+        if result is not None:
+            entry["result"] = result
+        self._jobs.move_to_end(job_id)
+        while len(self._jobs) > self.max_resident_jobs:
+            evicted = next(
+                (
+                    key
+                    for key, candidate in self._jobs.items()
+                    if candidate["record"] is None or candidate["record"].is_terminal()
+                ),
+                None,
+            )
+            if evicted is None:  # every resident job is still live; keep them
+                break
+            del self._jobs[evicted]
+
+    def _discard_spool(self, job_id: str) -> None:
+        """Delete a submission's spooled upload once the job can no longer read it."""
+        try:
+            (self.workspace.tmp_dir / f"upload-{job_id}.csv").unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - cleanup is best-effort
+            pass
+
+    # ----------------------------------------------------------------- status
+
+    def _record_for(self, job_id: str) -> JobRecord:
+        entry = self._jobs.get(job_id)
+        if entry is not None and entry["record"] is not None:
+            return entry["record"]
+        try:
+            return self.ledger.get(job_id)
+        except KeyError:
+            raise HttpError(404, f"no job {job_id!r}") from None
+
+    @_route("GET", r"/v1/jobs/(?P<id>[\w.-]+)")
+    async def _handle_status(self, request: Request) -> bytes:
+        record = self._record_for(request.path_params["id"])
+        payload = asdict(record)
+        payload["result_ready"] = (
+            self._jobs.get(record.id, {}).get("result") is not None
+        )
+        return json_response(200, payload)
+
+    @_route("GET", r"/v1/jobs")
+    async def _handle_list(self, request: Request) -> bytes:
+        records = [asdict(record) for record in self.ledger.list()]
+        return json_response(200, {"jobs": records})
+
+    def _result_for(self, job_id: str) -> dict:
+        record = self._record_for(job_id)
+        if record.status in ("queued", "running"):
+            raise HttpError(
+                409,
+                f"job {job_id} is {record.status}; result not ready",
+                headers={"Retry-After": "1"},
+            )
+        if record.status == "failed":
+            raise HttpError(409, f"job {job_id} failed: {record.error}")
+        if record.status == "cancelled":
+            raise HttpError(409, f"job {job_id} was cancelled")
+        entry = self._jobs.get(job_id)
+        result = entry.get("result") if entry else None
+        if result is None:
+            raise HttpError(
+                404,
+                f"job {job_id} is done but its result is no longer resident "
+                "(resubmit; the run store will answer it)",
+            )
+        return result
+
+    @_route("GET", r"/v1/jobs/(?P<id>[\w.-]+)/result")
+    async def _handle_result(self, request: Request) -> bytes:
+        result = self._result_for(request.path_params["id"])
+        format_name = request.query.get("format", "json")
+        if format_name == "json":
+            return json_response(200, result)
+        if format_name == "csv":
+            buffer = io.StringIO()
+            writer = csv.writer(buffer)
+            writer.writerow(result["header"])
+            writer.writerows(result["rows"])
+            return render_response(
+                200, buffer.getvalue().encode("utf-8"), content_type="text/csv"
+            )
+        raise HttpError(400, f"unknown result format {format_name!r} (json or csv)")
+
+    @_route("GET", r"/v1/jobs/(?P<id>[\w.-]+)/metrics")
+    async def _handle_job_metrics(self, request: Request) -> bytes:
+        result = self._result_for(request.path_params["id"])
+        payload = {key: value for key, value in result.items() if key not in ("rows", "header")}
+        return json_response(200, payload)
+
+    @_route("POST", r"/v1/jobs/(?P<id>[\w.-]+)/cancel")
+    async def _handle_cancel(self, request: Request) -> bytes:
+        job_id = request.path_params["id"]
+        record = self._record_for(job_id)
+        if record.is_terminal():
+            raise HttpError(409, f"job {job_id} is already {record.status}")
+        if not self.pool.cancel(job_id):
+            raise HttpError(
+                409, f"job {job_id} is {record.status}; only queued jobs can be cancelled"
+            )
+        try:
+            record = self.ledger.cancel(job_id)
+        except JobStateError as error:
+            raise HttpError(409, str(error)) from None
+        self.stats["cancelled"] += 1
+        self._discard_spool(job_id)
+        self._remember(job_id, record=record)
+        return json_response(200, asdict(record))
+
+    # ---------------------------------------------------------- introspection
+
+    @_route("GET", r"/v1/algorithms")
+    async def _handle_algorithms(self, request: Request) -> bytes:
+        entries = [
+            {
+                "name": info.name,
+                "description": info.description,
+                "complexity": info.complexity,
+                "approximation": info.approximation,
+                "supports_sharding": info.supports_sharding,
+                "deterministic": info.deterministic,
+            }
+            for info in algorithm_registry.entries()
+        ]
+        return json_response(200, {"algorithms": entries})
+
+    @_route("GET", r"/v1/metrics")
+    async def _handle_metrics(self, request: Request) -> bytes:
+        entries = [
+            {
+                "name": info.name,
+                "description": info.description,
+                "needs_source": info.needs_source,
+                "better": info.better,
+            }
+            for info in metric_registry.entries()
+        ]
+        return json_response(200, {"metrics": entries})
+
+    @_route("POST", r"/v1/plan")
+    async def _handle_plan(self, request: Request) -> bytes:
+        payload = request.json()
+        algorithm = payload.get("algorithm", "TP+")
+        try:
+            info = algorithm_registry.get(algorithm)
+        except UnknownEntryError:
+            raise HttpError(400, f"unknown algorithm {algorithm!r}") from None
+        n = _require_int(payload, "n", minimum=0)
+        d = _require_int(payload, "d", minimum=1) if "d" in payload else 1
+        l = _require_int(payload, "l", minimum=2)
+        from repro.service.planner import default_planner
+
+        try:
+            decision = default_planner().decide(
+                info,
+                n=n,
+                d=d,
+                l=l,
+                shards=payload.get("shards"),
+                workers=payload.get("workers"),
+                backend=payload.get("backend"),
+            )
+        except ValueError as error:
+            raise HttpError(400, str(error)) from None
+        return json_response(
+            200,
+            {
+                "shards": decision.shards,
+                "workers": decision.workers,
+                "backend": decision.backend,
+                "estimated_seconds": decision.estimated_seconds,
+                "reasons": list(decision.reasons),
+                "candidates": [list(entry) for entry in decision.candidates],
+            },
+        )
+
+    @_route("GET", r"/v1/health")
+    async def _handle_health(self, request: Request) -> bytes:
+        uptime = time.time() - self._started_at if self._started_at else 0.0
+        return json_response(
+            200,
+            {
+                "status": "draining" if self._draining else "ok",
+                "version": __version__,
+                "uptime_seconds": uptime,
+                "workers": self.pool.workers,
+                "queue_depth": self.pool.depth,
+                "queue_cap": self.pool.queue_cap,
+                "running": self.pool.running,
+                "rate_limit": {
+                    "enabled": self.limiter.enabled,
+                    "rate": self.limiter.rate,
+                    "burst": self.limiter.burst if self.limiter.enabled else None,
+                },
+                "store": self.use_store,
+                "workspace": str(self.workspace.root),
+                "jobs": dict(self.stats),
+            },
+        )

@@ -1,0 +1,329 @@
+"""Bounded async worker pool: queue, lifecycle callbacks, process fan-out.
+
+The HTTP layer never runs an anonymization itself: accepted jobs are encoded
+as a picklable *spec* dict and pushed onto a bounded :class:`asyncio.Queue`.
+A fixed set of drainer coroutines pops specs and executes them on a
+``concurrent.futures`` executor — by default a :class:`ProcessPoolExecutor`,
+so CPU-bound runs overlap across cores while the event loop stays free to
+answer status polls.  The queue bound is the server's backpressure contract:
+:meth:`WorkerPool.submit` raises :class:`QueueFullError` instead of buffering
+without limit, and the HTTP layer turns that into ``429 + Retry-After``.
+
+:func:`execute_job` (the executor entry point) builds a fresh
+:class:`~repro.engine.core.Engine` whose cache reads through the workspace's
+persistent :class:`~repro.service.store.RunStore` — each worker re-opens the
+JSONL store per job, so a repeated identical submission is a **store hit**
+even though every job runs in a different process.
+
+Lifecycle transitions (``running``/``done``/``failed``/``cancelled``) are
+reported through a single callback invoked on the event-loop thread; the
+server wires it to the in-memory job table and the persistent
+:class:`~repro.service.jobs.JobLedger`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable
+
+from repro.engine.cache import ResultCache
+from repro.engine.core import Engine, RunPlan
+from repro.engine.sinks import render_cell_value
+from repro.engine.sources import CsvSource, DataSource, SyntheticSource
+
+__all__ = ["QueueFullError", "WorkerPool", "build_source", "execute_job"]
+
+#: A transition callback: ``callback(job_id, status, result=None, error="")``.
+TransitionCallback = Callable[..., None]
+
+
+class QueueFullError(Exception):
+    """The pool's queue is at capacity; the caller should retry later.
+
+    ``retry_after`` is the pool's estimate of when a slot will free up — the
+    HTTP layer forwards it as the ``Retry-After`` header.
+    """
+
+    def __init__(self, depth: int, capacity: int, retry_after: float) -> None:
+        super().__init__(f"job queue full ({depth}/{capacity})")
+        self.depth = depth
+        self.capacity = capacity
+        self.retry_after = retry_after
+
+
+# --------------------------------------------------------------------- worker
+
+
+def build_source(spec: dict) -> DataSource:
+    """Build the :class:`DataSource` described by a job spec's ``source`` entry.
+
+    Raises :class:`ValueError` on malformed specs — the HTTP layer validates
+    before queueing, so this firing in a worker means a server bug.
+    """
+    kind = spec.get("kind")
+    if kind == "csv":
+        return CsvSource(
+            path=spec["path"],
+            qi_names=tuple(spec["qi"]),
+            sa_name=spec["sa"],
+            delimiter=spec.get("delimiter", ","),
+        )
+    if kind == "synthetic":
+        return SyntheticSource(
+            dataset=spec.get("dataset", "SAL"),
+            n=int(spec.get("n", 10_000)),
+            seed=int(spec.get("seed", 7)),
+            dimension=spec.get("dimension"),
+        )
+    raise ValueError(f"unknown source kind {kind!r}")
+
+
+def execute_job(spec: dict, workspace_root: str | None, use_store: bool) -> dict:
+    """Executor entry point: run one job spec, return a picklable result.
+
+    ``workers`` is pinned to 1 — parallelism belongs to the pool itself, and
+    nesting a process pool inside a pool worker would oversubscribe the host.
+    """
+    source = build_source(spec["source"])
+    plan = RunPlan(
+        source=source,
+        algorithm=spec["algorithm"],
+        l=int(spec["l"]),
+        shards=spec.get("shards"),
+        workers=1,
+        backend=spec.get("backend"),
+        seed=int(spec.get("seed", 0)),
+        metrics=tuple(spec.get("metrics", ())),
+        chunk_rows=spec.get("chunk_rows"),
+    )
+    if use_store:
+        from repro.service.workspace import Workspace
+
+        store = Workspace(workspace_root).run_store()
+        engine = Engine(cache=ResultCache(store=store))
+    else:
+        engine = Engine(cache=ResultCache())
+    report = engine.run(plan)
+
+    generalized = report.generalized
+    payload: dict = {
+        "label": report.label,
+        "algorithm": plan.algorithm,
+        "l": plan.l,
+        "n": report.n,
+        "d": report.d,
+        "stars": generalized.star_count(),
+        "suppressed_tuples": generalized.suppressed_tuple_count(),
+        "groups": len(generalized.groups()),
+        "phase_reached": report.phase_reached,
+        "metric_values": dict(report.metric_values),
+        "cache_hit": report.cache_hit,
+        "store_hit": report.store_hit,
+        "verified": report.verified,
+        "seconds": report.timings.total_seconds,
+        "timings": {
+            "load_seconds": report.timings.load_seconds,
+            "anonymize_seconds": report.timings.anonymize_seconds,
+            "metrics_seconds": report.timings.metrics_seconds,
+        },
+        "shard_sizes": list(report.shard_sizes),
+        "decision": {
+            "shards": report.decision.shards,
+            "workers": report.decision.workers,
+            "backend": report.decision.backend,
+        }
+        if report.decision is not None
+        else None,
+    }
+    if spec.get("include_rows", True):
+        schema = generalized.schema
+        header = list(schema.qi_names) + [schema.sensitive.name]
+        rows = []
+        for row in range(len(generalized)):
+            record = generalized.decoded_record(row)
+            rows.append([str(render_cell_value(record[name])) for name in header])
+        payload["header"] = header
+        payload["rows"] = rows
+    return payload
+
+
+# ----------------------------------------------------------------------- pool
+
+
+class WorkerPool:
+    """A bounded asyncio job queue drained onto a process/thread executor."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        queue_cap: int = 16,
+        transition: TransitionCallback | None = None,
+        executor_kind: str = "process",
+        workspace_root: str | None = None,
+        use_store: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_cap < 1:
+            raise ValueError(f"queue_cap must be >= 1, got {queue_cap}")
+        if executor_kind not in ("process", "thread"):
+            raise ValueError(f"unknown executor kind {executor_kind!r}")
+        self.workers = workers
+        self.queue_cap = queue_cap
+        self._transition = transition or (lambda *args, **kwargs: None)
+        self._executor_kind = executor_kind
+        self._workspace_root = workspace_root
+        self._use_store = use_store
+        self._queue: asyncio.Queue[tuple[str, dict]] = asyncio.Queue(maxsize=queue_cap)
+        self._queued: set[str] = set()
+        self._running: set[str] = set()
+        self._cancelled: set[str] = set()
+        self._gate = asyncio.Event()
+        self._gate.set()
+        self._executor: Executor | None = None
+        self._drainers: list[asyncio.Task] = []
+        #: Seconds one queue slot is expected to take to free up; seeds the
+        #: Retry-After estimate before any job has completed.
+        self._recent_seconds = 0.5
+
+    # ------------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        if self._drainers:
+            raise RuntimeError("pool already started")
+        if self._executor_kind == "process":
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        else:
+            self._executor = ThreadPoolExecutor(max_workers=self.workers)
+        self._drainers = [
+            asyncio.create_task(self._drain(), name=f"pool-drainer-{index}")
+            for index in range(self.workers)
+        ]
+
+    async def shutdown(self, grace_seconds: float = 10.0) -> tuple[list[str], list[str]]:
+        """Stop draining and tear the executor down.
+
+        In-flight jobs get ``grace_seconds`` to finish *and record their
+        terminal transition* before the drainers are cancelled — cancelling
+        first would compute the result in the worker and then throw it away,
+        leaving the job ``running`` in the ledger forever.
+
+        Returns ``(abandoned, interrupted)``: job ids that never started
+        (still queued / already cancelled) and job ids whose run outlived the
+        grace window (their transition was lost; the caller should move them
+        to a terminal state).
+        """
+        self._gate.clear()  # nothing new starts; in-flight drainers continue
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + grace_seconds
+        while self._running and loop.time() < deadline:
+            await asyncio.sleep(0.05)
+        for task in self._drainers:
+            task.cancel()
+        for task in self._drainers:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._drainers = []
+        abandoned = sorted(self._queued | self._cancelled)
+        interrupted = sorted(self._running)
+        self._queued.clear()
+        self._cancelled.clear()
+        self._running.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+        return abandoned, interrupted
+
+    # ------------------------------------------------------------ submission
+
+    @property
+    def depth(self) -> int:
+        """Jobs waiting in the queue (not yet picked up by a drainer)."""
+        return self._queue.qsize()
+
+    @property
+    def running(self) -> int:
+        return len(self._running)
+
+    def retry_after(self) -> float:
+        """Seconds after which a rejected client should retry."""
+        return max(1.0, math.ceil(self._recent_seconds))
+
+    def submit(self, job_id: str, spec: dict) -> None:
+        """Queue one job; raises :class:`QueueFullError` at capacity."""
+        try:
+            self._queue.put_nowait((job_id, spec))
+        except asyncio.QueueFull:
+            raise QueueFullError(
+                self._queue.qsize(), self.queue_cap, self.retry_after()
+            ) from None
+        self._queued.add(job_id)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a still-queued job; ``False`` if it already started (or unknown)."""
+        if job_id in self._queued:
+            self._queued.discard(job_id)
+            self._cancelled.add(job_id)
+            return True
+        return False
+
+    # ------------------------------------------------------- test/ops levers
+
+    def pause(self) -> None:
+        """Hold drainers before their next run.
+
+        A drainer idle inside ``queue.get()`` already passed the gate, so it
+        may still *pop* one job — but the second gate check holds it unrun
+        (and uncancelled-marked), so a paused pool never starts work.  Call
+        before :meth:`start` to freeze the pool from birth (nothing is popped
+        at all) — the deterministic setup the backpressure tests rely on.
+        """
+        self._gate.clear()
+
+    def resume(self) -> None:
+        self._gate.set()
+
+    # --------------------------------------------------------------- drainer
+
+    async def _drain(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            await self._gate.wait()
+            job_id, spec = await self._queue.get()
+            try:
+                # Re-check after the pop: a drainer that was already parked in
+                # get() when pause() was called must hold its job unrun.
+                await self._gate.wait()
+                if job_id in self._cancelled:
+                    self._cancelled.discard(job_id)
+                    continue
+                self._queued.discard(job_id)
+                self._running.add(job_id)
+                self._transition(job_id, "running")
+                started = loop.time()
+                try:
+                    assert self._executor is not None
+                    result = await loop.run_in_executor(
+                        self._executor,
+                        execute_job,
+                        spec,
+                        self._workspace_root,
+                        self._use_store,
+                    )
+                except Exception as error:  # noqa: BLE001 - reported, not dropped
+                    self._transition(
+                        job_id, "failed", error=f"{type(error).__name__}: {error}"
+                    )
+                else:
+                    # Exponential moving average of job seconds -> Retry-After.
+                    elapsed = loop.time() - started
+                    self._recent_seconds = 0.7 * self._recent_seconds + 0.3 * elapsed
+                    self._transition(job_id, "done", result=result)
+                finally:
+                    self._running.discard(job_id)
+            finally:
+                self._queue.task_done()

@@ -1,0 +1,71 @@
+"""Per-client token-bucket rate limiting for the HTTP server.
+
+Each client (``X-Client-Id`` header, falling back to the peer address) gets
+a token bucket refilled at ``rate`` tokens per second up to ``burst``.  A
+submission costs one token; when the bucket is empty, :meth:`RateLimiter.check`
+returns the seconds until the next token — the HTTP layer forwards it as
+``429 + Retry-After`` so well-behaved clients back off instead of hammering.
+
+Buckets live in a bounded LRU so an open server cannot be grown without
+limit by spoofed client ids; evicting a bucket merely refunds that client a
+full burst, which is the safe direction to err.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import OrderedDict
+from typing import Callable
+
+__all__ = ["RateLimiter"]
+
+#: Most client buckets kept before least-recently-used eviction.
+MAX_BUCKETS = 1024
+
+
+class RateLimiter:
+    """Token buckets per client key; ``rate=None`` disables limiting."""
+
+    def __init__(
+        self,
+        rate: float | None,
+        burst: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = rate
+        self.burst = burst if burst is not None else max(1.0, rate or 0.0)
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+        self._clock = clock
+        #: client -> (tokens, last refill stamp)
+        self._buckets: OrderedDict[str, tuple[float, float]] = OrderedDict()
+        self.rejections = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate is not None
+
+    def check(self, client: str) -> float:
+        """Spend one token for ``client``; 0.0 if allowed, else retry-after seconds."""
+        if self.rate is None:
+            return 0.0
+        now = self._clock()
+        tokens, stamp = self._buckets.get(client, (self.burst, now))
+        tokens = min(self.burst, tokens + (now - stamp) * self.rate)
+        if tokens >= 1.0:
+            self._buckets[client] = (tokens - 1.0, now)
+            self._buckets.move_to_end(client)
+            self._evict()
+            return 0.0
+        self._buckets[client] = (tokens, now)
+        self._buckets.move_to_end(client)
+        self._evict()
+        self.rejections += 1
+        return math.ceil((1.0 - tokens) / self.rate * 1000.0) / 1000.0
+
+    def _evict(self) -> None:
+        while len(self._buckets) > MAX_BUCKETS:
+            self._buckets.popitem(last=False)

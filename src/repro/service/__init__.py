@@ -39,13 +39,15 @@ from repro.service.planner import (
 )
 from repro.service.workspace import Workspace, default_workspace_root
 from repro.service.streaming import StreamReport, stream_anonymize, verify_csv_l_diverse
-from repro.service.jobs import JobRecord, JobService
+from repro.service.jobs import JobLedger, JobRecord, JobService, JobStateError
 
 __all__ = [
     "ExecutionDecision",
     "ExecutionPlanner",
+    "JobLedger",
     "JobRecord",
     "JobService",
+    "JobStateError",
     "PlannerCalibration",
     "RunStore",
     "StoreError",

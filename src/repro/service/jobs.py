@@ -1,45 +1,88 @@
-"""The job service: submit anonymization runs, persist their records.
+"""The job service: submit anonymization runs, persist their lifecycle.
 
 ``ldiversity jobs submit`` executes a run through the engine — with the
 workspace's persistent :class:`~repro.service.store.RunStore` backing the
-result cache — and appends a :class:`JobRecord` to the workspace's
-``jobs.jsonl`` ledger.  ``jobs list`` / ``jobs show`` read the ledger back,
-so a sweep of CLI invocations leaves an auditable history of what ran, how
-it was planned, how long it took, and whether it was served from a cache
-tier instead of recomputed.
+result cache — and records it in the workspace's ``jobs.jsonl`` ledger.
+``jobs list`` / ``jobs show`` read the ledger back, so a sweep of CLI
+invocations (or a server's worker pool) leaves an auditable history of what
+ran, how it was planned, how long it took, and whether it was served from a
+cache tier instead of recomputed.
 
-The ledger shares the run store's durability model: append-only JSONL, one
-record per line, corrupt lines skipped on read.
+Jobs move through a real state machine persisted as ledger transitions::
+
+    queued -> running -> done | failed
+    queued | running  -> cancelled
+
+Each transition *appends* a full record for the job id; readers replay the
+file and the **last record per id wins**, so the ledger doubles as a
+transition history (:meth:`JobLedger.history`) while :meth:`JobLedger.list`
+still shows one row per job.  The HTTP server
+(:mod:`repro.server`) drives the full lifecycle asynchronously; the
+synchronous CLI path writes the same transitions back to back.
+
+Durability discipline matches :class:`~repro.service.store.RunStore`:
+append-only JSONL, one record per line, malformed or torn lines skipped on
+read (and surfaced via :attr:`JobLedger.recovered`).  Unlike the run store,
+writes are guarded by an advisory file lock (``fcntl.flock`` where
+available) so concurrent submitters — e.g. the server's pool plus a CLI
+``jobs submit`` against the same workspace — cannot race id allocation or
+interleave a read-modify-append transition.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import time
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
-from typing import TYPE_CHECKING
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
 
 from repro.engine.cache import ResultCache
 from repro.engine.core import Engine, RunPlan, RunReport
 from repro.engine.sinks import CsvSink
 from repro.service.workspace import Workspace
 
+try:  # pragma: no cover - platform dependent
+    import fcntl
+except ImportError:  # pragma: no cover - Windows fallback: best-effort appends
+    fcntl = None  # type: ignore[assignment]
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.service.planner import ExecutionPlanner
 
-__all__ = ["JobRecord", "JobService"]
+__all__ = ["JobLedger", "JobRecord", "JobService", "JobStateError"]
+
+#: Every status a job can hold, in lifecycle order.
+JOB_STATUSES = ("queued", "running", "done", "failed", "cancelled")
+#: Statuses a job never leaves.
+TERMINAL_STATUSES = ("done", "failed", "cancelled")
+#: Legal state transitions (from -> allowed targets).
+_TRANSITIONS = {
+    "queued": ("running", "failed", "cancelled"),
+    "running": ("done", "failed", "cancelled"),
+}
+
+
+class JobStateError(ValueError):
+    """Raised on an illegal job state transition (e.g. cancelling a done job)."""
 
 
 @dataclass(frozen=True)
 class JobRecord:
-    """One submitted job, as persisted in the workspace ledger."""
+    """One job's state, as persisted in the workspace ledger."""
 
     id: str
     created: float
-    status: str  # "done" | "failed"
+    status: str  # one of JOB_STATUSES
     label: str
     algorithm: str
     l: int
+    #: Wall-clock time of the last transition (0.0 on legacy records).
+    updated: float = 0.0
+    #: Submitting client identity (server deployments; empty for the CLI).
+    client: str = ""
     n: int = 0
     d: int = 0
     shards: int = 1
@@ -54,6 +97,9 @@ class JobRecord:
     output: str = ""
     error: str = ""
     metric_values: dict = field(default_factory=dict)
+
+    def is_terminal(self) -> bool:
+        return self.status in TERMINAL_STATUSES
 
     def summary_row(self) -> tuple[str, ...]:
         """The fixed-width row rendered by ``ldiversity jobs list``."""
@@ -71,8 +117,183 @@ class JobRecord:
         )
 
 
+_FIELD_NAMES = {f.name for f in dataclasses.fields(JobRecord)}
+
+
+class JobLedger:
+    """Append-only JSONL ledger of job state transitions (last record per id wins)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        #: Malformed lines skipped so far by this instance's reads.
+        self.recovered = 0
+        #: Incremental-replay state: latest record per id, and how many bytes
+        #: of the file they already account for.  The ledger is append-only,
+        #: so replaying just the tail is exact — a server submitting its
+        #: 100_000th job must not re-parse the 99_999 before it.
+        self._latest: dict[str, JobRecord] = {}
+        self._offset = 0
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    # -------------------------------------------------------------- file I/O
+
+    @contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Advisory exclusive lock over the ledger (no-op where unsupported).
+
+        A sidecar ``.lock`` file is locked instead of the ledger itself so the
+        lock's lifetime is independent of the append handle.
+        """
+        lock_path = self._path.with_suffix(".lock")
+        with open(lock_path, "w") as handle:
+            if fcntl is not None:
+                fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(handle, fcntl.LOCK_UN)
+
+    @staticmethod
+    def _parse(line: str) -> JobRecord | None:
+        """Parse one JSONL line; ``None`` for corrupt or malformed records.
+
+        Unknown keys (from a newer writer) are dropped rather than fatal, the
+        same forward-compatibility stance as the run store's ``_parse``.
+        """
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if not isinstance(payload.get("id"), str) or not payload["id"]:
+            return None
+        if payload.get("status") not in JOB_STATUSES:
+            return None
+        if not isinstance(payload.get("created"), (int, float)):
+            return None
+        known = {key: value for key, value in payload.items() if key in _FIELD_NAMES}
+        try:
+            return JobRecord(**known)
+        except TypeError:
+            return None
+
+    def _replay(self) -> dict[str, JobRecord]:
+        """Latest record per id, in first-appearance order (incremental).
+
+        Only bytes appended since the previous call are parsed.  A trailing
+        line without a newline is a concurrent writer's torn append: it is
+        left unconsumed and picked up whole on the next read.  A file smaller
+        than the consumed offset means the ledger was replaced underneath us;
+        the replay restarts from scratch.
+        """
+        if not self._path.exists():
+            self._latest = {}
+            self._offset = 0
+            return self._latest
+        if self._path.stat().st_size < self._offset:
+            self._latest = {}
+            self._offset = 0
+        with open(self._path, "rb") as handle:
+            handle.seek(self._offset)
+            data = handle.read()
+        if not data:
+            return self._latest
+        if not data.endswith(b"\n"):
+            complete = data.rfind(b"\n") + 1  # 0 when no full line arrived yet
+            data = data[:complete]
+        self._offset += len(data)
+        for line in data.decode("utf-8", "replace").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            record = self._parse(line)
+            if record is None:
+                self.recovered += 1
+                continue
+            self._latest[record.id] = record
+        return self._latest
+
+    def _append(self, record: JobRecord) -> None:
+        with open(self._path, "a") as handle:
+            handle.write(json.dumps(asdict(record), separators=(",", ":")) + "\n")
+
+    # ------------------------------------------------------------------- API
+
+    def list(self) -> list[JobRecord]:
+        """One (latest) record per job, oldest job first; corrupt lines skipped."""
+        return list(self._replay().values())
+
+    def history(self, job_id: str) -> list[JobRecord]:
+        """Every recorded transition of one job, oldest first."""
+        if not self._path.exists():
+            return []
+        transitions: list[JobRecord] = []
+        with open(self._path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = self._parse(line)
+                if record is not None and record.id == job_id:
+                    transitions.append(record)
+        return transitions
+
+    def get(self, job_id: str) -> JobRecord:
+        record = self._replay().get(job_id)
+        if record is None:
+            raise KeyError(f"no job {job_id!r} in ledger {self._path}")
+        return record
+
+    def create(self, **fields) -> JobRecord:
+        """Allocate the next id and append a fresh ``queued`` record, atomically."""
+        with self._locked():
+            numbers = [0]
+            for job_id in self._replay():
+                prefix, _, suffix = job_id.rpartition("-")
+                if prefix == "job" and suffix.isdigit():
+                    numbers.append(int(suffix))
+            now = time.time()
+            record = JobRecord(
+                id=f"job-{max(numbers) + 1:04d}",
+                created=now,
+                updated=now,
+                status="queued",
+                **fields,
+            )
+            self._append(record)
+        return record
+
+    def transition(self, job_id: str, status: str, **updates) -> JobRecord:
+        """Append the next state of one job, enforcing the lifecycle graph."""
+        if status not in JOB_STATUSES:
+            raise JobStateError(f"unknown job status {status!r}")
+        with self._locked():
+            current = self._replay().get(job_id)
+            if current is None:
+                raise KeyError(f"no job {job_id!r} in ledger {self._path}")
+            if status not in _TRANSITIONS.get(current.status, ()):
+                raise JobStateError(
+                    f"job {job_id} is {current.status}; cannot move to {status}"
+                )
+            record = dataclasses.replace(
+                current, status=status, updated=time.time(), **updates
+            )
+            self._append(record)
+        return record
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Cancel a queued or running job (terminal jobs raise :class:`JobStateError`)."""
+        return self.transition(job_id, "cancelled")
+
+
 class JobService:
-    """Submits runs through the engine and persists their job records."""
+    """Submits runs through the engine and persists their job lifecycle."""
 
     def __init__(
         self,
@@ -82,6 +303,7 @@ class JobService:
     ) -> None:
         self.workspace = workspace if workspace is not None else Workspace()
         self.store = self.workspace.run_store()
+        self.ledger = JobLedger(self.workspace.jobs_path)
         if engine is None:
             engine = Engine(cache=ResultCache(store=self.store), planner=planner)
         self.engine = engine
@@ -89,81 +311,53 @@ class JobService:
     # ----------------------------------------------------------------- ledger
 
     def list(self) -> list[JobRecord]:
-        """All jobs in the ledger, oldest first (corrupt lines skipped)."""
-        path = self.workspace.jobs_path
-        if not path.exists():
-            return []
-        records: list[JobRecord] = []
-        with open(path) as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    payload = json.loads(line)
-                    records.append(JobRecord(**payload))
-                except (json.JSONDecodeError, TypeError):
-                    continue
-        return records
+        """Latest record of every job in the ledger, oldest first."""
+        return self.ledger.list()
 
     def get(self, job_id: str) -> JobRecord:
-        for record in self.list():
-            if record.id == job_id:
-                return record
-        raise KeyError(f"no job {job_id!r} in workspace {self.workspace.root}")
+        try:
+            return self.ledger.get(job_id)
+        except KeyError:
+            raise KeyError(
+                f"no job {job_id!r} in workspace {self.workspace.root}"
+            ) from None
 
-    def _append(self, record: JobRecord) -> None:
-        with open(self.workspace.jobs_path, "a") as handle:
-            handle.write(json.dumps(asdict(record), separators=(",", ":")) + "\n")
-
-    def _next_id(self) -> str:
-        """Next sequential id, from a line count of the ledger.
-
-        Ids are per-workspace sequence numbers; two *simultaneous* submits
-        against one workspace can race to the same number (the ledger keeps
-        both lines, ``get`` returns the first).  Interactive CLI use — the
-        intended writer model — submits one job at a time.
-        """
-        path = self.workspace.jobs_path
-        if not path.exists():
-            return "job-0001"
-        with open(path) as handle:
-            count = sum(1 for line in handle if line.strip())
-        return f"job-{count + 1:04d}"
+    def cancel(self, job_id: str) -> JobRecord:
+        """Cancel a queued/running job (from e.g. a crashed or serving process)."""
+        return self.ledger.cancel(job_id)
 
     # ----------------------------------------------------------------- submit
 
     def submit(
-        self, plan: RunPlan, output: str | None = None
+        self, plan: RunPlan, output: str | None = None, client: str = ""
     ) -> tuple[JobRecord, RunReport | None]:
-        """Run one plan, optionally export the published table, record the job."""
-        job_id = self._next_id()
-        created = time.time()
+        """Run one plan, optionally export the published table, record the job.
+
+        The synchronous path still writes the full transition history
+        (``queued -> running -> done|failed``) so ledgers populated by the CLI
+        and by the async server are indistinguishable to readers.
+        """
+        record = self.ledger.create(
+            label=plan.source.label,
+            algorithm=plan.algorithm,
+            l=plan.l,
+            client=client,
+        )
+        self.ledger.transition(record.id, "running")
         try:
             report = self.engine.run(plan)
         except Exception as error:
-            record = JobRecord(
-                id=job_id,
-                created=created,
-                status="failed",
-                label=plan.source.label,
-                algorithm=plan.algorithm,
-                l=plan.l,
-                error=f"{type(error).__name__}: {error}",
+            self.ledger.transition(
+                record.id, "failed", error=f"{type(error).__name__}: {error}"
             )
-            self._append(record)
             raise
         if output:
             with CsvSink(output) as sink:
                 sink.write_table(report.generalized)
         decision = report.decision
-        record = JobRecord(
-            id=job_id,
-            created=created,
-            status="done",
-            label=report.label,
-            algorithm=plan.algorithm,
-            l=plan.l,
+        record = self.ledger.transition(
+            record.id,
+            "done",
             n=report.n,
             d=report.d,
             shards=decision.shards if decision else 1,
@@ -178,5 +372,4 @@ class JobService:
             output=output or "",
             metric_values=dict(report.metric_values),
         )
-        self._append(record)
         return record, report

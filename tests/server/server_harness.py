@@ -1,0 +1,53 @@
+"""Test harness: run an :class:`AnonymizationServer` on a background loop thread."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.server import AnonymizationServer
+
+
+class ServerHandle:
+    """An :class:`AnonymizationServer` running on a dedicated loop thread."""
+
+    def __init__(self, paused: bool = False, **kwargs) -> None:
+        kwargs.setdefault("executor_kind", "thread")
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(target=self.loop.run_forever, daemon=True)
+        self.thread.start()
+        self.server = AnonymizationServer(**kwargs)
+        if paused:
+            # Freeze the pool before its drainers start: nothing is popped,
+            # so queue depth (and thus 429 behaviour) is fully deterministic.
+            self.server.pool.pause()
+        self.host, self.port = self.call(self.server.start("127.0.0.1", 0))
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def call(self, coroutine, timeout: float = 30.0):
+        """Run a coroutine on the server's loop and return its result."""
+        return asyncio.run_coroutine_threadsafe(coroutine, self.loop).result(timeout)
+
+    def run(self, function, *args):
+        """Run a plain callable on the loop thread (pool pause/resume etc.)."""
+        done = threading.Event()
+        box: list = []
+
+        def runner() -> None:
+            try:
+                box.append(function(*args))
+            finally:
+                done.set()
+
+        self.loop.call_soon_threadsafe(runner)
+        if not done.wait(10):  # pragma: no cover - deadlock guard
+            raise TimeoutError("loop callable did not finish")
+        return box[0] if box else None
+
+    def stop(self) -> None:
+        self.call(self.server.shutdown())
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10)

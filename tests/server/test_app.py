@@ -1,0 +1,433 @@
+"""Handler tests over a loopback server: lifecycle, validation, backpressure."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.client import Client, ClientError, JobFailedError
+from repro.service import JobLedger, verify_csv_l_diverse
+
+from server_harness import ServerHandle
+
+
+def _submit_hospital(client: Client, hospital_rows, **fields) -> str:
+    rows, qi, sa = hospital_rows
+    fields.setdefault("l", 2)
+    fields.setdefault("algorithm", "TP")
+    return client.submit(rows=rows, qi=qi, sa=sa, **fields)
+
+
+class TestLifecycle:
+    def test_submit_wait_result_roundtrip(self, client, hospital_rows):
+        rows, qi, sa = hospital_rows
+        record, result = client.submit_and_wait(
+            rows=rows, qi=qi, sa=sa, l=2, algorithm="TP", metrics=["kl"]
+        )
+        assert record["status"] == "done"
+        assert record["n"] == len(rows)
+        assert result["verified"] is True
+        assert result["header"] == qi + [sa]
+        assert len(result["rows"]) == len(rows)
+        assert "kl" in result["metric_values"]
+        # the sensitive column must survive as a multiset
+        assert sorted(row[-1] for row in result["rows"]) == sorted(
+            row[sa] for row in rows
+        )
+
+    def test_result_as_csv_is_l_diverse(self, client, hospital_rows, tmp_path):
+        job_id = _submit_hospital(client, hospital_rows)
+        client.wait(job_id)
+        text = client.result_csv(job_id)
+        path = tmp_path / "published.csv"
+        path.write_text(text)
+        _rows, qi, sa = hospital_rows
+        assert verify_csv_l_diverse(path, qi, sa, 2)
+
+    def test_repeated_submission_hits_the_store(self, client, hospital_rows):
+        first = _submit_hospital(client, hospital_rows)
+        client.wait(first)
+        assert client.result(first)["store_hit"] is False
+        second = _submit_hospital(client, hospital_rows)
+        client.wait(second)
+        assert second != first
+        assert client.result(second)["store_hit"] is True
+
+    def test_lifecycle_is_persisted_to_the_ledger(self, server, client, hospital_rows):
+        job_id = _submit_hospital(client, hospital_rows)
+        client.wait(job_id)
+        ledger = JobLedger(server.server.workspace.jobs_path)
+        statuses = [record.status for record in ledger.history(job_id)]
+        assert statuses == ["queued", "running", "done"]
+
+    def test_synthetic_source_job(self, client):
+        record, result = client.submit_and_wait(
+            source={"kind": "synthetic", "dataset": "SAL", "n": 300, "dimension": 3},
+            l=4,
+        )
+        assert record["label"] == "SAL-3@300"
+        assert result["n"] == 300
+
+    def test_csv_upload_job(self, client):
+        text = "Age,Gender,Disease\n" + "\n".join(
+            f"{20 + i % 4},{'MF'[i % 2]},D{i % 3}" for i in range(24)
+        )
+        record, result = client.submit_and_wait(
+            csv_text=text, qi=["Age", "Gender"], sa="Disease", l=2
+        )
+        assert record["status"] == "done"
+        assert result["n"] == 24
+
+    def test_ineligible_table_fails_the_job(self, client, hospital_rows):
+        rows, qi, sa = hospital_rows
+        job_id = client.submit(rows=rows, qi=qi, sa=sa, l=len(rows) + 1)
+        with pytest.raises(JobFailedError) as info:
+            client.wait(job_id)
+        assert info.value.record["status"] == "failed"
+        assert "IneligibleTableError" in info.value.record["error"]
+        # a failed job has no result
+        with pytest.raises(ClientError) as error:
+            client.result(job_id)
+        assert error.value.status == 409
+
+    def test_job_metrics_endpoint_excludes_rows(self, client, hospital_rows):
+        job_id = _submit_hospital(client, hospital_rows, metrics=["stars"])
+        client.wait(job_id)
+        payload = client.job_metrics(job_id)
+        assert "rows" not in payload and "header" not in payload
+        assert payload["metric_values"]["stars"] == payload["stars"]
+
+    def test_jobs_listing_contains_submissions(self, client, hospital_rows):
+        job_id = _submit_hospital(client, hospital_rows)
+        client.wait(job_id)
+        assert job_id in [job["id"] for job in client.jobs()]
+
+
+class TestValidation:
+    def _raw_post(self, server, body: bytes, content_type="application/json", path="/v1/jobs"):
+        request = urllib.request.Request(
+            server.base_url + path,
+            data=body,
+            headers={"Content-Type": content_type},
+            method="POST",
+        )
+        return urllib.request.urlopen(request, timeout=10)
+
+    def test_bad_json_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as error:
+            self._raw_post(server, b"{not json")
+        assert error.value.code == 400
+        assert "JSON" in json.loads(error.value.read())["error"]
+
+    def test_non_object_json_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as error:
+            self._raw_post(server, b"[1, 2]")
+        assert error.value.code == 400
+
+    def test_unknown_algorithm_is_400(self, client, hospital_rows):
+        with pytest.raises(ClientError) as error:
+            _submit_hospital(client, hospital_rows, algorithm="NoSuch")
+        assert error.value.status == 400
+        assert "unknown algorithm" in error.value.message
+
+    def test_unknown_metric_is_400(self, client, hospital_rows):
+        with pytest.raises(ClientError) as error:
+            _submit_hospital(client, hospital_rows, metrics=["nope"])
+        assert error.value.status == 400
+
+    def test_l_below_two_is_400(self, client, hospital_rows):
+        with pytest.raises(ClientError) as error:
+            _submit_hospital(client, hospital_rows, l=1)
+        assert error.value.status == 400
+
+    def test_rows_and_source_together_is_400(self, server, hospital_rows):
+        rows, qi, sa = hospital_rows
+        body = json.dumps(
+            {"rows": rows, "qi": qi, "sa": sa, "l": 2, "source": {"kind": "synthetic"}}
+        ).encode()
+        with pytest.raises(urllib.error.HTTPError) as error:
+            self._raw_post(server, body)
+        assert error.value.code == 400
+        assert "exactly one" in json.loads(error.value.read())["error"]
+
+    def test_missing_qi_is_400(self, client, hospital_rows):
+        rows, _qi, sa = hospital_rows
+        with pytest.raises(ClientError) as error:
+            client.submit(rows=rows, qi=[], sa=sa, l=2)
+        assert error.value.status == 400
+
+    def test_sa_overlapping_qi_is_400(self, client, hospital_rows):
+        rows, qi, _sa = hospital_rows
+        with pytest.raises(ClientError) as error:
+            client.submit(rows=rows, qi=qi, sa=qi[0], l=2)
+        assert error.value.status == 400
+
+    def test_unknown_source_kind_is_400(self, client):
+        with pytest.raises(ClientError) as error:
+            client.submit(source={"kind": "sql"}, l=2)
+        assert error.value.status == 400
+
+    def test_non_integer_seed_is_400_not_500(self, server, hospital_rows):
+        rows, qi, sa = hospital_rows
+        for payload in (
+            {"rows": rows, "qi": qi, "sa": sa, "l": 2, "seed": "abc"},
+            {"source": {"kind": "synthetic", "seed": "abc"}, "l": 2},
+            {"source": {"kind": "synthetic", "n": "many"}, "l": 2},
+        ):
+            with pytest.raises(urllib.error.HTTPError) as error:
+                self._raw_post(server, json.dumps(payload).encode())
+            assert error.value.code == 400, payload
+
+    def test_csv_upload_missing_column_is_400(self, client):
+        with pytest.raises(ClientError) as error:
+            client.submit(csv_text="Age,Disease\n30,flu\n", qi=["Zip"], sa="Disease", l=2)
+        assert error.value.status == 400
+        assert "missing columns" in error.value.message
+
+    def test_unsharded_algorithm_with_shards_is_400(self, server, monkeypatch):
+        """Capability metadata is enforced at submit time, before queueing."""
+        import repro.server.app as app_module
+        from repro.engine.registry import AlgorithmInfo
+        from repro.server import HttpError
+
+        info = AlgorithmInfo(
+            name="NoShard", runner=lambda table, l: None, supports_sharding=False
+        )
+
+        class StubRegistry:
+            def get(self, name):
+                return info
+
+        monkeypatch.setattr(app_module, "algorithm_registry", StubRegistry())
+        with pytest.raises(HttpError) as error:
+            server.server._base_spec({"algorithm": "NoShard", "l": 2, "shards": 4})
+        assert error.value.status == 400
+        assert "does not support sharded execution" in error.value.message
+
+    def test_oversized_payload_is_413(self, tmp_path):
+        handle = ServerHandle(workspace=tmp_path / "ws-small", max_body_bytes=1024)
+        try:
+            with pytest.raises(urllib.error.HTTPError) as error:
+                self._raw_post(handle, b"x" * 4096)
+            assert error.value.code == 413
+        finally:
+            handle.stop()
+
+    def test_unknown_path_is_404_and_wrong_method_is_405(self, server):
+        with pytest.raises(urllib.error.HTTPError) as error:
+            urllib.request.urlopen(server.base_url + "/v2/nope", timeout=10)
+        assert error.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as error:
+            self._raw_post(server, b"{}", path="/v1/algorithms")
+        assert error.value.code == 405
+        assert error.value.headers["Allow"] == "GET"
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ClientError) as error:
+            client.status("job-9999")
+        assert error.value.status == 404
+
+    def test_result_of_running_job_is_409(self, server, client, hospital_rows):
+        server.run(server.server.pool.pause)
+        try:
+            job_id = _submit_hospital(client, hospital_rows)
+            with pytest.raises(ClientError) as error:
+                client.result(job_id)
+            assert error.value.status == 409
+        finally:
+            server.run(server.server.pool.resume)
+            client.wait(job_id)
+
+
+class TestBackpressure:
+    def test_queue_full_is_429_with_retry_after(self, tmp_path, hospital_rows):
+        handle = ServerHandle(
+            workspace=tmp_path / "ws-bp", workers=1, queue_cap=2, paused=True
+        )
+        client = Client(handle.base_url, client_id="bp", retries=0)
+        try:
+            accepted = [_submit_hospital(client, hospital_rows) for _ in range(2)]
+            with pytest.raises(ClientError) as error:
+                _submit_hospital(client, hospital_rows)
+            assert error.value.status == 429
+            assert "queue is full" in error.value.message
+            handle.run(handle.server.pool.resume)
+            for job_id in accepted:
+                assert client.wait(job_id)["status"] == "done"
+            health = client.health()
+            assert health["jobs"]["rejected_queue_full"] == 1
+        finally:
+            handle.stop()
+
+    def test_retry_after_header_is_set_on_queue_full(self, tmp_path, hospital_rows):
+        handle = ServerHandle(
+            workspace=tmp_path / "ws-bp2", workers=1, queue_cap=1, paused=True
+        )
+        rows, qi, sa = hospital_rows
+        try:
+            Client(handle.base_url, retries=0).submit(rows=rows, qi=qi, sa=sa, l=2)
+            body = json.dumps(
+                {"rows": rows, "qi": qi, "sa": sa, "l": 2}
+            ).encode()
+            request = urllib.request.Request(
+                handle.base_url + "/v1/jobs", data=body,
+                headers={"Content-Type": "application/json"}, method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as error:
+                urllib.request.urlopen(request, timeout=10)
+            assert error.value.code == 429
+            assert int(error.value.headers["Retry-After"]) >= 1
+        finally:
+            handle.run(handle.server.pool.resume)
+            handle.stop()
+
+    def test_client_retries_through_backpressure(self, tmp_path, hospital_rows):
+        """A retrying client eventually lands every submission despite a tiny queue."""
+        handle = ServerHandle(workspace=tmp_path / "ws-bp3", workers=2, queue_cap=1)
+        client = Client(
+            handle.base_url, client_id="patient", retries=20, backoff_seconds=0.05
+        )
+        try:
+            job_ids = [_submit_hospital(client, hospital_rows) for _ in range(6)]
+            for job_id in job_ids:
+                assert client.wait(job_id)["status"] == "done"
+        finally:
+            handle.stop()
+
+    def test_per_client_rate_limit_is_429(self, tmp_path, hospital_rows):
+        handle = ServerHandle(
+            workspace=tmp_path / "ws-rate", rate_limit=0.001, rate_burst=2
+        )
+        client = Client(handle.base_url, client_id="greedy", retries=0)
+        other = Client(handle.base_url, client_id="other", retries=0)
+        try:
+            for _ in range(2):
+                _submit_hospital(client, hospital_rows)
+            with pytest.raises(ClientError) as error:
+                _submit_hospital(client, hospital_rows)
+            assert error.value.status == 429
+            assert "rate limited" in error.value.message
+            # buckets are per client: another identity still gets through
+            _submit_hospital(other, hospital_rows)
+            assert client.health()["jobs"]["rejected_rate_limited"] == 1
+        finally:
+            handle.stop()
+
+
+class TestCancel:
+    def test_cancel_queued_job(self, server, client, hospital_rows):
+        server.run(server.server.pool.pause)
+        job_id = _submit_hospital(client, hospital_rows)
+        record = client.cancel(job_id)
+        assert record["status"] == "cancelled"
+        server.run(server.server.pool.resume)
+        assert client.status(job_id)["status"] == "cancelled"
+        with pytest.raises(ClientError) as error:
+            client.result(job_id)
+        assert error.value.status == 409
+        ledger = JobLedger(server.server.workspace.jobs_path)
+        assert [r.status for r in ledger.history(job_id)] == ["queued", "cancelled"]
+
+    def test_cancel_done_job_is_409(self, client, hospital_rows):
+        job_id = _submit_hospital(client, hospital_rows)
+        client.wait(job_id)
+        with pytest.raises(ClientError) as error:
+            client.cancel(job_id)
+        assert error.value.status == 409
+
+    def test_shutdown_cancels_queued_jobs(self, tmp_path, hospital_rows):
+        handle = ServerHandle(
+            workspace=tmp_path / "ws-drain", workers=1, queue_cap=4, paused=True
+        )
+        client = Client(handle.base_url, retries=0)
+        job_ids = [_submit_hospital(client, hospital_rows) for _ in range(3)]
+        handle.stop()
+        ledger = JobLedger(handle.server.workspace.jobs_path)
+        assert {ledger.get(job_id).status for job_id in job_ids} == {"cancelled"}
+
+
+class TestResidency:
+    def test_spooled_uploads_are_deleted_after_the_job(self, server, client, hospital_rows):
+        job_id = _submit_hospital(client, hospital_rows)
+        client.wait(job_id)
+        tmp_dir = server.server.workspace.tmp_dir
+        assert not list(tmp_dir.glob("upload-*.csv"))
+
+    def test_cancelled_jobs_drop_their_spool(self, server, client, hospital_rows):
+        server.run(server.server.pool.pause)
+        try:
+            job_id = _submit_hospital(client, hospital_rows)
+            client.cancel(job_id)
+            assert not list(server.server.workspace.tmp_dir.glob(f"upload-{job_id}.csv"))
+        finally:
+            server.run(server.server.pool.resume)
+
+    def test_resident_results_are_bounded(self, tmp_path, hospital_rows):
+        """Old terminal results are evicted; status falls back to the ledger."""
+        handle = ServerHandle(
+            workspace=tmp_path / "ws-resident", workers=1, queue_cap=4,
+            max_resident_jobs=1,
+        )
+        client = Client(handle.base_url, retries=10, backoff_seconds=0.02)
+        try:
+            first = _submit_hospital(client, hospital_rows)
+            client.wait(first)
+            second = _submit_hospital(client, hospital_rows, algorithm="TP+")
+            client.wait(second)
+            # cap is clamped to queue_cap + workers + 1 = 6; fill past it
+            more = [
+                _submit_hospital(client, hospital_rows, l=2, seed=index)
+                for index in range(6)
+            ]
+            for job_id in more:
+                client.wait(job_id)
+            assert len(handle.server._jobs) <= handle.server.max_resident_jobs
+            # evicted jobs still answer status from the ledger...
+            assert client.status(first)["status"] == "done"
+            # ...but their result is no longer resident
+            with pytest.raises(ClientError) as error:
+                client.result(first)
+            assert error.value.status == 404
+        finally:
+            handle.stop()
+
+
+class TestIntrospection:
+    def test_health_reports_version_and_counters(self, client, hospital_rows):
+        from repro import __version__
+
+        job_id = _submit_hospital(client, hospital_rows)
+        client.wait(job_id)
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["version"] == __version__
+        assert health["jobs"]["submitted"] >= 1
+        assert health["jobs"]["done"] >= 1
+
+    def test_algorithm_registry_view(self, client):
+        names = {entry["name"] for entry in client.algorithms()}
+        assert {"TP", "TP+", "Hilbert"} <= names
+        for entry in client.algorithms():
+            assert set(entry) == {
+                "name", "description", "complexity", "approximation",
+                "supports_sharding", "deterministic",
+            }
+
+    def test_metric_registry_view(self, client):
+        names = {entry["name"] for entry in client.metrics()}
+        assert {"stars", "kl"} <= names
+
+    def test_plan_endpoint_explains_decision(self, client):
+        decision = client.plan(n=50_000, l=4, algorithm="TP+", d=3)
+        assert decision["shards"] >= 1
+        assert decision["workers"] >= 1
+        assert decision["backend"] in ("numpy", "reference")
+        assert decision["reasons"]
+        assert decision["candidates"]
+
+    def test_plan_unknown_algorithm_is_400(self, client):
+        with pytest.raises(ClientError) as error:
+            client.plan(n=100, l=2, algorithm="NoSuch")
+        assert error.value.status == 400

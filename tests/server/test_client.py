@@ -1,0 +1,167 @@
+"""Client SDK tests: retry-with-backoff behaviour against a scripted server.
+
+The fake server answers from a canned list of (status, headers, body)
+responses, so the retry loop's interaction with ``Retry-After`` is exercised
+deterministically — no real pool, no timing races.  The sleep function is
+captured instead of slept.
+"""
+
+from __future__ import annotations
+
+import http.server
+import json
+import threading
+
+import pytest
+
+from repro.client import BackpressureError, Client, ClientError
+
+
+class ScriptedServer:
+    """Serves a fixed sequence of responses, then 200s forever."""
+
+    def __init__(self, script: list[tuple[int, dict[str, str], dict]]) -> None:
+        self.script = list(script)
+        self.requests: list[str] = []
+        outer = self
+
+        class Handler(http.server.BaseHTTPRequestHandler):
+            def _serve(self) -> None:
+                outer.requests.append(self.path)
+                status, headers, payload = (
+                    outer.script.pop(0) if outer.script else (200, {}, {"ok": True})
+                )
+                body = json.dumps(payload).encode()
+                self.send_response(status)
+                for name, value in headers.items():
+                    self.send_header(name, value)
+                self.send_header("Content-Length", str(len(body)))
+                self.send_header("Content-Type", "application/json")
+                self.end_headers()
+                self.wfile.write(body)
+
+            do_GET = do_POST = _serve
+
+            def log_message(self, *args) -> None:  # noqa: ARG002 - quiet
+                pass
+
+        self.httpd = http.server.HTTPServer(("127.0.0.1", 0), Handler)
+        self.thread = threading.Thread(target=self.httpd.serve_forever, daemon=True)
+        self.thread.start()
+
+    @property
+    def base_url(self) -> str:
+        return f"http://127.0.0.1:{self.httpd.server_port}"
+
+    def stop(self) -> None:
+        self.httpd.shutdown()
+        self.thread.join(5)
+
+
+@pytest.fixture
+def sleeps():
+    return []
+
+
+def _client(server: ScriptedServer, sleeps: list, **kwargs) -> Client:
+    kwargs.setdefault("retries", 4)
+    kwargs.setdefault("backoff_seconds", 0.125)
+    return Client(server.base_url, sleep=sleeps.append, **kwargs)
+
+
+class TestRetry:
+    def test_retry_honours_retry_after_header(self, sleeps):
+        server = ScriptedServer(
+            [
+                (429, {"Retry-After": "2"}, {"error": "queue full"}),
+                (429, {"Retry-After": "3"}, {"error": "queue full"}),
+                (200, {}, {"id": "job-0001"}),
+            ]
+        )
+        try:
+            client = _client(server, sleeps)
+            payload = client._json("POST", "/v1/jobs", {"l": 2})
+            assert payload == {"id": "job-0001"}
+            assert sleeps == [2.0, 3.0]
+            assert client.backpressure_events == 2
+        finally:
+            server.stop()
+
+    def test_retry_falls_back_to_exponential_backoff(self, sleeps):
+        server = ScriptedServer(
+            [
+                (503, {}, {"error": "draining"}),
+                (503, {}, {"error": "draining"}),
+                (200, {}, {"ok": True}),
+            ]
+        )
+        try:
+            _client(server, sleeps)._json("GET", "/v1/health")
+            # no Retry-After -> the client's own doubling schedule
+            assert sleeps == [0.125, 0.25]
+        finally:
+            server.stop()
+
+    def test_retry_after_is_capped_by_max_backoff(self, sleeps):
+        server = ScriptedServer(
+            [(429, {"Retry-After": "3600"}, {"error": "slow down"}), (200, {}, {})]
+        )
+        try:
+            _client(server, sleeps, max_backoff_seconds=0.5)._json("GET", "/v1/health")
+            assert sleeps == [0.5]
+        finally:
+            server.stop()
+
+    def test_budget_exhaustion_raises_backpressure_error(self, sleeps):
+        server = ScriptedServer(
+            [(429, {"Retry-After": "1"}, {"error": "queue full"})] * 10
+        )
+        try:
+            with pytest.raises(BackpressureError) as error:
+                _client(server, sleeps, retries=3)._json("GET", "/v1/health")
+            assert error.value.status == 429
+            assert len(sleeps) == 3
+        finally:
+            server.stop()
+
+    def test_retry_disabled_raises_immediately(self, sleeps):
+        server = ScriptedServer([(429, {"Retry-After": "1"}, {"error": "busy"})])
+        try:
+            with pytest.raises(ClientError) as error:
+                _client(server, sleeps, retries=0)._json("GET", "/v1/health")
+            assert error.value.status == 429
+            assert sleeps == []
+        finally:
+            server.stop()
+
+    def test_non_backpressure_errors_are_not_retried(self, sleeps):
+        server = ScriptedServer([(400, {}, {"error": "bad request"})])
+        try:
+            with pytest.raises(ClientError) as error:
+                _client(server, sleeps)._json("GET", "/v1/health")
+            assert error.value.status == 400
+            assert sleeps == []
+            assert len(server.requests) == 1
+        finally:
+            server.stop()
+
+    def test_connection_refused_retries_then_raises(self, sleeps):
+        client = Client(
+            "http://127.0.0.1:9",  # discard port: nothing listens
+            retries=2,
+            backoff_seconds=0.01,
+            sleep=sleeps.append,
+        )
+        with pytest.raises(ClientError) as error:
+            client.health()
+        assert error.value.status == 0
+        assert len(sleeps) == 2
+
+    def test_submit_argument_validation(self):
+        client = Client("http://127.0.0.1:9")
+        with pytest.raises(ValueError):
+            client.submit(l=2)  # no payload at all
+        with pytest.raises(ValueError):
+            client.submit(l=2, rows=[{"a": 1}], source={"kind": "synthetic"})
+        with pytest.raises(ValueError):
+            client.submit(l=2, csv_text="Age\n1\n")  # csv without qi/sa

@@ -1,0 +1,209 @@
+"""Unit tests for the worker pool, job executor and rate limiter."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.server.pool import QueueFullError, WorkerPool, build_source, execute_job
+from repro.server.ratelimit import RateLimiter
+from repro.service import verify_csv_l_diverse
+
+
+class TestRateLimiter:
+    def test_disabled_limiter_always_allows(self):
+        limiter = RateLimiter(None)
+        assert all(limiter.check("anyone") == 0.0 for _ in range(1000))
+
+    def test_burst_then_reject_then_refill(self):
+        now = [0.0]
+        limiter = RateLimiter(rate=1.0, burst=2, clock=lambda: now[0])
+        assert limiter.check("c") == 0.0
+        assert limiter.check("c") == 0.0
+        wait = limiter.check("c")
+        assert wait == pytest.approx(1.0, abs=0.01)
+        now[0] += wait
+        assert limiter.check("c") == 0.0
+        assert limiter.rejections == 1
+
+    def test_buckets_are_per_client(self):
+        limiter = RateLimiter(rate=0.001, burst=1, clock=lambda: 0.0)
+        assert limiter.check("a") == 0.0
+        assert limiter.check("a") > 0
+        assert limiter.check("b") == 0.0
+
+    def test_bucket_count_is_bounded(self):
+        limiter = RateLimiter(rate=1.0, clock=lambda: 0.0)
+        for index in range(5000):
+            limiter.check(f"client-{index}")
+        assert len(limiter._buckets) <= 1024
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            RateLimiter(rate=0)
+        with pytest.raises(ValueError):
+            RateLimiter(rate=1.0, burst=0.5)
+
+
+class TestExecuteJob:
+    def _spec(self, **overrides) -> dict:
+        spec = {
+            "algorithm": "TP",
+            "l": 4,
+            "metrics": ["stars"],
+            "shards": None,
+            "backend": None,
+            "seed": 0,
+            "chunk_rows": None,
+            "include_rows": True,
+            "source": {"kind": "synthetic", "dataset": "SAL", "n": 200, "seed": 3,
+                       "dimension": 3},
+        }
+        spec.update(overrides)
+        return spec
+
+    def test_synthetic_round_trip_without_store(self, tmp_path):
+        result = execute_job(self._spec(), str(tmp_path / "ws"), False)
+        assert result["n"] == 200
+        assert result["verified"] is True
+        assert result["metric_values"]["stars"] == result["stars"]
+        assert len(result["rows"]) == 200
+        assert not result["store_hit"]
+
+    def test_store_hit_across_executions(self, tmp_path):
+        first = execute_job(self._spec(), str(tmp_path / "ws"), True)
+        second = execute_job(self._spec(), str(tmp_path / "ws"), True)
+        assert not first["store_hit"]
+        assert second["store_hit"] and second["cache_hit"]
+        assert second["rows"] == first["rows"]
+
+    def test_include_rows_false_omits_the_table(self, tmp_path):
+        result = execute_job(self._spec(include_rows=False), str(tmp_path / "ws"), False)
+        assert "rows" not in result and "header" not in result
+
+    def test_rows_are_l_diverse_as_csv(self, tmp_path):
+        result = execute_job(self._spec(), str(tmp_path / "ws"), False)
+        path = tmp_path / "out.csv"
+        import csv
+
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(result["header"])
+            writer.writerows(result["rows"])
+        assert verify_csv_l_diverse(path, result["header"][:-1], result["header"][-1], 4)
+
+    def test_build_source_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            build_source({"kind": "sql"})
+
+
+class TestWorkerPool:
+    def _run(self, coroutine):
+        return asyncio.run(coroutine)
+
+    def test_queue_full_raises_with_retry_after(self):
+        async def scenario():
+            pool = WorkerPool(workers=1, queue_cap=2, executor_kind="thread")
+            pool.pause()
+            await pool.start()
+            pool.submit("job-1", {})
+            pool.submit("job-2", {})
+            with pytest.raises(QueueFullError) as error:
+                pool.submit("job-3", {})
+            assert error.value.capacity == 2
+            assert error.value.retry_after >= 1.0
+            await pool.shutdown()
+
+        self._run(scenario())
+
+    def test_cancel_only_while_queued(self):
+        async def scenario():
+            pool = WorkerPool(workers=1, queue_cap=4, executor_kind="thread")
+            pool.pause()
+            await pool.start()
+            pool.submit("job-1", {})
+            assert pool.cancel("job-1") is True
+            assert pool.cancel("job-1") is False  # already cancelled
+            assert pool.cancel("job-9") is False  # unknown
+            await pool.shutdown()
+
+        self._run(scenario())
+
+    def test_transitions_flow_through_callback(self, tmp_path):
+        events: list[tuple[str, str]] = []
+
+        def transition(job_id, status, result=None, error=""):
+            events.append((job_id, status))
+
+        async def scenario():
+            pool = WorkerPool(
+                workers=1,
+                queue_cap=4,
+                transition=transition,
+                executor_kind="thread",
+                workspace_root=str(tmp_path / "ws"),
+                use_store=False,
+            )
+            await pool.start()
+            spec = {
+                "algorithm": "TP",
+                "l": 2,
+                "source": {"kind": "synthetic", "n": 60, "dimension": 2},
+            }
+            pool.submit("job-1", spec)
+            pool.submit("job-2", {"algorithm": "TP", "l": 2, "source": {"kind": "sql"}})
+            await pool._queue.join()
+            await pool.shutdown()
+
+        self._run(scenario())
+        assert ("job-1", "running") in events
+        assert ("job-1", "done") in events
+        assert ("job-2", "failed") in events
+
+    def test_shutdown_reports_abandoned_jobs(self):
+        async def scenario():
+            pool = WorkerPool(workers=1, queue_cap=4, executor_kind="thread")
+            pool.pause()
+            await pool.start()
+            pool.submit("job-1", {})
+            pool.submit("job-2", {})
+            pool.cancel("job-2")
+            return await pool.shutdown(grace_seconds=0.2)
+
+        assert self._run(scenario()) == (["job-1", "job-2"], [])
+
+    def test_shutdown_waits_for_running_jobs_to_record(self, tmp_path):
+        """An in-flight job inside the grace window still lands its 'done'."""
+        events: list[tuple[str, str]] = []
+
+        async def scenario():
+            pool = WorkerPool(
+                workers=1,
+                queue_cap=4,
+                transition=lambda job_id, status, **kw: events.append((job_id, status)),
+                executor_kind="thread",
+                workspace_root=str(tmp_path / "ws"),
+                use_store=False,
+            )
+            await pool.start()
+            pool.submit(
+                "job-1",
+                {"algorithm": "TP", "l": 2,
+                 "source": {"kind": "synthetic", "n": 5000, "dimension": 2}},
+            )
+            while ("job-1", "running") not in events:  # drainer picked it up
+                await asyncio.sleep(0.005)
+            return await pool.shutdown(grace_seconds=30.0)
+
+        abandoned, interrupted = self._run(scenario())
+        assert (abandoned, interrupted) == ([], [])
+        assert ("job-1", "done") in events
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            WorkerPool(workers=0)
+        with pytest.raises(ValueError):
+            WorkerPool(queue_cap=0)
+        with pytest.raises(ValueError):
+            WorkerPool(executor_kind="fiber")

@@ -1,4 +1,4 @@
-"""Tests for the job service: submission, ledger, cross-process reuse."""
+"""Tests for the job service: submission, ledger lifecycle, cross-process reuse."""
 
 from __future__ import annotations
 
@@ -8,7 +8,7 @@ import pytest
 
 from repro.engine import RunPlan, TableSource
 from repro.errors import IneligibleTableError
-from repro.service import JobService, Workspace
+from repro.service import JobLedger, JobService, JobStateError, Workspace
 
 
 def _service(tmp_path) -> JobService:
@@ -88,3 +88,113 @@ class TestLedger:
         JobService(workspace).submit(_plan(hospital))
         record, _ = JobService(workspace).submit(_plan(hospital))
         assert record.summary_row()[7] == "store"
+
+
+class TestLifecycle:
+    def _ledger(self, tmp_path) -> JobLedger:
+        return JobLedger(tmp_path / "workspace" / "jobs.jsonl")
+
+    def test_submit_persists_the_full_transition_history(self, hospital, tmp_path):
+        service = _service(tmp_path)
+        record, _ = service.submit(_plan(hospital))
+        history = service.ledger.history(record.id)
+        assert [entry.status for entry in history] == ["queued", "running", "done"]
+        assert history[-1].updated >= history[0].updated
+        assert history[0].created == history[-1].created
+
+    def test_failed_submission_history(self, hospital, tmp_path):
+        service = _service(tmp_path)
+        with pytest.raises(IneligibleTableError):
+            service.submit(_plan(hospital, l=len(hospital) + 1))
+        (record,) = service.list()
+        statuses = [entry.status for entry in service.ledger.history(record.id)]
+        assert statuses == ["queued", "running", "failed"]
+
+    def test_cancel_queued_job(self, tmp_path):
+        ledger = self._ledger(tmp_path)
+        record = ledger.create(label="t", algorithm="TP", l=2)
+        cancelled = ledger.cancel(record.id)
+        assert cancelled.status == "cancelled"
+        assert ledger.get(record.id).status == "cancelled"
+
+    def test_cancel_running_job(self, tmp_path):
+        ledger = self._ledger(tmp_path)
+        record = ledger.create(label="t", algorithm="TP", l=2)
+        ledger.transition(record.id, "running")
+        assert ledger.cancel(record.id).status == "cancelled"
+
+    def test_cancel_terminal_job_raises(self, hospital, tmp_path):
+        service = _service(tmp_path)
+        record, _ = service.submit(_plan(hospital))
+        with pytest.raises(JobStateError, match="done"):
+            service.cancel(record.id)
+
+    def test_illegal_transitions_raise(self, tmp_path):
+        ledger = self._ledger(tmp_path)
+        record = ledger.create(label="t", algorithm="TP", l=2)
+        with pytest.raises(JobStateError):
+            ledger.transition(record.id, "done")  # queued -> done skips running
+        ledger.transition(record.id, "running")
+        ledger.transition(record.id, "done")
+        with pytest.raises(JobStateError):
+            ledger.transition(record.id, "running")  # terminal states are final
+        with pytest.raises(JobStateError):
+            ledger.transition(record.id, "resurrected")
+
+    def test_transition_of_unknown_job_raises_keyerror(self, tmp_path):
+        with pytest.raises(KeyError):
+            self._ledger(tmp_path).transition("job-9999", "running")
+
+    def test_cancel_unknown_job_via_service(self, tmp_path):
+        with pytest.raises(KeyError):
+            _service(tmp_path).cancel("job-9999")
+
+
+class TestLedgerDurability:
+    def test_ids_continue_after_gaps(self, tmp_path):
+        ledger = JobLedger(tmp_path / "jobs.jsonl")
+        first = ledger.create(label="a", algorithm="TP", l=2)
+        second = ledger.create(label="b", algorithm="TP", l=2)
+        assert [first.id, second.id] == ["job-0001", "job-0002"]
+        # ids are allocated above the max seen, even with transitions appended
+        ledger.transition(first.id, "running")
+        assert ledger.create(label="c", algorithm="TP", l=2).id == "job-0003"
+
+    def test_malformed_records_are_counted_and_skipped(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        ledger = JobLedger(path)
+        record = ledger.create(label="a", algorithm="TP", l=2)
+        with open(path, "a") as handle:
+            handle.write("{torn\n")  # torn JSON
+            handle.write(json.dumps({"id": "job-x", "status": "exploded"}) + "\n")
+            handle.write(json.dumps({"status": "done", "created": 0.0}) + "\n")  # no id
+            handle.write(json.dumps(["not", "an", "object"]) + "\n")
+        assert [entry.id for entry in ledger.list()] == [record.id]
+        assert ledger.recovered == 4
+
+    def test_unknown_keys_from_newer_writers_are_dropped(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        ledger = JobLedger(path)
+        payload = {
+            "id": "job-0001", "created": 1.0, "status": "done", "label": "t",
+            "algorithm": "TP", "l": 2, "some_future_field": {"x": 1},
+        }
+        with open(path, "w") as handle:
+            handle.write(json.dumps(payload) + "\n")
+        record = ledger.get("job-0001")
+        assert record.status == "done"
+        assert not hasattr(record, "some_future_field")
+
+    def test_concurrent_creates_allocate_distinct_ids(self, tmp_path):
+        """Two processes racing create() must never hand out the same id."""
+        import multiprocessing
+
+        path = tmp_path / "jobs.jsonl"
+        with multiprocessing.Pool(4) as pool:
+            ids = pool.map(_create_one, [str(path)] * 12)
+        assert len(set(ids)) == 12
+
+
+def _create_one(path: str) -> str:
+    ledger = JobLedger(path)
+    return ledger.create(label="race", algorithm="TP", l=2).id

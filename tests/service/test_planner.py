@@ -129,6 +129,39 @@ class TestShardDecisions:
             assert planner.decide(tp, n=n, d=4, l=4).workers == 1
 
 
+class TestDegenerateInputs:
+    """The planner must resolve any (n, d, l) the HTTP layer can throw at it."""
+
+    def test_empty_table_runs_unsharded_sequential(self, planner, tp):
+        decision = planner.decide(tp, n=0, d=4, l=4)
+        assert decision.shards == 1
+        assert decision.workers == 1
+        assert decision.estimated_seconds >= 0.0
+
+    def test_single_row_table(self, planner, tp):
+        decision = planner.decide(tp, n=1, d=4, l=2)
+        assert (decision.shards, decision.workers) == (1, 1)
+
+    def test_n_below_l_still_plans(self, planner, tp):
+        """Eligibility is the engine's concern; the planner just configures."""
+        decision = planner.decide(tp, n=3, d=4, l=10)
+        assert decision.shards == 1
+        assert decision.estimated_seconds >= 0.0
+
+    def test_single_column_qi(self, planner, tp):
+        decision = planner.decide(tp, n=100_000, d=1, l=4)
+        assert decision.shards >= 1
+        assert decision.backend in ("numpy", "reference")
+
+    def test_degenerate_inputs_are_deterministic(self, planner, tp):
+        for n, d, l in ((0, 1, 2), (1, 1, 2), (2, 1, 1000)):
+            assert planner.decide(tp, n=n, d=d, l=l) == planner.decide(tp, n=n, d=d, l=l)
+
+    def test_explicit_zero_workers_degrades_to_one(self, planner, tp):
+        decision = planner.decide(tp, n=1_000_000, d=4, l=4, shards=4, workers=0)
+        assert decision.workers == 1
+
+
 class TestBackendDecisions:
     def test_auto_picks_the_calibrated_faster_backend(self, planner, tp):
         decision = planner.decide(tp, n=100_000, d=4, l=4, backend="auto")

@@ -386,3 +386,101 @@ class TestStreamingAnonymize:
             ]
         )
         assert code == 2
+
+
+class TestVersion:
+    def test_version_flag_prints_the_package_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as info:
+            main(["--version"])
+        assert info.value.code == 0
+        assert capsys.readouterr().out.strip() == f"ldiversity {__version__}"
+
+    def test_version_is_single_sourced_with_setup_py(self):
+        from pathlib import Path
+
+        from repro import __version__
+
+        setup_text = Path(__file__).resolve().parents[1].joinpath("setup.py").read_text()
+        assert "_version.py" in setup_text  # setup.py reads the same file
+        assert f'__version__ = "{__version__}"' in Path(__file__).resolve().parents[
+            1
+        ].joinpath("src", "repro", "_version.py").read_text()
+
+
+class TestVerify:
+    def test_verify_accepts_an_l_diverse_file(self, hospital_csv, tmp_path, capsys):
+        output = str(tmp_path / "published.csv")
+        main(
+            [
+                "anonymize",
+                "--input", hospital_csv,
+                "--qi", "Age,Gender,Education",
+                "--sa", "Disease",
+                "--l", "2",
+                "--algorithm", "TP",
+                "--output", output,
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "verify",
+                "--input", output,
+                "--qi", "Age,Gender,Education",
+                "--sa", "Disease",
+                "--l", "2",
+            ]
+        )
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_rejects_raw_microdata(self, hospital_csv, capsys):
+        # the raw hospital table is not 4-diverse as published
+        code = main(
+            [
+                "verify",
+                "--input", hospital_csv,
+                "--qi", "Age,Gender,Education",
+                "--sa", "Disease",
+                "--l", "4",
+            ]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().err
+
+
+class TestJobsCancel:
+    def test_cancel_requires_a_cancellable_job(self, hospital_csv, tmp_path, capsys):
+        workspace = str(tmp_path / "workspace")
+        assert main(
+            [
+                "jobs", "submit",
+                "--input", hospital_csv,
+                "--qi", "Age,Gender,Education",
+                "--sa", "Disease",
+                "--l", "2",
+                "--workspace", workspace,
+            ]
+        ) == 0
+        capsys.readouterr()
+        # the synchronous submit already finished: done jobs cannot be cancelled
+        assert main(["jobs", "cancel", "job-0001", "--workspace", workspace]) == 1
+        assert "done" in capsys.readouterr().err
+
+    def test_cancel_a_stuck_job(self, tmp_path, capsys):
+        """A queued/running record (e.g. from a crashed server) can be cancelled."""
+        from repro.service import JobLedger, Workspace
+
+        workspace = str(tmp_path / "workspace")
+        ledger = JobLedger(Workspace(workspace).jobs_path)
+        record = ledger.create(label="stuck", algorithm="TP", l=2)
+        ledger.transition(record.id, "running")
+        assert main(["jobs", "cancel", record.id, "--workspace", workspace]) == 0
+        assert "cancelled" in capsys.readouterr().out
+        assert ledger.get(record.id).status == "cancelled"
+
+    def test_cancel_unknown_job_fails(self, tmp_path, capsys):
+        code = main(["jobs", "cancel", "job-0042", "--workspace", str(tmp_path / "ws")])
+        assert code == 1
