@@ -157,6 +157,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=8 * 1024 * 1024,
         help="reject request bodies larger than this with 413",
     )
+    serve.add_argument(
+        "--data-dir",
+        default=None,
+        help="directory server-side csv sources may read from; without it, "
+        "{'kind': 'csv'} sources are rejected with 403 (clients can still "
+        "upload CSV bodies)",
+    )
     _add_workspace_arguments(serve)
 
     evaluate = subparsers.add_parser("evaluate", help="compare algorithms on a CSV file")
@@ -434,6 +441,7 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         rate_burst=arguments.rate_burst,
         max_body_bytes=arguments.max_body_bytes,
         use_store=not arguments.no_store,
+        data_dir=arguments.data_dir,
     )
 
     async def _serve() -> None:

@@ -75,6 +75,7 @@ class Client:
         retries: int = 6,
         backoff_seconds: float = 0.1,
         max_backoff_seconds: float = 5.0,
+        max_retry_after_seconds: float = 60.0,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.base_url = base_url.rstrip("/")
@@ -83,6 +84,7 @@ class Client:
         self.retries = retries
         self.backoff_seconds = backoff_seconds
         self.max_backoff_seconds = max_backoff_seconds
+        self.max_retry_after_seconds = max_retry_after_seconds
         self._sleep = sleep
         #: 429/503 responses absorbed by retries (useful in load tests).
         self.backpressure_events = 0
@@ -104,7 +106,6 @@ class Client:
             headers["X-Client-Id"] = self.client_id
         attempts = self.retries if retry else 0
         delay = self.backoff_seconds
-        last_error: ClientError | None = None
         for attempt in range(attempts + 1):
             request = urllib.request.Request(url, data=body, headers=headers, method=method)
             try:
@@ -118,9 +119,6 @@ class Client:
                         wait = self._retry_after(dict(error.headers), delay)
                         delay = min(delay * 2, self.max_backoff_seconds)
                         self._sleep(wait)
-                        last_error = BackpressureError(
-                            error.code, self._message(payload)
-                        )
                         continue
                     if attempts:  # budget spent on backpressure alone
                         raise BackpressureError(
@@ -131,17 +129,23 @@ class Client:
                 if attempt < attempts:
                     self._sleep(delay)
                     delay = min(delay * 2, self.max_backoff_seconds)
-                    last_error = ClientError(0, f"connection failed: {error.reason}")
                     continue
                 raise ClientError(0, f"connection failed: {error.reason}") from None
-        assert last_error is not None
-        raise BackpressureError(last_error.status, last_error.message)
+        raise AssertionError("unreachable: the final attempt returns or raises")
 
     def _retry_after(self, headers: dict[str, str], fallback: float) -> float:
+        """The server's ``Retry-After`` (sanity-capped), else the backoff fallback.
+
+        ``max_backoff_seconds`` only bounds the client's *own* exponential
+        schedule — clamping the server's ask to it would deliberately retry
+        early and undercut the backpressure contract.  The separate (much
+        larger) ``max_retry_after_seconds`` cap just guards against a
+        misconfigured server parking clients forever.
+        """
         for name, value in headers.items():
             if name.lower() == "retry-after":
                 try:
-                    return min(float(value), self.max_backoff_seconds)
+                    return min(max(float(value), 0.0), self.max_retry_after_seconds)
                 except ValueError:
                     break
         return fallback
@@ -203,13 +207,16 @@ class Client:
         shards: int | None = None,
         backend: str | None = None,
         seed: int = 0,
+        include_rows: bool = True,
     ) -> str:
         """Submit one job (inline rows, a CSV body, or a source spec); returns its id.
 
         Exactly one of ``rows``, ``source``, ``csv_text`` or ``csv_path`` must
         be given.  ``rows`` may be dicts (keyed by column name) or lists with
         ``columns``; CSV submissions upload the text with ``qi``/``sa``/``l``
-        as query parameters.
+        as query parameters.  ``include_rows=False`` is for metrics-only
+        workloads: the server skips building/keeping the published table and
+        only :meth:`job_metrics` is available afterwards.
         """
         provided = [x is not None for x in (rows, source, csv_text, csv_path)]
         if sum(provided) != 1:
@@ -235,6 +242,8 @@ class Client:
                 params["shards"] = str(shards)
             if backend is not None:
                 params["backend"] = backend
+            if not include_rows:
+                params["include_rows"] = "false"
             _status, _headers, raw = self._request(
                 "POST",
                 "/v1/jobs?" + urlencode(params),
@@ -243,6 +252,8 @@ class Client:
             )
             return json.loads(raw.decode("utf-8"))["id"]
         payload: dict = {"algorithm": algorithm, "l": l, "seed": seed}
+        if not include_rows:
+            payload["include_rows"] = False
         if metrics:
             payload["metrics"] = list(metrics)
         if shards is not None:
@@ -300,7 +311,13 @@ class Client:
         return self._json("POST", f"/v1/jobs/{job_id}/cancel", {})
 
     def submit_and_wait(self, timeout: float = 120.0, **submit_fields) -> tuple[dict, dict]:
-        """Submit, wait for ``done``, fetch the result; returns (record, result)."""
+        """Submit, wait for ``done``, fetch the result; returns (record, result).
+
+        For ``include_rows=False`` submissions the second element is the
+        ``/metrics`` payload instead — the server keeps no table to return.
+        """
         job_id = self.submit(**submit_fields)
         record = self.wait(job_id, timeout=timeout)
-        return record, self.result(job_id)
+        if submit_fields.get("include_rows", True):
+            return record, self.result(job_id)
+        return record, self.job_metrics(job_id)

@@ -44,14 +44,14 @@ import io
 import re
 import time
 from collections import OrderedDict
-from dataclasses import asdict
+from dataclasses import asdict, replace
 from pathlib import Path
 from typing import Awaitable, Callable
 
 from repro._version import __version__
 from repro.engine.registry import algorithm_registry, metric_registry
 from repro.errors import UnknownEntryError
-from repro.server.pool import WorkerPool
+from repro.server.pool import QueueFullError, WorkerPool
 from repro.server.protocol import (
     DEFAULT_MAX_BODY_BYTES,
     HttpError,
@@ -105,13 +105,23 @@ class AnonymizationServer:
         use_store: bool = True,
         executor_kind: str = "process",
         max_resident_jobs: int = 256,
+        data_dir: str | Path | None = None,
+        request_timeout_seconds: float = 30.0,
     ) -> None:
         self.workspace = (
             workspace if isinstance(workspace, Workspace) else Workspace(workspace)
         )
+        #: Allowlist root for ``{"kind": "csv", "path": ...}`` sources.  When
+        #: unset, server-side CSV paths are rejected outright: accepting any
+        #: readable path would hand network clients arbitrary-file read as
+        #: the server user the moment the bind leaves loopback.
+        self.data_dir = (
+            Path(data_dir).expanduser().resolve() if data_dir is not None else None
+        )
         self.ledger = JobLedger(self.workspace.jobs_path)
         self.use_store = use_store
         self.max_body_bytes = max_body_bytes
+        self.request_timeout_seconds = request_timeout_seconds
         self.limiter = RateLimiter(rate_limit, rate_burst)
         self.pool = WorkerPool(
             workers=workers,
@@ -127,6 +137,12 @@ class AnonymizationServer:
         #: entries are evicted (status then falls back to the ledger; an
         #: evicted result re-answers from the run store on resubmission).
         self._jobs: OrderedDict[str, dict] = OrderedDict()
+        #: Jobs between their ledger ``create`` and ``pool.submit`` (the
+        #: submission handler's offloaded awaits); a cancel arriving in that
+        #: window flags ``_cancel_requested`` and the submitter skips the
+        #: enqueue instead of answering an unsatisfiable 409.
+        self._pending_submits: set[str] = set()
+        self._cancel_requested: set[str] = set()
         self.max_resident_jobs = max(max_resident_jobs, queue_cap + workers + 1)
         self.stats = {
             "submitted": 0,
@@ -158,7 +174,9 @@ class AnonymizationServer:
         assert self._server is not None, "call start() first"
         await self._server.serve_forever()
 
-    async def shutdown(self, drain_seconds: float = 0.0) -> None:
+    async def shutdown(
+        self, drain_seconds: float = 0.0, grace_seconds: float = 10.0
+    ) -> None:
         """Stop accepting, optionally drain, cancel whatever never ran."""
         self._draining = True
         if self._server is not None:
@@ -170,11 +188,11 @@ class AnonymizationServer:
                 await asyncio.wait_for(self.pool._queue.join(), timeout=drain_seconds)
             except asyncio.TimeoutError:
                 pass
-        abandoned, interrupted = await self.pool.shutdown()
+        abandoned, interrupted = await self.pool.shutdown(grace_seconds=grace_seconds)
         for job_id in abandoned:
             self._discard_spool(job_id)
             try:
-                record = self.ledger.cancel(job_id)
+                record = await self._offload(self.ledger.cancel, job_id)
             except (KeyError, JobStateError):
                 continue
             self.stats["cancelled"] += 1
@@ -186,7 +204,8 @@ class AnonymizationServer:
             # Close the lifecycle so clients never poll "running" forever.
             self._discard_spool(job_id)
             try:
-                record = self.ledger.transition(
+                record = await self._offload(
+                    self.ledger.transition,
                     job_id,
                     "cancelled",
                     error="server shut down before the result was recorded",
@@ -197,6 +216,16 @@ class AnonymizationServer:
             if job_id in self._jobs:
                 self._jobs[job_id]["record"] = record
 
+    @staticmethod
+    async def _offload(function, *args, **kwargs):
+        """Run blocking disk I/O (ledger flock/replay, spool writes) off the loop.
+
+        Every ledger operation takes a blocking ``fcntl.flock`` and replays
+        the JSONL file; a contended lock (e.g. a concurrent CLI writer) held
+        on the event-loop thread would stall every connection at once.
+        """
+        return await asyncio.to_thread(function, *args, **kwargs)
+
     # ------------------------------------------------------------ connections
 
     async def _handle_connection(
@@ -206,7 +235,19 @@ class AnonymizationServer:
         peer_name = peer[0] if isinstance(peer, tuple) else str(peer)
         try:
             try:
-                request = await read_request(reader, peer_name, self.max_body_bytes)
+                # A deadline on reading the request: without one, a client
+                # that opens a socket and never completes its headers/body
+                # pins this task (and its buffers) forever, invisible to the
+                # rate limiter and queue cap, which only see parsed requests.
+                try:
+                    request = await asyncio.wait_for(
+                        read_request(reader, peer_name, self.max_body_bytes),
+                        timeout=self.request_timeout_seconds,
+                    )
+                except asyncio.TimeoutError:
+                    raise HttpError(
+                        408, "timed out waiting for the request"
+                    ) from None
                 if request is None:
                     return
                 response = await self._dispatch(request)
@@ -267,11 +308,8 @@ class AnonymizationServer:
             )
         if self.pool.depth >= self.pool.queue_cap:
             self.stats["rejected_queue_full"] += 1
-            retry_after = self.pool.retry_after()
-            raise HttpError(
-                429,
-                f"job queue is full ({self.pool.depth}/{self.pool.queue_cap})",
-                headers={"Retry-After": str(int(retry_after))},
+            raise self._queue_full_error(
+                self.pool.depth, self.pool.queue_cap, self.pool.retry_after()
             )
 
         content_type = request.headers.get("content-type", "application/json")
@@ -280,24 +318,86 @@ class AnonymizationServer:
         else:
             label, spec, spool = self._spec_from_json(request.json())
 
-        record = self.ledger.create(
+        record = await self._offload(
+            self.ledger.create,
             label=label,
             algorithm=spec["algorithm"],
             l=spec["l"],
             client=request.client,
         )
-        if spool is not None:
-            # Spool files are named by job id so concurrent uploads never clash.
-            path = self.workspace.tmp_dir / f"upload-{record.id}.csv"
-            path.write_bytes(spool)
-            spec["source"]["path"] = str(path)
         self._remember(record.id, record=record)
-        self.pool.submit(record.id, spec)  # capacity pre-checked above
+        self._pending_submits.add(record.id)
+        try:
+            if spool is not None:
+                # Spool files are named by job id so concurrent uploads never
+                # clash.  A failed write must roll the ledger record back —
+                # the pool never saw this job, so nothing else would ever
+                # close a lifecycle left 'queued' here.
+                try:
+                    path = self.workspace.tmp_dir / f"upload-{record.id}.csv"
+                    await self._offload(path.write_bytes, spool)
+                except OSError as error:
+                    await self._rollback_submission(record.id)
+                    raise HttpError(
+                        500, f"failed to spool the upload: {error}"
+                    ) from None
+                spec["source"]["path"] = str(path)
+            # The draining flag and queue capacity were pre-checked, but the
+            # offloaded ledger/spool awaits above let concurrent submissions,
+            # cancels, or a shutdown() that already harvested the pool race
+            # past them.  Everything from here through pool.submit is
+            # await-free, so nothing can interleave again.
+            if record.id in self._cancel_requested:
+                # A cancel landed while we were between the ledger create and
+                # the enqueue; the cancel handler already moved the ledger
+                # record, so just skip the enqueue.
+                self._discard_spool(record.id)
+                return json_response(
+                    202,
+                    {
+                        "id": record.id,
+                        "status": "cancelled",
+                        "queue_depth": self.pool.depth,
+                    },
+                )
+            if self._draining:
+                await self._rollback_submission(record.id)
+                raise HttpError(
+                    503, "server is shutting down", headers={"Retry-After": "1"}
+                )
+            try:
+                self.pool.submit(record.id, spec)
+            except QueueFullError as error:
+                self.stats["rejected_queue_full"] += 1
+                await self._rollback_submission(record.id)
+                raise self._queue_full_error(
+                    error.depth, error.capacity, error.retry_after
+                ) from None
+        finally:
+            self._pending_submits.discard(record.id)
+            self._cancel_requested.discard(record.id)
         self.stats["submitted"] += 1
         return json_response(
             202,
             {"id": record.id, "status": record.status, "queue_depth": self.pool.depth},
         )
+
+    @staticmethod
+    def _queue_full_error(depth: int, capacity: int, retry_after: float) -> HttpError:
+        return HttpError(
+            429,
+            f"job queue is full ({depth}/{capacity})",
+            headers={"Retry-After": str(max(1, int(retry_after)))},
+        )
+
+    async def _rollback_submission(self, job_id: str) -> None:
+        """Undo a submission rejected after its ledger record already existed."""
+        self._discard_spool(job_id)
+        try:
+            record = await self._offload(self.ledger.cancel, job_id)
+        except (KeyError, JobStateError):  # pragma: no cover - racy cleanup
+            return
+        self._remember(job_id, record=record)
 
     def _spec_from_json(self, payload: dict) -> tuple[str, dict, bytes | None]:
         """Validate a JSON submission; returns (label, spec, spooled CSV or None)."""
@@ -333,12 +433,37 @@ class AnonymizationServer:
             path = source.get("path")
             if not isinstance(path, str) or not path:
                 raise HttpError(400, "csv source requires a 'path' string")
-            if not Path(path).is_file():
-                raise HttpError(400, f"csv source path {path!r} is not a server-side file")
+            resolved = self._allowlisted_csv_path(path)
             qi, sa = self._validate_qi_sa(source)
-            spec["source"] = {"kind": "csv", "path": path, "qi": qi, "sa": sa}
+            spec["source"] = {"kind": "csv", "path": str(resolved), "qi": qi, "sa": sa}
             return path, spec, None
         raise HttpError(400, f"unknown source kind {kind!r} (use 'synthetic' or 'csv')")
+
+    def _allowlisted_csv_path(self, path: str) -> Path:
+        """Resolve a server-side CSV path against the ``data_dir`` allowlist.
+
+        The result endpoints return the parsed file verbatim, so an
+        unrestricted path would let any network client read any file the
+        server user can.  Paths are resolved (symlinks and ``..`` included)
+        before the containment check.
+        """
+        if self.data_dir is None:
+            raise HttpError(
+                403,
+                "server-side csv sources are disabled; start the server with "
+                "--data-dir to allow them, or upload the CSV body instead",
+            )
+        resolved = (self.data_dir / path).resolve()
+        try:
+            resolved.relative_to(self.data_dir)
+        except ValueError:
+            raise HttpError(
+                403,
+                f"csv source path {path!r} is outside the served data directory",
+            ) from None
+        if not resolved.is_file():
+            raise HttpError(400, f"csv source path {path!r} is not a server-side file")
+        return resolved
 
     def _spec_from_csv_upload(self, request: Request) -> tuple[str, dict, bytes]:
         """Validate a ``text/csv`` upload driven by query parameters."""
@@ -353,6 +478,10 @@ class AnonymizationServer:
             query["qi"] = [name for name in query["qi"].split(",") if name]
         if "metrics" in query:
             query["metrics"] = [name for name in query["metrics"].split(",") if name]
+        if "include_rows" in query:
+            query["include_rows"] = query["include_rows"].lower() not in (
+                "0", "false", "no",
+            )
         for key in ("shards", "seed", "chunk_rows"):
             if key in query:
                 try:
@@ -410,6 +539,11 @@ class AnonymizationServer:
         chunk_rows = payload.get("chunk_rows")
         if chunk_rows is not None:
             chunk_rows = _require_int(payload, "chunk_rows", minimum=1)
+        include_rows = payload.get("include_rows", True)
+        if not isinstance(include_rows, bool):
+            raise HttpError(
+                400, f"'include_rows' must be a boolean, got {include_rows!r}"
+            )
         return {
             "algorithm": info.name,
             "l": l,
@@ -418,7 +552,10 @@ class AnonymizationServer:
             "backend": backend,
             "seed": _require_int(payload, "seed") if "seed" in payload else 0,
             "chunk_rows": chunk_rows,
-            "include_rows": True,
+            # metrics-only workloads skip rendering/pickling/retaining the
+            # full decoded table — at large n the rows dominate both the
+            # process-pool transfer and the resident-result footprint.
+            "include_rows": include_rows,
         }
 
     @staticmethod
@@ -470,23 +607,30 @@ class AnonymizationServer:
 
     # ------------------------------------------------------------ transitions
 
-    def _on_transition(
+    async def _on_transition(
         self, job_id: str, status: str, result: dict | None = None, error: str = ""
     ) -> None:
-        """Pool callback (event-loop thread): persist + mirror a job transition."""
+        """Pool callback (awaited by the drainer): persist + mirror a transition.
+
+        The ledger write runs on an executor thread; the in-memory job table
+        and counters are only touched from the event-loop thread.
+        """
         try:
             if status == "running":
-                record = self.ledger.transition(job_id, "running")
+                record = await self._offload(self.ledger.transition, job_id, "running")
             elif status == "failed":
                 self.stats["failed"] += 1
-                record = self.ledger.transition(job_id, "failed", error=error)
+                record = await self._offload(
+                    self.ledger.transition, job_id, "failed", error=error
+                )
             elif status == "done":
                 assert result is not None
                 self.stats["done"] += 1
                 if result.get("store_hit"):
                     self.stats["store_hits"] += 1
                 decision = result.get("decision") or {}
-                record = self.ledger.transition(
+                record = await self._offload(
+                    self.ledger.transition,
                     job_id,
                     "done",
                     n=result["n"],
@@ -504,13 +648,54 @@ class AnonymizationServer:
                 )
             else:  # pragma: no cover - pool only emits the three above
                 return
-        except (KeyError, JobStateError):
-            # The ledger was mutated underneath us (e.g. an out-of-band CLI
-            # cancel); keep serving from memory rather than crash the drainer.
+        except (KeyError, JobStateError) as state_error:
+            # Usually an out-of-band writer (e.g. a CLI `jobs cancel`) moved
+            # the job ahead of us — refresh the in-memory mirror from the
+            # ledger so it does not freeze on a stale non-terminal record.
+            try:
+                record = await self._offload(self.ledger.get, job_id)
+            except (KeyError, OSError):
+                record = None
+            if status in ("done", "failed") and (
+                record is None or not record.is_terminal()
+            ):
+                # The ledger is *behind*, not ahead (e.g. its 'running'
+                # append failed earlier and it still says 'queued'):
+                # reinstalling that record would freeze the job, so
+                # synthesize the terminal state from memory instead.
+                record = (
+                    self._synthesized_terminal(
+                        job_id, status, error, f"ledger behind the worker: {state_error}"
+                    )
+                    or record
+                )
+        except OSError as io_error:
+            # The ledger append itself failed (e.g. disk full).  Keep the API
+            # truthful from memory: flip the resident record to the terminal
+            # status so the job cannot read as 'running' forever, and fall
+            # through so the computed result is still remembered — the ledger
+            # lags until an operator heals it, but nothing is lost.
             record = None
+            if status in ("done", "failed"):
+                record = self._synthesized_terminal(
+                    job_id, status, error, f"ledger append failed: {io_error}"
+                )
         if status in ("done", "failed"):
             self._discard_spool(job_id)
         self._remember(job_id, record=record, result=result)
+
+    def _synthesized_terminal(
+        self, job_id: str, status: str, error: str, cause: str
+    ) -> JobRecord | None:
+        """A terminal record built from the resident one when the ledger can't
+        provide it (failed append, or one lagging behind the worker)."""
+        entry = self._jobs.get(job_id)
+        current = entry["record"] if entry is not None else None
+        if current is None:
+            return None
+        return replace(
+            current, status=status, updated=time.time(), error=error or cause
+        )
 
     def _remember(
         self, job_id: str, record: JobRecord | None, result: dict | None = None
@@ -544,18 +729,18 @@ class AnonymizationServer:
 
     # ----------------------------------------------------------------- status
 
-    def _record_for(self, job_id: str) -> JobRecord:
+    async def _record_for(self, job_id: str) -> JobRecord:
         entry = self._jobs.get(job_id)
         if entry is not None and entry["record"] is not None:
             return entry["record"]
         try:
-            return self.ledger.get(job_id)
+            return await self._offload(self.ledger.get, job_id)
         except KeyError:
             raise HttpError(404, f"no job {job_id!r}") from None
 
     @_route("GET", r"/v1/jobs/(?P<id>[\w.-]+)")
     async def _handle_status(self, request: Request) -> bytes:
-        record = self._record_for(request.path_params["id"])
+        record = await self._record_for(request.path_params["id"])
         payload = asdict(record)
         payload["result_ready"] = (
             self._jobs.get(record.id, {}).get("result") is not None
@@ -564,11 +749,11 @@ class AnonymizationServer:
 
     @_route("GET", r"/v1/jobs")
     async def _handle_list(self, request: Request) -> bytes:
-        records = [asdict(record) for record in self.ledger.list()]
+        records = [asdict(record) for record in await self._offload(self.ledger.list)]
         return json_response(200, {"jobs": records})
 
-    def _result_for(self, job_id: str) -> dict:
-        record = self._record_for(job_id)
+    async def _result_for(self, job_id: str) -> dict:
+        record = await self._record_for(job_id)
         if record.status in ("queued", "running"):
             raise HttpError(
                 409,
@@ -591,7 +776,13 @@ class AnonymizationServer:
 
     @_route("GET", r"/v1/jobs/(?P<id>[\w.-]+)/result")
     async def _handle_result(self, request: Request) -> bytes:
-        result = self._result_for(request.path_params["id"])
+        result = await self._result_for(request.path_params["id"])
+        if "rows" not in result:
+            raise HttpError(
+                409,
+                "job was submitted with include_rows=false; "
+                "only /metrics is available",
+            )
         format_name = request.query.get("format", "json")
         if format_name == "json":
             return json_response(200, result)
@@ -607,22 +798,30 @@ class AnonymizationServer:
 
     @_route("GET", r"/v1/jobs/(?P<id>[\w.-]+)/metrics")
     async def _handle_job_metrics(self, request: Request) -> bytes:
-        result = self._result_for(request.path_params["id"])
+        result = await self._result_for(request.path_params["id"])
         payload = {key: value for key, value in result.items() if key not in ("rows", "header")}
         return json_response(200, payload)
 
     @_route("POST", r"/v1/jobs/(?P<id>[\w.-]+)/cancel")
     async def _handle_cancel(self, request: Request) -> bytes:
         job_id = request.path_params["id"]
-        record = self._record_for(job_id)
+        record = await self._record_for(job_id)
         if record.is_terminal():
             raise HttpError(409, f"job {job_id} is already {record.status}")
         if not self.pool.cancel(job_id):
-            raise HttpError(
-                409, f"job {job_id} is {record.status}; only queued jobs can be cancelled"
-            )
+            if job_id in self._pending_submits:
+                # The submission is still between its ledger create and the
+                # enqueue (spool write in flight): flag it so the submitter
+                # skips pool.submit, and cancel the ledger record here.
+                self._cancel_requested.add(job_id)
+            else:
+                raise HttpError(
+                    409,
+                    f"job {job_id} is {record.status}; only queued jobs can be "
+                    "cancelled",
+                )
         try:
-            record = self.ledger.cancel(job_id)
+            record = await self._offload(self.ledger.cancel, job_id)
         except JobStateError as error:
             raise HttpError(409, str(error)) from None
         self.stats["cancelled"] += 1
@@ -710,6 +909,7 @@ class AnonymizationServer:
                 "queue_depth": self.pool.depth,
                 "queue_cap": self.pool.queue_cap,
                 "running": self.pool.running,
+                "callback_errors": self.pool.callback_errors,
                 "rate_limit": {
                     "enabled": self.limiter.enabled,
                     "rate": self.limiter.rate,

@@ -24,6 +24,7 @@ server wires it to the in-memory job table and the persistent
 from __future__ import annotations
 
 import asyncio
+import inspect
 import math
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable
@@ -36,7 +37,10 @@ from repro.engine.sources import CsvSource, DataSource, SyntheticSource
 __all__ = ["QueueFullError", "WorkerPool", "build_source", "execute_job"]
 
 #: A transition callback: ``callback(job_id, status, result=None, error="")``.
-TransitionCallback = Callable[..., None]
+#: It may be a plain function or a coroutine function; coroutines are awaited
+#: on the event loop, so a callback doing slow I/O can offload it without
+#: blocking the drainers.
+TransitionCallback = Callable[..., object]
 
 
 class QueueFullError(Exception):
@@ -187,6 +191,9 @@ class WorkerPool:
         #: Seconds one queue slot is expected to take to free up; seeds the
         #: Retry-After estimate before any job has completed.
         self._recent_seconds = 0.5
+        #: Transition callbacks that raised (and were swallowed to keep the
+        #: drainer alive); surfaced by the server's health endpoint.
+        self.callback_errors = 0
 
     # ------------------------------------------------------------- lifecycle
 
@@ -220,6 +227,10 @@ class WorkerPool:
         deadline = loop.time() + grace_seconds
         while self._running and loop.time() < deadline:
             await asyncio.sleep(0.05)
+        # Snapshot the stragglers *before* cancelling: cancellation unwinds
+        # each drainer's ``finally: self._running.discard(...)``, so reading
+        # ``self._running`` afterwards always sees an empty set.
+        interrupted = sorted(self._running)
         for task in self._drainers:
             task.cancel()
         for task in self._drainers:
@@ -229,12 +240,23 @@ class WorkerPool:
                 pass
         self._drainers = []
         abandoned = sorted(self._queued | self._cancelled)
-        interrupted = sorted(self._running)
         self._queued.clear()
         self._cancelled.clear()
         self._running.clear()
         if self._executor is not None:
-            self._executor.shutdown(wait=True, cancel_futures=True)
+            # cancel_futures drops work that never started; join the workers
+            # only when no job outlived the grace window — waiting on one
+            # still mid-job would block the event loop for the rest of that
+            # job, defeating the grace bound.  Interrupted *process* workers
+            # are terminated outright so the interpreter's atexit join cannot
+            # hang on them either (threads cannot be killed; they are left to
+            # finish in the background).
+            if interrupted and isinstance(self._executor, ProcessPoolExecutor):
+                for process in list(
+                    (getattr(self._executor, "_processes", None) or {}).values()
+                ):
+                    process.terminate()
+            self._executor.shutdown(wait=not interrupted, cancel_futures=True)
             self._executor = None
         return abandoned, interrupted
 
@@ -289,6 +311,21 @@ class WorkerPool:
 
     # --------------------------------------------------------------- drainer
 
+    async def _notify(self, job_id: str, status: str, **kwargs) -> None:
+        """Invoke the transition callback, awaiting it when it is a coroutine.
+
+        Callback exceptions are counted, not propagated: an escape here would
+        kill the drainer task and permanently shrink the pool — with one
+        worker, the server would keep accepting jobs nothing ever runs.
+        (``CancelledError`` still propagates so shutdown can unwind us.)
+        """
+        try:
+            outcome = self._transition(job_id, status, **kwargs)
+            if inspect.isawaitable(outcome):
+                await outcome
+        except Exception:  # noqa: BLE001 - drainer survival beats strictness
+            self.callback_errors += 1
+
     async def _drain(self) -> None:
         loop = asyncio.get_running_loop()
         while True:
@@ -303,7 +340,7 @@ class WorkerPool:
                     continue
                 self._queued.discard(job_id)
                 self._running.add(job_id)
-                self._transition(job_id, "running")
+                await self._notify(job_id, "running")
                 started = loop.time()
                 try:
                     assert self._executor is not None
@@ -315,14 +352,14 @@ class WorkerPool:
                         self._use_store,
                     )
                 except Exception as error:  # noqa: BLE001 - reported, not dropped
-                    self._transition(
+                    await self._notify(
                         job_id, "failed", error=f"{type(error).__name__}: {error}"
                     )
                 else:
                     # Exponential moving average of job seconds -> Retry-After.
                     elapsed = loop.time() - started
                     self._recent_seconds = 0.7 * self._recent_seconds + 0.3 * elapsed
-                    self._transition(job_id, "done", result=result)
+                    await self._notify(job_id, "done", result=result)
                 finally:
                     self._running.discard(job_id)
             finally:

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
@@ -134,6 +135,11 @@ class JobLedger:
         #: 100_000th job must not re-parse the 99_999 before it.
         self._latest: dict[str, JobRecord] = {}
         self._offset = 0
+        #: In-process guard over the replay state.  ``fcntl.flock`` only
+        #: serializes *processes* (and only the write paths take it): two
+        #: threads of one server sharing this instance would otherwise race
+        #: ``_latest``/``_offset`` and corrupt the incremental replay.
+        self._mutex = threading.Lock()
 
     @property
     def path(self) -> Path:
@@ -227,7 +233,8 @@ class JobLedger:
 
     def list(self) -> list[JobRecord]:
         """One (latest) record per job, oldest job first; corrupt lines skipped."""
-        return list(self._replay().values())
+        with self._mutex:
+            return list(self._replay().values())
 
     def history(self, job_id: str) -> list[JobRecord]:
         """Every recorded transition of one job, oldest first."""
@@ -245,14 +252,15 @@ class JobLedger:
         return transitions
 
     def get(self, job_id: str) -> JobRecord:
-        record = self._replay().get(job_id)
+        with self._mutex:
+            record = self._replay().get(job_id)
         if record is None:
             raise KeyError(f"no job {job_id!r} in ledger {self._path}")
         return record
 
     def create(self, **fields) -> JobRecord:
         """Allocate the next id and append a fresh ``queued`` record, atomically."""
-        with self._locked():
+        with self._mutex, self._locked():
             numbers = [0]
             for job_id in self._replay():
                 prefix, _, suffix = job_id.rpartition("-")
@@ -273,7 +281,7 @@ class JobLedger:
         """Append the next state of one job, enforcing the lifecycle graph."""
         if status not in JOB_STATUSES:
             raise JobStateError(f"unknown job status {status!r}")
-        with self._locked():
+        with self._mutex, self._locked():
             current = self._replay().get(job_id)
             if current is None:
                 raise KeyError(f"no job {job_id!r} in ledger {self._path}")

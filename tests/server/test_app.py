@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import time
 import urllib.request
 
 import pytest
@@ -98,6 +99,26 @@ class TestLifecycle:
         payload = client.job_metrics(job_id)
         assert "rows" not in payload and "header" not in payload
         assert payload["metric_values"]["stars"] == payload["stars"]
+
+    def test_metrics_only_job_skips_the_table(self, client, hospital_rows):
+        """include_rows=false: the table is never rendered/kept; /result says so."""
+        job_id = _submit_hospital(
+            client, hospital_rows, metrics=["stars"], include_rows=False
+        )
+        client.wait(job_id)
+        payload = client.job_metrics(job_id)
+        assert payload["metric_values"]["stars"] == payload["stars"]
+        with pytest.raises(ClientError) as error:
+            client.result(job_id)
+        assert error.value.status == 409
+        assert "include_rows" in error.value.message
+        # the submit_and_wait helper knows to fetch /metrics instead
+        rows, qi, sa = hospital_rows
+        record, payload = client.submit_and_wait(
+            rows=rows, qi=qi, sa=sa, l=2, algorithm="TP", include_rows=False
+        )
+        assert record["status"] == "done"
+        assert "rows" not in payload and "header" not in payload
 
     def test_jobs_listing_contains_submissions(self, client, hospital_rows):
         job_id = _submit_hospital(client, hospital_rows)
@@ -212,6 +233,31 @@ class TestValidation:
             with pytest.raises(urllib.error.HTTPError) as error:
                 self._raw_post(handle, b"x" * 4096)
             assert error.value.code == 413
+        finally:
+            handle.stop()
+
+    def test_include_rows_must_be_boolean(self, server, hospital_rows):
+        rows, qi, sa = hospital_rows
+        body = json.dumps(
+            {"rows": rows, "qi": qi, "sa": sa, "l": 2, "include_rows": "yes"}
+        ).encode()
+        with pytest.raises(urllib.error.HTTPError) as error:
+            self._raw_post(server, body)
+        assert error.value.code == 400
+
+    def test_slow_clients_time_out_with_408(self, tmp_path):
+        """A socket that never completes its request must not pin a task forever."""
+        import socket
+
+        handle = ServerHandle(
+            workspace=tmp_path / "ws-slow", request_timeout_seconds=0.2
+        )
+        try:
+            with socket.create_connection((handle.host, handle.port), timeout=10) as sock:
+                sock.sendall(b"POST /v1/jobs HTTP/1.1\r\n")  # headers never finish
+                sock.settimeout(10)
+                response = sock.recv(4096)
+            assert b"408" in response.split(b"\r\n", 1)[0]
         finally:
             handle.stop()
 
@@ -346,6 +392,177 @@ class TestCancel:
         handle.stop()
         ledger = JobLedger(handle.server.workspace.jobs_path)
         assert {ledger.get(job_id).status for job_id in job_ids} == {"cancelled"}
+
+    def test_cancel_during_the_submission_window_succeeds(
+        self, server, client, hospital_rows
+    ):
+        """A job visible as 'queued' but not yet handed to the pool (its spool
+        write is still in flight) must be cancellable, not answer 409."""
+        handle = server
+        record = handle.server.ledger.create(
+            label="in-flight", algorithm="TP", l=2, client="pytest"
+        )
+        handle.run(handle.server._remember, record.id, record)
+        handle.run(handle.server._pending_submits.add, record.id)
+        try:
+            cancelled = client.cancel(record.id)
+            assert cancelled["status"] == "cancelled"
+            assert handle.run(lambda: record.id in handle.server._cancel_requested)
+            assert client.status(record.id)["status"] == "cancelled"
+        finally:
+            handle.run(handle.server._pending_submits.discard, record.id)
+            handle.run(handle.server._cancel_requested.discard, record.id)
+
+    def test_result_survives_a_failing_terminal_ledger_write(
+        self, server, client, hospital_rows
+    ):
+        """Disk-full on the 'done' append must not leave the job 'running'
+        forever or drop the computed result."""
+        ledger = server.server.ledger
+        real = ledger.transition
+
+        def flaky(job_id, status, **updates):
+            if status == "done":
+                raise OSError("no space left on device")
+            return real(job_id, status, **updates)
+
+        ledger.transition = flaky
+        try:
+            job_id = _submit_hospital(client, hospital_rows)
+            record = client.wait(job_id)
+            assert record["status"] == "done"
+            assert "ledger append failed" in record["error"]
+            assert client.result(job_id)["verified"] is True
+        finally:
+            ledger.transition = real
+
+    def test_failed_spool_write_rolls_the_submission_back(
+        self, tmp_path, hospital_rows
+    ):
+        """If the upload can't be spooled, the just-created ledger record must
+        not be left 'queued' forever — the pool never saw the job."""
+        handle = ServerHandle(workspace=tmp_path / "ws-spool")
+        client = Client(handle.base_url, retries=0)
+        try:
+            # make the workspace's tmp/ path un-creatable: it's a file
+            (handle.server.workspace.root / "tmp").write_text("not a directory")
+            with pytest.raises(ClientError) as error:
+                _submit_hospital(client, hospital_rows)
+            assert error.value.status == 500
+            assert "spool" in error.value.message
+            records = JobLedger(handle.server.workspace.jobs_path).list()
+            assert [record.status for record in records] == ["cancelled"]
+        finally:
+            handle.stop()
+
+    def test_result_survives_a_failing_running_ledger_write(
+        self, server, client, hospital_rows
+    ):
+        """A transient failure on the 'running' append leaves the ledger
+        behind (still 'queued'); the later done-transition's JobStateError
+        must synthesize the terminal state, not reinstall the stale record."""
+        ledger = server.server.ledger
+        real = ledger.transition
+
+        def flaky(job_id, status, **updates):
+            if status == "running":
+                raise OSError("no space left on device")
+            return real(job_id, status, **updates)
+
+        ledger.transition = flaky
+        try:
+            job_id = _submit_hospital(client, hospital_rows)
+            record = client.wait(job_id)
+            assert record["status"] == "done"
+            assert client.result(job_id)["verified"] is True
+        finally:
+            ledger.transition = real
+
+    def test_out_of_band_ledger_cancel_refreshes_the_resident_record(
+        self, server, client, hospital_rows
+    ):
+        """A CLI `jobs cancel` racing the server must not freeze the job's
+        API status on a stale non-terminal in-memory record."""
+        server.run(server.server.pool.pause)
+        job_id = _submit_hospital(client, hospital_rows)
+        # out-of-band writer (e.g. `ldiversity jobs cancel`) on the same ledger
+        JobLedger(server.server.workspace.jobs_path).cancel(job_id)
+        server.run(server.server.pool.resume)
+        deadline = time.monotonic() + 30
+        while client.status(job_id)["status"] != "cancelled":
+            assert time.monotonic() < deadline, client.status(job_id)
+            time.sleep(0.01)
+        with pytest.raises(ClientError) as error:
+            client.result(job_id)
+        assert error.value.status == 409
+
+    def test_shutdown_closes_jobs_that_outlive_the_grace_window(self, tmp_path):
+        """A run interrupted by shutdown must not stay 'running' in the ledger."""
+        handle = ServerHandle(workspace=tmp_path / "ws-grace", workers=1, queue_cap=4)
+        client = Client(handle.base_url, retries=0)
+        try:
+            job_id = client.submit(
+                source={"kind": "synthetic", "n": 30_000, "dimension": 3}, l=2
+            )
+            deadline = time.monotonic() + 30
+            while client.status(job_id)["status"] != "running":
+                assert time.monotonic() < deadline, "job never started"
+                time.sleep(0.005)
+            handle.call(handle.server.shutdown(grace_seconds=0.01))
+            record = JobLedger(handle.server.workspace.jobs_path).get(job_id)
+            assert record.status == "cancelled"
+            assert "before the result was recorded" in record.error
+        finally:
+            handle.stop()
+
+
+class TestServerSideCsvSources:
+    CSV_TEXT = "Age,Gender,Disease\n" + "\n".join(
+        f"{20 + i % 4},{'MF'[i % 2]},D{i % 3}" for i in range(24)
+    )
+    SOURCE_FIELDS = {"qi": ["Age", "Gender"], "sa": "Disease"}
+
+    def test_csv_sources_are_rejected_without_a_data_dir(self, client, tmp_path):
+        readable = tmp_path / "readable.csv"
+        readable.write_text(self.CSV_TEXT)
+        with pytest.raises(ClientError) as error:
+            client.submit(
+                source={"kind": "csv", "path": str(readable), **self.SOURCE_FIELDS}, l=2
+            )
+        assert error.value.status == 403
+        assert "disabled" in error.value.message
+
+    def test_data_dir_serves_contained_paths_and_rejects_escapes(self, tmp_path):
+        data_dir = tmp_path / "data"
+        data_dir.mkdir()
+        (data_dir / "micro.csv").write_text(self.CSV_TEXT)
+        (tmp_path / "outside.csv").write_text(self.CSV_TEXT)
+        handle = ServerHandle(workspace=tmp_path / "ws-data", data_dir=data_dir)
+        client = Client(handle.base_url, retries=3, backoff_seconds=0.01)
+        try:
+            # a path inside the allowlist runs (relative to the data dir)
+            record, result = client.submit_and_wait(
+                source={"kind": "csv", "path": "micro.csv", **self.SOURCE_FIELDS}, l=2
+            )
+            assert record["status"] == "done"
+            assert result["n"] == 24
+            # ..-traversal out of the data dir is refused, even though the
+            # target exists and is readable by the server user
+            for escape in ("../outside.csv", str(tmp_path / "outside.csv")):
+                with pytest.raises(ClientError) as error:
+                    client.submit(
+                        source={"kind": "csv", "path": escape, **self.SOURCE_FIELDS}, l=2
+                    )
+                assert error.value.status == 403, escape
+                assert "outside" in error.value.message
+            # a missing file inside the allowlist is still a plain 400
+            with pytest.raises(ClientError) as error:
+                client.submit(
+                    source={"kind": "csv", "path": "nope.csv", **self.SOURCE_FIELDS}, l=2
+                )
+            assert error.value.status == 400
+        finally:
+            handle.stop()
 
 
 class TestResidency:

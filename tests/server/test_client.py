@@ -102,12 +102,25 @@ class TestRetry:
         finally:
             server.stop()
 
-    def test_retry_after_is_capped_by_max_backoff(self, sleeps):
+    def test_retry_after_beyond_the_backoff_ceiling_is_honoured(self, sleeps):
+        """The server's ask wins over the client's own backoff ceiling."""
+        server = ScriptedServer(
+            [(429, {"Retry-After": "12"}, {"error": "slow down"}), (200, {}, {})]
+        )
+        try:
+            _client(server, sleeps, max_backoff_seconds=5.0)._json("GET", "/v1/health")
+            assert sleeps == [12.0]
+        finally:
+            server.stop()
+
+    def test_retry_after_is_sanity_capped(self, sleeps):
         server = ScriptedServer(
             [(429, {"Retry-After": "3600"}, {"error": "slow down"}), (200, {}, {})]
         )
         try:
-            _client(server, sleeps, max_backoff_seconds=0.5)._json("GET", "/v1/health")
+            _client(server, sleeps, max_retry_after_seconds=0.5)._json(
+                "GET", "/v1/health"
+            )
             assert sleeps == [0.5]
         finally:
             server.stop()

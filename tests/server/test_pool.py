@@ -200,6 +200,102 @@ class TestWorkerPool:
         assert (abandoned, interrupted) == ([], [])
         assert ("job-1", "done") in events
 
+    def test_shutdown_reports_jobs_that_outlive_the_grace_window(self, tmp_path):
+        """A run still in flight when the grace window closes is 'interrupted'.
+
+        Regression: cancelling the drainers unwinds their ``finally:
+        self._running.discard(...)`` blocks, so a snapshot taken *after* the
+        cancellation always read an empty set and such jobs were reported in
+        neither list — leaving them 'running' in the ledger forever.
+        """
+        events: list[tuple[str, str]] = []
+
+        async def scenario():
+            pool = WorkerPool(
+                workers=1,
+                queue_cap=4,
+                transition=lambda job_id, status, **kw: events.append((job_id, status)),
+                executor_kind="thread",
+                workspace_root=str(tmp_path / "ws"),
+                use_store=False,
+            )
+            await pool.start()
+            pool.submit(
+                "job-slow",
+                {"algorithm": "TP", "l": 2,
+                 "source": {"kind": "synthetic", "n": 30_000, "dimension": 3}},
+            )
+            while ("job-slow", "running") not in events:
+                await asyncio.sleep(0.005)
+            return await pool.shutdown(grace_seconds=0.01)
+
+        abandoned, interrupted = self._run(scenario())
+        assert abandoned == []
+        assert interrupted == ["job-slow"]
+        # its drainer was cancelled, so no terminal transition was recorded
+        assert ("job-slow", "done") not in events
+
+    def test_async_transition_callbacks_are_awaited(self, tmp_path):
+        events: list[tuple[str, str]] = []
+
+        async def transition(job_id, status, result=None, error=""):
+            await asyncio.sleep(0)
+            events.append((job_id, status))
+
+        async def scenario():
+            pool = WorkerPool(
+                workers=1,
+                queue_cap=4,
+                transition=transition,
+                executor_kind="thread",
+                workspace_root=str(tmp_path / "ws"),
+                use_store=False,
+            )
+            await pool.start()
+            pool.submit(
+                "job-1",
+                {"algorithm": "TP", "l": 2,
+                 "source": {"kind": "synthetic", "n": 60, "dimension": 2}},
+            )
+            await pool._queue.join()
+            await pool.shutdown()
+
+        self._run(scenario())
+        assert events == [("job-1", "running"), ("job-1", "done")]
+
+    def test_drainer_survives_a_raising_transition_callback(self, tmp_path):
+        """A callback blowing up (e.g. disk-full ledger append) must not kill
+        the drainer — with workers=1 the server would accept jobs forever and
+        run none of them."""
+        events: list[tuple[str, str]] = []
+
+        def transition(job_id, status, result=None, error=""):
+            if job_id == "job-bad":
+                raise OSError("no space left on device")
+            events.append((job_id, status))
+
+        async def scenario():
+            pool = WorkerPool(
+                workers=1,
+                queue_cap=4,
+                transition=transition,
+                executor_kind="thread",
+                workspace_root=str(tmp_path / "ws"),
+                use_store=False,
+            )
+            await pool.start()
+            spec = {"algorithm": "TP", "l": 2,
+                    "source": {"kind": "synthetic", "n": 60, "dimension": 2}}
+            pool.submit("job-bad", spec)
+            pool.submit("job-good", spec)
+            await pool._queue.join()
+            errors = pool.callback_errors
+            await pool.shutdown()
+            return errors
+
+        assert self._run(scenario()) == 2  # running + done both raised
+        assert ("job-good", "done") in events
+
     def test_invalid_construction(self):
         with pytest.raises(ValueError):
             WorkerPool(workers=0)

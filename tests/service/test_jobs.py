@@ -194,6 +194,42 @@ class TestLedgerDurability:
             ids = pool.map(_create_one, [str(path)] * 12)
         assert len(set(ids)) == 12
 
+    def test_shared_instance_is_thread_safe(self, tmp_path):
+        """Threads sharing one ledger (the server's executor offload) can't
+        corrupt the incremental replay: flock only serializes processes, and
+        get()/list() never took it at all."""
+        import threading
+
+        ledger = JobLedger(tmp_path / "jobs.jsonl")
+        ids = [ledger.create(label="t", algorithm="TP", l=2).id for _ in range(8)]
+        errors: list[BaseException] = []
+
+        def writer(job_id: str) -> None:
+            try:
+                ledger.transition(job_id, "running")
+                ledger.transition(job_id, "done", seconds=0.1)
+            except BaseException as error:  # noqa: BLE001 - collected for assert
+                errors.append(error)
+
+        def reader() -> None:
+            try:
+                for _ in range(200):
+                    ledger.list()
+                    for job_id in ids:
+                        ledger.get(job_id)
+            except BaseException as error:  # noqa: BLE001 - collected for assert
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer, args=(job_id,)) for job_id in ids]
+        threads += [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        assert errors == []
+        assert {record.status for record in ledger.list()} == {"done"}
+        assert len(ledger.list()) == len(ids)
+
 
 def _create_one(path: str) -> str:
     ledger = JobLedger(path)
