@@ -14,11 +14,20 @@
 # streaming checker, and proves a fresh-process rerun is served from the
 # persistent run store.
 #
+# The privacy smoke (scripts/privacy_smoke.py) anonymizes the synthetic
+# dataset under entropy-l and recursive-cl (in-memory and streaming),
+# verifies each output with the matching repro.privacy.principles checker,
+# proves the default FrequencyLDiversity path is bit-identical to the
+# pre-refactor seed output at the fixed seed (pinned SHA-256 digests), and
+# asserts cache-key separation between specs sharing an l.
+#
 # The server smoke (scripts/load_smoke.py) boots `ldiversity serve` in a
 # subprocess and hammers it with 8 concurrent clients (200 jobs): every
 # returned table must be independently l-diverse, repeated submissions must
-# be served from the persistent run store, a burst past the queue cap must
-# produce 429 + Retry-After, and the server must exit 0 on SIGTERM.
+# be served from the persistent run store, a slice of jobs submitted under
+# non-default privacy specs must verify with the matching checkers, a burst
+# past the queue cap must produce 429 + Retry-After, and the server must
+# exit 0 on SIGTERM.
 #
 # The perf check re-times the figure-6 benchmark on the NumPy backend only
 # (well under a minute) and fails when it has regressed more than 2x against
@@ -47,6 +56,9 @@ python scripts/shard_smoke.py
 
 echo "== streaming smoke: 50k-row CSV->CSV under capped chunk size =="
 python scripts/streaming_smoke.py
+
+echo "== privacy smoke: spec runs + pre-refactor bit-identity =="
+python scripts/privacy_smoke.py
 
 echo "== server smoke: 200 jobs / 8 clients against ldiversity serve =="
 python scripts/load_smoke.py --clients 8 --jobs 200

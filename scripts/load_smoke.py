@@ -16,7 +16,12 @@ running server), then:
    produce at least one ``429`` with a ``Retry-After`` header once the
    bounded queue fills, and still-queued burst jobs are then cancelled
    through the API (exercising the ``cancelled`` lifecycle state);
-4. **clean shutdown** — the server subprocess must exit with code 0 on
+4. **privacy specs** — a slice of jobs is submitted with non-default
+   ``privacy`` objects (entropy-l, recursive-cl, alpha-k, k-anonymity)
+   through the HTTP API; each result is re-verified in-process with the
+   matching spec checker at rendered-row granularity, and the record/result
+   payloads must echo the resolved spec;
+5. **clean shutdown** — the server subprocess must exit with code 0 on
    SIGTERM.
 
 Exit code 0 on success, 1 on any violation::
@@ -42,6 +47,7 @@ from collections import Counter
 
 from repro.client import BackpressureError, Client, ClientError
 from repro.dataset.examples import hospital_microdata
+from repro.privacy.spec import privacy_from_dict, privacy_registry
 
 QUEUE_CAP = 8
 WORKERS = 4
@@ -149,6 +155,71 @@ class ClientWorker(threading.Thread):
             self.completed += 1
             if result["store_hit"]:
                 self.store_hits += 1
+
+
+def rows_satisfy_spec(rows: list[list[str]], qi_width: int, spec) -> bool:
+    """Re-check a returned table against a privacy spec at rendered granularity."""
+    histograms: dict[tuple, Counter] = {}
+    total: Counter = Counter()
+    for row in rows:
+        histograms.setdefault(tuple(row[:qi_width]), Counter())[row[qi_width]] += 1
+        total[row[qi_width]] += 1
+    if not histograms:
+        return False
+    return all(spec.check(histogram, total) for histogram in histograms.values())
+
+
+#: The non-default spec slice of phase 4 (entropy-l twice so one submission
+#: exercises a store hit under a non-frequency spec).
+PRIVACY_SPECS = [
+    {"kind": "entropy-l", "l": 2.0},
+    {"kind": "recursive-cl", "c": 2.0, "l": 2},
+    {"kind": "alpha-k", "alpha": 0.5, "k": 4},
+    {"kind": "k-anonymity", "k": 4},
+    {"kind": "entropy-l", "l": 2.0},
+]
+
+
+def phase_privacy(base_url: str) -> None:
+    """Submit a slice of jobs under non-default privacy specs; verify each."""
+    client = Client(
+        base_url, client_id="privacy", retries=30, backoff_seconds=0.05, timeout=60.0
+    )
+    models = {entry["name"] for entry in client.privacy_models()}
+    expected = set(privacy_registry.names())
+    if models != expected:
+        fail(f"GET /v1/privacy listed {sorted(models)}, expected {sorted(expected)}")
+    source = {"kind": "synthetic", "dataset": "SAL", "n": 600, "seed": 11,
+              "dimension": 3}
+    verified = 0
+    for payload in PRIVACY_SPECS:
+        spec = privacy_from_dict(payload)
+        record, result = client.submit_and_wait(
+            timeout=120.0, source=source, algorithm="TP", privacy=payload
+        )
+        if record["status"] != "done":
+            fail(f"privacy job {record['id']} ended {record['status']}")
+        if result["privacy"] != spec.to_dict():
+            fail(
+                f"{record['id']}: result echoed privacy {result['privacy']!r}, "
+                f"expected {spec.to_dict()!r}"
+            )
+        qi_width = len(result["header"]) - 1
+        if not rows_satisfy_spec(result["rows"], qi_width, spec):
+            fail(f"{record['id']}: returned table violates {spec.describe()}")
+        verified += 1
+    # a check-only model must be rejected at submission time
+    try:
+        client.submit(source=source, privacy={"kind": "t-closeness", "t": 0.2})
+    except ClientError as error:
+        if error.status != 400:
+            fail(f"t-closeness submission got HTTP {error.status}, expected 400")
+    else:
+        fail("t-closeness submission was accepted; it is check-only")
+    print(
+        f"privacy: {verified} spec jobs verified with their matching checkers, "
+        "check-only t-closeness rejected with 400"
+    )
 
 
 def phase_backpressure(base_url: str) -> None:
@@ -278,6 +349,8 @@ def main() -> None:
             f"{store_hits} store hits ({100.0 * store_hits / completed:.0f}%), "
             f"{absorbed} backpressure responses absorbed by retries"
         )
+
+        phase_privacy(base_url)
 
         phase_backpressure(base_url)
 

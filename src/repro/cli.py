@@ -24,21 +24,34 @@ Sub-commands:
     port with a bounded worker pool, queue-depth backpressure and optional
     per-client rate limiting.
 ``ldiversity verify``
-    Independently check any published CSV for l-diversity with the streaming
-    verifier (exit code 1 on a violation).
+    Independently check any published CSV with the streaming verifier (exit
+    code 1 on a violation).  ``--privacy`` selects the model — including the
+    check-only t-closeness — so files can be audited against entropy /
+    recursive (c,l) / (alpha,k) / k-anonymity / t-closeness, not just
+    frequency l-diversity.
 ``ldiversity evaluate``
     Anonymize a CSV file with several algorithms and print the standard
     metrics side by side.
 ``ldiversity experiment``
     Re-run one of the paper's figures (or the phase-3 frequency census) at a
     chosen scale and print the resulting series.
-``ldiversity algorithms`` / ``ldiversity metrics``
-    List the registered algorithms / metrics with their capability metadata.
+``ldiversity algorithms`` / ``ldiversity metrics`` / ``ldiversity privacy``
+    List the registered algorithms / metrics / privacy models with their
+    capability metadata and parameter schemas.
+
+Privacy models (``anonymize``, ``plan``, ``jobs submit``, ``verify``): plain
+``--l N`` keeps meaning frequency l-diversity; ``--privacy`` plus the
+model's parameter flags requests any registered spec, e.g.::
+
+    ldiversity anonymize ... --privacy entropy-l --l 3
+    ldiversity anonymize ... --privacy recursive-cl --c 2 --l 3
+    ldiversity verify   ... --privacy t-closeness --t 0.3
 
 Every choice set is derived from a single source of truth — the engine's
-registries for algorithms and metrics, :data:`repro.experiments.figures.FIGURES`
-for experiments, :meth:`repro.experiments.config.ExperimentConfig.presets`
-for scales — so the help text can never drift from what is implemented.
+registries for algorithms and metrics, the privacy registry for ``--privacy``,
+:data:`repro.experiments.figures.FIGURES` for experiments,
+:meth:`repro.experiments.config.ExperimentConfig.presets` for scales — so the
+help text can never drift from what is implemented.
 """
 
 from __future__ import annotations
@@ -57,9 +70,11 @@ from repro.engine import (
     algorithm_registry,
     metric_registry,
 )
+from repro.errors import UnknownEntryError
 from repro.experiments import figures
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import format_records, record_from_report
+from repro.privacy.spec import PrivacySpec, privacy_registry
 from repro.text import format_fixed_width
 
 __all__ = ["main", "build_parser"]
@@ -79,6 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     anonymize = subparsers.add_parser("anonymize", help="anonymize a CSV file")
     _add_io_arguments(anonymize)
+    _add_privacy_arguments(anonymize)
     _add_algorithm_argument(anonymize)
     anonymize.add_argument(
         "--output", default=None, help="write the published table to this CSV file"
@@ -96,6 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
         "plan", help="explain the planner's execution choice for a workload"
     )
     _add_io_arguments(plan)
+    _add_privacy_arguments(plan)
     _add_algorithm_argument(plan)
     _add_execution_arguments(plan)
 
@@ -103,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
     submit = jobs_sub.add_parser("submit", help="run a job and record it in the ledger")
     _add_io_arguments(submit)
+    _add_privacy_arguments(submit)
     _add_algorithm_argument(submit)
     submit.add_argument(
         "--output", default=None, help="write the published table to this CSV file"
@@ -119,9 +137,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workspace_arguments(cancel)
 
     verify = subparsers.add_parser(
-        "verify", help="check a published CSV for l-diversity (streaming)"
+        "verify",
+        help="check a published CSV against a privacy model (streaming)",
     )
     _add_io_arguments(verify)
+    _add_privacy_arguments(verify, check_only=True)
 
     serve = subparsers.add_parser(
         "serve", help="run the asynchronous anonymization HTTP server"
@@ -169,6 +189,9 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate = subparsers.add_parser("evaluate", help="compare algorithms on a CSV file")
     _add_io_arguments(evaluate)
     evaluate.add_argument(
+        "--l", type=int, required=True, help="diversity parameter l (>= 2)"
+    )
+    evaluate.add_argument(
         "--algorithms",
         default="TP,TP+,Hilbert",
         help="comma-separated list of algorithms (default: TP,TP+,Hilbert)",
@@ -193,6 +216,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("algorithms", help="list the registered algorithms")
     subparsers.add_parser("metrics", help="list the registered metrics")
+    subparsers.add_parser("privacy", help="list the registered privacy models")
     return parser
 
 
@@ -200,7 +224,74 @@ def _add_io_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--input", required=True, help="input CSV file with a header row")
     parser.add_argument("--qi", required=True, help="comma-separated quasi-identifier columns")
     parser.add_argument("--sa", required=True, help="sensitive attribute column")
-    parser.add_argument("--l", type=int, required=True, help="diversity parameter l (>= 2)")
+
+
+def _add_privacy_arguments(
+    parser: argparse.ArgumentParser, check_only: bool = False
+) -> None:
+    """The privacy-model flags, derived from the privacy registry.
+
+    ``--l`` alone keeps the historical meaning (frequency l-diversity);
+    ``--privacy`` selects another registered model, whose parameters come
+    from the matching flags below.  ``check_only`` additionally offers the
+    models that can be audited but not enforced (t-closeness) — only the
+    ``verify`` command sets it.
+    """
+    names = [
+        info.name
+        for info in privacy_registry.entries()
+        if check_only or info.enforceable
+    ]
+    parser.add_argument(
+        "--privacy",
+        choices=sorted(names),
+        default="frequency-l",
+        help="privacy model to target (default: frequency-l; see "
+        "`ldiversity privacy` for parameters)",
+    )
+    parser.add_argument(
+        "--l", type=float, default=None,
+        help="diversity parameter l (frequency-l / entropy-l / recursive-cl)",
+    )
+    parser.add_argument(
+        "--c", type=float, default=None, help="recursive-(c,l) multiplier c"
+    )
+    parser.add_argument(
+        "--alpha", type=float, default=None, help="(alpha,k) frequency bound alpha"
+    )
+    parser.add_argument(
+        "--k", type=int, default=None, help="(alpha,k) / k-anonymity group floor k"
+    )
+    if check_only:
+        parser.add_argument(
+            "--t", type=float, default=None, help="t-closeness distance threshold t"
+        )
+
+
+def _privacy_spec(arguments: argparse.Namespace) -> PrivacySpec:
+    """Build the requested spec from the CLI flags, validated by the registry."""
+    info = privacy_registry.get(arguments.privacy)
+    supplied = {
+        name: value
+        for name in ("l", "c", "alpha", "k", "t")
+        if (value := getattr(arguments, name, None)) is not None
+    }
+    params = {}
+    for name, schema in info.params_schema.items():
+        if name not in supplied:
+            raise ValueError(f"--privacy {info.name} requires --{name}")
+        value = supplied.pop(name)
+        if schema["type"] == "integer":
+            if float(value) != int(value):
+                raise ValueError(
+                    f"--{name} must be an integer for {info.name}, got {value}"
+                )
+            value = int(value)
+        params[name] = value
+    if supplied:
+        flags = ", ".join(f"--{name}" for name in sorted(supplied))
+        raise ValueError(f"{flags} does not apply to --privacy {info.name}")
+    return info.cls(**params)
 
 
 def _add_algorithm_argument(parser: argparse.ArgumentParser) -> None:
@@ -269,11 +360,12 @@ def _engine(arguments: argparse.Namespace) -> Engine:
     return Engine(cache=ResultCache(store=store))
 
 
-def _run_plan(arguments: argparse.Namespace) -> RunPlan:
+def _run_plan(arguments: argparse.Namespace, spec: PrivacySpec) -> RunPlan:
     return RunPlan(
         source=_csv_source(arguments),
         algorithm=arguments.algorithm,
-        l=arguments.l,
+        l=spec.anonymize_l(),
+        privacy=spec,
         shards=arguments.shards,
         workers=arguments.workers,
         backend=arguments.backend,
@@ -290,13 +382,25 @@ def _cache_line(report) -> str:
 
 
 def _command_anonymize(arguments: argparse.Namespace) -> int:
+    try:
+        spec = _privacy_spec(arguments)
+    except (ValueError, UnknownEntryError) as error:
+        print(error, file=sys.stderr)
+        return 2
     if arguments.stream:
-        return _command_anonymize_stream(arguments)
-    report = _engine(arguments).run(_run_plan(arguments))
+        return _command_anonymize_stream(arguments, spec)
+    report = _engine(arguments).run(_run_plan(arguments, spec))
     if arguments.output:
         with CsvSink(arguments.output) as sink:
             sink.write_table(report.generalized)
     print(format_records([record_from_report(report, dataset=arguments.input)]))
+    if spec.kind != "frequency-l":
+        merges = (
+            f" ({report.enforcement_merges} groups merged by enforcement)"
+            if report.enforcement_merges
+            else ""
+        )
+        print(f"privacy: {spec.describe()} enforced and verified{merges}")
     if len(report.shard_sizes) > 1:
         print(f"sharded over {len(report.shard_sizes)} shards: {list(report.shard_sizes)}")
     if report.decision is not None and arguments.shards is None:
@@ -310,7 +414,9 @@ def _command_anonymize(arguments: argparse.Namespace) -> int:
     return 0
 
 
-def _command_anonymize_stream(arguments: argparse.Namespace) -> int:
+def _command_anonymize_stream(
+    arguments: argparse.Namespace, spec: PrivacySpec
+) -> int:
     if not arguments.output:
         print("--stream requires --output", file=sys.stderr)
         return 2
@@ -326,7 +432,8 @@ def _command_anonymize_stream(arguments: argparse.Namespace) -> int:
         _csv_source(arguments),
         arguments.output,
         algorithm=arguments.algorithm,
-        l=arguments.l,
+        l=spec.anonymize_l(),
+        privacy=spec,
         shards=arguments.shards,
         chunk_rows=arguments.chunk_rows or 50_000,
         backend=arguments.backend,
@@ -339,6 +446,11 @@ def _command_anonymize_stream(arguments: argparse.Namespace) -> int:
 def _command_plan(arguments: argparse.Namespace) -> int:
     from repro.service import default_planner
 
+    try:
+        spec = _privacy_spec(arguments)
+    except (ValueError, UnknownEntryError) as error:
+        print(error, file=sys.stderr)
+        return 2
     info = algorithm_registry.get(arguments.algorithm)
     source = _csv_source(arguments)
     schema = source.resolved_schema()
@@ -348,12 +460,16 @@ def _command_plan(arguments: argparse.Namespace) -> int:
         info,
         n=n,
         d=schema.dimension,
-        l=arguments.l,
+        l=spec.anonymize_l(),
         shards=arguments.shards,
         workers=arguments.workers,
         backend=arguments.backend,
+        privacy=spec,
     )
-    print(f"workload: n={n} d={schema.dimension} l={arguments.l} algorithm={info.name}")
+    print(
+        f"workload: n={n} d={schema.dimension} l={spec.anonymize_l()} "
+        f"privacy={spec.describe()} algorithm={info.name}"
+    )
     print(decision.explain())
     return 0
 
@@ -371,8 +487,15 @@ def _job_service(arguments: argparse.Namespace):
 
 def _command_jobs(arguments: argparse.Namespace) -> int:
     if arguments.jobs_command == "submit":
+        try:
+            spec = _privacy_spec(arguments)
+        except (ValueError, UnknownEntryError) as error:
+            print(error, file=sys.stderr)
+            return 2
         service = _job_service(arguments)
-        record, report = service.submit(_run_plan(arguments), output=arguments.output or None)
+        record, report = service.submit(
+            _run_plan(arguments, spec), output=arguments.output or None
+        )
         print(format_records([record_from_report(report, dataset=arguments.input)]))
         print(f"job {record.id}: {record.status} ({_cache_line(report)})")
         if record.output:
@@ -412,16 +535,20 @@ def _command_jobs(arguments: argparse.Namespace) -> int:
 
 
 def _command_verify(arguments: argparse.Namespace) -> int:
-    from repro.service import verify_csv_l_diverse
+    from repro.service import verify_csv_satisfies
 
+    try:
+        spec = _privacy_spec(arguments)
+    except (ValueError, UnknownEntryError) as error:
+        print(error, file=sys.stderr)
+        return 2
     qi_names = tuple(name.strip() for name in arguments.qi.split(",") if name.strip())
-    diverse = verify_csv_l_diverse(arguments.input, qi_names, arguments.sa, arguments.l)
-    if diverse:
-        print(f"OK: {arguments.input} satisfies {arguments.l}-diversity")
+    satisfied = verify_csv_satisfies(arguments.input, qi_names, arguments.sa, spec)
+    if satisfied:
+        print(f"OK: {arguments.input} satisfies {spec.describe()}")
         return 0
     print(
-        f"FAIL: {arguments.input} violates {arguments.l}-diversity "
-        f"(or holds no rows)",
+        f"FAIL: {arguments.input} violates {spec.describe()} (or holds no rows)",
         file=sys.stderr,
     )
     return 1
@@ -517,6 +644,32 @@ def _command_algorithms() -> int:
     return 0
 
 
+def _command_privacy() -> int:
+    def render_params(schema: dict) -> str:
+        parts = []
+        for name, constraints in sorted(schema.items()):
+            bounds = ", ".join(
+                f"{key} {value}"
+                for key, value in constraints.items()
+                if key != "type"
+            )
+            parts.append(f"{name}: {constraints['type']}" + (f" ({bounds})" if bounds else ""))
+        return "; ".join(parts)
+
+    rows = [
+        (
+            info.name,
+            render_params(info.params_schema),
+            "enforce + verify" if info.enforceable else "verify only",
+            "yes" if info.name == "frequency-l" else "no",
+            info.description,
+        )
+        for info in privacy_registry.entries()
+    ]
+    _print_table(["privacy model", "parameters", "usable for", "default", "description"], rows)
+    return 0
+
+
 def _command_metrics() -> int:
     rows = [
         (
@@ -557,6 +710,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_algorithms()
     if arguments.command == "metrics":
         return _command_metrics()
+    if arguments.command == "privacy":
+        return _command_privacy()
     parser.error(f"unknown command {arguments.command!r}")
     return 2  # pragma: no cover
 

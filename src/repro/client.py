@@ -12,7 +12,11 @@ the server's citizenship contract:
   a synthetic spec), :meth:`Client.wait` (poll until terminal),
   :meth:`Client.result` / :meth:`Client.result_csv`, :meth:`Client.cancel`;
 * **introspection** — :meth:`Client.health`, :meth:`Client.algorithms`,
-  :meth:`Client.metrics`, :meth:`Client.plan`.
+  :meth:`Client.metrics`, :meth:`Client.privacy_models`, :meth:`Client.plan`.
+
+Submissions accept ``privacy={"kind": "entropy-l", "l": 3}`` (or a
+:class:`~repro.privacy.spec.PrivacySpec`) to target any registered privacy
+model; plain ``l=`` keeps meaning frequency l-diversity.
 
 Example::
 
@@ -186,6 +190,10 @@ class Client:
     def metrics(self) -> list[dict]:
         return self._json("GET", "/v1/metrics")["metrics"]
 
+    def privacy_models(self) -> list[dict]:
+        """The server's registered privacy models with their parameter schemas."""
+        return self._json("GET", "/v1/privacy")["privacy_models"]
+
     def plan(self, n: int, l: int, algorithm: str = "TP+", d: int = 1, **fields) -> dict:
         payload = {"n": n, "l": l, "algorithm": algorithm, "d": d, **fields}
         return self._json("POST", "/v1/plan", payload)
@@ -194,7 +202,7 @@ class Client:
 
     def submit(
         self,
-        l: int,
+        l: int | None = None,
         algorithm: str = "TP+",
         rows: list | None = None,
         columns: list[str] | None = None,
@@ -208,19 +216,28 @@ class Client:
         backend: str | None = None,
         seed: int = 0,
         include_rows: bool = True,
+        privacy: dict | object | None = None,
     ) -> str:
         """Submit one job (inline rows, a CSV body, or a source spec); returns its id.
 
         Exactly one of ``rows``, ``source``, ``csv_text`` or ``csv_path`` must
         be given.  ``rows`` may be dicts (keyed by column name) or lists with
         ``columns``; CSV submissions upload the text with ``qi``/``sa``/``l``
-        as query parameters.  ``include_rows=False`` is for metrics-only
+        as query parameters.  ``privacy`` selects a privacy model — a
+        :class:`~repro.privacy.spec.PrivacySpec` or its dict encoding (e.g.
+        ``{"kind": "entropy-l", "l": 3}``, see ``GET /v1/privacy``); without
+        one, ``l`` is required and means frequency l-diversity, the
+        historical contract.  ``include_rows=False`` is for metrics-only
         workloads: the server skips building/keeping the published table and
         only :meth:`job_metrics` is available afterwards.
         """
         provided = [x is not None for x in (rows, source, csv_text, csv_path)]
         if sum(provided) != 1:
             raise ValueError("provide exactly one of rows / source / csv_text / csv_path")
+        if l is None and privacy is None:
+            raise ValueError("provide l (frequency l-diversity) or privacy")
+        if privacy is not None and hasattr(privacy, "to_dict"):
+            privacy = privacy.to_dict()
         if csv_path is not None:
             with open(csv_path) as handle:
                 csv_text = handle.read()
@@ -232,10 +249,13 @@ class Client:
             params: dict[str, str] = {
                 "qi": ",".join(qi),
                 "sa": sa,
-                "l": str(l),
                 "algorithm": algorithm,
                 "seed": str(seed),
             }
+            if l is not None:
+                params["l"] = str(l)
+            if privacy is not None:
+                params["privacy"] = json.dumps(privacy, separators=(",", ":"))
             if metrics:
                 params["metrics"] = ",".join(metrics)
             if shards is not None:
@@ -251,7 +271,11 @@ class Client:
                 content_type="text/csv",
             )
             return json.loads(raw.decode("utf-8"))["id"]
-        payload: dict = {"algorithm": algorithm, "l": l, "seed": seed}
+        payload: dict = {"algorithm": algorithm, "seed": seed}
+        if l is not None:
+            payload["l"] = l
+        if privacy is not None:
+            payload["privacy"] = privacy
         if not include_rows:
             payload["include_rows"] = False
         if metrics:

@@ -15,11 +15,13 @@ consumers (CLI, experiment harness, scripts) and consists of:
 * :mod:`repro.engine.sinks` — incremental CSV export of published tables
   (:class:`CsvSink`), shared by the CLI and the streaming pipeline;
 * :mod:`repro.engine.cache` — per-run result caching keyed by
-  ``(fingerprint, algorithm, l, shards, backend, seed)``, optionally read-
-  through over the persistent :class:`~repro.service.store.RunStore`;
+  ``(fingerprint, algorithm, l, shards, backend, seed, privacy)``, optionally
+  read-through over the persistent :class:`~repro.service.store.RunStore`;
 * :mod:`repro.engine.core` — the :class:`Engine` executor tying it together;
   plan dimensions left unset are resolved by the cost-based
-  :class:`~repro.service.planner.ExecutionPlanner`.
+  :class:`~repro.service.planner.ExecutionPlanner`, and every plan targets a
+  :class:`~repro.privacy.spec.PrivacySpec` (``l=`` stays sugar for frequency
+  l-diversity).
 
 Quickstart::
 
@@ -35,7 +37,7 @@ Quickstart::
 """
 
 from repro.engine.cache import CachedRun, ResultCache, default_cache
-from repro.engine.core import Engine, RunPlan, RunReport, StageTimings
+from repro.engine.core import Engine, RunPlan, RunReport, StageTimings, run_with_spec
 from repro.engine.registry import (
     AlgorithmInfo,
     AlgorithmOutput,
@@ -87,5 +89,6 @@ __all__ = [
     "metric_registry",
     "qi_prefix_shards",
     "render_cell_value",
+    "run_with_spec",
     "suppression_merge_bound",
 ]

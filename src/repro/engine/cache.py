@@ -7,11 +7,17 @@ the :class:`~repro.engine.registry.AlgorithmOutput` *and* the seconds the
 original run took, so a hit reproduces both the published table and a
 faithful timing record.
 
-The cache key is ``(fingerprint, algorithm, l, shards, backend, seed)``.
-Backend and seed are part of the key because a run's output is only
-guaranteed reproducible for a fixed data-plane backend (group traversal
+The cache key is ``(fingerprint, algorithm, l, shards, backend, seed,
+privacy)``.  Backend and seed are part of the key because a run's output is
+only guaranteed reproducible for a fixed data-plane backend (group traversal
 order can differ between the NumPy and reference paths) and a fixed RNG
 seed; omitting them allowed a ``repro.backend`` toggle to replay stale runs.
+``privacy`` is the canonical :meth:`~repro.privacy.spec.PrivacySpec.token`
+of the requested privacy model and is present **even on the default path**
+(``"frequency-l(l=...)"``) for the same reason: before it existed, a run
+requesting a stricter spec (e.g. entropy l-diversity) at the same ``l``
+would replay a frequency-l entry that never went through the enforcement
+pass.
 
 :class:`ResultCache` is a bounded in-memory LRU that can optionally sit as a
 **read-through tier** over a persistent :class:`~repro.service.store.RunStore`:
@@ -34,6 +40,7 @@ from typing import TYPE_CHECKING
 
 from repro import backend as _backend
 from repro.engine.registry import AlgorithmOutput
+from repro.privacy.spec import FrequencyLDiversity, PrivacySpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service -> engine)
     from repro.dataset.table import Table
@@ -42,8 +49,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service -> engine)
 __all__ = ["CachedRun", "ResultCache", "default_cache"]
 
 #: Cache key: (table fingerprint, algorithm name, l, shard count, data-plane
-#: backend, RNG seed).
-CacheKey = tuple[str, str, int, int, str, int]
+#: backend, RNG seed, canonical privacy-spec token).
+CacheKey = tuple[str, str, int, int, str, int, str]
 
 
 @dataclass(frozen=True)
@@ -56,6 +63,9 @@ class CachedRun:
     #: Row count of each shard the original run executed (empty when the
     #: caller did not record a breakdown, e.g. harness-level entries).
     shard_sizes: tuple[int, ...] = ()
+    #: QI-group merges the spec enforcement pass performed on the original
+    #: run; replayed so cached hits report the same provenance.
+    enforcement_merges: int = 0
 
 
 class ResultCache:
@@ -90,11 +100,22 @@ class ResultCache:
         shards: int = 1,
         backend: str | None = None,
         seed: int = 0,
+        privacy: "PrivacySpec | str | None" = None,
     ) -> CacheKey:
-        """Build a cache key; ``backend`` defaults to the active backend."""
+        """Build a cache key; ``backend`` defaults to the active backend.
+
+        ``privacy`` may be a spec, its canonical token, or ``None`` — the
+        default keeps the ``l``-as-sugar contract and resolves to the
+        frequency-l token, so two different specs with equal ``l`` can never
+        share an entry.
+        """
         if backend is None:
             backend = _backend.current_backend()
-        return (fingerprint, algorithm, l, shards, backend, seed)
+        if privacy is None:
+            privacy = FrequencyLDiversity(int(l)).token()
+        elif isinstance(privacy, PrivacySpec):
+            privacy = privacy.token()
+        return (fingerprint, algorithm, l, shards, backend, seed, privacy)
 
     def get(self, key: CacheKey, table: "Table | None" = None) -> CachedRun | None:
         """Look up a run; memory first, then the persistent store.

@@ -3,22 +3,33 @@
 :class:`Engine` is the one entry point through which the CLI, the experiment
 harness, the job service and the scripts run anonymization:
 
+* every plan targets a privacy model: :attr:`RunPlan.privacy` is a
+  :class:`~repro.privacy.spec.PrivacySpec` (``None`` keeps the historical
+  sugar — ``l=`` means frequency l-diversity); the engine resolves the spec
+  once, runs the core algorithms at the spec's derived frequency parameter,
+  applies the post-anonymization enforcement pass
+  (:func:`~repro.privacy.spec.enforce_spec`) for the specs that frequency
+  guarantee does not already imply — for implied specs, the default path
+  included, the pass is skipped so a violating group surfaces as a
+  verification error instead of being repaired away — and verifies the
+  published table against the spec;
 * an unsharded :meth:`Engine.run` resolves the algorithm in the registry,
   loads the plan's :class:`~repro.engine.sources.DataSource` (optionally in
   bounded chunks), runs, verifies and computes the requested metrics;
-* a sharded run splits the table into l-eligible QI-prefix shards
+* a sharded run splits the table into spec-eligible QI-prefix shards
   (:func:`~repro.engine.sharding.qi_prefix_shards`), anonymizes them
   sequentially or on a process pool, merges the published shard tables and
-  verifies that the merged table still satisfies l-diversity — this is the
+  verifies that the merged table still satisfies the spec — this is the
   out-of-core / large-``n`` execution path;
 * plan dimensions left unset (``shards``/``workers`` of ``None``) are
   resolved by the cost-based
   :class:`~repro.service.planner.ExecutionPlanner` from the loaded table's
   statistics, replacing hand-tuned per-invocation defaults;
 * results are memoized in a :class:`~repro.engine.cache.ResultCache` keyed
-  by ``(fingerprint, algorithm, l, shards, backend, seed)``; when the cache
-  is backed by a persistent :class:`~repro.service.store.RunStore`, repeated
-  runs are served across processes and the report says which tier answered.
+  by ``(fingerprint, algorithm, l, shards, backend, seed, privacy)``; when
+  the cache is backed by a persistent :class:`~repro.service.store.RunStore`,
+  repeated runs are served across processes and the report says which tier
+  answered.
 
 Every stage is timed separately (load / anonymize / metrics) so regressions
 can be attributed to the right layer.
@@ -47,12 +58,18 @@ from repro.engine.registry import (
 from repro.engine.sharding import merge_shard_outputs, qi_prefix_shards
 from repro.engine.sources import DataSource, TableSource, concat_tables
 from repro.errors import IneligibleTableError, VerificationError
+from repro.privacy.spec import (
+    PrivacySpec,
+    enforce_spec,
+    privacy_registry,
+    resolve_privacy,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - layering: service imports engine
     from repro.service.planner import ExecutionDecision, ExecutionPlanner
     from repro.service.store import RunStore
 
-__all__ = ["Engine", "RunPlan", "RunReport", "StageTimings"]
+__all__ = ["Engine", "RunPlan", "RunReport", "StageTimings", "run_with_spec"]
 
 
 @dataclass(frozen=True)
@@ -81,7 +98,13 @@ class RunPlan:
 
     source: DataSource
     algorithm: str = "TP+"
+    #: Frequency-diversity sugar: when :attr:`privacy` is unset, the plan
+    #: targets ``FrequencyLDiversity(l)`` — the historical contract.
     l: int = 2
+    #: The privacy model to enforce (a :class:`~repro.privacy.spec.PrivacySpec`
+    #: or its dict encoding); ``None`` resolves to ``FrequencyLDiversity(l)``.
+    #: When set, it overrides ``l``.
+    privacy: "PrivacySpec | dict | None" = None
     #: Number of QI-prefix shards; 1 = unsharded, None = planner-chosen.  The
     #: effective count may be lower when the eligibility repair pass merges.
     shards: int | None = None
@@ -96,10 +119,14 @@ class RunPlan:
     metrics: tuple[str, ...] = ()
     #: Whether to consult/fill the result cache.
     use_cache: bool = True
-    #: Whether to verify l-diversity of the published table.
+    #: Whether to verify the published table against the privacy spec.
     verify: bool = True
     #: When set, load the source through bounded chunks of this many rows.
     chunk_rows: int | None = None
+
+    def resolved_privacy(self) -> PrivacySpec:
+        """The concrete privacy spec this plan targets (``l`` sugar resolved)."""
+        return resolve_privacy(self.privacy, self.l)
 
 
 @dataclass(frozen=True)
@@ -125,19 +152,50 @@ class RunReport:
     cache_stats: dict[str, int] = field(default_factory=dict)
     #: Row count of each executed shard (one entry, ``n``, when unsharded).
     shard_sizes: tuple[int, ...] = ()
-    #: Whether the published table was verified l-diverse.
+    #: Whether the published table was verified against the privacy spec.
     verified: bool = False
     #: The planner's resolved configuration for this run.
     decision: "ExecutionDecision | None" = None
+    #: The resolved privacy spec the run enforced and verified.
+    privacy: "PrivacySpec | None" = None
+    #: QI-group merges performed by the enforcement pass (0 whenever the
+    #: algorithms' frequency guarantee already implied the spec).
+    enforcement_merges: int = 0
 
 
-def _run_shard(job: tuple[str, Table, int, str]) -> AlgorithmOutput:
+def run_with_spec(runner, table: Table, spec: PrivacySpec) -> AlgorithmOutput:
+    """Run one algorithm on a table under a privacy spec.
+
+    The core algorithms optimize frequency l-diversity; they run at the
+    spec's derived frequency parameter.  SA-blind specs (k-anonymity)
+    anonymize a surrogate table with an all-distinct sensitive column and
+    the published table is rebuilt from the output partition against the
+    original table — cells depend only on the QI values and the partition,
+    so the rebuild restores the original schema and sensitive column
+    without changing the generalization.
+    """
+    run_table = spec.prepare_table(table)
+    output = runner(run_table, spec.anonymize_l())
+    if run_table is not table:
+        from repro.dataset.generalized import Partition
+
+        partition = Partition.trusted(
+            [list(rows) for rows in output.generalized.groups().values()], len(table)
+        )
+        output = AlgorithmOutput(
+            GeneralizedTable.from_partition(table, partition),
+            phase_reached=output.phase_reached,
+        )
+    return output
+
+
+def _run_shard(job: tuple[str, Table, PrivacySpec, str]) -> AlgorithmOutput:
     """Process-pool entry point: anonymize one shard."""
-    name, shard, l, backend_name = job
+    name, shard, spec, backend_name = job
     # Workers started via spawn/forkserver re-import repro.backend and would
     # otherwise fall back to the default; mirror the parent's choice.
     backend.set_backend(backend_name)
-    return algorithm_registry.get(name).runner(shard, l)
+    return run_with_spec(algorithm_registry.get(name).runner, shard, spec)
 
 
 class Engine:
@@ -174,6 +232,12 @@ class Engine:
     def run(self, plan: RunPlan) -> RunReport:
         """Execute one plan: load, resolve, anonymize (possibly sharded), verify."""
         info = self.algorithms.get(plan.algorithm)  # fail before loading anything
+        spec = plan.resolved_privacy()
+        if not privacy_registry.get(spec.kind).enforceable:
+            raise ValueError(
+                f"privacy model {spec.kind!r} is check-only and cannot be "
+                "requested as an anonymization target"
+            )
         for metric_name in plan.metrics:
             self.metrics.get(metric_name)
         if plan.shards is not None and plan.shards > 1 and not info.supports_sharding:
@@ -193,21 +257,21 @@ class Engine:
             shards=plan.shards,
             workers=plan.workers,
             backend=plan.backend,
+            privacy=spec,
         )
 
         with backend.use_backend(decision.backend):
-            output, anonymize_seconds, tier, shard_sizes = self._anonymize(
-                plan, info.name, table, decision, cacheable=info.deterministic
+            output, anonymize_seconds, tier, shard_sizes, merges = self._anonymize(
+                plan, info.name, table, decision, cacheable=info.deterministic,
+                spec=spec,
             )
 
             started = time.perf_counter()
             verified = False
             if plan.verify:
-                from repro.privacy.checks import verify_l_diversity
-
-                if not verify_l_diversity(output.generalized, plan.l):
+                if not spec.check_generalized(output.generalized):
                     raise VerificationError(
-                        f"published table violates {plan.l}-diversity"
+                        f"published table violates {spec.describe()}"
                     )
                 verified = True
             metric_values = {
@@ -231,6 +295,8 @@ class Engine:
             shard_sizes=shard_sizes,
             verified=verified,
             decision=decision,
+            privacy=spec,
+            enforcement_merges=merges,
         )
 
     def run_table(self, table: Table, algorithm: str, l: int, **plan_fields) -> RunReport:
@@ -253,32 +319,53 @@ class Engine:
         table: Table,
         decision: "ExecutionDecision",
         cacheable: bool,
-    ) -> tuple[AlgorithmOutput, float, str | None, tuple[int, ...]]:
+        spec: PrivacySpec,
+    ) -> tuple[AlgorithmOutput, float, str | None, tuple[int, ...], int]:
         use_cache = plan.use_cache and cacheable
         key = None
         if use_cache:
+            # The key's l component is derived from the spec, not plan.l:
+            # with an explicit spec, plan.l is only a display hint and
+            # letting it vary (CLI vs HTTP defaults, client-chosen hints)
+            # would fragment the cache for identical workloads.
             key = ResultCache.key(
                 table.fingerprint(),
                 name,
-                plan.l,
+                spec.anonymize_l(),
                 decision.shards,
                 decision.backend,
                 plan.seed,
+                privacy=spec,
             )
             cached, tier = self.cache.lookup(key, table)
             if cached is not None:
-                return cached.output, cached.anonymize_seconds, tier, cached.shard_sizes
+                # Cached entries were enforced before being stored.
+                return (
+                    cached.output, cached.anonymize_seconds, tier,
+                    cached.shard_sizes, cached.enforcement_merges,
+                )
 
         started = time.perf_counter()
         if decision.shards > 1:
-            output, shard_sizes = self._run_sharded(plan, name, table, decision)
+            output, shard_sizes = self._run_sharded(plan, name, table, decision, spec)
         else:
-            if not table.is_l_eligible(plan.l):
+            if not spec.eligible(table.sa_counts(), len(table)):
                 raise IneligibleTableError(
-                    f"table is not {plan.l}-eligible; no l-diverse generalization exists"
+                    f"table is not eligible for {spec.describe()}; "
+                    "no satisfying generalization exists"
                 )
-            output = self.algorithms.get(name).runner(table, plan.l)
+            output = run_with_spec(self.algorithms.get(name).runner, table, spec)
             shard_sizes = (len(table),)
+        # Enforcement pass — only for specs the algorithms' frequency
+        # guarantee does not already imply (recursive-cl with c <= 1).  For
+        # implied specs (the default path included) a violating group can
+        # only mean a broken algorithm or merge invariant, which must reach
+        # the verify stage as an error, never be silently repaired away.
+        merges = 0
+        if not spec.implied_by_frequency():
+            enforced, merges = enforce_spec(table, output.generalized, spec)
+            if merges:
+                output = AlgorithmOutput(enforced, phase_reached=output.phase_reached)
         anonymize_seconds = time.perf_counter() - started
 
         if use_cache and key is not None:
@@ -288,26 +375,33 @@ class Engine:
                     output=output,
                     anonymize_seconds=anonymize_seconds,
                     shard_sizes=shard_sizes,
+                    enforcement_merges=merges,
                 ),
             )
-        return output, anonymize_seconds, None, shard_sizes
+        return output, anonymize_seconds, None, shard_sizes, merges
 
     def _run_sharded(
-        self, plan: RunPlan, name: str, table: Table, decision: "ExecutionDecision"
+        self,
+        plan: RunPlan,
+        name: str,
+        table: Table,
+        decision: "ExecutionDecision",
+        spec: PrivacySpec,
     ) -> tuple[AlgorithmOutput, tuple[int, ...]]:
-        shard_rows = qi_prefix_shards(table, decision.shards, plan.l)
+        shard_rows = qi_prefix_shards(table, decision.shards, spec)
         shard_tables = [table.subset(rows) for rows in shard_rows]
         jobs = [
-            (name, shard, plan.l, backend.current_backend()) for shard in shard_tables
+            (name, shard, spec, backend.current_backend()) for shard in shard_tables
         ]
         if decision.workers > 1 and len(jobs) > 1:
             with ProcessPoolExecutor(max_workers=min(decision.workers, len(jobs))) as pool:
                 outputs = list(pool.map(_run_shard, jobs))
         else:
             outputs = [_run_shard(job) for job in jobs]
-        # Structural merge only; the single l-diversity verification of the
-        # merged table happens in run()'s verify stage (plan.verify).
-        merged = merge_shard_outputs(table, shard_rows, outputs, plan.l, verify=False)
+        # Structural merge only; verification of the merged table against the
+        # spec happens in run()'s verify stage (plan.verify), after the
+        # enforcement pass has had its chance to repair across shards.
+        merged = merge_shard_outputs(table, shard_rows, outputs, spec, verify=False)
         phases = [output.phase_reached for output in outputs if output.phase_reached]
         return (
             AlgorithmOutput(merged, phase_reached=max(phases) if phases else None),

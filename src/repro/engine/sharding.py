@@ -9,25 +9,33 @@ pool — and the published shard tables are merged back in original row order.
 
 Correctness: generalization operates per QI-group, a merged table's
 QI-groups are exactly the union of the shard outputs' QI-groups, and each
-shard output is l-diverse; therefore the merged table is l-diverse by
-construction (the engine still verifies it through
-:func:`repro.privacy.checks.verify_l_diversity` and raises
-:class:`~repro.errors.ShardMergeError` on violation).
+shard output satisfies the (group-local) privacy spec; therefore the merged
+table satisfies it by construction (the engine still verifies the merged
+table and raises :class:`~repro.errors.ShardMergeError` on violation).
 
 Utility (the documented merge bound): sharding constrains the algorithm to
 never build a bucket from QI-groups in different shards, so for the bucket-
 building algorithms (TP, TP+, Hilbert) each of the ``shards - 1`` boundaries
-can strand at most one under-full residue of fewer than ``l`` tuples per
-side, each costing at most ``d`` stars per tuple.  The engine therefore
-documents
+can strand at most one under-full residue of fewer than ``floor`` tuples per
+side — where ``floor`` is the spec's minimum group size,
+:meth:`~repro.privacy.spec.PrivacySpec.group_floor` (``l`` for the default
+frequency spec) — each costing at most ``d`` stars per tuple.  The engine
+therefore documents
 
-    |stars(sharded) - stars(unsharded)|  <=  2 * (shards - 1) * l * d
-    |suppressed(sharded) - suppressed(unsharded)|  <=  2 * (shards - 1) * l
+    |stars(sharded) - stars(unsharded)|  <=  2 * (shards - 1) * floor * d
+    |suppressed(sharded) - suppressed(unsharded)|  <=  2 * (shards - 1) * floor
 
 as the merge bound; ``scripts/shard_smoke.py`` and the engine tests assert
-it on fixed seeds.  Shards whose residents are not l-eligible on their own
-are merged into their successor before execution, so every dispatched shard
-is guaranteed anonymizable (Lemma 1).
+it on fixed seeds.  Shards whose residents are not eligible under the spec
+on their own are merged into their successor before execution, so every
+dispatched shard is guaranteed anonymizable (Lemma 1 for the frequency
+spec; the spec's :meth:`~repro.privacy.spec.PrivacySpec.eligible` condition
+in general).
+
+Every ``privacy`` parameter below accepts a
+:class:`~repro.privacy.spec.PrivacySpec` or a bare ``int`` as sugar for
+``FrequencyLDiversity(l)`` — existing ``l``-threading callers keep working
+unchanged.
 """
 
 from __future__ import annotations
@@ -39,6 +47,7 @@ from repro.dataset.generalized import GeneralizedTable
 from repro.dataset.table import Table
 from repro.engine.registry import AlgorithmOutput
 from repro.errors import IneligibleTableError, ShardMergeError
+from repro.privacy.spec import PrivacySpec, resolve_privacy
 
 __all__ = [
     "merge_shard_outputs",
@@ -48,19 +57,24 @@ __all__ = [
 ]
 
 
-def suppression_merge_bound(shards: int, l: int, d: int = 1) -> int:
-    """The documented bound on sharded-vs-unsharded suppression differences."""
-    return 2 * max(shards - 1, 0) * l * d
+def suppression_merge_bound(shards: int, privacy: "int | PrivacySpec", d: int = 1) -> int:
+    """The documented bound on sharded-vs-unsharded suppression differences.
+
+    ``privacy`` is a spec or an ``l`` integer; the bound scales with the
+    spec's :meth:`~repro.privacy.spec.PrivacySpec.group_floor`.
+    """
+    floor = resolve_privacy(privacy).group_floor()
+    return 2 * max(shards - 1, 0) * floor * d
 
 
 def partition_group_keys(
     ordered_keys: Sequence,
     histograms: Mapping,
     shard_count: int,
-    l: int,
+    privacy: "int | PrivacySpec",
     n: int,
 ) -> list[list]:
-    """Pack ordered QI-group keys into at most ``shard_count`` l-eligible shards.
+    """Pack ordered QI-group keys into at most ``shard_count`` spec-eligible shards.
 
     ``histograms`` maps each key to a ``Counter`` of its sensitive values;
     only the histograms are consulted, so this is shared verbatim by the
@@ -69,10 +83,11 @@ def partition_group_keys(
     and packed greedily into contiguous shards of roughly equal cardinality
     (closing a shard once its cumulative row count reaches the quota
     ``i * n / shard_count``), then a repair pass merges any shard that is
-    not l-eligible on its own into its successor (eligibility of the union
-    is not guaranteed by eligibility of the parts, so the pass iterates
-    until stable).
+    not eligible under the privacy spec on its own into its successor
+    (eligibility of the union is not guaranteed by eligibility of the
+    parts, so the pass iterates until stable).
     """
+    spec = resolve_privacy(privacy)
     if shard_count <= 1 or len(ordered_keys) <= 1:
         return [list(ordered_keys)]
 
@@ -98,7 +113,7 @@ def partition_group_keys(
         histogram: Counter = Counter()
         for key in keys:
             histogram.update(histograms[key])
-        return max(histogram.values()) * l <= shard_size(keys)
+        return spec.eligible(histogram, shard_size(keys))
 
     while len(shards) > 1:
         merged_any = False
@@ -120,23 +135,27 @@ def partition_group_keys(
     return shards
 
 
-def qi_prefix_shards(table: Table, shard_count: int, l: int) -> list[list[int]]:
-    """Partition row indices into at most ``shard_count`` l-eligible shards.
+def qi_prefix_shards(
+    table: Table, shard_count: int, privacy: "int | PrivacySpec"
+) -> list[list[int]]:
+    """Partition row indices into at most ``shard_count`` spec-eligible shards.
 
     QI-groups are walked in ascending lexicographic order of their QI vectors
     and packed/repaired by :func:`partition_group_keys`.  The returned shards
     are a disjoint cover of ``range(len(table))``, each a union of complete
-    QI-groups, each l-eligible; fewer than ``shard_count`` shards come back
-    when repair had to merge.
+    QI-groups, each eligible under the privacy spec; fewer than
+    ``shard_count`` shards come back when repair had to merge.
     """
     if shard_count < 1:
         raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+    spec = resolve_privacy(privacy)
     n = len(table)
     if n == 0:
         return []
-    if not table.is_l_eligible(l):
+    if not spec.eligible(table.sa_counts(), n):
         raise IneligibleTableError(
-            f"table is not {l}-eligible; no l-diverse generalization exists"
+            f"table is not eligible for {spec.describe()}; "
+            "no satisfying generalization exists"
         )
     if shard_count == 1:
         return [list(range(n))]
@@ -149,7 +168,7 @@ def qi_prefix_shards(table: Table, shard_count: int, l: int) -> list[list[int]]:
     histograms = {
         key: Counter(sa_values[index] for index in rows) for key, rows in groups.items()
     }
-    key_shards = partition_group_keys(ordered_keys, histograms, shard_count, l, n)
+    key_shards = partition_group_keys(ordered_keys, histograms, shard_count, spec, n)
     return [
         [index for key in keys for index in groups[key]] for keys in key_shards
     ]
@@ -159,7 +178,7 @@ def merge_shard_outputs(
     table: Table,
     shard_rows: list[list[int]],
     outputs: list[AlgorithmOutput],
-    l: int,
+    privacy: "int | PrivacySpec",
     verify: bool = True,
 ) -> GeneralizedTable:
     """Merge per-shard published tables back into one table in original row order.
@@ -193,8 +212,10 @@ def merge_shard_outputs(
     merged = GeneralizedTable._from_trusted(
         table.schema, cells, table.sa_values, group_ids
     )
-    if verify and not merged.is_l_diverse(l):
-        raise ShardMergeError(
-            f"merged table violates {l}-diversity; sharding invariant broken"
-        )
+    if verify:
+        spec = resolve_privacy(privacy)
+        if not spec.check_generalized(merged):
+            raise ShardMergeError(
+                f"merged table violates {spec.describe()}; sharding invariant broken"
+            )
     return merged

@@ -7,7 +7,9 @@
   individual's QI values;
 * :mod:`repro.privacy.principles` — checkers for the related SA-aware
   principles surveyed in Section 2 (entropy / recursive l-diversity,
-  (alpha, k)-anonymity, t-closeness).
+  (alpha, k)-anonymity, t-closeness);
+* :mod:`repro.privacy.spec` — the first-class :class:`PrivacySpec` hierarchy
+  and registry those principles are requested/enforced/served through.
 """
 
 from repro.privacy.attack import AttackReport, simulate_linking_attack
@@ -25,13 +27,41 @@ from repro.privacy.principles import (
     satisfies_recursive_cl_diversity,
     satisfies_t_closeness,
 )
+from repro.privacy.spec import (
+    AlphaKAnonymity,
+    EntropyLDiversity,
+    FrequencyLDiversity,
+    KAnonymity,
+    PrivacyModelInfo,
+    PrivacyRegistry,
+    PrivacySpec,
+    RecursiveCLDiversity,
+    TCloseness,
+    enforce_spec,
+    privacy_from_dict,
+    privacy_registry,
+    resolve_privacy,
+)
 
 __all__ = [
+    "AlphaKAnonymity",
     "AttackReport",
     "DiversityReport",
+    "EntropyLDiversity",
+    "FrequencyLDiversity",
+    "KAnonymity",
+    "PrivacyModelInfo",
+    "PrivacyRegistry",
+    "PrivacySpec",
+    "RecursiveCLDiversity",
+    "TCloseness",
     "adversary_confidence",
     "diversity_report",
+    "enforce_spec",
     "max_t_closeness_distance",
+    "privacy_from_dict",
+    "privacy_registry",
+    "resolve_privacy",
     "satisfies_alpha_k_anonymity",
     "satisfies_entropy_l_diversity",
     "satisfies_recursive_cl_diversity",

@@ -31,6 +31,12 @@ __all__ = [
     "max_t_closeness_distance",
 ]
 
+#: Floating-point slack applied to every boundary comparison.  Shared with
+#: :mod:`repro.privacy.spec` (which imports it), so the first-class spec
+#: checks and these standalone checkers can never disagree on boundary
+#: histograms.
+TOLERANCE = 1e-12
+
 
 def _group_histograms(generalized: GeneralizedTable) -> list[Counter[int]]:
     return [
@@ -49,7 +55,7 @@ def satisfies_entropy_l_diversity(generalized: GeneralizedTable, l: float) -> bo
         entropy = -sum(
             (count / total) * math.log(count / total) for count in histogram.values()
         )
-        if entropy + 1e-12 < threshold:
+        if entropy + TOLERANCE < threshold:
             return False
     return True
 
@@ -88,7 +94,7 @@ def satisfies_alpha_k_anonymity(
         total = sum(histogram.values())
         if total < k:
             return False
-        if max(histogram.values()) > alpha * total + 1e-12:
+        if max(histogram.values()) > alpha * total + TOLERANCE:
             return False
     return True
 
@@ -118,4 +124,4 @@ def satisfies_t_closeness(generalized: GeneralizedTable, t: float) -> bool:
     """t-closeness: no group's SA distribution deviates from the table's by more than ``t``."""
     if t < 0:
         raise ValueError(f"t must be non-negative, got {t}")
-    return max_t_closeness_distance(generalized) <= t + 1e-12
+    return max_t_closeness_distance(generalized) <= t + TOLERANCE

@@ -14,9 +14,16 @@ small JSON-over-HTTP surface (all under ``/v1``):
 ``POST /v1/jobs/{id}/cancel``         cancel a still-queued job
 ``GET  /v1/algorithms``               algorithm registry with capability metadata
 ``GET  /v1/metrics``                  metric registry
+``GET  /v1/privacy``                  privacy-model registry with parameter schemas
 ``POST /v1/plan``                     explain the planner's decision for a workload
 ``GET  /v1/health``                   liveness, version, queue depth, job counters
 ====================================  ===================================================
+
+Submissions may carry a ``privacy`` object (e.g. ``{"kind": "entropy-l",
+"l": 3}``) validated against the privacy registry; without one, the required
+``l`` keeps meaning frequency l-diversity.  The resolved spec is echoed in
+the job's status record and result payload so clients can audit what was
+enforced.
 
 Submissions are validated against the registries *before* queueing, then run
 asynchronously on the bounded :class:`~repro.server.pool.WorkerPool`; the
@@ -51,6 +58,7 @@ from typing import Awaitable, Callable
 from repro._version import __version__
 from repro.engine.registry import algorithm_registry, metric_registry
 from repro.errors import UnknownEntryError
+from repro.privacy.spec import privacy_from_dict, privacy_registry, resolve_privacy
 from repro.server.pool import QueueFullError, WorkerPool
 from repro.server.protocol import (
     DEFAULT_MAX_BODY_BYTES,
@@ -323,6 +331,7 @@ class AnonymizationServer:
             label=label,
             algorithm=spec["algorithm"],
             l=spec["l"],
+            privacy=spec["privacy"],
             client=request.client,
         )
         self._remember(record.id, record=record)
@@ -468,12 +477,26 @@ class AnonymizationServer:
     def _spec_from_csv_upload(self, request: Request) -> tuple[str, dict, bytes]:
         """Validate a ``text/csv`` upload driven by query parameters."""
         query = dict(request.query)
-        if "l" not in query:
+        if "privacy" in query:
+            # The spec's dict encoding travels as a JSON-valued parameter
+            # (the CSV body leaves nowhere else to put a structured field).
+            import json as _json
+
+            try:
+                query["privacy"] = _json.loads(query["privacy"])
+            except _json.JSONDecodeError:
+                raise HttpError(
+                    400, "'privacy' must be a JSON object query parameter"
+                ) from None
+        if "l" not in query and "privacy" not in query:
             raise HttpError(400, "csv upload requires an 'l' query parameter")
-        try:
-            query["l"] = int(query["l"])
-        except ValueError:
-            raise HttpError(400, f"'l' must be an integer, got {query['l']!r}") from None
+        if "l" in query:
+            try:
+                query["l"] = int(query["l"])
+            except ValueError:
+                raise HttpError(
+                    400, f"'l' must be an integer, got {query['l']!r}"
+                ) from None
         if "qi" in query:
             query["qi"] = [name for name in query["qi"].split(",") if name]
         if "metrics" in query:
@@ -514,7 +537,7 @@ class AnonymizationServer:
                 f"unknown algorithm {algorithm!r}; known: "
                 f"{sorted(algorithm_registry.names())}",
             ) from None
-        l = _require_int(payload, "l", minimum=2)
+        privacy_spec, l = self._resolve_spec_and_l(payload)
         metrics = payload.get("metrics", [])
         if not isinstance(metrics, list) or not all(isinstance(m, str) for m in metrics):
             raise HttpError(400, f"'metrics' must be a list of names, got {metrics!r}")
@@ -547,6 +570,11 @@ class AnonymizationServer:
         return {
             "algorithm": info.name,
             "l": l,
+            # The resolved spec always travels in its canonical dict form —
+            # default submissions carry the frequency spec explicitly, so the
+            # worker, the ledger and the result payload can never disagree on
+            # what was enforced.
+            "privacy": privacy_spec.to_dict(),
             "metrics": list(metrics),
             "shards": shards,
             "backend": backend,
@@ -557,6 +585,58 @@ class AnonymizationServer:
             # process-pool transfer and the resident-result footprint.
             "include_rows": include_rows,
         }
+
+    @classmethod
+    def _resolve_spec_and_l(cls, payload: dict):
+        """Resolve a payload's privacy model and ``l``; shared by ``/v1/jobs``
+        and ``/v1/plan`` so the two endpoints can never validate differently.
+
+        With an explicit ``privacy`` object, ``l`` is only an optional
+        display hint (defaulting to the spec's group floor); without one it
+        is required and keeps the frequency-diversity sugar contract.
+        """
+        spec = cls._validate_privacy(payload)
+        if spec is not None:
+            l = (
+                _require_int(payload, "l", minimum=1)
+                if "l" in payload
+                else spec.group_floor()
+            )
+        else:
+            l = _require_int(payload, "l", minimum=2)
+            spec = resolve_privacy(None, l)
+        return spec, l
+
+    @staticmethod
+    def _validate_privacy(payload: dict):
+        """Validate an optional ``privacy`` object against the registry.
+
+        Returns the resolved spec or ``None`` when the submission relies on
+        the ``l`` sugar.  Check-only models (t-closeness) are rejected: they
+        can be audited with ``ldiversity verify`` but not requested here.
+        """
+        privacy = payload.get("privacy")
+        if privacy is None:
+            return None
+        if not isinstance(privacy, dict):
+            raise HttpError(400, f"'privacy' must be an object, got {privacy!r}")
+        try:
+            spec = privacy_from_dict(privacy)
+        except UnknownEntryError as error:
+            raise HttpError(
+                400,
+                f"{error}",
+            ) from None
+        except ValueError as error:
+            raise HttpError(400, f"invalid privacy spec: {error}") from None
+        if not privacy_registry.get(spec.kind).enforceable:
+            raise HttpError(
+                400,
+                f"privacy model {spec.kind!r} is check-only and cannot be an "
+                "anonymization target (audit published CSVs with "
+                "`ldiversity verify` instead)",
+            )
+        return spec
 
     @staticmethod
     def _validate_qi_sa(payload: dict) -> tuple[list[str], str]:
@@ -859,6 +939,20 @@ class AnonymizationServer:
         ]
         return json_response(200, {"metrics": entries})
 
+    @_route("GET", r"/v1/privacy")
+    async def _handle_privacy(self, request: Request) -> bytes:
+        entries = [
+            {
+                "name": info.name,
+                "description": info.description,
+                "params": info.params_schema,
+                "enforceable": info.enforceable,
+                "default": info.name == "frequency-l",
+            }
+            for info in privacy_registry.entries()
+        ]
+        return json_response(200, {"privacy_models": entries})
+
     @_route("POST", r"/v1/plan")
     async def _handle_plan(self, request: Request) -> bytes:
         payload = request.json()
@@ -869,7 +963,7 @@ class AnonymizationServer:
             raise HttpError(400, f"unknown algorithm {algorithm!r}") from None
         n = _require_int(payload, "n", minimum=0)
         d = _require_int(payload, "d", minimum=1) if "d" in payload else 1
-        l = _require_int(payload, "l", minimum=2)
+        spec, l = self._resolve_spec_and_l(payload)
         from repro.service.planner import default_planner
 
         try:
@@ -881,6 +975,7 @@ class AnonymizationServer:
                 shards=payload.get("shards"),
                 workers=payload.get("workers"),
                 backend=payload.get("backend"),
+                privacy=spec,
             )
         except ValueError as error:
             raise HttpError(400, str(error)) from None
@@ -891,6 +986,7 @@ class AnonymizationServer:
                 "workers": decision.workers,
                 "backend": decision.backend,
                 "estimated_seconds": decision.estimated_seconds,
+                "privacy": decision.privacy,
                 "reasons": list(decision.reasons),
                 "candidates": [list(entry) for entry in decision.candidates],
             },

@@ -33,6 +33,7 @@ from repro.engine.cache import ResultCache
 from repro.engine.core import Engine, RunPlan
 from repro.engine.sinks import render_cell_value
 from repro.engine.sources import CsvSource, DataSource, SyntheticSource
+from repro.privacy.spec import privacy_from_dict
 
 __all__ = ["QueueFullError", "WorkerPool", "build_source", "execute_job"]
 
@@ -91,10 +92,12 @@ def execute_job(spec: dict, workspace_root: str | None, use_store: bool) -> dict
     nesting a process pool inside a pool worker would oversubscribe the host.
     """
     source = build_source(spec["source"])
+    privacy = spec.get("privacy")
     plan = RunPlan(
         source=source,
         algorithm=spec["algorithm"],
         l=int(spec["l"]),
+        privacy=privacy_from_dict(privacy) if privacy else None,
         shards=spec.get("shards"),
         workers=1,
         backend=spec.get("backend"),
@@ -116,6 +119,8 @@ def execute_job(spec: dict, workspace_root: str | None, use_store: bool) -> dict
         "label": report.label,
         "algorithm": plan.algorithm,
         "l": plan.l,
+        "privacy": report.privacy.to_dict() if report.privacy is not None else None,
+        "enforcement_merges": report.enforcement_merges,
         "n": report.n,
         "d": report.d,
         "stars": generalized.star_count(),

@@ -38,7 +38,12 @@ from repro.service.planner import (
     load_bench_calibration,
 )
 from repro.service.workspace import Workspace, default_workspace_root
-from repro.service.streaming import StreamReport, stream_anonymize, verify_csv_l_diverse
+from repro.service.streaming import (
+    StreamReport,
+    stream_anonymize,
+    verify_csv_l_diverse,
+    verify_csv_satisfies,
+)
 from repro.service.jobs import JobLedger, JobRecord, JobService, JobStateError
 
 __all__ = [
@@ -58,4 +63,5 @@ __all__ = [
     "load_bench_calibration",
     "stream_anonymize",
     "verify_csv_l_diverse",
+    "verify_csv_satisfies",
 ]

@@ -80,6 +80,11 @@ class JobRecord:
     label: str
     algorithm: str
     l: int
+    #: Canonical dict encoding of the resolved privacy spec
+    #: (:meth:`~repro.privacy.spec.PrivacySpec.to_dict`); empty on legacy
+    #: records written before the PrivacySpec migration, which readers treat
+    #: as the default frequency spec at ``l``.
+    privacy: dict = field(default_factory=dict)
     #: Wall-clock time of the last transition (0.0 on legacy records).
     updated: float = 0.0
     #: Submitting client identity (server deployments; empty for the CLI).
@@ -345,10 +350,12 @@ class JobService:
         (``queued -> running -> done|failed``) so ledgers populated by the CLI
         and by the async server are indistinguishable to readers.
         """
+        spec = plan.resolved_privacy()
         record = self.ledger.create(
             label=plan.source.label,
             algorithm=plan.algorithm,
             l=plan.l,
+            privacy=spec.to_dict(),
             client=client,
         )
         self.ledger.transition(record.id, "running")

@@ -38,6 +38,7 @@ from pathlib import Path
 
 from repro import backend as _backend
 from repro.engine.registry import AlgorithmInfo
+from repro.privacy.spec import PrivacySpec
 
 __all__ = [
     "ExecutionDecision",
@@ -131,6 +132,9 @@ class ExecutionDecision:
     #: Every (shards, workers, estimated seconds) configuration considered.
     candidates: tuple[tuple[int, int, float], ...] = ()
     reasons: tuple[str, ...] = ()
+    #: Canonical token of the privacy spec the decision was made for
+    #: (empty when the caller planned with a bare ``l``).
+    privacy: str = ""
 
     def explain(self) -> str:
         """Human-readable account of the decision (``ldiversity plan``)."""
@@ -138,6 +142,8 @@ class ExecutionDecision:
             f"chosen: shards={self.shards} workers={self.workers} "
             f"backend={self.backend} (estimated {self.estimated_seconds:.4f}s)"
         ]
+        if self.privacy:
+            lines.append(f"  privacy: {self.privacy}")
         lines.extend(f"  - {reason}" for reason in self.reasons)
         if self.candidates:
             lines.append("  candidates (shards, workers -> estimated seconds):")
@@ -188,20 +194,29 @@ class ExecutionPlanner:
         shards: int | None = None,
         workers: int | None = None,
         backend: str | None = None,
+        privacy: "PrivacySpec | None" = None,
     ) -> ExecutionDecision:
         """Resolve a run configuration, honouring caller-fixed dimensions.
 
         ``shards``/``workers``/``backend`` left as ``None`` are chosen by the
         cost model; ``backend`` may also be ``"auto"`` to request the
         calibrated choice explicitly (``None`` keeps the process backend).
+        ``privacy`` keys the decision on the requested spec: its group floor
+        bounds how finely the table may be sharded, and the decision echoes
+        the spec so ``ldiversity plan`` output is spec-aware.
         """
-        del d, l  # current model depends on n only; kept for API stability
+        del d  # current cost model depends on n (and the spec's floor) only
         reasons: list[str] = [f"calibration: {self.calibration.source}"]
+        floor = privacy.group_floor() if privacy is not None else max(int(l), 1)
+        if privacy is not None:
+            reasons.append(
+                f"privacy: {privacy.describe()} (group floor {floor})"
+            )
 
         chosen_backend = self._decide_backend(info.name, backend, reasons)
         rate = self.calibration.rate(info.name, chosen_backend)
 
-        shard_candidates = self._shard_candidates(info, n, shards, reasons)
+        shard_candidates = self._shard_candidates(info, n, shards, reasons, floor)
         candidates: list[tuple[int, int, float]] = []
         for shard_count in shard_candidates:
             for worker_count in self._worker_candidates(shard_count, workers):
@@ -222,6 +237,7 @@ class ExecutionPlanner:
             estimated_seconds=best_seconds,
             candidates=tuple(candidates),
             reasons=tuple(reasons),
+            privacy=privacy.token() if privacy is not None else "",
         )
 
     def _decide_backend(
@@ -244,7 +260,12 @@ class ExecutionPlanner:
         return best
 
     def _shard_candidates(
-        self, info: AlgorithmInfo, n: int, requested: int | None, reasons: list[str]
+        self,
+        info: AlgorithmInfo,
+        n: int,
+        requested: int | None,
+        reasons: list[str],
+        floor: int = 1,
     ) -> tuple[int, ...]:
         if requested is not None:
             if requested > 1 and not info.supports_sharding:
@@ -256,12 +277,16 @@ class ExecutionPlanner:
         if not info.supports_sharding:
             reasons.append(f"{info.name!r} declares supports_sharding=False: never sharded")
             return (1,)
+        # A shard needs room for several complete groups of the spec's floor
+        # or the eligibility repair pass will just merge it away again; the
+        # fixed MIN_SHARD_ROWS dominates except at extreme floors.
+        min_rows = max(MIN_SHARD_ROWS, 8 * max(floor, 1))
         viable = tuple(
-            count for count in SHARD_CANDIDATES if count == 1 or count * MIN_SHARD_ROWS <= n
+            count for count in SHARD_CANDIDATES if count == 1 or count * min_rows <= n
         )
         if viable == (1,):
             reasons.append(
-                f"n={n} below {2 * MIN_SHARD_ROWS} rows: sharding cannot amortize its overhead"
+                f"n={n} below {2 * min_rows} rows: sharding cannot amortize its overhead"
             )
         return viable
 

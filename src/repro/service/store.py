@@ -4,8 +4,20 @@ The :class:`RunStore` supersedes the purely in-process LRU as the durable
 tier of result caching: the engine's :class:`~repro.engine.cache.ResultCache`
 reads through it, so figure sweeps and repeated CLI invocations reuse
 results **across processes**.  Records are keyed exactly like the in-memory
-cache — ``(fingerprint, algorithm, l, shards, backend, seed)`` — and hold
-the *encoded* generalization only:
+cache — ``(fingerprint, algorithm, l, shards, backend, seed, privacy)``,
+where ``privacy`` is the canonical privacy-spec token — and hold the
+*encoded* generalization only.
+
+**Key migration note:** the ``privacy`` component was added when the scalar
+``l`` grew into the :class:`~repro.privacy.spec.PrivacySpec` hierarchy.
+Two different specs with equal ``l`` previously collided on one record, so
+a stricter (e.g. entropy-checked) rerun could replay a frequency-l hit.
+Legacy six-element records fail :meth:`RunStore._parse`'s key-shape check,
+are counted in :attr:`RunStore.recovered` and are dropped by the next
+compaction — a store written before the migration simply recomputes on
+first use, it never replays under the wrong spec.
+
+Each record holds:
 
 * one generalized cell row per QI-group (rows of a group share their
   representative by construction), with cells encoded as the integer code,
@@ -85,6 +97,7 @@ def _encode_run(key: CacheKey, run: CachedRun) -> dict:
         "anonymize_seconds": run.anonymize_seconds,
         "shard_sizes": list(run.shard_sizes),
         "phase_reached": run.output.phase_reached,
+        "enforcement_merges": run.enforcement_merges,
     }
 
 
@@ -138,7 +151,10 @@ class RunStore:
         if not isinstance(record, dict):
             return None
         key = record.get("key")
-        if not isinstance(key, list) or len(key) != 6:
+        # Exactly the 7-element (fingerprint, algorithm, l, shards, backend,
+        # seed, privacy) shape; legacy 6-element pre-PrivacySpec records are
+        # dropped here (see the migration note in the module docstring).
+        if not isinstance(key, list) or len(key) != 7:
             return None
         group_cells = record.get("group_cells")
         group_ids = record.get("group_ids")
@@ -153,6 +169,9 @@ class RunStore:
         if not isinstance(record.get("shard_sizes"), list):
             return None
         if not (record.get("phase_reached") is None or isinstance(record["phase_reached"], int)):
+            return None
+        merges = record.get("enforcement_merges", 0)
+        if not isinstance(merges, int) or isinstance(merges, bool):
             return None
         return record
 
@@ -222,6 +241,7 @@ class RunStore:
                 ),
                 anonymize_seconds=record["anonymize_seconds"],
                 shard_sizes=tuple(record["shard_sizes"]),
+                enforcement_merges=record.get("enforcement_merges", 0),
             )
         except (KeyError, ValueError, TypeError, IndexError):
             # A record that passed the line-level checks but cannot be

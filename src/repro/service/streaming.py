@@ -18,12 +18,15 @@ holding more than one chunk plus one shard:
    verify the shard l-diverse and append its published rows to the
    :class:`~repro.engine.sinks.CsvSink`.
 
-Each shard is a union of complete QI-groups, so the concatenation of the
-shard outputs is l-diverse by construction (the same argument as the
-in-memory merge).  Unlike the in-memory path, rows are emitted in
-**QI-sorted shard order**, not original file order — the price of never
-holding the table.  :func:`verify_csv_l_diverse` re-checks the published
-file by streaming it, which the CI smoke uses as an independent oracle.
+Each shard is a union of complete QI-groups and is enforced/verified against
+the requested privacy spec before it is emitted, so the concatenation of the
+shard outputs satisfies every group-local spec by construction (the same
+argument as the in-memory merge).  Unlike the in-memory path, rows are
+emitted in **QI-sorted shard order**, not original file order — the price of
+never holding the table.  :func:`verify_csv_satisfies` re-checks the
+published file against any registered privacy model by streaming it
+(:func:`verify_csv_l_diverse` is the frequency-l shorthand), which the CI
+smoke uses as an independent oracle.
 """
 
 from __future__ import annotations
@@ -38,13 +41,25 @@ import numpy as np
 
 from repro import backend as _backend
 from repro.dataset.table import Table
+from repro.engine.core import run_with_spec
 from repro.engine.registry import algorithm_registry
 from repro.engine.sharding import partition_group_keys
 from repro.engine.sinks import CsvSink
 from repro.engine.sources import CsvSource
 from repro.errors import IneligibleTableError, VerificationError
+from repro.privacy.spec import (
+    PrivacySpec,
+    enforce_spec,
+    privacy_registry,
+    resolve_privacy,
+)
 
-__all__ = ["StreamReport", "stream_anonymize", "verify_csv_l_diverse"]
+__all__ = [
+    "StreamReport",
+    "stream_anonymize",
+    "verify_csv_l_diverse",
+    "verify_csv_satisfies",
+]
 
 #: Default number of CSV rows decoded per chunk during the scan/spill passes.
 DEFAULT_CHUNK_ROWS = 50_000
@@ -58,6 +73,8 @@ class StreamReport:
     output_path: str
     algorithm: str
     l: int
+    #: Canonical token of the privacy spec the run enforced.
+    privacy: str
     n: int
     d: int
     shard_sizes: tuple[int, ...]
@@ -70,7 +87,8 @@ class StreamReport:
     def format(self) -> str:
         return (
             f"streamed {self.n} rows ({self.d} QI) through "
-            f"{len(self.shard_sizes)} shard(s) with {self.algorithm} at l={self.l}: "
+            f"{len(self.shard_sizes)} shard(s) with {self.algorithm} under "
+            f"{self.privacy}: "
             f"{self.stars} stars, {self.suppressed_tuples} suppressed tuples, "
             f"{self.groups} groups in {self.seconds:.2f}s -> {self.output_path}"
         )
@@ -105,17 +123,28 @@ def stream_anonymize(
     planner=None,
     spill_dir: str | Path | None = None,
     backend: str | None = None,
+    privacy: "PrivacySpec | dict | None" = None,
 ) -> StreamReport:
     """Anonymize a CSV source into a CSV file without materializing the table.
 
-    ``shards`` of ``None`` asks the cost-based planner; streaming always
-    processes shards sequentially (one shard resident at a time is the whole
-    point), so the planner's worker choice is ignored here.  ``backend`` of
-    ``None`` keeps the process data-plane backend, ``"auto"`` picks the
-    planner's calibrated choice, and a concrete name pins it for this run.
+    ``privacy`` selects the privacy model (``None`` keeps the ``l=`` sugar
+    for frequency l-diversity); each shard goes through the spec enforcement
+    pass before it is emitted, so group-local specs hold for the whole
+    published file.  ``shards`` of ``None`` asks the cost-based planner;
+    streaming always processes shards sequentially (one shard resident at a
+    time is the whole point), so the planner's worker choice is ignored
+    here.  ``backend`` of ``None`` keeps the process data-plane backend,
+    ``"auto"`` picks the planner's calibrated choice, and a concrete name
+    pins it for this run.
     """
     started = time.perf_counter()
     info = algorithm_registry.get(algorithm)
+    spec = resolve_privacy(privacy, l)
+    if not privacy_registry.get(spec.kind).enforceable:
+        raise ValueError(
+            f"privacy model {spec.kind!r} is check-only and cannot be "
+            "requested as an anonymization target"
+        )
     if shards is not None and shards > 1 and not info.supports_sharding:
         raise ValueError(f"algorithm {info.name!r} does not support sharded execution")
     if chunk_rows < 1:
@@ -133,9 +162,10 @@ def stream_anonymize(
     total: Counter = Counter()
     for histogram in key_histograms.values():
         total.update(histogram)
-    if max(total.values()) * l > n:
+    if not spec.eligible(total, n):
         raise IneligibleTableError(
-            f"table is not {l}-eligible; no l-diverse generalization exists"
+            f"table is not eligible for {spec.describe()}; "
+            "no satisfying generalization exists"
         )
 
     if shards is None or backend == "auto":
@@ -144,13 +174,16 @@ def stream_anonymize(
 
             planner = default_planner()
         decision = planner.decide(
-            info, n=n, d=schema.dimension, l=l, shards=shards, backend=backend
+            info, n=n, d=schema.dimension, l=l, shards=shards, backend=backend,
+            privacy=spec,
         )
         shards = decision.shards
         backend = decision.backend
     elif backend is None:
         backend = _backend.current_backend()
-    key_shards = partition_group_keys(sorted(key_histograms), key_histograms, shards, l, n)
+    key_shards = partition_group_keys(
+        sorted(key_histograms), key_histograms, shards, spec, n
+    )
     shard_of = {key: index for index, keys in enumerate(key_shards) for key in keys}
 
     d = schema.dimension
@@ -183,22 +216,31 @@ def stream_anonymize(
                 codes = np.loadtxt(spill_path, dtype=np.int32, delimiter=",", ndmin=2)
                 spill_path.unlink()
                 shard = Table.from_arrays(schema, codes[:, :d], codes[:, d])
-                output = info.runner(shard, l)
-                if not output.generalized.is_l_diverse(l):
+                output = run_with_spec(info.runner, shard, spec)
+                # Per-shard enforcement: group-local specs compose across
+                # shards, so repairing each shard repairs the whole file.
+                # Only specs the frequency guarantee does not imply are
+                # repaired — for the rest a violation is an algorithm bug
+                # and must fail the check below, not be merged away.
+                enforced = output.generalized
+                if not spec.implied_by_frequency():
+                    enforced, _merges = enforce_spec(shard, enforced, spec)
+                if not spec.check_generalized(enforced):
                     raise VerificationError(
-                        f"shard {index} output violates {l}-diversity"
+                        f"shard {index} output violates {spec.describe()}"
                     )
-                sink.write_table(output.generalized)
+                sink.write_table(enforced)
                 shard_sizes.append(len(shard))
-                stars += output.generalized.star_count()
-                suppressed += output.generalized.suppressed_tuple_count()
-                groups += len(output.generalized.groups())
+                stars += enforced.star_count()
+                suppressed += enforced.suppressed_tuple_count()
+                groups += len(enforced.groups())
 
     return StreamReport(
         label=source.label,
         output_path=str(output_path),
         algorithm=algorithm,
         l=l,
+        privacy=spec.token(),
         n=n,
         d=d,
         shard_sizes=tuple(shard_sizes),
@@ -210,6 +252,40 @@ def stream_anonymize(
     )
 
 
+def verify_csv_satisfies(
+    path: str | Path,
+    qi_names: tuple[str, ...] | list[str],
+    sa_name: str,
+    privacy: "PrivacySpec | dict | int",
+    delimiter: str = ",",
+) -> bool:
+    """Streaming privacy check of a *published* CSV file against any spec.
+
+    Groups rows by their rendered generalized QI vector and checks the
+    spec's per-group condition (``check``), passing the table-wide SA
+    histogram for globally-defined models (t-closeness).  Two true
+    QI-groups that render identically are checked as their union — the
+    granularity an adversary reading the file actually observes (and for
+    frequency l-diversity provably sound: the union of l-eligible multisets
+    is l-eligible).  Check-only models are accepted here: this is an audit,
+    not an anonymization.  Memory is O(distinct published QI vectors).
+    """
+    import csv as _csv
+
+    spec = resolve_privacy(privacy)
+    histograms: dict[tuple, Counter] = {}
+    total: Counter = Counter()
+    with open(path, newline="") as handle:
+        reader = _csv.DictReader(handle, delimiter=delimiter)
+        for row in reader:
+            key = tuple(row[name] for name in qi_names)
+            histograms.setdefault(key, Counter())[row[sa_name]] += 1
+            total[row[sa_name]] += 1
+    if not histograms:
+        return False
+    return all(spec.check(histogram, total) for histogram in histograms.values())
+
+
 def verify_csv_l_diverse(
     path: str | Path,
     qi_names: tuple[str, ...] | list[str],
@@ -217,26 +293,6 @@ def verify_csv_l_diverse(
     l: int,
     delimiter: str = ",",
 ) -> bool:
-    """Streaming l-diversity check of a *published* CSV file.
-
-    Groups rows by their rendered generalized QI vector and checks the
-    eligibility condition per group.  Two true QI-groups that render
-    identically are checked as their union, which is sound: the union of
-    l-eligible multisets is l-eligible (counts and sizes both add).
-    Memory is O(distinct published QI vectors).
-    """
-    import csv as _csv
-
-    histograms: dict[tuple, Counter] = {}
-    with open(path, newline="") as handle:
-        reader = _csv.DictReader(handle, delimiter=delimiter)
-        for row in reader:
-            key = tuple(row[name] for name in qi_names)
-            histograms.setdefault(key, Counter())[row[sa_name]] += 1
-    if not histograms:
-        return False
-    for histogram in histograms.values():
-        size = sum(histogram.values())
-        if max(histogram.values()) * l > size:
-            return False
-    return True
+    """Streaming frequency l-diversity check (shorthand for
+    :func:`verify_csv_satisfies` with ``FrequencyLDiversity(l)``)."""
+    return verify_csv_satisfies(path, qi_names, sa_name, int(l), delimiter=delimiter)

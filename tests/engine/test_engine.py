@@ -17,7 +17,15 @@ from repro.engine import (
 )
 from repro.engine.registry import algorithm_registry
 from repro.errors import IneligibleTableError, UnknownEntryError
-from repro.privacy import checks
+from repro.privacy import checks, principles
+from repro.privacy.spec import (
+    AlphaKAnonymity,
+    EntropyLDiversity,
+    FrequencyLDiversity,
+    KAnonymity,
+    RecursiveCLDiversity,
+    TCloseness,
+)
 
 
 def _plan(source, **fields) -> RunPlan:
@@ -347,3 +355,158 @@ class TestPlannerIntegration:
         report = _engine().run(_plan(TableSource(hospital), backend="reference"))
         assert report.decision.backend == "reference"
         assert report.verified
+
+
+class TestPrivacySpecs:
+    """The PrivacySpec refactor: spec-targeted runs, bit-identical default
+    path, enforcement, and cache-key separation across specs."""
+
+    def test_default_path_is_identical_to_explicit_frequency_spec(self, hospital):
+        sugar = _engine().run(_plan(TableSource(hospital), l=2))
+        explicit = _engine().run(
+            _plan(TableSource(hospital), privacy=FrequencyLDiversity(2))
+        )
+        assert sugar.generalized.cell_rows == explicit.generalized.cell_rows
+        assert sugar.generalized.group_ids == explicit.generalized.group_ids
+        assert sugar.privacy == explicit.privacy == FrequencyLDiversity(2)
+        assert sugar.enforcement_merges == explicit.enforcement_merges == 0
+
+    def test_entropy_run_end_to_end(self, small_census):
+        report = _engine().run(
+            _plan(
+                TableSource(small_census),
+                algorithm="TP+",
+                privacy=EntropyLDiversity(3.0),
+            )
+        )
+        assert report.verified
+        assert principles.satisfies_entropy_l_diversity(report.generalized, 3.0)
+        assert report.privacy == EntropyLDiversity(3.0)
+
+    def test_entropy_run_sharded(self, small_census):
+        report = _engine().run(
+            _plan(
+                TableSource(small_census),
+                algorithm="TP",
+                privacy=EntropyLDiversity(2.0),
+                shards=3,
+                workers=1,
+            )
+        )
+        assert len(report.shard_sizes) > 1
+        assert report.verified
+        assert principles.satisfies_entropy_l_diversity(report.generalized, 2.0)
+
+    def test_strict_recursive_spec_triggers_the_enforcement_pass(self, small_census):
+        # c <= 1 is NOT implied by the frequency guarantee the algorithms
+        # produce, so the post-anonymization repair must merge groups.
+        spec = RecursiveCLDiversity(0.5, 2)
+        report = _engine().run(
+            _plan(TableSource(small_census), algorithm="TP", privacy=spec)
+        )
+        assert report.enforcement_merges > 0
+        assert report.verified
+        assert principles.satisfies_recursive_cl_diversity(report.generalized, 0.5, 2)
+        assert sorted(report.generalized.sa_values) == sorted(small_census.sa_values)
+
+    def test_alpha_k_run(self, small_census):
+        report = _engine().run(
+            _plan(TableSource(small_census), privacy=AlphaKAnonymity(0.25, 4))
+        )
+        assert report.verified
+        assert principles.satisfies_alpha_k_anonymity(report.generalized, 0.25, 4)
+
+    def test_k_anonymity_is_sa_blind(self, hospital):
+        # A single-valued SA column is never frequency-2-eligible, but
+        # k-anonymity must still anonymize it (SA plays no role).
+        from repro.dataset.table import Table
+
+        skewed = Table(hospital.schema, hospital.qi_rows, [0] * len(hospital))
+        with pytest.raises(IneligibleTableError):
+            _engine().run(_plan(TableSource(skewed), l=2))
+        report = _engine().run(_plan(TableSource(skewed), privacy=KAnonymity(3)))
+        assert report.verified
+        assert report.generalized.is_k_anonymous(3)
+        assert set(report.generalized.sa_values) == {0}  # SA column preserved
+
+    def test_check_only_spec_is_rejected(self, hospital):
+        with pytest.raises(ValueError, match="check-only"):
+            _engine().run(_plan(TableSource(hospital), privacy=TCloseness(0.3)))
+
+    def test_ineligible_spec_raises(self, hospital):
+        # Whole-table SA entropy bounds the achievable entropy threshold.
+        with pytest.raises(IneligibleTableError):
+            _engine().run(
+                _plan(TableSource(hospital), privacy=EntropyLDiversity(1000.0))
+            )
+
+    def test_cache_keys_distinguish_specs_with_equal_l(self, small_census):
+        engine = _engine()
+        source = TableSource(small_census)
+        engine.run(_plan(source, l=2))
+        entropy = engine.run(_plan(source, privacy=EntropyLDiversity(2.0)))
+        assert not entropy.cache_hit  # would have replayed pre-refactor
+        recursive = engine.run(_plan(source, privacy=RecursiveCLDiversity(2.0, 2)))
+        assert not recursive.cache_hit
+        assert engine.run(_plan(source, l=2)).cache_hit
+        assert engine.run(_plan(source, privacy=EntropyLDiversity(2.0))).cache_hit
+
+    def test_spec_dict_encoding_accepted_by_runplan(self, hospital):
+        report = _engine().run(
+            _plan(TableSource(hospital), privacy={"kind": "k-anonymity", "k": 2})
+        )
+        assert report.privacy == KAnonymity(2)
+        assert report.generalized.is_k_anonymous(2)
+
+    def test_spec_merge_bound_uses_the_group_floor(self):
+        assert suppression_merge_bound(4, KAnonymity(5), 2) == 2 * 3 * 5 * 2
+        assert suppression_merge_bound(4, EntropyLDiversity(2.5)) == 2 * 3 * 3
+        assert suppression_merge_bound(4, 3, 2) == suppression_merge_bound(
+            4, FrequencyLDiversity(3), 2
+        )
+
+    def test_implied_spec_violation_fails_verification_not_repaired(self, hospital):
+        # A broken algorithm whose output violates an implied spec must
+        # surface as VerificationError — the enforcement pass must not
+        # silently merge the evidence away.
+        from repro.dataset.generalized import GeneralizedTable, Partition
+        from repro.engine.registry import AlgorithmOutput
+        from repro.errors import VerificationError
+
+        registry = AlgorithmRegistry()
+
+        @registry.register("Broken")
+        def _broken(table, l):
+            # one row per group: trivially violates any diversity/size spec
+            partition = Partition([[index] for index in range(len(table))], len(table))
+            return AlgorithmOutput(GeneralizedTable.from_partition(table, partition))
+
+        engine = Engine(algorithms=registry, cache=ResultCache())
+        for privacy in (None, EntropyLDiversity(2.0), KAnonymity(2)):
+            with pytest.raises(VerificationError):
+                engine.run(
+                    _plan(
+                        TableSource(hospital), algorithm="Broken", l=2,
+                        privacy=privacy, use_cache=False,
+                    )
+                )
+
+    def test_cached_hits_replay_the_enforcement_merge_count(self, small_census):
+        engine = _engine()
+        spec = RecursiveCLDiversity(0.5, 2)
+        first = engine.run(_plan(TableSource(small_census), privacy=spec))
+        assert first.enforcement_merges > 0
+        replay = engine.run(_plan(TableSource(small_census), privacy=spec))
+        assert replay.cache_hit
+        assert replay.enforcement_merges == first.enforcement_merges
+
+    def test_cache_key_ignores_the_l_display_hint_under_an_explicit_spec(
+        self, hospital
+    ):
+        # plan.l is only a display hint once privacy is explicit; different
+        # hints (CLI vs HTTP defaults) must share one cache entry.
+        engine = _engine()
+        spec = KAnonymity(2)
+        engine.run(_plan(TableSource(hospital), l=1, privacy=spec))
+        hinted = engine.run(_plan(TableSource(hospital), l=2, privacy=spec))
+        assert hinted.cache_hit

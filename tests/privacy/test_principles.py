@@ -6,6 +6,7 @@ import pytest
 
 from repro.core import three_phase
 from repro.dataset.generalized import GeneralizedTable, Partition
+from repro.dataset.table import Table
 from repro.privacy.principles import (
     max_t_closeness_distance,
     satisfies_alpha_k_anonymity,
@@ -109,6 +110,66 @@ class TestTCloseness:
     def test_empty_table(self, hospital):
         empty = GeneralizedTable(hospital.schema, [], [], [])
         assert max_t_closeness_distance(empty) == 0.0
+
+
+class TestEdgeCases:
+    """Degenerate-input behaviour of every checker (pinned, not inferred)."""
+
+    @staticmethod
+    def _empty(hospital):
+        return GeneralizedTable(hospital.schema, [], [], [])
+
+    def test_empty_table_passes_every_group_wise_checker(self, hospital):
+        # No groups -> nothing can violate a per-group condition.
+        empty = self._empty(hospital)
+        assert satisfies_entropy_l_diversity(empty, 2)
+        assert satisfies_recursive_cl_diversity(empty, c=2.0, l=2)
+        assert satisfies_alpha_k_anonymity(empty, alpha=0.5, k=2)
+        assert satisfies_t_closeness(empty, 0.0)
+
+    def test_single_group_table(self, hospital):
+        generalized = GeneralizedTable.from_partition(
+            hospital, Partition.single_group(10)
+        )
+        # One group == the whole table: t-closeness is trivially 0 and the
+        # diversity checkers reduce to the table-wide histogram.
+        assert satisfies_t_closeness(generalized, 0.0)
+        assert satisfies_entropy_l_diversity(generalized, 2)
+        assert satisfies_alpha_k_anonymity(generalized, alpha=0.5, k=10)
+        assert not satisfies_alpha_k_anonymity(generalized, alpha=0.5, k=11)
+
+    def test_l_equal_one_is_trivially_satisfied(self, hospital):
+        # log(1) == 0 entropy threshold and a 1-element recursive tail that
+        # always includes r_1 itself (for c > 1).
+        assert satisfies_entropy_l_diversity(_table2(hospital), 1)
+        assert satisfies_recursive_cl_diversity(_table3(hospital), c=2.0, l=1)
+
+    def test_non_integer_entropy_l(self, hospital):
+        generalized = _table3(hospital)
+        # Table 3's groups are uniform over 2 values: entropy exactly log 2.
+        assert satisfies_entropy_l_diversity(generalized, 1.5)
+        assert satisfies_entropy_l_diversity(generalized, 2.0)
+        assert not satisfies_entropy_l_diversity(generalized, 2.0001)
+
+    def test_non_positive_c_rejected(self, hospital):
+        with pytest.raises(ValueError):
+            satisfies_recursive_cl_diversity(_table3(hospital), c=0, l=2)
+        with pytest.raises(ValueError):
+            satisfies_recursive_cl_diversity(_table3(hospital), c=-1.0, l=2)
+
+    def test_t_closeness_on_a_one_value_sa_column(self, hospital):
+        # Degenerate SA: every group's distribution equals the table's, so
+        # every threshold (including 0) is satisfied in any partition.
+        degenerate = Table(
+            hospital.schema,
+            hospital.qi_rows,
+            [0] * len(hospital),
+        )
+        generalized = GeneralizedTable.from_partition(
+            degenerate, Partition([[0, 1], [2, 3], [4, 5, 6, 7], [8, 9]], 10)
+        )
+        assert max_t_closeness_distance(generalized) == pytest.approx(0.0)
+        assert satisfies_t_closeness(generalized, 0.0)
 
 
 class TestOnAlgorithmOutput:

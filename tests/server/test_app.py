@@ -2,13 +2,17 @@
 
 from __future__ import annotations
 
+import csv
+import io
 import json
 import time
+import urllib.error
 import urllib.request
 
 import pytest
 
 from repro.client import Client, ClientError, JobFailedError
+from repro.privacy.spec import EntropyLDiversity, KAnonymity, privacy_registry
 from repro.service import JobLedger, verify_csv_l_diverse
 
 from server_harness import ServerHandle
@@ -648,3 +652,104 @@ class TestIntrospection:
         with pytest.raises(ClientError) as error:
             client.plan(n=100, l=2, algorithm="NoSuch")
         assert error.value.status == 400
+
+
+class TestPrivacyModels:
+    def test_privacy_introspection_lists_every_registered_spec(self, client):
+        models = {entry["name"]: entry for entry in client.privacy_models()}
+        assert set(models) == set(privacy_registry.names())
+        assert models["frequency-l"]["default"] is True
+        assert models["t-closeness"]["enforceable"] is False
+        for entry in models.values():
+            assert entry["params"], entry["name"]
+            for constraints in entry["params"].values():
+                assert constraints["type"] in ("integer", "number")
+
+    def test_submit_with_privacy_object(self, client, hospital_rows):
+        rows, qi, sa = hospital_rows
+        record, result = client.submit_and_wait(
+            rows=rows, qi=qi, sa=sa, algorithm="TP",
+            privacy={"kind": "entropy-l", "l": 2},
+        )
+        assert record["status"] == "done"
+        assert record["privacy"] == {"kind": "entropy-l", "l": 2.0}
+        assert result["privacy"] == {"kind": "entropy-l", "l": 2.0}
+        assert result["verified"] is True
+        # independent check of the returned table at rendered granularity
+        histograms: dict[tuple, dict] = {}
+        for row in result["rows"]:
+            histogram = histograms.setdefault(tuple(row[:-1]), {})
+            histogram[row[-1]] = histogram.get(row[-1], 0) + 1
+        spec = EntropyLDiversity(2.0)
+        assert all(spec.check(histogram) for histogram in histograms.values())
+
+    def test_submit_with_spec_instance_and_csv_upload(self, client, hospital_rows):
+        rows, qi, sa = hospital_rows
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=qi + [sa])
+        writer.writeheader()
+        writer.writerows(rows)
+        record, result = client.submit_and_wait(
+            csv_text=buffer.getvalue(), qi=qi, sa=sa, algorithm="TP",
+            privacy=KAnonymity(2),
+        )
+        assert record["status"] == "done"
+        assert result["privacy"] == {"kind": "k-anonymity", "k": 2}
+        # the sensitive column survives even though the spec is SA-blind
+        assert sorted(row[-1] for row in result["rows"]) == sorted(
+            row[sa] for row in rows
+        )
+
+    def test_default_submission_echoes_the_frequency_spec(self, client, hospital_rows):
+        job_id = _submit_hospital(client, hospital_rows)
+        record = client.wait(job_id)
+        assert record["privacy"] == {"kind": "frequency-l", "l": 2}
+
+    @pytest.mark.parametrize(
+        "privacy, fragment",
+        [
+            ({"kind": "no-such-model", "l": 2}, "unknown privacy model"),
+            ({"kind": "entropy-l"}, "requires parameters"),
+            ({"kind": "entropy-l", "l": 0}, "must be positive"),
+            ({"kind": "t-closeness", "t": 0.2}, "check-only"),
+            ({"kind": "frequency-l", "l": 2, "zz": 1}, "does not take"),
+        ],
+    )
+    def test_invalid_privacy_objects_are_rejected(
+        self, client, hospital_rows, privacy, fragment
+    ):
+        rows, qi, sa = hospital_rows
+        with pytest.raises(ClientError) as excinfo:
+            client.submit(rows=rows, qi=qi, sa=sa, privacy=privacy)
+        assert excinfo.value.status == 400
+        assert fragment in str(excinfo.value)
+
+    def test_submission_needs_l_or_privacy(self, client, hospital_rows):
+        rows, qi, sa = hospital_rows
+        with pytest.raises(ValueError):
+            client.submit(rows=rows, qi=qi, sa=sa)
+        # server-side check too (the SDK guard could be bypassed)
+        request = urllib.request.Request(
+            f"{client.base_url}/v1/jobs",
+            data=json.dumps({"rows": [{"a": 1}], "qi": ["a"], "sa": "b"}).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        excinfo.value.read()
+        assert excinfo.value.code == 400
+
+    def test_plan_endpoint_accepts_a_privacy_object(self, client):
+        decision = client.plan(
+            n=50_000, l=2, algorithm="TP",
+            privacy={"kind": "recursive-cl", "c": 2.0, "l": 3},
+        )
+        assert decision["privacy"] == "recursive-cl(c=2.0,l=3)"
+        assert any("privacy" in reason for reason in decision["reasons"])
+
+    def test_ledger_records_the_spec_for_cli_interop(self, server, client, hospital_rows):
+        job_id = _submit_hospital(client, hospital_rows)
+        client.wait(job_id)
+        ledger = JobLedger(server.server.workspace.jobs_path)
+        assert ledger.get(job_id).privacy == {"kind": "frequency-l", "l": 2}

@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro.engine.cache import CachedRun, ResultCache
+from repro.privacy.spec import EntropyLDiversity, FrequencyLDiversity
 from repro.engine.registry import algorithm_registry
 from repro.service.store import RunStore
 
@@ -236,3 +237,47 @@ class TestHardening:
         assert len(ours) == 3
         reread = RunStore(path)
         assert reread.get(_key(hospital, l=3), hospital) is not None  # not clobbered
+
+
+class TestPrivacyKeyMigration:
+    """The cache/store key grew a canonical privacy-spec token (7th element)."""
+
+    def test_default_key_carries_the_frequency_token(self, hospital):
+        key = _key(hospital, l=3)
+        assert len(key) == 7
+        assert key[-1] == FrequencyLDiversity(3).token()
+
+    def test_specs_with_equal_l_never_share_a_record(self, hospital, tmp_path):
+        # Regression: pre-migration an entropy-checked rerun could replay a
+        # frequency-l record computed without the enforcement pass.
+        store = RunStore(tmp_path / "runs.jsonl")
+        frequency_key = _key(hospital, l=2)
+        entropy_key = _key(hospital, l=2, privacy=EntropyLDiversity(2.0))
+        assert frequency_key != entropy_key
+        store.put(frequency_key, _cached_run(hospital))
+        assert store.get(entropy_key, hospital) is None
+        assert store.get(frequency_key, hospital) is not None
+
+    def test_spec_separation_survives_process_restart(self, hospital, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        RunStore(path).put(_key(hospital, l=2), _cached_run(hospital))
+        fresh = RunStore(path)
+        assert fresh.get(_key(hospital, l=2, privacy=EntropyLDiversity(2.0)), hospital) is None
+        assert fresh.get(_key(hospital, l=2), hospital) is not None
+
+    def test_legacy_six_element_records_are_dropped_on_load(self, hospital, tmp_path):
+        # A store written before the migration holds 6-element keys; they
+        # must be treated as unparseable (recovered + compacted away), never
+        # replayed under whatever spec happens to share the l value.
+        path = tmp_path / "runs.jsonl"
+        store = RunStore(path)
+        store.put(_key(hospital, l=2), _cached_run(hospital))
+        record = json.loads(path.read_text().splitlines()[0])
+        legacy = dict(record)
+        legacy["key"] = record["key"][:6]  # strip the privacy token
+        legacy["anonymize_seconds"] = 9.9
+        path.write_text(json.dumps(legacy) + "\n")
+        fresh = RunStore(path)
+        assert fresh.recovered == 1
+        assert len(fresh) == 0
+        assert fresh.get(_key(hospital, l=2), hospital) is None

@@ -9,7 +9,17 @@ import pytest
 from repro.dataset.synthetic import CensusConfig, make_sal
 from repro.engine import CsvSource, Engine, ResultCache, RunPlan
 from repro.errors import IneligibleTableError
-from repro.service.streaming import stream_anonymize, verify_csv_l_diverse
+from repro.privacy.spec import (
+    EntropyLDiversity,
+    FrequencyLDiversity,
+    RecursiveCLDiversity,
+    TCloseness,
+)
+from repro.service.streaming import (
+    stream_anonymize,
+    verify_csv_l_diverse,
+    verify_csv_satisfies,
+)
 
 QI = ("Age", "Gender", "Race")
 SA = "Income"
@@ -120,3 +130,71 @@ class TestVerifyCsv:
         path = tmp_path / "empty.csv"
         path.write_text("A,B,C,S\n")
         assert not verify_csv_l_diverse(path, ("A", "B", "C"), "S", 2)
+
+
+class TestStreamingPrivacySpecs:
+    def test_streamed_entropy_run_verifies_with_the_matching_checker(
+        self, census_csv, tmp_path
+    ):
+        path, _table = census_csv
+        output = str(tmp_path / "entropy.csv")
+        spec = EntropyLDiversity(2.0)
+        report = stream_anonymize(
+            _source(path), output, algorithm="TP", privacy=spec,
+            shards=2, chunk_rows=300,
+        )
+        assert report.privacy == spec.token()
+        assert verify_csv_satisfies(output, QI, SA, spec)
+        # and the spec view agrees with the dict / l-sugar encodings
+        assert verify_csv_satisfies(output, QI, SA, {"kind": "entropy-l", "l": 2.0})
+        assert verify_csv_l_diverse(output, QI, SA, 2)
+
+    def test_strict_recursive_spec_repairs_per_shard(self, census_csv, tmp_path):
+        path, _table = census_csv
+        output = str(tmp_path / "recursive.csv")
+        spec = RecursiveCLDiversity(0.5, 2)
+        report = stream_anonymize(
+            _source(path), output, algorithm="TP", privacy=spec,
+            shards=2, chunk_rows=300,
+        )
+        assert report.verified
+        assert verify_csv_satisfies(output, QI, SA, spec)
+        # every input row survives the repair merges
+        assert len(_published_rows(output)) == report.n
+
+    def test_default_path_unchanged_by_explicit_frequency_spec(
+        self, census_csv, tmp_path
+    ):
+        path, _table = census_csv
+        sugar = str(tmp_path / "sugar.csv")
+        explicit = str(tmp_path / "explicit.csv")
+        stream_anonymize(_source(path), sugar, algorithm="TP", l=3, shards=2)
+        stream_anonymize(
+            _source(path), explicit, algorithm="TP",
+            privacy=FrequencyLDiversity(3), shards=2,
+        )
+        with open(sugar) as a, open(explicit) as b:
+            assert a.read() == b.read()
+
+    def test_check_only_spec_rejected(self, census_csv, tmp_path):
+        path, _table = census_csv
+        with pytest.raises(ValueError, match="check-only"):
+            stream_anonymize(
+                _source(path), str(tmp_path / "t.csv"), privacy=TCloseness(0.2)
+            )
+
+    def test_ineligible_spec_raises(self, census_csv, tmp_path):
+        path, _table = census_csv
+        with pytest.raises(IneligibleTableError):
+            stream_anonymize(
+                _source(path), str(tmp_path / "x.csv"),
+                privacy=EntropyLDiversity(10_000.0),
+            )
+
+    def test_verify_csv_satisfies_t_closeness_audit(self, census_csv, tmp_path):
+        path, _table = census_csv
+        output = str(tmp_path / "audit.csv")
+        stream_anonymize(_source(path), output, algorithm="TP", l=2, shards=1)
+        # Distance is in [0, 1]: the loosest threshold always passes, a
+        # negative-distance demand never does.
+        assert verify_csv_satisfies(output, QI, SA, TCloseness(1.0))

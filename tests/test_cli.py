@@ -484,3 +484,125 @@ class TestJobsCancel:
     def test_cancel_unknown_job_fails(self, tmp_path, capsys):
         code = main(["jobs", "cancel", "job-0042", "--workspace", str(tmp_path / "ws")])
         assert code == 1
+
+
+class TestPrivacyFlags:
+    def _anonymize(self, hospital_csv, tmp_path, *extra):
+        output = str(tmp_path / "published.csv")
+        code = main(
+            [
+                "anonymize",
+                "--input", hospital_csv,
+                "--qi", "Age,Gender,Education",
+                "--sa", "Disease",
+                "--output", output,
+                *extra,
+            ]
+        )
+        return code, output
+
+    def test_entropy_anonymize_and_verify(self, hospital_csv, tmp_path, capsys):
+        code, output = self._anonymize(
+            hospital_csv, tmp_path, "--privacy", "entropy-l", "--l", "2"
+        )
+        assert code == 0
+        assert "entropy-l(l=2.0)" in capsys.readouterr().out
+        from repro.service import verify_csv_satisfies
+
+        assert verify_csv_satisfies(
+            output, ("Age", "Gender", "Education"), "Disease",
+            {"kind": "entropy-l", "l": 2.0},
+        )
+        assert main(
+            [
+                "verify",
+                "--input", output,
+                "--qi", "Age,Gender,Education",
+                "--sa", "Disease",
+                "--privacy", "entropy-l",
+                "--l", "2",
+            ]
+        ) == 0
+        assert "entropy-l" in capsys.readouterr().out
+
+    def test_recursive_cl_flags(self, hospital_csv, tmp_path, capsys):
+        code, _output = self._anonymize(
+            hospital_csv, tmp_path,
+            "--privacy", "recursive-cl", "--c", "2", "--l", "2",
+        )
+        assert code == 0
+        assert "recursive-cl(c=2.0,l=2)" in capsys.readouterr().out
+
+    def test_missing_parameter_is_a_usage_error(self, hospital_csv, tmp_path, capsys):
+        code, _output = self._anonymize(
+            hospital_csv, tmp_path, "--privacy", "recursive-cl", "--l", "2"
+        )
+        assert code == 2
+        assert "--c" in capsys.readouterr().err
+
+    def test_inapplicable_parameter_is_a_usage_error(self, hospital_csv, tmp_path, capsys):
+        code, _output = self._anonymize(
+            hospital_csv, tmp_path, "--privacy", "frequency-l", "--l", "2", "--k", "3"
+        )
+        assert code == 2
+        assert "--k" in capsys.readouterr().err
+
+    def test_fractional_l_rejected_for_frequency(self, hospital_csv, tmp_path, capsys):
+        code, _output = self._anonymize(hospital_csv, tmp_path, "--l", "2.5")
+        assert code == 2
+        assert "integer" in capsys.readouterr().err
+
+    def test_verify_t_closeness(self, hospital_csv, tmp_path, capsys):
+        code, output = self._anonymize(hospital_csv, tmp_path, "--l", "2")
+        assert code == 0
+        capsys.readouterr()
+        assert main(
+            [
+                "verify",
+                "--input", output,
+                "--qi", "Age,Gender,Education",
+                "--sa", "Disease",
+                "--privacy", "t-closeness",
+                "--t", "1.0",
+            ]
+        ) == 0
+        assert "t-closeness(t=1.0)" in capsys.readouterr().out
+
+    def test_jobs_submit_records_the_spec(self, hospital_csv, tmp_path, capsys):
+        workspace = str(tmp_path / "ws")
+        code = main(
+            [
+                "jobs", "submit",
+                "--input", hospital_csv,
+                "--qi", "Age,Gender,Education",
+                "--sa", "Disease",
+                "--privacy", "k-anonymity", "--k", "2",
+                "--workspace", workspace,
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        from repro.service import JobService, Workspace
+
+        records = JobService(Workspace(workspace)).list()
+        assert records[-1].privacy == {"kind": "k-anonymity", "k": 2}
+
+    def test_privacy_listing_command(self, capsys):
+        assert main(["privacy"]) == 0
+        output = capsys.readouterr().out
+        for name in ("frequency-l", "entropy-l", "recursive-cl",
+                     "alpha-k", "k-anonymity", "t-closeness"):
+            assert name in output
+        assert "verify only" in output
+
+    def test_plan_accepts_a_spec(self, hospital_csv, capsys):
+        assert main(
+            [
+                "plan",
+                "--input", hospital_csv,
+                "--qi", "Age,Gender,Education",
+                "--sa", "Disease",
+                "--privacy", "alpha-k", "--alpha", "0.5", "--k", "2",
+            ]
+        ) == 0
+        assert "alpha-k(alpha=0.5,k=2)" in capsys.readouterr().out
