@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CI entry point: lint gate, tier-1 test suite, sharded-engine smoke,
-# streaming smoke and a fast performance smoke check.
+# streaming smoke, server load smoke, chaos smoke and a fast performance
+# smoke check.
 #
 #   scripts/ci.sh
 #
@@ -28,6 +29,16 @@
 # non-default privacy specs must verify with the matching checkers, a burst
 # past the queue cap must produce 429 + Retry-After, and the server must
 # exit 0 on SIGTERM.
+#
+# The chaos smoke (scripts/chaos_smoke.py) boots the server under a
+# fixed-seed fault plan (workers killed every Nth job, a poison seed, delays
+# that trip the per-job timeout), streams ~100 jobs through it, SIGKILLs the
+# whole server process group mid-stream and restarts it on the same port and
+# workspace.  Every job must reach a terminal state (replayed jobs included),
+# the poison job must be quarantined, every done output must re-verify
+# against its PrivacySpec, and all four recovery counters (retries,
+# pool_restarts, timeouts, quarantined) must have moved.  The fault schedule
+# is deterministic, so the run is bounded (~10-30s).
 #
 # The perf check re-times the figure-6 benchmark on the NumPy backend only
 # (well under a minute) and fails when it has regressed more than 2x against
@@ -62,6 +73,9 @@ python scripts/privacy_smoke.py
 
 echo "== server smoke: 200 jobs / 8 clients against ldiversity serve =="
 python scripts/load_smoke.py --clients 8 --jobs 200
+
+echo "== chaos smoke: injected crashes + SIGKILL restart =="
+python scripts/chaos_smoke.py
 
 echo "== perf smoke: bench_fig6 vs committed baseline =="
 python scripts/bench_baseline.py --check BENCH_fig6.json --repeats 3 --tolerance 2.0

@@ -184,6 +184,33 @@ def build_parser() -> argparse.ArgumentParser:
         "{'kind': 'csv'} sources are rejected with 403 (clients can still "
         "upload CSV bodies)",
     )
+    serve.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="per-job wall-clock budget in seconds; a timed-out attempt is "
+        "killed and retried (default: unlimited)",
+    )
+    serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="attempt budget before a crash-looping job is quarantined "
+        "(failed terminally)",
+    )
+    serve.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.5,
+        help="base of the exponential backoff between retry attempts, "
+        "in seconds",
+    )
+    serve.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="skip re-enqueueing the ledger's non-terminal jobs at boot "
+        "(default: replay them — the crash-recovery contract)",
+    )
     _add_workspace_arguments(serve)
 
     evaluate = subparsers.add_parser("evaluate", help="compare algorithms on a CSV file")
@@ -556,10 +583,17 @@ def _command_verify(arguments: argparse.Namespace) -> int:
 
 def _command_serve(arguments: argparse.Namespace) -> int:
     import asyncio
+    import logging
     import signal
 
     from repro.server import AnonymizationServer
 
+    # Recovery events (retries, pool restarts, replay, quarantine) log at
+    # INFO/WARNING on the repro.server logger; surface them on stderr so an
+    # operator watching the process sees the self-healing happen.
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(levelname)s %(name)s %(message)s"
+    )
     server = AnonymizationServer(
         workspace=arguments.workspace,
         workers=arguments.workers,
@@ -569,6 +603,10 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         max_body_bytes=arguments.max_body_bytes,
         use_store=not arguments.no_store,
         data_dir=arguments.data_dir,
+        job_timeout_seconds=arguments.job_timeout,
+        max_attempts=arguments.max_attempts,
+        retry_backoff_seconds=arguments.retry_backoff,
+        replay=not arguments.no_replay,
     )
 
     async def _serve() -> None:

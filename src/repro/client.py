@@ -3,11 +3,14 @@
 A thin, dependency-free HTTP client over :mod:`urllib.request` implementing
 the server's citizenship contract:
 
-* **retry with backoff** — ``429``/``503`` responses are retried after the
-  server's ``Retry-After`` (falling back to capped exponential backoff), so
-  a burst of submissions degrades into a queue instead of an error storm;
-  connection refusals retry the same way, which also makes
-  :meth:`Client.wait_until_ready` a one-liner for boot races;
+* **retry with backoff and full jitter** — ``429``/``503`` responses are
+  retried after the server's ``Retry-After`` (falling back to capped
+  exponential backoff), with a uniform random jitter spread over the current
+  backoff step so N clients rejected together do not retry together (the
+  classic thundering-herd failure of deterministic schedules); connection
+  refusals retry the same way, which also makes
+  :meth:`Client.wait_until_ready` a one-liner for boot races.  The jitter
+  source is seedable (``jitter_seed``) so tests stay deterministic;
 * **job lifecycle** — :meth:`Client.submit` (inline rows, CSV text/file, or
   a synthetic spec), :meth:`Client.wait` (poll until terminal),
   :meth:`Client.result` / :meth:`Client.result_csv`, :meth:`Client.cancel`;
@@ -31,7 +34,9 @@ Example::
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -81,6 +86,7 @@ class Client:
         max_backoff_seconds: float = 5.0,
         max_retry_after_seconds: float = 60.0,
         sleep: Callable[[float], None] = time.sleep,
+        jitter_seed: int | None = None,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.client_id = client_id
@@ -90,6 +96,10 @@ class Client:
         self.max_backoff_seconds = max_backoff_seconds
         self.max_retry_after_seconds = max_retry_after_seconds
         self._sleep = sleep
+        #: Private PRNG for retry jitter — seeded for deterministic tests,
+        #: and never the process-global `random` so library users' seeding
+        #: is not disturbed.
+        self._jitter = random.Random(jitter_seed)
         #: 429/503 responses absorbed by retries (useful in load tests).
         self.backpressure_events = 0
 
@@ -120,7 +130,9 @@ class Client:
                 if error.code in (429, 503):
                     if attempt < attempts:
                         self.backpressure_events += 1
-                        wait = self._retry_after(dict(error.headers), delay)
+                        wait = self._jittered_wait(
+                            delay, self._retry_after(dict(error.headers))
+                        )
                         delay = min(delay * 2, self.max_backoff_seconds)
                         self._sleep(wait)
                         continue
@@ -129,16 +141,37 @@ class Client:
                             error.code, self._message(payload)
                         ) from None
                 raise ClientError(error.code, self._message(payload)) from None
-            except urllib.error.URLError as error:
+            except (OSError, http.client.HTTPException) as error:
+                # URLError covers refused connections; a connection that dies
+                # *mid-exchange* (server killed between request and response)
+                # escapes urlopen as a raw ConnectionResetError or
+                # http.client.RemoteDisconnected instead.  All of them mean
+                # the same thing here: the server is unreachable right now.
                 if attempt < attempts:
-                    self._sleep(delay)
+                    self._sleep(self._jittered_wait(delay, None))
                     delay = min(delay * 2, self.max_backoff_seconds)
                     continue
-                raise ClientError(0, f"connection failed: {error.reason}") from None
+                reason = getattr(error, "reason", None) or error
+                raise ClientError(0, f"connection failed: {reason}") from None
         raise AssertionError("unreachable: the final attempt returns or raises")
 
-    def _retry_after(self, headers: dict[str, str], fallback: float) -> float:
-        """The server's ``Retry-After`` (sanity-capped), else the backoff fallback.
+    def _jittered_wait(self, delay: float, retry_after: float | None) -> float:
+        """Full jitter over the current backoff step (AWS-style).
+
+        ``uniform(0, delay)`` alone when the client is backing off on its own
+        schedule; *added to* the server's ``Retry-After`` ask when one was
+        given — jittering below the ask would deliberately retry before the
+        server said a slot could exist, undercutting the backpressure
+        contract, so the ask is a floor and the jitter only spreads clients
+        out above it.
+        """
+        jitter = self._jitter.uniform(0.0, delay)
+        if retry_after is None:
+            return jitter
+        return retry_after + jitter
+
+    def _retry_after(self, headers: dict[str, str]) -> float | None:
+        """The server's ``Retry-After`` (sanity-capped), else ``None``.
 
         ``max_backoff_seconds`` only bounds the client's *own* exponential
         schedule — clamping the server's ask to it would deliberately retry
@@ -152,7 +185,7 @@ class Client:
                     return min(max(float(value), 0.0), self.max_retry_after_seconds)
                 except ValueError:
                     break
-        return fallback
+        return None
 
     @staticmethod
     def _message(payload: bytes) -> str:

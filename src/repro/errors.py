@@ -12,6 +12,8 @@ __all__ = [
     "DataSourceError",
     "ShardMergeError",
     "VerificationError",
+    "WorkerCrashError",
+    "JobTimeoutError",
 ]
 
 
@@ -66,6 +68,23 @@ class VerificationError(ReproError):
     Every registered algorithm proves its output l-diverse, so this firing
     on an unsharded run means an algorithm bug; on a sharded run it means a
     sharding/merge invariant was broken.
+    """
+
+
+class WorkerCrashError(ReproError):
+    """A pool worker died mid-job (segfault, OOM kill, injected fault).
+
+    Recorded as the attempt's error by the server's retry machinery; the
+    attempt is retryable — the crash says nothing about the job itself until
+    the attempt budget is exhausted and the job is quarantined.
+    """
+
+
+class JobTimeoutError(ReproError):
+    """A job attempt exceeded the server's per-job wall-clock budget.
+
+    The attempt is killed and retried; like :class:`WorkerCrashError` this is
+    a retryable attempt error, not a terminal job verdict.
     """
 
 

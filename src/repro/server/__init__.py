@@ -11,9 +11,18 @@ network service — stdlib only, no third-party web framework:
   :class:`~repro.service.store.RunStore`;
 * :mod:`repro.server.ratelimit` — per-client token buckets behind the
   ``429 + Retry-After`` backpressure contract;
+* :mod:`repro.server.faults` — deterministic fault injection (worker kills,
+  job delays, ledger-append failures) behind an env/flag-gated
+  :class:`~repro.server.faults.FaultPlan`, used by the failure-matrix tests
+  and the chaos smoke;
 * :mod:`repro.server.app` — the :class:`AnonymizationServer` routing table
   and handlers (``/v1/jobs`` lifecycle, registry introspection, planner
   explanations, health).
+
+Serving is **at-least-once**: worker deaths and per-job timeouts re-enqueue
+the attempt with exponential backoff (quarantining poison jobs after their
+attempt budget), and a restarted server replays every non-terminal ledger
+job before accepting traffic.
 
 Start one from the CLI (``ldiversity serve --port 8350 --workers 4``) or
 programmatically::
@@ -33,12 +42,14 @@ The matching client SDK lives in :mod:`repro.client`.
 """
 
 from repro.server.app import AnonymizationServer
+from repro.server.faults import FaultPlan, clear_plan, install_plan
 from repro.server.pool import QueueFullError, WorkerPool, build_source, execute_job
 from repro.server.protocol import HttpError, Request
 from repro.server.ratelimit import RateLimiter
 
 __all__ = [
     "AnonymizationServer",
+    "FaultPlan",
     "HttpError",
     "QueueFullError",
     "RateLimiter",
@@ -46,4 +57,6 @@ __all__ = [
     "WorkerPool",
     "build_source",
     "execute_job",
+    "clear_plan",
+    "install_plan",
 ]

@@ -27,10 +27,15 @@ enforced.
 
 Submissions are validated against the registries *before* queueing, then run
 asynchronously on the bounded :class:`~repro.server.pool.WorkerPool`; the
-job lifecycle (``queued -> running -> done|failed|cancelled``) is persisted
-to the workspace's :class:`~repro.service.jobs.JobLedger`, so ``ldiversity
-jobs list`` sees server jobs and vice versa.  Two backpressure mechanisms
-protect the service under load, both answered with ``Retry-After``:
+job lifecycle (``queued -> running -> [retrying ->] done|failed|cancelled``)
+is persisted to the workspace's :class:`~repro.service.jobs.JobLedger`, so
+``ldiversity jobs list`` sees server jobs and vice versa — and so a
+restarted server can **replay** every non-terminal job it finds at boot
+(after compacting the ledger), which together with the pool's worker-death
+recovery and per-job timeouts makes serving at-least-once: a SIGKILL'd
+server or a segfaulting worker delays jobs, it does not lose them.  Two
+backpressure mechanisms protect the service under load, both answered with
+``Retry-After``:
 
 * **queue depth** — a full worker queue rejects the submission with ``429``
   (the estimate is an EMA of recent job durations);
@@ -48,6 +53,7 @@ from __future__ import annotations
 import asyncio
 import csv
 import io
+import logging
 import re
 import time
 from collections import OrderedDict
@@ -73,6 +79,8 @@ from repro.service.jobs import JobLedger, JobRecord, JobStateError
 from repro.service.workspace import Workspace
 
 __all__ = ["AnonymizationServer"]
+
+_LOG = logging.getLogger("repro.server")
 
 _BACKENDS = (None, "auto", "numpy", "reference")
 
@@ -115,6 +123,10 @@ class AnonymizationServer:
         max_resident_jobs: int = 256,
         data_dir: str | Path | None = None,
         request_timeout_seconds: float = 30.0,
+        job_timeout_seconds: float | None = None,
+        max_attempts: int = 3,
+        retry_backoff_seconds: float = 0.5,
+        replay: bool = True,
     ) -> None:
         self.workspace = (
             workspace if isinstance(workspace, Workspace) else Workspace(workspace)
@@ -138,7 +150,14 @@ class AnonymizationServer:
             executor_kind=executor_kind,
             workspace_root=str(self.workspace.root),
             use_store=use_store,
+            job_timeout_seconds=job_timeout_seconds,
+            max_attempts=max_attempts,
+            retry_backoff_seconds=retry_backoff_seconds,
         )
+        #: Whether start() re-enqueues the ledger's non-terminal jobs.  On by
+        #: default (the crash-recovery contract); tests that stage ledgers
+        #: by hand opt out.
+        self.replay = replay
         #: job id -> {"record": JobRecord, "result": dict | None} for jobs
         #: submitted to *this* server process.  Results are memory-resident
         #: and bounded: beyond ``max_resident_jobs``, the oldest *terminal*
@@ -160,6 +179,8 @@ class AnonymizationServer:
             "rejected_queue_full": 0,
             "rejected_rate_limited": 0,
             "store_hits": 0,
+            "replayed": 0,
+            "compaction_reclaimed": 0,
         }
         self._server: asyncio.base_events.Server | None = None
         self._draining = False
@@ -170,13 +191,95 @@ class AnonymizationServer:
     # -------------------------------------------------------------- lifecycle
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
-        """Bind and start serving; returns the actual (host, port)."""
+        """Bind and start serving; returns the actual (host, port).
+
+        Boot order is part of the durability contract: the ledger is
+        compacted (safe — no reader is mid-stream yet) and every non-terminal
+        job it holds is re-enqueued *before* the socket binds, so a client
+        that reconnects after a crash never observes the server accepting new
+        work while old work is still unaccounted for.
+        """
+        reclaimed = await self._offload(self.ledger.compact)
+        self.stats["compaction_reclaimed"] = reclaimed
+        if reclaimed:
+            _LOG.info("ledger compaction reclaimed %d superseded records", reclaimed)
         await self.pool.start()
+        if self.replay:
+            await self._replay_ledger()
         self._server = await asyncio.start_server(self._handle_connection, host, port)
         name = self._server.sockets[0].getsockname()
         self.host, self.port = name[0], name[1]
         self._started_at = time.time()
         return self.host, self.port
+
+    async def _replay_ledger(self) -> None:
+        """Re-enqueue every non-terminal ledger job (crash recovery).
+
+        A previous server process that was SIGKILL'd leaves ``queued``,
+        ``retrying`` and mid-attempt ``running`` records behind; each carries
+        the job spec it was queued with, so the work is resubmitted rather
+        than failed.  Interrupted ``running`` jobs transition to ``retrying``
+        first — their attempt died with the old process.  Records without a
+        spec (CLI submissions, or pre-durability servers) cannot be replayed
+        and are left alone: the CLI process that owns them may still be live,
+        and failing another writer's job here would race it.
+        """
+        for record in await self._offload(self.ledger.list):
+            if record.is_terminal() or record.status not in (
+                "queued",
+                "running",
+                "retrying",
+            ):
+                continue
+            spec = record.spec
+            if not spec or not isinstance(spec.get("source"), dict):
+                _LOG.warning(
+                    "not replaying %s (%s): no spec on record (CLI or legacy writer)",
+                    record.id,
+                    record.status,
+                )
+                continue
+            source = spec["source"]
+            if source.get("kind") == "csv" and not source.get("path"):
+                # An uploaded CSV spools next to the workspace under the job
+                # id; reconstruct the path the same way the submitter did.
+                spool = self.workspace.tmp_dir / f"upload-{record.id}.csv"
+                if not spool.exists():
+                    try:
+                        refreshed = await self._offload(
+                            self.ledger.transition,
+                            record.id,
+                            "failed",
+                            error="upload spool lost across server restart",
+                        )
+                        self._remember(record.id, record=refreshed)
+                    except (KeyError, JobStateError):  # pragma: no cover - racy
+                        pass
+                    self.stats["failed"] += 1
+                    continue
+                source = dict(source, path=str(spool))
+                spec = dict(spec, source=source)
+            if record.status == "running":
+                try:
+                    record = await self._offload(
+                        self.ledger.transition,
+                        record.id,
+                        "retrying",
+                        attempts=record.attempts,
+                        last_error="interrupted by server restart",
+                    )
+                except (KeyError, JobStateError):  # pragma: no cover - racy
+                    continue
+            self._remember(record.id, record=record)
+            await self.pool.requeue(record.id, spec, attempts=record.attempts)
+            self.stats["replayed"] += 1
+            _LOG.info(
+                "replayed %s (%s, %d/%d attempts spent)",
+                record.id,
+                record.status,
+                record.attempts,
+                record.max_attempts or self.pool.max_attempts,
+            )
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
@@ -326,6 +429,9 @@ class AnonymizationServer:
         else:
             label, spec, spool = self._spec_from_json(request.json())
 
+        # The full spec is persisted on the queued record (with an upload's
+        # spool path still empty — replay reconstructs it from the job id),
+        # so a restarted server can re-enqueue the job without the client.
         record = await self._offload(
             self.ledger.create,
             label=label,
@@ -333,6 +439,8 @@ class AnonymizationServer:
             l=spec["l"],
             privacy=spec["privacy"],
             client=request.client,
+            spec=spec,
+            max_attempts=self.pool.max_attempts,
         )
         self._remember(record.id, record=record)
         self._pending_submits.add(record.id)
@@ -688,7 +796,14 @@ class AnonymizationServer:
     # ------------------------------------------------------------ transitions
 
     async def _on_transition(
-        self, job_id: str, status: str, result: dict | None = None, error: str = ""
+        self,
+        job_id: str,
+        status: str,
+        result: dict | None = None,
+        error: str = "",
+        attempts: int = 0,
+        retry_in: float = 0.0,
+        quarantined: bool = False,
     ) -> None:
         """Pool callback (awaited by the drainer): persist + mirror a transition.
 
@@ -697,11 +812,36 @@ class AnonymizationServer:
         """
         try:
             if status == "running":
-                record = await self._offload(self.ledger.transition, job_id, "running")
+                record = await self._offload(
+                    self.ledger.transition, job_id, "running", attempts=attempts
+                )
+            elif status == "retrying":
+                _LOG.warning(
+                    "job %s attempt %d failed (%s); retrying in %.2fs",
+                    job_id,
+                    attempts,
+                    error,
+                    retry_in,
+                )
+                record = await self._offload(
+                    self.ledger.transition,
+                    job_id,
+                    "retrying",
+                    attempts=attempts,
+                    last_error=error,
+                )
             elif status == "failed":
                 self.stats["failed"] += 1
+                if quarantined:
+                    _LOG.error("job %s quarantined: %s", job_id, error)
                 record = await self._offload(
-                    self.ledger.transition, job_id, "failed", error=error
+                    self.ledger.transition,
+                    job_id,
+                    "failed",
+                    error=error,
+                    attempts=attempts,
+                    last_error=error,
+                    quarantined=quarantined,
                 )
             elif status == "done":
                 assert result is not None
@@ -713,6 +853,7 @@ class AnonymizationServer:
                     self.ledger.transition,
                     job_id,
                     "done",
+                    attempts=attempts,
                     n=result["n"],
                     d=result["d"],
                     shards=decision.get("shards", 1),
@@ -726,7 +867,7 @@ class AnonymizationServer:
                     store_hit=result["store_hit"],
                     metric_values=result["metric_values"],
                 )
-            else:  # pragma: no cover - pool only emits the three above
+            else:  # pragma: no cover - pool only emits the four above
                 return
         except (KeyError, JobStateError) as state_error:
             # Usually an out-of-band writer (e.g. a CLI `jobs cancel`) moved
@@ -744,37 +885,41 @@ class AnonymizationServer:
                 # reinstalling that record would freeze the job, so
                 # synthesize the terminal state from memory instead.
                 record = (
-                    self._synthesized_terminal(
+                    self._synthesized_record(
                         job_id, status, error, f"ledger behind the worker: {state_error}"
                     )
                     or record
                 )
         except OSError as io_error:
-            # The ledger append itself failed (e.g. disk full).  Keep the API
-            # truthful from memory: flip the resident record to the terminal
-            # status so the job cannot read as 'running' forever, and fall
-            # through so the computed result is still remembered — the ledger
-            # lags until an operator heals it, but nothing is lost.
-            record = None
-            if status in ("done", "failed"):
-                record = self._synthesized_terminal(
-                    job_id, status, error, f"ledger append failed: {io_error}"
-                )
+            # The ledger append itself failed (e.g. disk full, injected
+            # fault).  Keep the API truthful from memory: flip the resident
+            # record to the attempted status so the job cannot read as
+            # 'running' forever, and fall through so a computed result is
+            # still remembered — the ledger lags (later transitions re-sync
+            # it via the JobStateError refresh above) but nothing is lost.
+            record = self._synthesized_record(
+                job_id, status, error, f"ledger append failed: {io_error}"
+            )
         if status in ("done", "failed"):
             self._discard_spool(job_id)
         self._remember(job_id, record=record, result=result)
 
-    def _synthesized_terminal(
+    def _synthesized_record(
         self, job_id: str, status: str, error: str, cause: str
     ) -> JobRecord | None:
-        """A terminal record built from the resident one when the ledger can't
-        provide it (failed append, or one lagging behind the worker)."""
+        """A record built from the resident one when the ledger can't provide
+        it (failed append, or one lagging behind the worker) — used for both
+        terminal states and a retry the ledger never heard about."""
         entry = self._jobs.get(job_id)
         current = entry["record"] if entry is not None else None
         if current is None:
             return None
+        if status in ("done", "failed", "cancelled"):
+            return replace(
+                current, status=status, updated=time.time(), error=error or cause
+            )
         return replace(
-            current, status=status, updated=time.time(), error=error or cause
+            current, status=status, updated=time.time(), last_error=error or cause
         )
 
     def _remember(
@@ -834,7 +979,7 @@ class AnonymizationServer:
 
     async def _result_for(self, job_id: str) -> dict:
         record = await self._record_for(job_id)
-        if record.status in ("queued", "running"):
+        if record.status in ("queued", "running", "retrying"):
             raise HttpError(
                 409,
                 f"job {job_id} is {record.status}; result not ready",
@@ -897,8 +1042,8 @@ class AnonymizationServer:
             else:
                 raise HttpError(
                     409,
-                    f"job {job_id} is {record.status}; only queued jobs can be "
-                    "cancelled",
+                    f"job {job_id} is {record.status}; only queued or "
+                    "retry-waiting jobs can be cancelled",
                 )
         try:
             record = await self._offload(self.ledger.cancel, job_id)
@@ -1006,6 +1151,15 @@ class AnonymizationServer:
                 "queue_cap": self.pool.queue_cap,
                 "running": self.pool.running,
                 "callback_errors": self.pool.callback_errors,
+                "pool": {
+                    "retries": self.pool.retries,
+                    "pool_restarts": self.pool.pool_restarts,
+                    "timeouts": self.pool.timeouts,
+                    "quarantined": self.pool.quarantined,
+                    "retrying": self.pool.retrying,
+                    "max_attempts": self.pool.max_attempts,
+                    "job_timeout_seconds": self.pool.job_timeout_seconds,
+                },
                 "rate_limit": {
                     "enabled": self.limiter.enabled,
                     "rate": self.limiter.rate,

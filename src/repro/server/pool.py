@@ -15,10 +15,30 @@ persistent :class:`~repro.service.store.RunStore` — each worker re-opens the
 JSONL store per job, so a repeated identical submission is a **store hit**
 even though every job runs in a different process.
 
-Lifecycle transitions (``running``/``done``/``failed``/``cancelled``) are
-reported through a single callback invoked on the event-loop thread; the
-server wires it to the in-memory job table and the persistent
-:class:`~repro.service.jobs.JobLedger`.
+Lifecycle transitions (``running``/``retrying``/``done``/``failed``/
+``cancelled``) are reported through a single callback invoked on the
+event-loop thread; the server wires it to the in-memory job table and the
+persistent :class:`~repro.service.jobs.JobLedger`.
+
+**Fault tolerance** (the at-least-once half of the serving contract):
+
+* a worker dying mid-job (segfault, OOM kill, injected fault) surfaces as
+  :class:`~concurrent.futures.BrokenExecutor`; the pool rebuilds the
+  executor *without dropping queued work* (counted in
+  :attr:`WorkerPool.pool_restarts`) and re-enqueues the job with exponential
+  backoff as a ``retrying`` transition;
+* ``job_timeout_seconds`` bounds each attempt's wall clock; a timed-out
+  attempt on a process executor is killed (the worker processes are
+  terminated and the pool rebuilt — in-flight collateral jobs crash-retry)
+  and the job retried.  Thread executors cannot kill a worker, so the
+  attempt is abandoned to finish in the background and its result discarded;
+* a job whose retryable failures exhaust ``max_attempts`` is **quarantined**
+  — failed terminally with ``quarantined=True`` — so a poison job cannot
+  crash-loop the pool forever.
+
+Deterministic exceptions from the job itself (bad spec, ineligible table)
+still fail immediately: retrying them would burn attempts on a failure that
+cannot change.
 """
 
 from __future__ import annotations
@@ -26,21 +46,29 @@ from __future__ import annotations
 import asyncio
 import inspect
 import math
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from typing import Callable
 
 from repro.engine.cache import ResultCache
 from repro.engine.core import Engine, RunPlan
 from repro.engine.sinks import render_cell_value
 from repro.engine.sources import CsvSource, DataSource, SyntheticSource
+from repro.errors import JobTimeoutError, WorkerCrashError
 from repro.privacy.spec import privacy_from_dict
+from repro.server.faults import apply_worker_faults
 
 __all__ = ["QueueFullError", "WorkerPool", "build_source", "execute_job"]
 
-#: A transition callback: ``callback(job_id, status, result=None, error="")``.
-#: It may be a plain function or a coroutine function; coroutines are awaited
-#: on the event loop, so a callback doing slow I/O can offload it without
-#: blocking the drainers.
+#: A transition callback: ``callback(job_id, status, result=None, error="",
+#: attempts=0, retry_in=0.0, quarantined=False)``.  It may be a plain
+#: function or a coroutine function; coroutines are awaited on the event
+#: loop, so a callback doing slow I/O can offload it without blocking the
+#: drainers.
 TransitionCallback = Callable[..., object]
 
 
@@ -85,12 +113,32 @@ def build_source(spec: dict) -> DataSource:
     raise ValueError(f"unknown source kind {kind!r}")
 
 
+def _process_worker_init() -> None:
+    """Detach a forked pool worker from the parent's signal plumbing.
+
+    ``asyncio.loop.add_signal_handler`` (used by ``serve``) installs a
+    Python-level handler plus a wakeup fd — a socketpair whose read end the
+    parent's event loop watches.  A forked worker inherits *both*, so a
+    SIGTERM delivered to the worker (executor healing, or the executor's own
+    broken-pool cleanup) would make the worker write the signal number into
+    the shared wakeup fd and the **parent** would observe its own shutdown
+    signal: killing one worker would gracefully stop the whole server.
+    Restoring the default dispositions here severs that link.
+    """
+    import signal
+
+    signal.set_wakeup_fd(-1)
+    for signal_number in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signal_number, signal.SIG_DFL)
+
+
 def execute_job(spec: dict, workspace_root: str | None, use_store: bool) -> dict:
     """Executor entry point: run one job spec, return a picklable result.
 
     ``workers`` is pinned to 1 — parallelism belongs to the pool itself, and
     nesting a process pool inside a pool worker would oversubscribe the host.
     """
+    apply_worker_faults(spec)
     source = build_source(spec["source"])
     privacy = spec.get("privacy")
     plan = RunPlan(
@@ -172,6 +220,10 @@ class WorkerPool:
         executor_kind: str = "process",
         workspace_root: str | None = None,
         use_store: bool = True,
+        job_timeout_seconds: float | None = None,
+        max_attempts: int = 3,
+        retry_backoff_seconds: float = 0.5,
+        max_retry_backoff_seconds: float = 30.0,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -179,16 +231,37 @@ class WorkerPool:
             raise ValueError(f"queue_cap must be >= 1, got {queue_cap}")
         if executor_kind not in ("process", "thread"):
             raise ValueError(f"unknown executor kind {executor_kind!r}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if job_timeout_seconds is not None and job_timeout_seconds <= 0:
+            raise ValueError(
+                f"job_timeout_seconds must be positive, got {job_timeout_seconds}"
+            )
+        if retry_backoff_seconds <= 0:
+            raise ValueError(
+                f"retry_backoff_seconds must be positive, got {retry_backoff_seconds}"
+            )
         self.workers = workers
         self.queue_cap = queue_cap
         self._transition = transition or (lambda *args, **kwargs: None)
         self._executor_kind = executor_kind
         self._workspace_root = workspace_root
         self._use_store = use_store
+        self.job_timeout_seconds = job_timeout_seconds
+        self.max_attempts = max_attempts
+        self.retry_backoff_seconds = retry_backoff_seconds
+        self.max_retry_backoff_seconds = max_retry_backoff_seconds
         self._queue: asyncio.Queue[tuple[str, dict]] = asyncio.Queue(maxsize=queue_cap)
         self._queued: set[str] = set()
         self._running: set[str] = set()
         self._cancelled: set[str] = set()
+        #: Attempt starts per live job id (dropped at terminal transitions).
+        self._attempts: dict[str, int] = {}
+        #: Jobs waiting out their retry backoff -> the sleeping requeue task.
+        self._retry_waits: dict[str, asyncio.Task] = {}
+        #: Serializes executor rebuilds; the first drainer to observe a break
+        #: rebuilds, the rest see a fresh executor and skip.
+        self._rebuild_lock = asyncio.Lock()
         self._gate = asyncio.Event()
         self._gate.set()
         self._executor: Executor | None = None
@@ -199,16 +272,25 @@ class WorkerPool:
         #: Transition callbacks that raised (and were swallowed to keep the
         #: drainer alive); surfaced by the server's health endpoint.
         self.callback_errors = 0
+        #: Recovery counters, surfaced by ``/v1/health``.
+        self.retries = 0
+        self.pool_restarts = 0
+        self.timeouts = 0
+        self.quarantined = 0
 
     # ------------------------------------------------------------- lifecycle
+
+    def _build_executor(self) -> Executor:
+        if self._executor_kind == "process":
+            return ProcessPoolExecutor(
+                max_workers=self.workers, initializer=_process_worker_init
+            )
+        return ThreadPoolExecutor(max_workers=self.workers)
 
     async def start(self) -> None:
         if self._drainers:
             raise RuntimeError("pool already started")
-        if self._executor_kind == "process":
-            self._executor = ProcessPoolExecutor(max_workers=self.workers)
-        else:
-            self._executor = ThreadPoolExecutor(max_workers=self.workers)
+        self._executor = self._build_executor()
         self._drainers = [
             asyncio.create_task(self._drain(), name=f"pool-drainer-{index}")
             for index in range(self.workers)
@@ -223,9 +305,9 @@ class WorkerPool:
         leaving the job ``running`` in the ledger forever.
 
         Returns ``(abandoned, interrupted)``: job ids that never started
-        (still queued / already cancelled) and job ids whose run outlived the
-        grace window (their transition was lost; the caller should move them
-        to a terminal state).
+        (still queued, waiting out a retry backoff, or already cancelled) and
+        job ids whose run outlived the grace window (their transition was
+        lost; the caller should move them to a terminal state).
         """
         self._gate.clear()  # nothing new starts; in-flight drainers continue
         loop = asyncio.get_running_loop()
@@ -236,6 +318,17 @@ class WorkerPool:
         # each drainer's ``finally: self._running.discard(...)``, so reading
         # ``self._running`` afterwards always sees an empty set.
         interrupted = sorted(self._running)
+        # Jobs parked in a retry backoff never started this attempt: cancel
+        # their requeue timers and report them abandoned alongside the queue.
+        retry_ids = set(self._retry_waits)
+        for task in list(self._retry_waits.values()):
+            task.cancel()
+        for task in list(self._retry_waits.values()):
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._retry_waits.clear()
         for task in self._drainers:
             task.cancel()
         for task in self._drainers:
@@ -244,10 +337,11 @@ class WorkerPool:
             except asyncio.CancelledError:
                 pass
         self._drainers = []
-        abandoned = sorted(self._queued | self._cancelled)
+        abandoned = sorted(self._queued | self._cancelled | retry_ids)
         self._queued.clear()
         self._cancelled.clear()
         self._running.clear()
+        self._attempts.clear()
         if self._executor is not None:
             # cancel_futures drops work that never started; join the workers
             # only when no job outlived the grace window — waiting on one
@@ -276,6 +370,11 @@ class WorkerPool:
     def running(self) -> int:
         return len(self._running)
 
+    @property
+    def retrying(self) -> int:
+        """Jobs currently waiting out a retry backoff."""
+        return len(self._retry_waits)
+
     def retry_after(self) -> float:
         """Seconds after which a rejected client should retry."""
         return max(1.0, math.ceil(self._recent_seconds))
@@ -289,12 +388,31 @@ class WorkerPool:
                 self._queue.qsize(), self.queue_cap, self.retry_after()
             ) from None
         self._queued.add(job_id)
+        self._attempts[job_id] = 0
+
+    async def requeue(self, job_id: str, spec: dict, attempts: int = 0) -> None:
+        """Re-enqueue a replayed job, bypassing the admission cap.
+
+        Replay must not drop jobs, so instead of :class:`QueueFullError` this
+        *awaits* a queue slot (the drainers are already running and free them
+        up).  ``attempts`` restores the job's spent budget from the ledger,
+        clamped so a replayed job always gets at least one more attempt — the
+        restart was the server's failure, not the job's.
+        """
+        self._attempts[job_id] = min(max(attempts, 0), self.max_attempts - 1)
+        self._queued.add(job_id)
+        await self._queue.put((job_id, spec))
 
     def cancel(self, job_id: str) -> bool:
-        """Cancel a still-queued job; ``False`` if it already started (or unknown)."""
+        """Cancel a queued or backoff-waiting job; ``False`` once it started."""
         if job_id in self._queued:
             self._queued.discard(job_id)
             self._cancelled.add(job_id)
+            return True
+        task = self._retry_waits.pop(job_id, None)
+        if task is not None:
+            task.cancel()
+            self._attempts.pop(job_id, None)
             return True
         return False
 
@@ -313,6 +431,73 @@ class WorkerPool:
 
     def resume(self) -> None:
         self._gate.set()
+
+    # --------------------------------------------------------------- healing
+
+    async def _heal_executor(self, broken: Executor | None) -> None:
+        """Replace a broken (or wedged) executor without dropping queued work.
+
+        Serialized by a lock: the first drainer to observe the break rebuilds
+        and counts a restart; later observers (whose in-flight futures failed
+        on the *same* executor object) find it already replaced and skip.
+        Old process workers are terminated so a wedged or dying process can
+        never outlive its executor; their in-flight collateral jobs surface
+        as :class:`BrokenExecutor` to their drainers and retry through the
+        normal path.  Thread workers cannot be killed — the old thread
+        executor is abandoned to finish its orphan work in the background.
+        """
+        async with self._rebuild_lock:
+            if broken is None or self._executor is not broken:
+                return
+            self.pool_restarts += 1
+            if isinstance(broken, ProcessPoolExecutor):
+                for process in list(
+                    (getattr(broken, "_processes", None) or {}).values()
+                ):
+                    process.terminate()
+            self._executor = self._build_executor()
+            broken.shutdown(wait=False, cancel_futures=True)
+
+    async def _retry_or_quarantine(
+        self, job_id: str, spec: dict, attempt: int, error: Exception
+    ) -> None:
+        """Schedule a backoff re-enqueue, or quarantine an exhausted job."""
+        reason = f"{type(error).__name__}: {error}"
+        if attempt >= self.max_attempts:
+            self.quarantined += 1
+            self._attempts.pop(job_id, None)
+            await self._notify(
+                job_id,
+                "failed",
+                error=f"quarantined after {attempt} attempts; last error: {reason}",
+                attempts=attempt,
+                quarantined=True,
+            )
+            return
+        self.retries += 1
+        delay = min(
+            self.retry_backoff_seconds * (2 ** (attempt - 1)),
+            self.max_retry_backoff_seconds,
+        )
+        await self._notify(
+            job_id, "retrying", error=reason, attempts=attempt, retry_in=delay
+        )
+        task = asyncio.create_task(
+            self._requeue_later(job_id, spec, delay), name=f"pool-retry-{job_id}"
+        )
+        self._retry_waits[job_id] = task
+
+    async def _requeue_later(self, job_id: str, spec: dict, delay: float) -> None:
+        try:
+            await asyncio.sleep(delay)
+        except asyncio.CancelledError:
+            self._retry_waits.pop(job_id, None)
+            raise
+        # No await between these two statements: cancel() must never observe
+        # a job that is in neither the retry-wait map nor the queued set.
+        self._retry_waits.pop(job_id, None)
+        self._queued.add(job_id)
+        await self._queue.put((job_id, spec))
 
     # --------------------------------------------------------------- drainer
 
@@ -342,29 +527,73 @@ class WorkerPool:
                 await self._gate.wait()
                 if job_id in self._cancelled:
                     self._cancelled.discard(job_id)
+                    self._attempts.pop(job_id, None)
                     continue
                 self._queued.discard(job_id)
                 self._running.add(job_id)
-                await self._notify(job_id, "running")
+                attempt = self._attempts.get(job_id, 0) + 1
+                self._attempts[job_id] = attempt
+                await self._notify(job_id, "running", attempts=attempt)
                 started = loop.time()
+                executor = self._executor
                 try:
-                    assert self._executor is not None
-                    result = await loop.run_in_executor(
-                        self._executor,
+                    assert executor is not None
+                    call = loop.run_in_executor(
+                        executor,
                         execute_job,
                         spec,
                         self._workspace_root,
                         self._use_store,
                     )
+                    if self.job_timeout_seconds is not None:
+                        result = await asyncio.wait_for(
+                            call, timeout=self.job_timeout_seconds
+                        )
+                    else:
+                        result = await call
+                except TimeoutError:
+                    # The attempt outlived its wall-clock budget: enforce the
+                    # bound by killing the executor's workers (process pools;
+                    # thread attempts are abandoned — see _heal_executor) and
+                    # retry the job.
+                    self.timeouts += 1
+                    await self._heal_executor(executor)
+                    await self._retry_or_quarantine(
+                        job_id,
+                        spec,
+                        attempt,
+                        JobTimeoutError(
+                            f"attempt {attempt} exceeded the "
+                            f"{self.job_timeout_seconds}s job timeout"
+                        ),
+                    )
+                except BrokenExecutor as broken:
+                    # The worker died mid-job (segfault, OOM kill, injected
+                    # fault).  Heal the pool, then retry: the crash says
+                    # nothing about the job until its budget runs out.
+                    await self._heal_executor(executor)
+                    await self._retry_or_quarantine(
+                        job_id,
+                        spec,
+                        attempt,
+                        WorkerCrashError(
+                            f"worker died mid-job ({type(broken).__name__}: {broken})"
+                        ),
+                    )
                 except Exception as error:  # noqa: BLE001 - reported, not dropped
+                    self._attempts.pop(job_id, None)
                     await self._notify(
-                        job_id, "failed", error=f"{type(error).__name__}: {error}"
+                        job_id,
+                        "failed",
+                        error=f"{type(error).__name__}: {error}",
+                        attempts=attempt,
                     )
                 else:
                     # Exponential moving average of job seconds -> Retry-After.
                     elapsed = loop.time() - started
                     self._recent_seconds = 0.7 * self._recent_seconds + 0.3 * elapsed
-                    await self._notify(job_id, "done", result=result)
+                    self._attempts.pop(job_id, None)
+                    await self._notify(job_id, "done", result=result, attempts=attempt)
                 finally:
                     self._running.discard(job_id)
             finally:

@@ -11,14 +11,27 @@ cache tier instead of recomputed.
 Jobs move through a real state machine persisted as ledger transitions::
 
     queued -> running -> done | failed
-    queued | running  -> cancelled
+              running -> retrying -> running   (worker death / job timeout)
+    queued | running | retrying -> cancelled
+
+``retrying`` is the at-least-once half of the durability contract: an
+attempt that died with its worker (or outlived the per-job timeout) is
+re-enqueued with backoff rather than failed, with :attr:`JobRecord.attempts`
+counting attempt starts and :attr:`JobRecord.last_error` holding the latest
+attempt's failure.  A job that exhausts :attr:`JobRecord.max_attempts` is
+**quarantined**: it lands in the terminal ``failed`` state with
+``quarantined=True``, so poison jobs (ones that reliably kill their worker)
+cannot crash-loop the pool forever.
 
 Each transition *appends* a full record for the job id; readers replay the
 file and the **last record per id wins**, so the ledger doubles as a
 transition history (:meth:`JobLedger.history`) while :meth:`JobLedger.list`
-still shows one row per job.  The HTTP server
-(:mod:`repro.server`) drives the full lifecycle asynchronously; the
-synchronous CLI path writes the same transitions back to back.
+still shows one row per job.  :meth:`JobLedger.compact` rewrites the file to
+just those latest records (the server runs it at boot, mirroring the run
+store's compaction).  The HTTP server (:mod:`repro.server`) drives the full
+lifecycle asynchronously — including replaying every non-terminal record it
+finds at boot, which is why the submitted job *spec* is persisted on server
+records; the synchronous CLI path writes the same transitions back to back.
 
 Durability discipline matches :class:`~repro.service.store.RunStore`:
 append-only JSONL, one record per line, malformed or torn lines skipped on
@@ -33,6 +46,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import threading
 import time
 from contextlib import contextmanager
@@ -56,18 +70,33 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["JobLedger", "JobRecord", "JobService", "JobStateError"]
 
 #: Every status a job can hold, in lifecycle order.
-JOB_STATUSES = ("queued", "running", "done", "failed", "cancelled")
+JOB_STATUSES = ("queued", "running", "retrying", "done", "failed", "cancelled")
 #: Statuses a job never leaves.
 TERMINAL_STATUSES = ("done", "failed", "cancelled")
 #: Legal state transitions (from -> allowed targets).
 _TRANSITIONS = {
     "queued": ("running", "failed", "cancelled"),
-    "running": ("done", "failed", "cancelled"),
+    "running": ("done", "failed", "cancelled", "retrying"),
+    "retrying": ("running", "failed", "cancelled"),
 }
 
 
 class JobStateError(ValueError):
     """Raised on an illegal job state transition (e.g. cancelling a done job)."""
+
+
+def _ledger_fault_hook() -> None:
+    """Chaos-testing gate over ledger appends (no-op unless a plan is active).
+
+    Imported lazily: the service layer must not depend on the server package
+    at import time (the server imports *us*), and the hook resolves to
+    nothing when no :class:`~repro.server.faults.FaultPlan` is installed.
+    """
+    try:
+        from repro.server.faults import maybe_fail_ledger_append
+    except ImportError:  # pragma: no cover - server package unavailable
+        return
+    maybe_fail_ledger_append()
 
 
 @dataclass(frozen=True)
@@ -103,6 +132,20 @@ class JobRecord:
     output: str = ""
     error: str = ""
     metric_values: dict = field(default_factory=dict)
+    #: Attempt starts so far (0 before the first ``running`` transition).
+    attempts: int = 0
+    #: Attempt budget before the job is quarantined (0 on legacy/CLI records,
+    #: meaning the writer had no retry machinery).
+    max_attempts: int = 0
+    #: The most recent *attempt* failure (``error`` stays the terminal one).
+    last_error: str = ""
+    #: ``True`` on a ``failed`` record whose attempt budget was exhausted by
+    #: retryable failures — a poison job parked so it cannot crash-loop.
+    quarantined: bool = False
+    #: The picklable job spec as queued by the server, persisted so a restart
+    #: can re-enqueue every non-terminal job (empty on CLI records, which run
+    #: synchronously and are never replayed).
+    spec: dict = field(default_factory=dict)
 
     def is_terminal(self) -> bool:
         return self.status in TERMINAL_STATUSES
@@ -231,8 +274,51 @@ class JobLedger:
         return self._latest
 
     def _append(self, record: JobRecord) -> None:
+        _ledger_fault_hook()
         with open(self._path, "a") as handle:
             handle.write(json.dumps(asdict(record), separators=(",", ":")) + "\n")
+
+    def compact(self) -> int:
+        """Rewrite the file to one (latest) record per job; returns the number
+        of superseded/corrupt lines reclaimed.
+
+        The ledger appends a full record per transition forever; a long-lived
+        workspace pays that history on every cold replay.  Compaction keeps
+        exactly the records :meth:`list` would return (atomic replace, under
+        the advisory lock), discarding per-job transition history older than
+        the compaction point — the same stance as the run store's compaction.
+        Run it only when no other *reader* is mid-stream (the server does so
+        at boot, before serving): a concurrent incremental replayer would
+        resume at a stale byte offset into the rewritten file.
+        """
+        with self._mutex, self._locked():
+            if not self._path.exists():
+                return 0
+            latest: dict[str, JobRecord] = {}
+            lines = 0
+            with open(self._path) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    lines += 1
+                    record = self._parse(line)
+                    if record is None:
+                        self.recovered += 1
+                        continue
+                    latest[record.id] = record
+            reclaimed = lines - len(latest)
+            if reclaimed > 0:
+                replacement = self._path.with_suffix(".compacting")
+                with open(replacement, "w") as handle:
+                    for record in latest.values():
+                        handle.write(
+                            json.dumps(asdict(record), separators=(",", ":")) + "\n"
+                        )
+                os.replace(replacement, self._path)
+            self._latest = latest
+            self._offset = self._path.stat().st_size
+            return max(reclaimed, 0)
 
     # ------------------------------------------------------------------- API
 
@@ -242,7 +328,8 @@ class JobLedger:
             return list(self._replay().values())
 
     def history(self, job_id: str) -> list[JobRecord]:
-        """Every recorded transition of one job, oldest first."""
+        """Every recorded transition of one job since the last compaction,
+        oldest first (compaction keeps only each job's latest record)."""
         if not self._path.exists():
             return []
         transitions: list[JobRecord] = []

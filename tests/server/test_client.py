@@ -82,7 +82,11 @@ class TestRetry:
             client = _client(server, sleeps)
             payload = client._json("POST", "/v1/jobs", {"l": 2})
             assert payload == {"id": "job-0001"}
-            assert sleeps == [2.0, 3.0]
+            # the ask is a floor; full jitter spreads clients out above it
+            # (first wait jitters over 0.125, second over the doubled 0.25)
+            assert len(sleeps) == 2
+            assert 2.0 <= sleeps[0] <= 2.0 + 0.125
+            assert 3.0 <= sleeps[1] <= 3.0 + 0.25
             assert client.backpressure_events == 2
         finally:
             server.stop()
@@ -97,8 +101,11 @@ class TestRetry:
         )
         try:
             _client(server, sleeps)._json("GET", "/v1/health")
-            # no Retry-After -> the client's own doubling schedule
-            assert sleeps == [0.125, 0.25]
+            # no Retry-After -> full jitter over the client's own doubling
+            # schedule: uniform(0, step) for steps 0.125, 0.25
+            assert len(sleeps) == 2
+            assert 0.0 <= sleeps[0] <= 0.125
+            assert 0.0 <= sleeps[1] <= 0.25
         finally:
             server.stop()
 
@@ -109,7 +116,8 @@ class TestRetry:
         )
         try:
             _client(server, sleeps, max_backoff_seconds=5.0)._json("GET", "/v1/health")
-            assert sleeps == [12.0]
+            assert len(sleeps) == 1
+            assert 12.0 <= sleeps[0] <= 12.0 + 0.125
         finally:
             server.stop()
 
@@ -121,9 +129,45 @@ class TestRetry:
             _client(server, sleeps, max_retry_after_seconds=0.5)._json(
                 "GET", "/v1/health"
             )
-            assert sleeps == [0.5]
+            assert len(sleeps) == 1
+            assert 0.5 <= sleeps[0] <= 0.5 + 0.125
         finally:
             server.stop()
+
+    def test_jitter_is_deterministic_under_a_seed(self, sleeps):
+        script = [
+            (503, {}, {"error": "draining"}),
+            (503, {}, {"error": "draining"}),
+            (200, {}, {"ok": True}),
+        ]
+        recorded: list[list[float]] = []
+        for _ in range(2):
+            server = ScriptedServer(list(script))
+            try:
+                waits: list[float] = []
+                _client(server, waits, jitter_seed=42)._json("GET", "/v1/health")
+                recorded.append(waits)
+            finally:
+                server.stop()
+        assert recorded[0] == recorded[1]
+        assert len(recorded[0]) == 2
+
+    def test_jitter_spreads_identically_rejected_clients(self):
+        """Two clients rejected by the same responses must not sleep in
+        lockstep — the thundering-herd failure full jitter exists to break."""
+        waits: list[list[float]] = []
+        for seed in (1, 2):
+            server = ScriptedServer(
+                [(429, {"Retry-After": "1"}, {"error": "full"}), (200, {}, {})]
+            )
+            try:
+                sleeps: list[float] = []
+                _client(server, sleeps, jitter_seed=seed)._json("GET", "/v1/health")
+                waits.append(sleeps)
+            finally:
+                server.stop()
+        assert waits[0] != waits[1]
+        assert all(1.0 <= wait[0] <= 1.125 for wait in waits)
 
     def test_budget_exhaustion_raises_backpressure_error(self, sleeps):
         server = ScriptedServer(

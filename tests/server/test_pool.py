@@ -133,7 +133,7 @@ class TestWorkerPool:
     def test_transitions_flow_through_callback(self, tmp_path):
         events: list[tuple[str, str]] = []
 
-        def transition(job_id, status, result=None, error=""):
+        def transition(job_id, status, result=None, error="", **kw):
             events.append((job_id, status))
 
         async def scenario():
@@ -238,7 +238,7 @@ class TestWorkerPool:
     def test_async_transition_callbacks_are_awaited(self, tmp_path):
         events: list[tuple[str, str]] = []
 
-        async def transition(job_id, status, result=None, error=""):
+        async def transition(job_id, status, result=None, error="", **kw):
             await asyncio.sleep(0)
             events.append((job_id, status))
 
@@ -269,7 +269,7 @@ class TestWorkerPool:
         run none of them."""
         events: list[tuple[str, str]] = []
 
-        def transition(job_id, status, result=None, error=""):
+        def transition(job_id, status, result=None, error="", **kw):
             if job_id == "job-bad":
                 raise OSError("no space left on device")
             events.append((job_id, status))

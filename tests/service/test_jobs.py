@@ -150,6 +150,114 @@ class TestLifecycle:
             _service(tmp_path).cancel("job-9999")
 
 
+class TestRetryLifecycle:
+    def _ledger(self, tmp_path) -> JobLedger:
+        return JobLedger(tmp_path / "jobs.jsonl")
+
+    def test_running_jobs_can_enter_and_leave_retrying(self, tmp_path):
+        ledger = self._ledger(tmp_path)
+        record = ledger.create(label="t", algorithm="TP", l=2, max_attempts=3)
+        ledger.transition(record.id, "running", attempts=1)
+        parked = ledger.transition(
+            record.id, "retrying", attempts=1, last_error="WorkerCrashError: died"
+        )
+        assert parked.status == "retrying"
+        assert parked.last_error == "WorkerCrashError: died"
+        resumed = ledger.transition(record.id, "running", attempts=2)
+        assert resumed.attempts == 2
+        done = ledger.transition(record.id, "done", attempts=2)
+        assert done.attempts == 2
+        statuses = [entry.status for entry in ledger.history(record.id)]
+        assert statuses == ["queued", "running", "retrying", "running", "done"]
+
+    def test_retrying_is_cancellable_but_not_from_queued(self, tmp_path):
+        ledger = self._ledger(tmp_path)
+        record = ledger.create(label="t", algorithm="TP", l=2)
+        with pytest.raises(JobStateError):
+            ledger.transition(record.id, "retrying")  # queued jobs never ran
+        ledger.transition(record.id, "running")
+        ledger.transition(record.id, "retrying")
+        assert ledger.cancel(record.id).status == "cancelled"
+
+    def test_quarantine_lands_as_terminal_failed(self, tmp_path):
+        ledger = self._ledger(tmp_path)
+        record = ledger.create(label="t", algorithm="TP", l=2, max_attempts=2)
+        ledger.transition(record.id, "running", attempts=1)
+        ledger.transition(record.id, "retrying", attempts=1, last_error="crash")
+        ledger.transition(record.id, "running", attempts=2)
+        final = ledger.transition(
+            record.id,
+            "failed",
+            attempts=2,
+            quarantined=True,
+            error="quarantined after 2 attempts; last error: crash",
+        )
+        assert final.is_terminal() and final.quarantined
+        with pytest.raises(JobStateError):
+            ledger.transition(record.id, "retrying")
+
+    def test_legacy_records_read_with_zeroed_retry_fields(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        payload = {
+            "id": "job-0001", "created": 1.0, "status": "done", "label": "t",
+            "algorithm": "TP", "l": 2,
+        }
+        with open(path, "w") as handle:
+            handle.write(json.dumps(payload) + "\n")
+        record = JobLedger(path).get("job-0001")
+        assert record.attempts == 0
+        assert record.max_attempts == 0
+        assert record.last_error == ""
+        assert record.quarantined is False
+        assert record.spec == {}
+
+
+class TestCompaction:
+    def test_compact_keeps_one_latest_record_per_job(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        ledger = JobLedger(path)
+        first = ledger.create(label="a", algorithm="TP", l=2)
+        ledger.transition(first.id, "running")
+        ledger.transition(first.id, "done", seconds=1.0)
+        second = ledger.create(label="b", algorithm="TP", l=2)
+        reclaimed = ledger.compact()
+        assert reclaimed == 2  # first's queued + running lines superseded
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert ledger.get(first.id).status == "done"
+        assert ledger.get(second.id).status == "queued"
+        # ids keep allocating above the compacted survivors
+        assert ledger.create(label="c", algorithm="TP", l=2).id == "job-0003"
+
+    def test_compact_reclaims_corrupt_lines(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        ledger = JobLedger(path)
+        ledger.create(label="a", algorithm="TP", l=2)
+        with open(path, "a") as handle:
+            handle.write("{torn\n")
+        assert ledger.compact() == 1
+        assert len(path.read_text().strip().splitlines()) == 1
+
+    def test_compact_on_an_already_minimal_ledger_rewrites_nothing(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        ledger = JobLedger(path)
+        ledger.create(label="a", algorithm="TP", l=2)
+        before = path.stat().st_mtime_ns
+        assert ledger.compact() == 0
+        assert path.stat().st_mtime_ns == before
+
+    def test_compact_missing_file_is_a_noop(self, tmp_path):
+        assert JobLedger(tmp_path / "jobs.jsonl").compact() == 0
+
+    def test_history_is_truncated_by_compaction(self, tmp_path):
+        ledger = JobLedger(tmp_path / "jobs.jsonl")
+        record = ledger.create(label="a", algorithm="TP", l=2)
+        ledger.transition(record.id, "running")
+        ledger.transition(record.id, "done")
+        ledger.compact()
+        assert [r.status for r in ledger.history(record.id)] == ["done"]
+
+
 class TestLedgerDurability:
     def test_ids_continue_after_gaps(self, tmp_path):
         ledger = JobLedger(tmp_path / "jobs.jsonl")
