@@ -40,12 +40,23 @@
 # pool_restarts, timeouts, quarantined) must have moved.  The fault schedule
 # is deterministic, so the run is bounded (~10-30s).
 #
+# The scale smoke (scripts/scale_smoke.py) runs a 10^5-row synthetic table
+# through the memory-mapped column-store engine path under capped chunks and
+# asserts (a) bit-identical published output vs the unsharded in-memory run
+# and (b) a >= 2x end-to-end anonymize speedup of the vectorized backend
+# over the pure-Python reference backend.
+#
 # The perf check re-times the figure-6 benchmark on the NumPy backend only
 # (well under a minute) and fails when it has regressed more than 2x against
 # the committed BENCH_fig6.json baseline.  Regenerate the baseline after an
 # intentional performance change with:
 #
 #   PYTHONPATH=src python scripts/bench_baseline.py --output BENCH_fig6.json
+#
+# Regenerate the large-n trajectory (BENCH_scale.json, also consumed by the
+# execution planner's cost model) with:
+#
+#   PYTHONPATH=src python scripts/bench_scale.py --output BENCH_scale.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
@@ -76,6 +87,9 @@ python scripts/load_smoke.py --clients 8 --jobs 200
 
 echo "== chaos smoke: injected crashes + SIGKILL restart =="
 python scripts/chaos_smoke.py
+
+echo "== scale smoke: mmap bit-identity + vectorized speedup at 10^5 rows =="
+python scripts/scale_smoke.py
 
 echo "== perf smoke: bench_fig6 vs committed baseline =="
 python scripts/bench_baseline.py --check BENCH_fig6.json --repeats 3 --tolerance 2.0

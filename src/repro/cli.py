@@ -107,6 +107,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="bounded-memory CSV-to-CSV pipeline (requires --output; rows come "
         "back in QI-sorted shard order, not input order)",
     )
+    anonymize.add_argument(
+        "--mmap",
+        action="store_true",
+        help="run off memory-mapped int32 column buffers: --input may be a "
+        "column-store directory, or a CSV which is converted once to a "
+        "sibling <input>.colstore directory and reused afterwards",
+    )
+
+    bench = subparsers.add_parser(
+        "bench", help="record the BENCH_scale raw-speed trajectory"
+    )
+    bench.add_argument("--output", default="BENCH_scale.json")
+    bench.add_argument(
+        "--sizes", default="100000,1000000", help="comma-separated row counts"
+    )
+    bench.add_argument("--dataset", choices=["SAL", "OCC"], default="SAL")
+    bench.add_argument("--bench-algorithm", default="TP+", dest="bench_algorithm")
+    bench.add_argument("--l", type=int, default=6)
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument("--qi-scale", type=float, default=0.24)
+    bench.add_argument(
+        "--repeats", type=int, default=1, help="runs per point; the minimum is kept"
+    )
+    bench.add_argument(
+        "--reference-max-n",
+        type=int,
+        default=1_000_000,
+        help="skip the pure-Python reference backend above this n",
+    )
 
     plan = subparsers.add_parser(
         "plan", help="explain the planner's execution choice for a workload"
@@ -377,6 +406,29 @@ def _csv_source(arguments: argparse.Namespace) -> CsvSource:
     return CsvSource(arguments.input, qi_names, arguments.sa)
 
 
+def _plan_source(arguments: argparse.Namespace):
+    """The plan's data source: the CSV, or its column store under ``--mmap``.
+
+    With ``--mmap``, an ``--input`` that is already a column-store directory
+    is opened as-is; a CSV input is converted once to ``<input>.colstore``
+    (chunked, out-of-core) and the store is reused by every later run.
+    """
+    if not getattr(arguments, "mmap", False):
+        return _csv_source(arguments)
+    from repro.engine import ColumnStore, ColumnStoreSource
+
+    if ColumnStore.is_store_dir(arguments.input):
+        return ColumnStoreSource(arguments.input)
+    store_dir = arguments.input + ".colstore"
+    if not ColumnStore.is_store_dir(store_dir):
+        qi_names = tuple(
+            name.strip() for name in arguments.qi.split(",") if name.strip()
+        )
+        ColumnStore.convert_csv(arguments.input, store_dir, qi_names, arguments.sa)
+        print(f"column store written to {store_dir}", file=sys.stderr)
+    return ColumnStoreSource(store_dir)
+
+
 def _engine(arguments: argparse.Namespace) -> Engine:
     """An engine whose cache reads through the workspace run store."""
     if getattr(arguments, "no_store", False):
@@ -389,7 +441,7 @@ def _engine(arguments: argparse.Namespace) -> Engine:
 
 def _run_plan(arguments: argparse.Namespace, spec: PrivacySpec) -> RunPlan:
     return RunPlan(
-        source=_csv_source(arguments),
+        source=_plan_source(arguments),
         algorithm=arguments.algorithm,
         l=spec.anonymize_l(),
         privacy=spec,
@@ -415,6 +467,9 @@ def _command_anonymize(arguments: argparse.Namespace) -> int:
         print(error, file=sys.stderr)
         return 2
     if arguments.stream:
+        if arguments.mmap:
+            print("--stream and --mmap are mutually exclusive", file=sys.stderr)
+            return 2
         return _command_anonymize_stream(arguments, spec)
     report = _engine(arguments).run(_run_plan(arguments, spec))
     if arguments.output:
@@ -467,6 +522,27 @@ def _command_anonymize_stream(
     )
     print(report.format())
     print(f"published table written to {arguments.output}")
+    return 0
+
+
+def _command_bench(arguments: argparse.Namespace) -> int:
+    from repro.service.benchscale import BenchScaleConfig, write_bench_scale
+
+    sizes = tuple(int(part) for part in arguments.sizes.split(",") if part.strip())
+    if not sizes:
+        print("--sizes must name at least one row count", file=sys.stderr)
+        return 2
+    config = BenchScaleConfig(
+        sizes=sizes,
+        dataset=arguments.dataset,
+        algorithm=arguments.bench_algorithm,
+        l=arguments.l,
+        seed=arguments.seed,
+        qi_scale=arguments.qi_scale,
+        repeats=arguments.repeats,
+        reference_max_n=arguments.reference_max_n,
+    )
+    write_bench_scale(arguments.output, config)
     return 0
 
 
@@ -732,6 +808,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     arguments = parser.parse_args(argv)
     if arguments.command == "anonymize":
         return _command_anonymize(arguments)
+    if arguments.command == "bench":
+        return _command_bench(arguments)
     if arguments.command == "plan":
         return _command_plan(arguments)
     if arguments.command == "jobs":

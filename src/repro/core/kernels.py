@@ -1,0 +1,199 @@
+"""Fused, vectorized group-metric kernels for the three-phase algorithm.
+
+The run encoding produced by :meth:`Table.qi_sa_runs_arrays` lays every
+QI-group out as a contiguous span of ``(sensitive value, count)`` runs.  The
+kernels here answer whole-state questions — per-group sizes and pillar
+heights, phase-one stopping heights, greedy-cover overlap counts — with a
+single :func:`np.add.reduceat` / :func:`np.bincount` pass over those arrays
+instead of one Python loop iteration per group, and chunk the largest pass
+(the phase-three assignment sweep) across a shared thread pool.  NumPy
+releases the GIL inside these ops, so threads give real parallelism without
+the pickling cost of processes, and integer addition is associative, so the
+chunked results are bit-identical to the single-pass ones.
+
+Every kernel has a pure-Python oracle next to it (``*_reference``) used by
+the property tests; the algorithm-level oracle remains the reference backend
+plus the pinned digests of ``scripts/privacy_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+from collections.abc import Sequence
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+__all__ = [
+    "group_sizes_heights",
+    "phase_one_stop_height",
+    "phase_one_stop_height_reference",
+    "pillar_overlap_counts",
+    "pillar_overlap_counts_reference",
+]
+
+#: Runs below this length are processed on the calling thread; the pool's
+#: per-task overhead only pays off on large shards.
+PARALLEL_THRESHOLD = 1 << 18
+
+#: Upper bound on kernel worker threads (the planner's process workers
+#: multiply with these, so keep the pool modest).
+MAX_KERNEL_THREADS = 8
+
+_POOL: ThreadPoolExecutor | None = None
+
+
+def _pool() -> ThreadPoolExecutor:
+    global _POOL
+    if _POOL is None:
+        workers = max(1, min(MAX_KERNEL_THREADS, (os.cpu_count() or 1)))
+        _POOL = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-kernel"
+        )
+    return _POOL
+
+
+def group_sizes_heights(
+    run_lengths: np.ndarray, group_run_bounds: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-group tuple counts and pillar heights, one reduceat pass each.
+
+    ``run_lengths`` holds the length of every ``(QI, SA)`` run and
+    ``group_run_bounds`` the ``s + 1`` boundaries delimiting each group's
+    runs; the result arrays are ``(s,)`` ``int64``.
+    """
+    starts = group_run_bounds[:-1]
+    if starts.size == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty
+    lengths = run_lengths.astype(np.int64, copy=False)
+    sizes = np.add.reduceat(lengths, starts)
+    heights = np.maximum.reduceat(lengths, starts)
+    return sizes, heights
+
+
+def phase_one_stop_height(
+    counts: Sequence[int], size: int, height: int, l: int
+) -> tuple[int, int]:
+    """Closed form of a full phase-one shave of one ineligible group.
+
+    Phase one removes one tuple from a (minimum) pillar until the group is
+    l-eligible.  Within one height level eligibility only gets harder (the
+    size shrinks while the height stands still), so the loop can only stop
+    right after the height drops — and when the height first reaches ``h``
+    the histogram is exactly ``min(c_v, h)`` with ``r(h) = sum(max(c_v - h,
+    0))`` tuples removed.  The stopping height is therefore the largest ``h``
+    with ``h * l <= size - r(h)``, found here by walking ``h`` downwards with
+    the counts-of-counts recurrence ``r(h - 1) = r(h) + #{c_v >= h}``.
+
+    Returns ``(stop_height, removed)``.  The caller guarantees the group is
+    ineligible (``height * l > size``); ``h = 0`` always terminates the walk
+    because ``r(0) = size``.
+    """
+    frequency = Counter(counts)
+    removed = 0
+    at_or_above = 0
+    h = height
+    while h > 0:
+        at_or_above += frequency.get(h, 0)
+        removed += at_or_above
+        h -= 1
+        if h * l <= size - removed:
+            return h, removed
+    return 0, size
+
+
+def phase_one_stop_height_reference(
+    counts: Sequence[int], l: int
+) -> tuple[int, int]:
+    """Oracle: simulate the one-removal-at-a-time shave on a histogram."""
+    histogram = Counter()
+    for index, count in enumerate(counts):
+        histogram[index] = count
+    size = sum(histogram.values())
+    removed = 0
+    while histogram:
+        height = max(histogram.values())
+        if height * l <= size:
+            return height, removed
+        pillar = min(v for v, c in histogram.items() if c == height)
+        histogram[pillar] -= 1
+        if histogram[pillar] == 0:
+            del histogram[pillar]
+        size -= 1
+        removed += 1
+    return 0, removed
+
+
+def pillar_overlap_counts(
+    pillar_run_group_ids: np.ndarray,
+    pillar_run_values: np.ndarray,
+    pending_values: Sequence[int],
+    group_count: int,
+) -> np.ndarray:
+    """``|pillars(Q) ∩ pending|`` per group, for the greedy SET-COVER step.
+
+    Operates on the *pillar runs only* (runs whose length equals their
+    group's height), so one ``isin`` + ``bincount`` pass replaces the
+    per-group ``pillars_view() & pending`` loop.  Chunked across the kernel
+    thread pool above :data:`PARALLEL_THRESHOLD`; the per-chunk bincounts
+    are summed, which is exact for integers regardless of the split.
+    """
+    total_runs = pillar_run_values.shape[0]
+    pending = np.asarray(sorted(pending_values), dtype=pillar_run_values.dtype)
+    if total_runs == 0 or pending.size == 0:
+        return np.zeros(group_count, dtype=np.int64)
+    if total_runs < PARALLEL_THRESHOLD:
+        return _overlap_chunk(
+            pillar_run_group_ids, pillar_run_values, pending, group_count
+        )
+    pool = _pool()
+    workers = pool._max_workers
+    bounds = np.linspace(0, total_runs, workers + 1, dtype=np.int64)
+    futures = [
+        pool.submit(
+            _overlap_chunk,
+            pillar_run_group_ids[start:stop],
+            pillar_run_values[start:stop],
+            pending,
+            group_count,
+        )
+        for start, stop in zip(bounds[:-1], bounds[1:])
+        if stop > start
+    ]
+    counts = np.zeros(group_count, dtype=np.int64)
+    for future in futures:
+        counts += future.result()
+    return counts
+
+
+def _overlap_chunk(
+    group_ids: np.ndarray,
+    values: np.ndarray,
+    pending_sorted: np.ndarray,
+    group_count: int,
+) -> np.ndarray:
+    # searchsorted membership against the (tiny, sorted) pending set beats
+    # np.isin's generic path for l - 1 or fewer candidates.
+    positions = np.searchsorted(pending_sorted, values)
+    positions[positions == pending_sorted.size] = 0
+    hits = pending_sorted[positions] == values
+    return np.bincount(group_ids[hits], minlength=group_count).astype(np.int64)
+
+
+def pillar_overlap_counts_reference(
+    pillar_run_group_ids: np.ndarray,
+    pillar_run_values: np.ndarray,
+    pending_values: Sequence[int],
+    group_count: int,
+) -> np.ndarray:
+    """Oracle for :func:`pillar_overlap_counts` (plain Python loop)."""
+    pending = set(int(value) for value in pending_values)
+    counts = np.zeros(group_count, dtype=np.int64)
+    for group_id, value in zip(
+        pillar_run_group_ids.tolist(), pillar_run_values.tolist()
+    ):
+        if value in pending:
+            counts[group_id] += 1
+    return counts

@@ -50,14 +50,9 @@ def run_phase_two(state: AlgorithmState) -> PhaseTwoReport:
 
     # Which groups currently hold each sensitive value.  Sets are pruned
     # lazily; once a value has no alive group left it can never become alive
-    # again within phase two.
-    groups_with_value: dict[int, set[int]] = {}
-    for group_id in range(state.group_count):
-        group = state.group(group_id)
-        if group.size == 0:
-            continue
-        for value in group.values_view():
-            groups_with_value.setdefault(value, set()).add(group_id)
+    # again within phase two.  values_to_groups builds the index with one
+    # vectorized pass on the lazy state instead of touching every group.
+    groups_with_value = state.values_to_groups()
 
     heap: list[tuple[int, int]] = [
         (residue.count(value), value) for value in groups_with_value
@@ -132,7 +127,7 @@ def _find_alive_group(
     constant (Lemma 5).
     """
     for group_id in sorted(candidates):
-        if state.group(group_id).count(value) == 0 or state.group_is_dead(group_id):
+        if state.group_count_of(group_id, value) == 0 or state.group_is_dead(group_id):
             candidates.discard(group_id)
             continue
         return group_id

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.state import AlgorithmState
 from repro.errors import AlgorithmInvariantError
 
@@ -72,7 +74,7 @@ def _run_round(state: AlgorithmState, progress: _Progress) -> None:
     # for the final overshoot of at most l - 1 tuples).
     selected = _greedy_cover(state)
     for group_id in selected:
-        for pillar in sorted(state.group(group_id).pillars_view()):
+        for pillar in sorted(state.group_pillars_view(group_id)):
             state.move_to_residue(group_id, pillar)
             progress.record()
         if state.residue_is_eligible():
@@ -104,10 +106,13 @@ def _greedy_cover(state: AlgorithmState) -> list[int]:
     pending = state.residue.pillars()
     selected: list[int] = []
     selected_set: set[int] = set()
+    sizes = state.group_sizes_array()
+    if sizes is not None:
+        return _greedy_cover_vectorized(state, pending, sizes)
     candidates = [
         group_id
         for group_id in range(state.group_count)
-        if state.group(group_id).size > 0
+        if state.group_size(group_id) > 0
     ]
     while pending:
         best_group = None
@@ -115,7 +120,7 @@ def _greedy_cover(state: AlgorithmState) -> list[int]:
         for group_id in candidates:
             if group_id in selected_set:
                 continue
-            overlap = state.group(group_id).pillars_view() & pending
+            overlap = state.group_pillars_view(group_id) & pending
             if best_overlap is None or len(overlap) < len(best_overlap):
                 best_group = group_id
                 best_overlap = overlap
@@ -132,6 +137,39 @@ def _greedy_cover(state: AlgorithmState) -> list[int]:
     return selected
 
 
+def _greedy_cover_vectorized(
+    state: AlgorithmState, pending: set[int], sizes: np.ndarray
+) -> list[int]:
+    """The same greedy cover as one kernel pass + argmin per iteration.
+
+    The reference loop scans candidates in ascending group id and keeps the
+    first group whose overlap is *strictly* smaller than the best so far —
+    i.e. the first group attaining the minimum.  ``np.argmin`` returns the
+    first occurrence of the minimum over the same ascending order, so the
+    selection (and hence every downstream tuple move) is bit-identical; the
+    early break on an empty overlap is subsumed because an empty overlap is
+    the global minimum.  Excluded groups (empty, or already selected) are
+    masked with an overlap count above ``len(pending)``.
+    """
+    selected: list[int] = []
+    excluded = sizes == 0
+    while pending:
+        overlaps = state.pillar_overlap_counts(pending)
+        blocked = len(pending) + 1
+        overlaps[excluded] = blocked
+        best_group = int(np.argmin(overlaps))
+        best_count = int(overlaps[best_group])
+        if best_count >= len(pending):
+            raise AlgorithmInvariantError(
+                "greedy cover cannot make progress over the pillars of R; "
+                "Lemma 7 rules this out for l-eligible microdata"
+            )
+        selected.append(best_group)
+        excluded[best_group] = True
+        pending = set(state.group_pillars_view(best_group)) & pending
+    return selected
+
+
 def _kill_group(state: AlgorithmState, group_id: int, progress: _Progress) -> int:
     """Step two of a round: shed tuples from one group until it is dead.
 
@@ -139,10 +177,11 @@ def _kill_group(state: AlgorithmState, group_id: int, progress: _Progress) -> in
     l-eligible.
     """
     l = state.l
-    group = state.group(group_id)
     moved = 0
+    # All reads go through the state's lazy-fast queries so the sweep never
+    # materializes groups it only inspects; the moves themselves materialize.
     while not state.group_is_dead(group_id):
-        if group.is_fat(l):
+        if state.group_is_fat(group_id):
             value = _cheapest_non_pillar_value(state, group_id)
             state.move_to_residue(group_id, value)
             progress.record()
@@ -154,7 +193,7 @@ def _kill_group(state: AlgorithmState, group_id: int, progress: _Progress) -> in
             # guard would have caught it, so it is non-conflicting: shed one
             # tuple from each pillar (an atomic batch — see _run_round; the
             # sorted() copy also shields the iteration from the moves below).
-            for pillar in sorted(group.pillars_view()):
+            for pillar in sorted(state.group_pillars_view(group_id)):
                 state.move_to_residue(group_id, pillar)
                 progress.record()
                 moved += 1
@@ -173,9 +212,8 @@ def _cheapest_non_pillar_value(state: AlgorithmState, group_id: int) -> int:
     removal also narrows future gaps, breaking ties by sensitive code.
     """
     residue_pillars = state.residue.pillars_view()
-    group = state.group(group_id)
     best: tuple[int, int] | None = None
-    for value in group.values_view():
+    for value in state.group_values_iter(group_id):
         if value in residue_pillars:
             continue
         key = (state.residue.count(value), value)

@@ -5,13 +5,30 @@ its natural QI-groups ``Q_1..Q_s`` (tuples agreeing on every QI attribute),
 then move the minimum number of tuples to a residue set ``R`` such that every
 ``Q_i`` and ``R`` are l-eligible.  :class:`AlgorithmState` owns that state
 and the vocabulary the phases use: thin/fat, conflicting, dead/alive.
+
+On the vectorized backend the per-group multiset states are **lazy**: the
+state keeps the table's run encoding (:meth:`Table.qi_sa_runs_arrays`) plus
+per-group size/height arrays computed by one fused
+:func:`~repro.core.kernels.group_sizes_heights` pass, and a
+:class:`~repro.core.groups.GroupState` is only materialized for the groups a
+phase actually mutates.  Every read the phases need — size, height,
+eligibility, pillars, liveness, per-value counts — is answered from the
+arrays for untouched groups, which is what makes million-row tables viable:
+the overwhelming majority of QI-groups are born l-eligible and never touched,
+so they never pay for Python dicts, and whole-state sweeps (phase one's
+ineligible scan, phase three's cover/kill passes) become NumPy kernels.
+Materialization is observationally lossless: the dicts built from the run
+arrays are exactly the ones the eager construction would have produced.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 
+import numpy as np
+
 from repro.backend import vectorized_enabled
+from repro.core import kernels
 from repro.core.groups import GroupState
 from repro.dataset.table import Table
 from repro.errors import IneligibleTableError
@@ -51,10 +68,19 @@ class AlgorithmState:
             )
         self._table = table
         self._l = l
-        self._group_keys: list[tuple[int, ...]]
-        self._groups: list[GroupState]
+        self._group_keys: list[tuple[int, ...]] | None = None
+        self._group_keys_arr: np.ndarray | None = None
+        self._groups: list[GroupState | None]
+        self._lazy = False
+        self._materialized: set[int] = set()
+        self._pillar_cache: dict[int, frozenset[int]] = {}
+        self._pillar_runs: tuple[np.ndarray, np.ndarray] | None = None
+        self._run_gids: np.ndarray | None = None
         if vectorized_enabled() and len(table) > 0:
-            self._init_vectorized(table, state_factory)
+            if state_factory is GroupState:
+                self._init_lazy(table)
+            else:
+                self._init_vectorized(table, state_factory)
         else:
             self._init_reference(table, state_factory)
         self._residue = state_factory()
@@ -71,14 +97,36 @@ class AlgorithmState:
                 state.add(table.sa_value(row), row)
             self._groups.append(state)
 
-    def _init_vectorized(self, table: Table, state_factory: StateFactory) -> None:
-        """Build the per-group states from the table's cached run encoding.
+    def _init_lazy(self, table: Table) -> None:
+        """Defer group materialization: keep the run encoding plus metrics.
 
-        :meth:`Table.qi_sa_runs` sorts the rows by ``(QI vector, sensitive
-        value)``, which yields every QI-group as a contiguous block (already
-        in the deterministic sorted-key order) and, inside each block, every
-        sensitive value as a contiguous run — exactly the ``(value, rows)``
-        runs that :meth:`~repro.core.groups.GroupState.bulk_load` consumes.
+        :meth:`Table.qi_sa_runs_arrays` sorts the rows by ``(QI vector,
+        sensitive value)``, which yields every QI-group as a contiguous block
+        (already in the deterministic sorted-key order) and, inside each
+        block, every sensitive value as a contiguous run.  One fused reduceat
+        pass computes every group's size and pillar height; the per-group
+        dicts are only built when a phase mutates the group
+        (:meth:`_materialize`), so untouched groups stay as array slices.
+        """
+        (
+            self._group_keys_arr,
+            self._group_run_bounds,
+            self._run_bounds,
+            self._run_values,
+            self._order,
+        ) = table.qi_sa_runs_arrays()
+        self._run_lengths = np.diff(self._run_bounds)
+        self._sizes, self._heights = kernels.group_sizes_heights(
+            self._run_lengths, self._group_run_bounds
+        )
+        # Row-span boundaries of each group inside ``order`` (s + 1 entries).
+        self._group_row_bounds = self._run_bounds[self._group_run_bounds]
+        self._groups = [None] * self._sizes.shape[0]
+        self._lazy = True
+
+    def _init_vectorized(self, table: Table, state_factory: StateFactory) -> None:
+        """Eagerly build custom per-group states from the cached run encoding.
+
         Stability of the sort keeps row indices ascending within a run, so
         the result is indistinguishable from the per-row reference
         construction; the per-state row lists are sliced fresh (they are
@@ -89,36 +137,57 @@ class AlgorithmState:
         run_rows = [
             order_list[start:end] for start, end in zip(run_bounds[:-1], run_bounds[1:])
         ]
-        run_lengths = [end - start for start, end in zip(run_bounds[:-1], run_bounds[1:])]
 
-        groups: list[GroupState] = []
-        if state_factory is GroupState:
-            # Fast path for the default state: fill the slots directly — the
-            # zip/dict constructors run at C speed, and buckets materialize
-            # lazily (most groups are born l-eligible and never touched).
-            for first, last in zip(group_run_bounds[:-1], group_run_bounds[1:]):
-                values = run_values[first:last]
-                lengths = run_lengths[first:last]
-                state = GroupState.__new__(GroupState)
-                state._counts = dict(zip(values, lengths))
-                state._rows = dict(zip(values, run_rows[first:last]))
-                state._buckets = None  # materialized on first update / pillar read
-                state._height = max(lengths)
-                state._size = sum(lengths)
-                groups.append(state)
-        else:
-            for first, last in zip(group_run_bounds[:-1], group_run_bounds[1:]):
-                state = state_factory()
-                runs = list(zip(run_values[first:last], run_rows[first:last]))
-                loader = getattr(state, "bulk_load", None)
-                if loader is not None:
-                    loader(runs)
-                else:  # custom state factories without bulk support
-                    for value, rows in runs:
-                        for row in rows:
-                            state.add(value, row)
-                groups.append(state)
+        groups: list[GroupState | None] = []
+        for first, last in zip(group_run_bounds[:-1], group_run_bounds[1:]):
+            state = state_factory()
+            runs = list(zip(run_values[first:last], run_rows[first:last]))
+            loader = getattr(state, "bulk_load", None)
+            if loader is not None:
+                loader(runs)
+            else:  # custom state factories without bulk support
+                for value, rows in runs:
+                    for row in rows:
+                        state.add(value, row)
+            groups.append(state)
         self._groups = groups
+
+    # ---------------------------------------------------------- materialization
+
+    def _materialize(self, group_id: int) -> GroupState:
+        """Build the mutable :class:`GroupState` of one lazily-held group.
+
+        The dicts are filled in run order (sensitive values ascending, row
+        indices ascending within a value) — exactly the insertion order the
+        eager construction produces, so everything downstream (row
+        concatenation order included) is bit-identical.
+        """
+        group = self._groups[group_id]
+        if group is not None:
+            return group
+        first = int(self._group_run_bounds[group_id])
+        last = int(self._group_run_bounds[group_id + 1])
+        values = self._run_values[first:last].tolist()
+        bounds = self._run_bounds[first : last + 1].tolist()
+        order = self._order
+        rows = {
+            value: order[start:end].tolist()
+            for value, start, end in zip(values, bounds[:-1], bounds[1:])
+        }
+        counts = {
+            value: end - start
+            for value, start, end in zip(values, bounds[:-1], bounds[1:])
+        }
+        group = GroupState.__new__(GroupState)
+        group._counts = counts
+        group._rows = rows
+        group._buckets = None  # materialized on first update / pillar read
+        group._height = int(self._heights[group_id])
+        group._size = int(self._sizes[group_id])
+        self._groups[group_id] = group
+        self._materialized.add(group_id)
+        self._pillar_cache.pop(group_id, None)
+        return group
 
     # ----------------------------------------------------------------- basics
 
@@ -132,7 +201,12 @@ class AlgorithmState:
 
     @property
     def groups(self) -> Sequence[GroupState]:
-        return self._groups
+        """All per-group states (materializing any still-lazy ones)."""
+        if self._lazy and len(self._materialized) < len(self._groups):
+            for group_id in range(len(self._groups)):
+                if self._groups[group_id] is None:
+                    self._materialize(group_id)
+        return self._groups  # type: ignore[return-value]
 
     @property
     def residue(self) -> GroupState:
@@ -144,11 +218,179 @@ class AlgorithmState:
         return len(self._groups)
 
     def group(self, group_id: int) -> GroupState:
-        return self._groups[group_id]
+        group = self._groups[group_id]
+        if group is None:
+            group = self._materialize(group_id)
+        return group
 
     def group_qi_vector(self, group_id: int) -> tuple[int, ...]:
         """The (common) QI vector of the tuples initially in ``group_id``."""
+        if self._group_keys is None:
+            self._group_keys = [tuple(key) for key in self._group_keys_arr.tolist()]
         return self._group_keys[group_id]
+
+    # ------------------------------------------------------------ fast queries
+    #
+    # Array-backed reads for groups that were never mutated; materialized
+    # groups delegate to their GroupState.  The phases use these in their
+    # whole-state sweeps so that untouched groups never build Python dicts.
+
+    def group_size(self, group_id: int) -> int:
+        group = self._groups[group_id]
+        if group is not None:
+            return group.size
+        return int(self._sizes[group_id])
+
+    def group_height(self, group_id: int) -> int:
+        group = self._groups[group_id]
+        if group is not None:
+            return group.height
+        return int(self._heights[group_id])
+
+    def group_is_l_eligible(self, group_id: int) -> bool:
+        group = self._groups[group_id]
+        if group is not None:
+            return group.is_l_eligible(self._l)
+        return bool(self._heights[group_id] * self._l <= self._sizes[group_id])
+
+    def group_pillars_view(self, group_id: int) -> frozenset[int] | set[int]:
+        """The group's pillar set without materializing it (read-only)."""
+        group = self._groups[group_id]
+        if group is not None:
+            return group.pillars_view()
+        cached = self._pillar_cache.get(group_id)
+        if cached is None:
+            first = self._group_run_bounds[group_id]
+            last = self._group_run_bounds[group_id + 1]
+            lengths = self._run_lengths[first:last]
+            values = self._run_values[first:last]
+            cached = frozenset(values[lengths == self._heights[group_id]].tolist())
+            self._pillar_cache[group_id] = cached
+        return cached
+
+    def group_values_iter(self, group_id: int):
+        """The group's distinct sensitive values (read-only iterable)."""
+        group = self._groups[group_id]
+        if group is not None:
+            return group.values_view()
+        first = self._group_run_bounds[group_id]
+        last = self._group_run_bounds[group_id + 1]
+        return self._run_values[first:last].tolist()
+
+    def group_count_of(self, group_id: int, value: int) -> int:
+        """``h(Q, v)`` without materializing the group."""
+        group = self._groups[group_id]
+        if group is not None:
+            return group.count(value)
+        first = int(self._group_run_bounds[group_id])
+        last = int(self._group_run_bounds[group_id + 1])
+        values = self._run_values[first:last]
+        position = int(np.searchsorted(values, value))
+        if position >= values.shape[0] or int(values[position]) != value:
+            return 0
+        return int(
+            self._run_bounds[first + position + 1] - self._run_bounds[first + position]
+        )
+
+    def ineligible_group_ids(self) -> list[int]:
+        """Ascending ids of the groups violating Definition 2, one fused pass."""
+        l = self._l
+        if self._lazy:
+            mask = self._heights * l > self._sizes
+            for group_id in self._materialized:
+                mask[group_id] = not self._groups[group_id].is_l_eligible(l)
+            return np.flatnonzero(mask).tolist()
+        return [
+            group_id
+            for group_id, group in enumerate(self._groups)
+            if not group.is_l_eligible(l)
+        ]
+
+    def values_to_groups(self) -> dict[int, set[int]]:
+        """``{sensitive value: ids of non-empty groups holding it}``.
+
+        Phase two's seeding index.  On the lazy path this is one stable
+        argsort over the run values instead of a per-group Python loop;
+        materialized groups are merged in from their dicts.
+        """
+        result: dict[int, set[int]] = {}
+        if self._lazy:
+            run_gids = self._ensure_run_gids()
+            values = self._run_values
+            if self._materialized:
+                stale = np.zeros(len(self._groups), dtype=bool)
+                stale[list(self._materialized)] = True
+                keep = ~stale[run_gids]
+                values = values[keep]
+                run_gids = run_gids[keep]
+            if values.size:
+                sort = np.argsort(values, kind="stable")
+                sorted_values = values[sort]
+                sorted_gids = run_gids[sort].tolist()
+                boundaries = np.flatnonzero(sorted_values[1:] != sorted_values[:-1]) + 1
+                starts = np.concatenate(([0], boundaries))
+                ends = np.concatenate((boundaries, [sorted_values.shape[0]]))
+                for value, start, end in zip(
+                    sorted_values[starts].tolist(), starts.tolist(), ends.tolist()
+                ):
+                    result[value] = set(sorted_gids[start:end])
+            for group_id in sorted(self._materialized):
+                group = self._groups[group_id]
+                if group.size == 0:
+                    continue
+                for value in group.values_view():
+                    result.setdefault(value, set()).add(group_id)
+        else:
+            for group_id, group in enumerate(self._groups):
+                if group.size == 0:
+                    continue
+                for value in group.values_view():
+                    result.setdefault(value, set()).add(group_id)
+        return result
+
+    def _ensure_run_gids(self) -> np.ndarray:
+        if self._run_gids is None:
+            self._run_gids = np.repeat(
+                np.arange(len(self._groups), dtype=np.int64),
+                np.diff(self._group_run_bounds),
+            )
+        return self._run_gids
+
+    def pillar_overlap_counts(self, pending: set[int]) -> np.ndarray | None:
+        """``|pillars(Q) ∩ pending|`` for every group, or ``None`` off-lazy.
+
+        Backs the greedy SET-COVER step of phase three: the static pillar
+        runs (valid for every never-mutated group) go through the chunked
+        :func:`~repro.core.kernels.pillar_overlap_counts` kernel, and the
+        few materialized groups are overridden from their live pillar sets.
+        Entries of *empty* materialized groups are 0; callers mask
+        candidates by size anyway.
+        """
+        if not self._lazy:
+            return None
+        if self._pillar_runs is None:
+            run_gids = self._ensure_run_gids()
+            is_pillar = self._run_lengths == self._heights[run_gids]
+            self._pillar_runs = (run_gids[is_pillar], self._run_values[is_pillar])
+        gids, values = self._pillar_runs
+        counts = kernels.pillar_overlap_counts(
+            gids, values, pending, len(self._groups)
+        )
+        for group_id in self._materialized:
+            group = self._groups[group_id]
+            counts[group_id] = (
+                len(pending & set(group.pillars_view())) if group.size else 0
+            )
+        return counts
+
+    def group_sizes_array(self) -> np.ndarray | None:
+        """Current per-group sizes as an array, or ``None`` off-lazy."""
+        if not self._lazy:
+            return None
+        sizes = self._sizes.copy()
+        for group_id in self._materialized:
+            sizes[group_id] = self._groups[group_id].size
+        return sizes
 
     # -------------------------------------------------------------- movements
 
@@ -159,34 +401,91 @@ class AlgorithmState:
         tuples ever change sides; the paper notes tuples are moved to ``R``
         but never taken back.
         """
-        row = self._groups[group_id].remove_one(value)
+        row = self.group(group_id).remove_one(value)
         self._residue.add(value, row)
         return row
+
+    def shave_group_bulk(self, group_id: int) -> int | None:
+        """Phase one's whole shave of one group as a single bulk operation.
+
+        Equivalent to ``move_to_residue(group_id, min(pillars))`` repeated
+        until the group is l-eligible: the stopping height has a closed form
+        (:func:`~repro.core.kernels.phase_one_stop_height`), the surviving
+        histogram is exactly ``min(c_v, stop)``, and — because
+        :meth:`GroupState.remove_one` pops row indices from the tail of the
+        ascending per-value lists — the removed rows are exactly the highest
+        ``c_v - stop`` indices of each over-tall value.  The group is
+        materialized directly in its post-shave form.  Returns the number of
+        tuples moved, or ``None`` when the bulk path does not apply (eager
+        state, or a group already materialized/mutated) and the caller must
+        run the reference loop.
+        """
+        if not self._lazy or self._groups[group_id] is not None:
+            return None
+        l = self._l
+        size = int(self._sizes[group_id])
+        height = int(self._heights[group_id])
+        if height * l <= size:
+            return 0
+        first = int(self._group_run_bounds[group_id])
+        last = int(self._group_run_bounds[group_id + 1])
+        values = self._run_values[first:last].tolist()
+        bounds = self._run_bounds[first : last + 1].tolist()
+        lengths = [end - start for start, end in zip(bounds[:-1], bounds[1:])]
+        stop, removed = kernels.phase_one_stop_height(lengths, size, height, l)
+        order = self._order
+        counts: dict[int, int] = {}
+        rows: dict[int, list[int]] = {}
+        shaved: list[tuple[int, list[int]]] = []
+        for value, start, end in zip(values, bounds[:-1], bounds[1:]):
+            count = end - start
+            keep = count if count <= stop else stop
+            if keep:
+                counts[value] = keep
+                rows[value] = order[start : start + keep].tolist()
+            if keep != count:
+                shaved.append((value, order[start + keep : end].tolist()))
+        group = GroupState.__new__(GroupState)
+        group._counts = counts
+        group._rows = rows
+        group._buckets = None  # materialized on first update / pillar read
+        group._height = stop if counts else 0
+        group._size = size - removed
+        self._groups[group_id] = group
+        self._materialized.add(group_id)
+        self._pillar_cache.pop(group_id, None)
+        self._residue.bulk_append(shaved)
+        return removed
 
     # ------------------------------------------------------------ vocabulary
 
     def group_is_thin(self, group_id: int) -> bool:
-        return self._groups[group_id].is_thin(self._l)
+        group = self._groups[group_id]
+        if group is not None:
+            return group.is_thin(self._l)
+        return int(self._sizes[group_id]) == self._l * int(self._heights[group_id])
 
     def group_is_fat(self, group_id: int) -> bool:
-        return self._groups[group_id].is_fat(self._l)
+        group = self._groups[group_id]
+        if group is not None:
+            return group.is_fat(self._l)
+        return int(self._sizes[group_id]) >= self._l * int(self._heights[group_id]) + 1
 
     def conflicting_pillars(self, group_id: int) -> set[int]:
         """``C(Q)``: pillars of the group that are also pillars of ``R``."""
         # Intersecting the read-only views allocates only the result set.
-        return set(self._groups[group_id].pillars_view() & self._residue.pillars_view())
+        return set(self.group_pillars_view(group_id) & self._residue.pillars_view())
 
     def group_is_conflicting(self, group_id: int) -> bool:
-        return not self._groups[group_id].pillars_view().isdisjoint(
+        return not self.group_pillars_view(group_id).isdisjoint(
             self._residue.pillars_view()
         )
 
     def group_is_dead(self, group_id: int) -> bool:
         """Dead = thin and conflicting (cannot shed tuples without harm)."""
-        group = self._groups[group_id]
-        if group.size == 0:
+        if self.group_size(group_id) == 0:
             return True
-        return group.is_thin(self._l) and self.group_is_conflicting(group_id)
+        return self.group_is_thin(group_id) and self.group_is_conflicting(group_id)
 
     def group_is_alive(self, group_id: int) -> bool:
         return not self.group_is_dead(group_id)
@@ -199,7 +498,22 @@ class AlgorithmState:
 
     def retained_group_rows(self) -> list[list[int]]:
         """Row-index lists of the non-empty QI-groups (zero stars each)."""
-        return [group.rows() for group in self._groups if group.size > 0]
+        if not self._lazy:
+            return [group.rows() for group in self._groups if group.size > 0]
+        order = self._order
+        row_bounds = self._group_row_bounds.tolist()
+        collected: list[list[int]] = []
+        for group_id, group in enumerate(self._groups):
+            if group is None:
+                # Untouched: its rows are one contiguous span of ``order``,
+                # already in the (SA run, ascending row) order the eager
+                # GroupState.rows() concatenation would produce.
+                collected.append(
+                    order[row_bounds[group_id] : row_bounds[group_id + 1]].tolist()
+                )
+            elif group.size > 0:
+                collected.append(group.rows())
+        return collected
 
     def residue_rows(self) -> list[int]:
         """Row indices currently in the residue set ``R``."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import profiling
 from repro.core.groups import GroupState
 from repro.core.phase1 import PhaseOneReport, run_phase_one
 from repro.core.phase2 import PhaseTwoReport, run_phase_two
@@ -112,20 +113,24 @@ def run_state(
     (:mod:`repro.core.hybrid`), which post-processes the residue set instead
     of publishing it as a single QI-group.
     """
-    state = AlgorithmState(table, l, state_factory=state_factory)
+    with profiling.profile_stage("state-init"):
+        state = AlgorithmState(table, l, state_factory=state_factory)
 
-    phase1: PhaseOneReport = run_phase_one(state)
+    with profiling.profile_stage("phase1"):
+        phase1: PhaseOneReport = run_phase_one(state)
     phase2: PhaseTwoReport | None = None
     phase3: PhaseThreeReport | None = None
 
     if phase1.satisfied:
         phase_reached = 1
     else:
-        phase2 = run_phase_two(state)
+        with profiling.profile_stage("phase2"):
+            phase2 = run_phase_two(state)
         if phase2.satisfied:
             phase_reached = 2
         else:
-            phase3 = run_phase_three(state)
+            with profiling.profile_stage("phase3"):
+                phase3 = run_phase_three(state)
             phase_reached = 3
 
     stats = ThreePhaseStats(
@@ -169,14 +174,15 @@ def anonymize(
         rows and per-phase statistics.
     """
     state, stats = run_state(table, l, state_factory=state_factory)
-    groups = state.retained_group_rows()
-    residue = sorted(state.residue_rows())
-    if residue:
-        groups = groups + [residue]
-    # Valid by construction: the retained groups and the residue partition
-    # the row indices exactly, so skip the O(n) re-validation.
-    partition = Partition.trusted(groups, len(table))
-    generalized = GeneralizedTable.from_partition(table, partition)
+    with profiling.profile_stage("publish"):
+        groups = state.retained_group_rows()
+        residue = sorted(state.residue_rows())
+        if residue:
+            groups = groups + [residue]
+        # Valid by construction: the retained groups and the residue partition
+        # the row indices exactly, so skip the O(n) re-validation.
+        partition = Partition.trusted(groups, len(table))
+        generalized = GeneralizedTable.from_partition(table, partition)
     return ThreePhaseResult(
         table=table,
         l=l,

@@ -36,6 +36,7 @@ from typing import Any
 
 import numpy as np
 
+from repro import profiling
 from repro.backend import vectorized_enabled
 
 __all__ = ["Attribute", "Schema", "Table"]
@@ -196,6 +197,7 @@ class Table:
         self._sa_array: np.ndarray | None = None
         self._qi_groups: dict[tuple[int, ...], list[int]] | None = None
         self._qi_sa_runs: tuple | None = None
+        self._qi_sa_run_arrays: tuple | None = None
         self._sa_counts: dict[int, int] | None = None
         self._fingerprint: str | None = None
         self._validate_codes()
@@ -206,14 +208,19 @@ class Table:
         schema: Schema,
         qi_columns: np.ndarray,
         sa_array: np.ndarray,
+        validate: bool = True,
     ) -> "Table":
         """Build a table directly from columnar code arrays.
 
         ``qi_columns`` must be an ``(n, d)`` integer matrix and ``sa_array``
         an ``(n,)`` integer vector.  Codes are validated with vectorized
-        bounds checks; the row-tuple representation is materialized lazily,
-        so tables that only ever travel through the vectorized data plane
-        never pay for it.
+        bounds checks unless ``validate=False`` — the trusted path for
+        arrays whose provenance already guarantees in-domain codes (a saved
+        :class:`~repro.engine.columnstore.ColumnStore`, chunk encoders, or
+        slices of an already-validated table), where the min/max scan would
+        fault an entire memory-mapped file in for nothing.  The row-tuple
+        representation is materialized lazily, so tables that only ever
+        travel through the vectorized data plane never pay for it.
         """
         columns = np.ascontiguousarray(qi_columns, dtype=np.int32)
         sa = np.ascontiguousarray(sa_array, dtype=np.int32)
@@ -234,9 +241,10 @@ class Table:
         table._sa_array = sa
         table._qi_groups = None
         table._qi_sa_runs = None
+        table._qi_sa_run_arrays = None
         table._sa_counts = None
         table._fingerprint = None
-        if table._n:
+        if table._n and validate:
             for position, attribute in enumerate(schema.qi):
                 column = columns[:, position]
                 low = int(column.min())
@@ -515,57 +523,89 @@ class Table:
             for key, start, end in zip(keys, starts.tolist(), ends.tolist())
         }
 
+    def qi_sa_runs_arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Array form of :meth:`qi_sa_runs` — the zero-copy run encoding.
+
+        Returns ``(group_keys, group_run_bounds, run_bounds, run_values,
+        order)`` as NumPy arrays: an ``(s, d)`` ``int32`` matrix of distinct
+        QI vectors in ascending order, the ``(s + 1,)`` boundaries of each
+        group's runs, the ``(r + 1,)`` row boundaries of the maximal constant
+        ``(QI, SA)`` runs, the ``(r,)`` SA code per run, and the ``(n,)``
+        permutation sorting rows by ``(QI vector, SA code)`` (stable, so row
+        indices ascend within ties).
+
+        This is the whole l-independent preprocessing of the three-phase
+        algorithm (Section 5.1), cached on the (immutable) table; the fused
+        phase kernels (:mod:`repro.core.kernels`) and the lazy
+        :class:`~repro.core.state.AlgorithmState` consume the arrays
+        directly, and :meth:`qi_sa_runs` is a list view over them.  Treat
+        all five arrays as read-only.
+        """
+        if self._qi_sa_run_arrays is None:
+            with profiling.profile_stage("encode"):
+                columns = self.qi_columns
+                sa = self.sa_array
+                n = self._n
+                d = self._schema.dimension
+                if n == 0:
+                    self._qi_sa_run_arrays = (
+                        np.zeros((0, d), dtype=np.int32),
+                        np.zeros(1, dtype=np.int64),
+                        np.zeros(1, dtype=np.int64),
+                        np.zeros(0, dtype=np.int32),
+                        np.zeros(0, dtype=np.intp),
+                    )
+                    return self._qi_sa_run_arrays
+                # lexsort sorts by the last key first: QI attribute 0 is
+                # primary, then the remaining attributes, then the SA value.
+                order = np.lexsort(
+                    (sa,)
+                    + tuple(columns[:, position] for position in reversed(range(d)))
+                )
+                ordered_columns = columns[order]
+                ordered_sa = sa[order]
+                if n == 1:
+                    new_group = np.zeros(0, dtype=bool)
+                else:
+                    new_group = np.any(ordered_columns[1:] != ordered_columns[:-1], axis=1)
+                new_run = new_group | (ordered_sa[1:] != ordered_sa[:-1])
+                group_starts = np.concatenate(([0], np.flatnonzero(new_group) + 1))
+                run_starts = np.concatenate(([0], np.flatnonzero(new_run) + 1))
+                run_bounds = np.concatenate((run_starts, [n])).astype(np.int64)
+                group_run_bounds = np.concatenate(
+                    (np.searchsorted(run_starts, group_starts), [run_starts.shape[0]])
+                ).astype(np.int64)
+                self._qi_sa_run_arrays = (
+                    ordered_columns[group_starts],
+                    group_run_bounds,
+                    run_bounds,
+                    ordered_sa[run_starts],
+                    order,
+                )
+        return self._qi_sa_run_arrays
+
     def qi_sa_runs(
         self,
     ) -> tuple[list[tuple[int, ...]], list[int], list[int], list[int], list[int]]:
         """Run-length encoding of the rows sorted by ``(QI vector, SA code)``.
 
-        Returns ``(group_keys, group_run_bounds, run_bounds, run_values,
-        order)`` where ``order`` lists row indices sorted lexicographically by
-        QI vector then SA code (stable, so ascending within ties),
-        ``run_bounds`` are the ``r + 1`` boundaries of the maximal constant
-        ``(QI, SA)`` runs inside ``order``, ``run_values`` the SA code of each
-        run, ``group_keys`` the distinct QI vectors in ascending order, and
-        ``group_run_bounds`` the ``s + 1`` boundaries delimiting each QI
-        group's runs inside the run arrays.
-
-        This is the whole l-independent preprocessing of the three-phase
-        algorithm (Section 5.1), so it is cached on the (immutable) table:
-        TP+ — which runs TP internally — and repeated sweeps over the same
-        table pay for the sort once.  All five lists are shared; treat them
-        as read-only.
+        The Python-list view of :meth:`qi_sa_runs_arrays` (which holds the
+        cached sort): ``group_keys`` becomes a list of tuples and the bounds
+        and values become plain ``int`` lists, for consumers that do
+        per-element Python work.  All five lists are shared and cached;
+        treat them as read-only.
         """
         if self._qi_sa_runs is None:
-            columns = self.qi_columns
-            sa = self.sa_array
-            n = self._n
-            if n == 0:
-                self._qi_sa_runs = ([], [0], [0], [], [])
-                return self._qi_sa_runs
-            # lexsort sorts by the last key first: QI attribute 0 is primary,
-            # then the remaining attributes, then the sensitive value.
-            order = np.lexsort(
-                (sa,) + tuple(columns[:, position] for position in reversed(range(columns.shape[1])))
+            group_keys, group_run_bounds, run_bounds, run_values, order = (
+                self.qi_sa_runs_arrays()
             )
-            ordered_columns = columns[order]
-            ordered_sa = sa[order]
-            if n == 1:
-                new_group = np.zeros(0, dtype=bool)
-            else:
-                new_group = np.any(ordered_columns[1:] != ordered_columns[:-1], axis=1)
-            new_run = new_group | (ordered_sa[1:] != ordered_sa[:-1])
-            group_starts = np.concatenate(([0], np.flatnonzero(new_group) + 1))
-            run_starts = np.concatenate(([0], np.flatnonzero(new_run) + 1))
-            group_keys = [tuple(key) for key in ordered_columns[group_starts].tolist()]
-            run_bounds = np.concatenate((run_starts, [n])).tolist()
-            group_run_bounds = np.searchsorted(run_starts, group_starts).tolist()
-            group_run_bounds.append(len(run_starts))
-            run_values = ordered_sa[run_starts].tolist()
             self._qi_sa_runs = (
-                group_keys,
-                group_run_bounds,
-                run_bounds,
-                run_values,
+                [tuple(key) for key in group_keys.tolist()],
+                group_run_bounds.tolist(),
+                run_bounds.tolist(),
+                run_values.tolist(),
                 order.tolist(),
             )
         return self._qi_sa_runs

@@ -10,6 +10,10 @@ consumers (CLI, experiment harness, scripts) and consists of:
 * :mod:`repro.engine.sources` — dataset adapters unifying CSV files,
   synthetic generators and in-memory columnar tables behind one loader with
   schema inference and chunked reads;
+* :mod:`repro.engine.columnstore` — zero-copy columnar storage: encoded
+  tables persisted as memory-mappable ``.npy`` column buffers
+  (:class:`ColumnStore`) plus a :class:`ColumnStoreSource` adapter, the
+  physical layout behind ``--mmap`` runs and the scale benchmarks;
 * :mod:`repro.engine.sharding` — QI-prefix sharding and shard-output
   merging for out-of-core / large-``n`` runs;
 * :mod:`repro.engine.sinks` — incremental CSV export of published tables
@@ -37,6 +41,7 @@ Quickstart::
 """
 
 from repro.engine.cache import CachedRun, ResultCache, default_cache
+from repro.engine.columnstore import ColumnStore, ColumnStoreSource
 from repro.engine.core import Engine, RunPlan, RunReport, StageTimings, run_with_spec
 from repro.engine.registry import (
     AlgorithmInfo,
@@ -69,6 +74,8 @@ __all__ = [
     "AlgorithmRegistry",
     "Anonymizer",
     "CachedRun",
+    "ColumnStore",
+    "ColumnStoreSource",
     "CsvSink",
     "CsvSource",
     "DataSource",

@@ -42,7 +42,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro import backend
+from repro import backend, profiling
 from repro.dataset.generalized import GeneralizedTable
 from repro.dataset.table import Table
 from repro.engine import algorithms as _builtin_algorithms  # noqa: F401 - registers entries
@@ -161,6 +161,10 @@ class RunReport:
     #: QI-group merges performed by the enforcement pass (0 whenever the
     #: algorithms' frequency guarantee already implied the spec).
     enforcement_merges: int = 0
+    #: Per-stage wall-clock seconds (``load`` / ``encode`` / ``state-init`` /
+    #: ``phase1``..``phase3`` / ``publish`` / ``merge`` / ``metrics``) when
+    #: ``REPRO_PROFILE`` is set; ``None`` otherwise.
+    profile: dict[str, float] | None = None
 
 
 def run_with_spec(runner, table: Table, spec: PrivacySpec) -> AlgorithmOutput:
@@ -245,8 +249,11 @@ class Engine:
                 f"algorithm {info.name!r} does not support sharded execution"
             )
 
+        if profiling.enabled():
+            profiling.reset()
         started = time.perf_counter()
-        table = self._load(plan)
+        with profiling.profile_stage("load"):
+            table = self._load(plan)
         load_seconds = time.perf_counter() - started
 
         decision = self.planner.decide(
@@ -268,16 +275,17 @@ class Engine:
 
             started = time.perf_counter()
             verified = False
-            if plan.verify:
-                if not spec.check_generalized(output.generalized):
-                    raise VerificationError(
-                        f"published table violates {spec.describe()}"
-                    )
-                verified = True
-            metric_values = {
-                name: self.metrics.compute(name, table, output.generalized)
-                for name in plan.metrics
-            }
+            with profiling.profile_stage("metrics"):
+                if plan.verify:
+                    if not spec.check_generalized(output.generalized):
+                        raise VerificationError(
+                            f"published table violates {spec.describe()}"
+                        )
+                    verified = True
+                metric_values = {
+                    name: self.metrics.compute(name, table, output.generalized)
+                    for name in plan.metrics
+                }
             metrics_seconds = time.perf_counter() - started
 
         return RunReport(
@@ -297,6 +305,7 @@ class Engine:
             decision=decision,
             privacy=spec,
             enforcement_merges=merges,
+            profile=profiling.snapshot() if profiling.enabled() else None,
         )
 
     def run_table(self, table: Table, algorithm: str, l: int, **plan_fields) -> RunReport:
@@ -346,16 +355,17 @@ class Engine:
                 )
 
         started = time.perf_counter()
-        if decision.shards > 1:
-            output, shard_sizes = self._run_sharded(plan, name, table, decision, spec)
-        else:
-            if not spec.eligible(table.sa_counts(), len(table)):
-                raise IneligibleTableError(
-                    f"table is not eligible for {spec.describe()}; "
-                    "no satisfying generalization exists"
-                )
-            output = run_with_spec(self.algorithms.get(name).runner, table, spec)
-            shard_sizes = (len(table),)
+        with profiling.maybe_cprofile(f"anonymize {name} n={len(table)}"):
+            if decision.shards > 1:
+                output, shard_sizes = self._run_sharded(plan, name, table, decision, spec)
+            else:
+                if not spec.eligible(table.sa_counts(), len(table)):
+                    raise IneligibleTableError(
+                        f"table is not eligible for {spec.describe()}; "
+                        "no satisfying generalization exists"
+                    )
+                output = run_with_spec(self.algorithms.get(name).runner, table, spec)
+                shard_sizes = (len(table),)
         # Enforcement pass — only for specs the algorithms' frequency
         # guarantee does not already imply (recursive-cl with c <= 1).  For
         # implied specs (the default path included) a violating group can
@@ -401,7 +411,8 @@ class Engine:
         # Structural merge only; verification of the merged table against the
         # spec happens in run()'s verify stage (plan.verify), after the
         # enforcement pass has had its chance to repair across shards.
-        merged = merge_shard_outputs(table, shard_rows, outputs, spec, verify=False)
+        with profiling.profile_stage("merge"):
+            merged = merge_shard_outputs(table, shard_rows, outputs, spec, verify=False)
         phases = [output.phase_reached for output in outputs if output.phase_reached]
         return (
             AlgorithmOutput(merged, phase_reached=max(phases) if phases else None),

@@ -113,9 +113,22 @@ def infer_csv_schema(
     )
 
 
+#: Chunk size used when ``CsvSource.load`` streams the whole file.
+LOAD_CHUNK_ROWS = 262_144
+
+
 @dataclass(frozen=True)
 class CsvSource(DataSource):
-    """A CSV file with a header row, encoded against an inferred or given schema."""
+    """A CSV file with a header row, encoded against an inferred or given schema.
+
+    The schema is resolved exactly once per source instance (inference is a
+    full streaming pass, so repeating it per read would double the I/O) and
+    every subsequent read only *validates* values against it: the column
+    encoders raise for any value outside the resolved domain.  Chunked reads
+    decode through one preallocated ``(chunk_rows, d + 1)`` int32 buffer that
+    is reused across chunks — rows never exist as per-row Python dicts, and
+    each yielded chunk is a compact copy of the filled prefix.
+    """
 
     path: str
     qi_names: tuple[str, ...]
@@ -125,56 +138,106 @@ class CsvSource(DataSource):
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "qi_names", tuple(self.qi_names))
+        # Cache slot for the lazily-resolved schema (not a dataclass field:
+        # it is derived state, invisible to __eq__ / repr).
+        object.__setattr__(self, "_resolved", self.schema)
 
     @property
     def label(self) -> str:
         return self.path
 
     def resolved_schema(self) -> Schema:
-        """The supplied schema, or one inferred from the file's values."""
-        if self.schema is not None:
-            return self.schema
-        return infer_csv_schema(self.path, self.qi_names, self.sa_name, self.delimiter)
+        """The supplied schema, or one inferred (once) from the file's values."""
+        resolved = self._resolved  # type: ignore[attr-defined]
+        if resolved is None:
+            resolved = infer_csv_schema(
+                self.path, self.qi_names, self.sa_name, self.delimiter
+            )
+            object.__setattr__(self, "_resolved", resolved)
+        return resolved
 
     def load(self) -> Table:
-        try:
-            return Table.from_csv(
-                self.path, list(self.qi_names), self.sa_name, schema=self.schema,
-                delimiter=self.delimiter,
+        """Materialize the full table through the chunked columnar decoder."""
+        chunks = list(self.iter_chunks(LOAD_CHUNK_ROWS))
+        if not chunks:
+            # A header-only file: schema inference rejects it; with a supplied
+            # schema the empty table is well-defined, so return it.
+            schema = self.resolved_schema()
+            return Table.from_arrays(
+                schema,
+                np.empty((0, schema.dimension), dtype=np.int32),
+                np.empty(0, dtype=np.int32),
             )
-        except (OSError, KeyError) as error:
-            raise DataSourceError(f"cannot load {self.path}: {error}") from error
+        return concat_tables(chunks)
+
+    def _column_positions(self, header: list[str]) -> tuple[list[int], int]:
+        missing = [
+            name for name in (*self.qi_names, self.sa_name) if name not in header
+        ]
+        if missing:
+            raise DataSourceError(
+                f"{self.path}: columns {missing} not in header {header}"
+            )
+        return [header.index(name) for name in self.qi_names], header.index(self.sa_name)
 
     def iter_chunks(self, chunk_rows: int) -> Iterator[Table]:
-        """Stream the file in bounded chunks (schema inferred in a first pass)."""
+        """Stream the file in bounded chunks through one reused decode buffer."""
         if chunk_rows < 1:
             raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
         schema = self.resolved_schema()
         encoders = [schema.qi_attribute(name).encode for name in self.qi_names]
         sa_encode = schema.sensitive.encode
         d = schema.dimension
+        # One decode buffer for the lifetime of the iteration: d QI columns
+        # plus the SA column, filled column-wise per chunk.
+        buffer = np.empty((chunk_rows, d + 1), dtype=np.int32)
         try:
             with open(self.path, newline="") as handle:
-                reader = csv.DictReader(handle, delimiter=self.delimiter)
-                qi_buffer: list[int] = []
-                sa_buffer: list[int] = []
-                for row in reader:
-                    qi_buffer.extend(
-                        encode(row[name]) for encode, name in zip(encoders, self.qi_names)
+                reader = csv.reader(handle, delimiter=self.delimiter)
+                header = next(reader, None)
+                if header is None:
+                    raise DataSourceError(f"{self.path}: empty CSV file (no header row)")
+                qi_positions, sa_position = self._column_positions(header)
+                rows: list[list[str]] = []
+                for record in reader:
+                    rows.append(record)
+                    if len(rows) == chunk_rows:
+                        yield self._encode_chunk(
+                            schema, rows, buffer, encoders, qi_positions,
+                            sa_encode, sa_position, d,
+                        )
+                        rows.clear()
+                if rows:
+                    yield self._encode_chunk(
+                        schema, rows, buffer, encoders, qi_positions,
+                        sa_encode, sa_position, d,
                     )
-                    sa_buffer.append(sa_encode(row[self.sa_name]))
-                    if len(sa_buffer) >= chunk_rows:
-                        yield self._chunk(schema, qi_buffer, sa_buffer, d)
-                        qi_buffer, sa_buffer = [], []
-                if sa_buffer:
-                    yield self._chunk(schema, qi_buffer, sa_buffer, d)
-        except (OSError, KeyError) as error:
+        except (OSError, KeyError, IndexError) as error:
             raise DataSourceError(f"cannot load {self.path}: {error}") from error
 
     @staticmethod
-    def _chunk(schema: Schema, qi_buffer: list[int], sa_buffer: list[int], d: int) -> Table:
-        columns = np.asarray(qi_buffer, dtype=np.int32).reshape(len(sa_buffer), d)
-        return Table.from_arrays(schema, columns, np.asarray(sa_buffer, dtype=np.int32))
+    def _encode_chunk(
+        schema: Schema,
+        rows: list[list[str]],
+        buffer: np.ndarray,
+        encoders: list,
+        qi_positions: list[int],
+        sa_encode,
+        sa_position: int,
+        d: int,
+    ) -> Table:
+        size = len(rows)
+        for column, (encode, position) in enumerate(zip(encoders, qi_positions)):
+            buffer[:size, column] = [encode(record[position]) for record in rows]
+        buffer[:size, d] = [sa_encode(record[sa_position]) for record in rows]
+        # The encoders are the validation: every stored code is in-domain by
+        # construction, so the chunk table skips the min/max re-scan.
+        return Table.from_arrays(
+            schema,
+            buffer[:size, :d].copy(),
+            buffer[:size, d].copy(),
+            validate=False,
+        )
 
 
 @dataclass(frozen=True)

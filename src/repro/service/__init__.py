@@ -9,7 +9,11 @@ long-lived deployment needs beyond a single in-process run:
   **across processes**;
 * :mod:`repro.service.planner` — the cost-based :class:`ExecutionPlanner`
   that picks shards / workers / backend from table statistics, calibrated
-  against the committed ``BENCH_fig6.json`` baseline;
+  against the committed ``BENCH_fig6.json`` baseline (and the large-``n``
+  ``BENCH_scale.json`` trajectory when present);
+* :mod:`repro.service.benchscale` — the ``BENCH_scale.json`` driver: the
+  memory-mapped engine path timed at 10^5..10^7 rows with per-stage
+  attribution (``ldiversity bench``);
 * :mod:`repro.service.streaming` — CSV-to-CSV anonymization in bounded
   memory (scan, spill to QI-prefix shards, anonymize shard-by-shard into a
   :class:`~repro.engine.sinks.CsvSink`);
@@ -30,12 +34,18 @@ Quickstart::
 """
 
 from repro.service.store import RunStore, StoreError
+from repro.service.benchscale import (
+    BenchScaleConfig,
+    run_bench_scale,
+    write_bench_scale,
+)
 from repro.service.planner import (
     ExecutionDecision,
     ExecutionPlanner,
     PlannerCalibration,
     default_planner,
     load_bench_calibration,
+    load_scale_rates,
 )
 from repro.service.workspace import Workspace, default_workspace_root
 from repro.service.streaming import (
@@ -47,6 +57,7 @@ from repro.service.streaming import (
 from repro.service.jobs import JobLedger, JobRecord, JobService, JobStateError
 
 __all__ = [
+    "BenchScaleConfig",
     "ExecutionDecision",
     "ExecutionPlanner",
     "JobLedger",
@@ -61,7 +72,10 @@ __all__ = [
     "default_planner",
     "default_workspace_root",
     "load_bench_calibration",
+    "load_scale_rates",
+    "run_bench_scale",
     "stream_anonymize",
+    "write_bench_scale",
     "verify_csv_l_diverse",
     "verify_csv_satisfies",
 ]

@@ -46,6 +46,7 @@ __all__ = [
     "PlannerCalibration",
     "default_planner",
     "load_bench_calibration",
+    "load_scale_rates",
 ]
 
 #: Estimated seconds to spawn one process-pool worker (pool startup, imports).
@@ -87,12 +88,67 @@ class PlannerCalibration:
         return tuple(sorted(self.rates)) or tuple(sorted(DEFAULT_RATES))
 
 
-def load_bench_calibration(path: str | Path | None = None) -> PlannerCalibration:
-    """Calibrate rates from a ``BENCH_fig6.json`` baseline file.
+def load_scale_rates(
+    path: str | Path | None = None,
+) -> tuple[dict[str, dict[str, float]], str]:
+    """Per-(backend, algorithm) rates from a ``BENCH_scale.json`` trajectory.
 
-    When ``path`` is ``None`` the repository-root baseline is looked up
-    relative to this file and the working directory; a missing or unreadable
-    file yields the built-in default rates, so planning always works.
+    The scale benchmark (``scripts/bench_scale.py``) records per-stage
+    seconds at 10^5..10^7 rows; its ``anonymize`` seconds at the largest
+    measured ``n`` per backend give a far better rate estimate than the
+    small-``n`` figure-6 sweep, so these rates *override* the figure-6 ones
+    for the benched algorithm.  Returns ``({}, "")`` when no readable file
+    exists — callers fall through to the figure-6 / default calibration.
+    """
+    candidates: list[Path] = []
+    if path is not None:
+        candidates.append(Path(path))
+    else:
+        candidates.append(Path.cwd() / "BENCH_scale.json")
+        candidates.append(Path(__file__).resolve().parents[3] / "BENCH_scale.json")
+    for candidate in candidates:
+        try:
+            with open(candidate) as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            continue
+        algorithm = payload.get("config", {}).get("algorithm")
+        if not algorithm:
+            continue
+        best: dict[str, tuple[int, float]] = {}
+        for point in payload.get("points", []):
+            backend_name = point.get("backend")
+            n = int(point.get("n", 0))
+            seconds = float(point.get("seconds", {}).get("anonymize", 0.0))
+            if not backend_name or n < 2 or seconds <= 0:
+                continue
+            if backend_name not in best or n > best[backend_name][0]:
+                best[backend_name] = (n, seconds)
+        rates = {
+            backend_name: {algorithm: seconds / _nlogn(n)}
+            for backend_name, (n, seconds) in best.items()
+        }
+        if rates:
+            return rates, str(candidate)
+    return {}, ""
+
+
+def load_bench_calibration(
+    path: str | Path | None = None,
+    scale_path: str | Path | None = None,
+) -> PlannerCalibration:
+    """Calibrate rates from the committed benchmark baselines.
+
+    ``BENCH_fig6.json`` provides broad per-algorithm coverage at figure
+    scale; when a ``BENCH_scale.json`` trajectory is also present, its
+    large-``n`` rates override the figure-6 ones for the algorithm it
+    benched (:func:`load_scale_rates`).  When ``path`` is ``None`` the
+    repository-root baselines are looked up relative to this file and the
+    working directory; missing or unreadable files yield the built-in
+    default rates, so planning always works.  An explicit ``path`` keeps
+    the calibration isolated: the ambient scale trajectory is only searched
+    for when neither file is pinned (callers pinning ``path`` can still opt
+    in with ``scale_path``).
     """
     candidates: list[Path] = []
     if path is not None:
@@ -100,13 +156,14 @@ def load_bench_calibration(path: str | Path | None = None) -> PlannerCalibration
     else:
         candidates.append(Path.cwd() / "BENCH_fig6.json")
         candidates.append(Path(__file__).resolve().parents[3] / "BENCH_fig6.json")
+    rates: dict[str, dict[str, float]] = {}
+    source = "defaults"
     for candidate in candidates:
         try:
             with open(candidate) as handle:
                 payload = json.load(handle)
         except (OSError, json.JSONDecodeError):
             continue
-        rates: dict[str, dict[str, float]] = {}
         for backend_name, algorithms in payload.get("seconds", {}).items():
             for algorithm, by_n in algorithms.items():
                 points = sorted(
@@ -117,7 +174,18 @@ def load_bench_calibration(path: str | Path | None = None) -> PlannerCalibration
                 n_ref, t_ref = points[-1]
                 rates.setdefault(backend_name, {})[algorithm] = t_ref / _nlogn(n_ref)
         if rates:
-            return PlannerCalibration(rates=rates, source=str(candidate))
+            source = str(candidate)
+            break
+    if scale_path is not None or path is None:
+        scale_rates, scale_source = load_scale_rates(scale_path)
+    else:
+        scale_rates, scale_source = {}, ""
+    if scale_rates:
+        for backend_name, per_algorithm in scale_rates.items():
+            rates.setdefault(backend_name, {}).update(per_algorithm)
+        source = f"{source} + {scale_source}" if rates else scale_source
+    if rates:
+        return PlannerCalibration(rates=rates, source=source)
     return PlannerCalibration(source="defaults")
 
 

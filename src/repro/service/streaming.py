@@ -95,15 +95,51 @@ class StreamReport:
 
 
 def _scan(source: CsvSource, chunk_rows: int) -> tuple[dict[tuple, Counter], int]:
-    """Pass 1: per-QI-key sensitive-value histograms, streamed."""
+    """Pass 1: per-QI-key sensitive-value histograms, streamed.
+
+    On the vectorized backend each chunk is reduced with one run-length
+    encoding pass (:meth:`~repro.dataset.table.Table.qi_sa_runs_arrays`):
+    every ``(QI key, sensitive value)`` run contributes a single Counter
+    update weighted by its length, so the Python-level work is O(distinct
+    runs) instead of O(rows).  The histograms are identical to the per-tuple
+    :func:`_scan_reference` (the regression test asserts this) because a
+    histogram is order-insensitive.
+    """
     key_histograms: dict[tuple, Counter] = {}
     n = 0
     for chunk in source.iter_chunks(chunk_rows):
-        sa_values = chunk.sa_values
-        for key, rows in chunk.group_by_qi().items():
-            histogram = key_histograms.setdefault(key, Counter())
-            for row in rows:
-                histogram[sa_values[row]] += 1
+        if _backend.vectorized_enabled() and len(chunk):
+            group_keys, group_run_bounds, run_bounds, run_values, _ = (
+                chunk.qi_sa_runs_arrays()
+            )
+            run_lengths = np.diff(run_bounds).tolist()
+            values = run_values.tolist()
+            bounds = group_run_bounds.tolist()
+            for group_id, key in enumerate(map(tuple, group_keys.tolist())):
+                histogram = key_histograms.setdefault(key, Counter())
+                for run in range(bounds[group_id], bounds[group_id + 1]):
+                    histogram[values[run]] += run_lengths[run]
+        else:
+            _scan_chunk_reference(chunk, key_histograms)
+        n += len(chunk)
+    return key_histograms, n
+
+
+def _scan_chunk_reference(chunk: Table, key_histograms: dict[tuple, Counter]) -> None:
+    """Per-tuple Counter accumulation — the oracle the fast scan is tested against."""
+    sa_values = chunk.sa_values
+    for key, rows in chunk.group_by_qi().items():
+        histogram = key_histograms.setdefault(key, Counter())
+        for row in rows:
+            histogram[sa_values[row]] += 1
+
+
+def _scan_reference(source: CsvSource, chunk_rows: int) -> tuple[dict[tuple, Counter], int]:
+    """The pre-vectorization scan, kept as the regression oracle for :func:`_scan`."""
+    key_histograms: dict[tuple, Counter] = {}
+    n = 0
+    for chunk in source.iter_chunks(chunk_rows):
+        _scan_chunk_reference(chunk, key_histograms)
         n += len(chunk)
     return key_histograms, n
 
@@ -111,6 +147,46 @@ def _scan(source: CsvSource, chunk_rows: int) -> tuple[dict[tuple, Counter], int
 # Shard boundaries are computed by the same quota/eligibility-repair code
 # as the in-memory path — repro.engine.sharding.partition_group_keys — fed
 # with the scan pass's histograms, so the two pipelines can never drift.
+
+
+def _spill_chunk(chunk: Table, shard_of: dict, spills: list, d: int) -> None:
+    """Pass 2 inner loop: route one chunk's encoded rows to the shard spills.
+
+    Rows are written as raw ``(d + 1)`` int32 blocks.  The vectorized path
+    must land rows in each spill in exactly the order the per-group loop
+    produces — QI keys ascending, original row index ascending within a key —
+    because the spill's row order is the shard table's row order and hence
+    observable in the published bytes.  A QI-only stable lexsort delivers
+    precisely that order (it is the same sort ``group_by_qi`` uses), after
+    which one boolean mask per shard appends every row in a single write.
+    """
+    columns = chunk.qi_columns
+    sa = chunk.sa_array
+    if _backend.vectorized_enabled() and len(chunk):
+        order = np.lexsort(columns.T[::-1])
+        block = np.empty((len(chunk), d + 1), dtype=np.int32)
+        block[:, :d] = columns[order]
+        block[:, d] = sa[order]
+        starts = np.empty(len(chunk), dtype=bool)
+        starts[0] = True
+        np.any(block[1:, :d] != block[:-1, :d], axis=1, out=starts[1:])
+        start_rows = np.flatnonzero(starts)
+        group_shards = np.asarray(
+            [shard_of[key] for key in map(tuple, block[start_rows, :d].tolist())],
+            dtype=np.intp,
+        )
+        sizes = np.diff(np.append(start_rows, len(chunk)))
+        row_shards = np.repeat(group_shards, sizes)
+        for index, spill in enumerate(spills):
+            mask = row_shards == index
+            if mask.any():
+                spill.write(block[mask].tobytes())
+    else:
+        for key, rows in chunk.group_by_qi().items():
+            block = np.empty((len(rows), d + 1), dtype=np.int32)
+            block[:, :d] = columns[rows]
+            block[:, d] = sa[rows]
+            spills[shard_of[key]].write(block.tobytes())
 
 
 def stream_anonymize(
@@ -194,17 +270,16 @@ def stream_anonymize(
     with _backend.use_backend(backend), tempfile.TemporaryDirectory(
         dir=None if spill_dir is None else str(spill_dir)
     ) as tmp:
-        spills = [open(Path(tmp) / f"shard-{index}.codes", "w") for index in range(len(key_shards))]
+        # Spill files are raw little-endian int32 row blocks of width d + 1
+        # (QI codes then the SA code): they are written with ndarray.tobytes()
+        # and read back with one np.fromfile + reshape — no text round-trip.
+        spills = [
+            open(Path(tmp) / f"shard-{index}.codes", "wb")
+            for index in range(len(key_shards))
+        ]
         try:
             for chunk in bounded_source.iter_chunks(chunk_rows):
-                columns = chunk.qi_columns
-                sa = chunk.sa_array
-                for key, rows in chunk.group_by_qi().items():
-                    spill = spills[shard_of[key]]
-                    for row in rows:
-                        codes = columns[row].tolist()
-                        codes.append(int(sa[row]))
-                        spill.write(",".join(map(str, codes)) + "\n")
+                _spill_chunk(chunk, shard_of, spills, d)
         finally:
             for spill in spills:
                 spill.close()
@@ -213,9 +288,13 @@ def stream_anonymize(
             sink.open(schema)
             for index in range(len(key_shards)):
                 spill_path = Path(tmp) / f"shard-{index}.codes"
-                codes = np.loadtxt(spill_path, dtype=np.int32, delimiter=",", ndmin=2)
+                codes = np.fromfile(spill_path, dtype=np.int32).reshape(-1, d + 1)
                 spill_path.unlink()
-                shard = Table.from_arrays(schema, codes[:, :d], codes[:, d])
+                # The codes round-tripped through our own encoder, so skip
+                # the domain re-scan.
+                shard = Table.from_arrays(
+                    schema, codes[:, :d], codes[:, d], validate=False
+                )
                 output = run_with_spec(info.runner, shard, spec)
                 # Per-shard enforcement: group-local specs compose across
                 # shards, so repairing each shard repairs the whole file.

@@ -1,0 +1,101 @@
+"""Property tests: the fused kernels against their pure-Python oracles."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import kernels
+
+
+# --------------------------------------------------------------------- sizes
+
+
+@given(
+    st.lists(
+        st.lists(st.integers(min_value=1, max_value=9), min_size=1, max_size=6),
+        min_size=0,
+        max_size=8,
+    )
+)
+def test_group_sizes_heights_match_python(groups_runs):
+    run_lengths = np.asarray(
+        [length for runs in groups_runs for length in runs], dtype=np.int64
+    )
+    bounds = np.cumsum([0] + [len(runs) for runs in groups_runs])
+    sizes, heights = kernels.group_sizes_heights(run_lengths, bounds)
+    assert sizes.tolist() == [sum(runs) for runs in groups_runs]
+    assert heights.tolist() == [max(runs) for runs in groups_runs]
+
+
+# --------------------------------------------------------------- phase one
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=12), min_size=1, max_size=10),
+    st.integers(min_value=2, max_value=6),
+)
+def test_phase_one_stop_height_matches_simulation(counts, l):
+    size = sum(counts)
+    height = max(counts)
+    # Eligible groups never reach the bulk path (state checks eligibility
+    # first), so the closed form only has to agree on ineligible inputs.
+    assume(height * l > size)
+    expected = kernels.phase_one_stop_height_reference(counts, l)
+    assert kernels.phase_one_stop_height(counts, size, height, l) == expected
+
+
+def test_phase_one_stop_height_degenerate_single_value():
+    # One value, c tuples: every removal keeps height == size, so the shave
+    # runs to extinction.
+    assert kernels.phase_one_stop_height([5], 5, 5, 2) == (0, 5)
+
+
+# ------------------------------------------------------------ overlap counts
+
+
+@st.composite
+def overlap_cases(draw):
+    group_count = draw(st.integers(min_value=1, max_value=10))
+    runs = draw(st.integers(min_value=0, max_value=60))
+    group_ids = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=group_count - 1),
+            min_size=runs,
+            max_size=runs,
+        )
+    )
+    values = draw(
+        st.lists(st.integers(min_value=0, max_value=12), min_size=runs, max_size=runs)
+    )
+    pending = draw(st.frozensets(st.integers(min_value=0, max_value=12), max_size=6))
+    return group_count, group_ids, values, pending
+
+
+@given(overlap_cases())
+def test_pillar_overlap_counts_match_python(case):
+    group_count, group_ids, values, pending = case
+    ids = np.asarray(group_ids, dtype=np.intp)
+    vals = np.asarray(values, dtype=np.int32)
+    fast = kernels.pillar_overlap_counts(ids, vals, pending, group_count)
+    oracle = kernels.pillar_overlap_counts_reference(ids, vals, pending, group_count)
+    assert fast.tolist() == oracle.tolist()
+
+
+@settings(max_examples=25)
+@given(case=overlap_cases())
+def test_pillar_overlap_counts_parallel_path_is_exact(case):
+    # Force the thread-pool chunked path even for tiny inputs; per-chunk
+    # bincount addition must reproduce the single-pass result exactly.
+    group_count, group_ids, values, pending = case
+    ids = np.asarray(group_ids, dtype=np.intp)
+    vals = np.asarray(values, dtype=np.int32)
+    saved = kernels.PARALLEL_THRESHOLD
+    kernels.PARALLEL_THRESHOLD = 1
+    try:
+        fast = kernels.pillar_overlap_counts(ids, vals, pending, group_count)
+    finally:
+        kernels.PARALLEL_THRESHOLD = saved
+    oracle = kernels.pillar_overlap_counts_reference(ids, vals, pending, group_count)
+    assert fast.tolist() == oracle.tolist()

@@ -1,0 +1,181 @@
+"""ColumnStore: zero-copy layout, persistence round trips, mmap bit-identity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dataset.synthetic import CensusConfig, make_sal
+from repro.engine import ColumnStore, ColumnStoreSource, CsvSource, concat_tables
+from repro.engine.registry import algorithm_registry
+from repro.engine.core import run_with_spec
+from repro.errors import DataSourceError
+from repro.privacy.spec import resolve_privacy
+
+
+@pytest.fixture(scope="module")
+def census():
+    return make_sal(1200, seed=5, config=CensusConfig.scaled(0.2))
+
+
+@pytest.fixture()
+def store_dir(census, tmp_path):
+    return ColumnStore.from_table(census).save(tmp_path / "store")
+
+
+# ----------------------------------------------------------------- structure
+
+
+def test_from_table_is_zero_copy(census):
+    store = ColumnStore.from_table(census)
+    assert store.qi is census.qi_columns
+    assert store.sa is census.sa_array
+    assert store.n == len(census)
+    assert store.d == census.dimension
+    assert not store.mmapped
+
+
+def test_slice_shares_buffers(census):
+    store = ColumnStore.from_table(census)
+    view = store.slice(100, 300)
+    assert view.n == 200
+    assert view.qi.base is not None  # a view, not a copy
+    assert view.table().fingerprint() == census.subset(range(100, 300)).fingerprint()
+
+
+def test_take_and_iter_slices(census):
+    store = ColumnStore.from_table(census)
+    taken = store.take([7, 3, 11])
+    assert taken.table().fingerprint() == census.subset([7, 3, 11]).fingerprint()
+    pieces = list(store.iter_slices(500))
+    assert [piece.n for piece in pieces] == [500, 500, 200]
+    assert concat_tables([p.table() for p in pieces]).fingerprint() == census.fingerprint()
+    with pytest.raises(ValueError):
+        list(store.iter_slices(0))
+
+
+def test_shape_validation(census):
+    store = ColumnStore.from_table(census)
+    with pytest.raises(ValueError):
+        ColumnStore(census.schema, store.qi[:, :1], store.sa)
+    with pytest.raises(ValueError):
+        ColumnStore(census.schema, store.qi, store.sa[:-1])
+
+
+# --------------------------------------------------------------- persistence
+
+
+def test_save_mmap_load_round_trip(census, store_dir):
+    assert ColumnStore.is_store_dir(store_dir)
+    mapped = ColumnStore.mmap(store_dir)
+    assert mapped.mmapped
+    loaded = ColumnStore.load(store_dir)
+    assert not loaded.mmapped
+    assert mapped.fingerprint() == census.fingerprint()
+    assert loaded.fingerprint() == census.fingerprint()
+    assert mapped.schema == census.schema
+
+
+def test_mmap_missing_or_corrupt_dir(tmp_path):
+    assert not ColumnStore.is_store_dir(tmp_path / "nope")
+    with pytest.raises(DataSourceError):
+        ColumnStore.mmap(tmp_path / "nope")
+    bad = tmp_path / "bad"
+    bad.mkdir()
+    (bad / "schema.json").write_text("{not json")
+    with pytest.raises(DataSourceError):
+        ColumnStore.mmap(bad)
+
+
+def test_mmap_rejects_row_count_mismatch(census, store_dir):
+    payload = json.loads((store_dir / "schema.json").read_text())
+    payload["n"] = payload["n"] + 1
+    (store_dir / "schema.json").write_text(json.dumps(payload))
+    with pytest.raises(DataSourceError):
+        ColumnStore.mmap(store_dir)
+
+
+def test_from_csv_and_convert_csv_match_csv_source(census, tmp_path):
+    csv_path = tmp_path / "data.csv"
+    census.to_csv(str(csv_path))
+    qi = tuple(census.schema.qi_names)
+    sa = census.schema.sensitive.name
+    baseline = CsvSource(str(csv_path), qi, sa).load()
+
+    in_memory = ColumnStore.from_csv(csv_path, qi, sa, chunk_rows=321)
+    assert in_memory.fingerprint() == baseline.fingerprint()
+
+    converted = ColumnStore.convert_csv(
+        csv_path, tmp_path / "store", qi, sa, chunk_rows=321
+    )
+    assert converted.mmapped
+    assert converted.fingerprint() == baseline.fingerprint()
+
+
+def test_convert_csv_rejects_empty(tmp_path):
+    csv_path = tmp_path / "empty.csv"
+    csv_path.write_text("a,b,s\n")
+    with pytest.raises(DataSourceError):
+        ColumnStore.convert_csv(csv_path, tmp_path / "store", ("a", "b"), "s")
+
+
+# -------------------------------------------------------------------- source
+
+
+def test_source_contract(census, store_dir):
+    source = ColumnStoreSource(str(store_dir))
+    assert source.label == str(store_dir)
+    assert source.load().fingerprint() == census.fingerprint()
+    chunks = list(source.iter_chunks(499))
+    assert sum(len(chunk) for chunk in chunks) == len(census)
+    assert concat_tables(chunks).fingerprint() == census.fingerprint()
+    with pytest.raises(ValueError):
+        list(source.iter_chunks(0))
+    in_memory = ColumnStoreSource(str(store_dir), mmap=False)
+    assert in_memory.load().fingerprint() == census.fingerprint()
+
+
+# -------------------------------------------------- mmap algorithm identity
+
+
+SPECS = (
+    {"kind": "frequency-l", "l": 3},
+    {"kind": "entropy-l", "l": 2},
+    {"kind": "recursive-cl", "c": 2.0, "l": 2},
+    {"kind": "k-anonymity", "k": 3},
+)
+
+
+def test_mmap_table_matches_in_memory_table(census, store_dir):
+    mapped = ColumnStore.mmap(store_dir).table()
+    assert mapped.fingerprint() == census.fingerprint()
+    assert mapped.group_by_qi() == census.group_by_qi()
+
+
+@pytest.mark.parametrize(
+    "algorithm", [info.name for info in algorithm_registry.entries()]
+)
+@pytest.mark.parametrize("spec_encoding", SPECS, ids=lambda spec: spec["kind"])
+def test_every_algorithm_is_bit_identical_on_mmap(
+    census, store_dir, algorithm, spec_encoding
+):
+    """The paper-level property: the storage layer is invisible to outputs.
+
+    Every registered algorithm, run under every enforceable PrivacySpec
+    family, must publish exactly the same generalization (same groups, same
+    cells, same suppressed rows) whether the table lives in process memory
+    or in memory-mapped column buffers.
+    """
+    spec = resolve_privacy(spec_encoding)
+    runner = algorithm_registry.get(algorithm).runner
+    mapped = ColumnStore.mmap(store_dir).table()
+
+    expected = run_with_spec(runner, census, spec)
+    actual = run_with_spec(runner, mapped, spec)
+    assert actual.generalized.groups() == expected.generalized.groups()
+    assert actual.generalized.star_count() == expected.generalized.star_count()
+    assert (
+        actual.generalized.suppressed_tuple_count()
+        == expected.generalized.suppressed_tuple_count()
+    )
