@@ -9,9 +9,9 @@ numpy-vs-reference speedups are written to a JSON trajectory::
     PYTHONPATH=src python scripts/bench_scale.py --output BENCH_scale.json
 
 The committed ``BENCH_scale.json`` recalibrates the execution planner's cost
-model (see ``repro.service.planner.load_scale_rates``).  The 10^7 point is
-opt-in (``--sizes 100000,1000000,10000000``) — it needs ~1 GB of scratch and
-minutes of wall clock, so only the 10^5/10^6 points are kept in-repo.
+model (see ``repro.service.planner.load_scale_rates``).  The 10^7 point
+needs ~1 GB of scratch and minutes of wall clock; trim it with
+``--sizes 100000,1000000`` for a quick recalibration.
 
 ``ldiversity bench`` is the same driver behind the CLI.
 """
@@ -28,7 +28,7 @@ def main() -> int:
     parser.add_argument("--output", default="BENCH_scale.json")
     parser.add_argument(
         "--sizes",
-        default="100000,1000000",
+        default="100000,1000000,10000000",
         help="comma-separated row counts to measure",
     )
     parser.add_argument("--dataset", default="SAL", choices=["SAL", "OCC"])

@@ -42,9 +42,13 @@
 #
 # The scale smoke (scripts/scale_smoke.py) runs a 10^5-row synthetic table
 # through the memory-mapped column-store engine path under capped chunks and
-# asserts (a) bit-identical published output vs the unsharded in-memory run
-# and (b) a >= 2x end-to-end anonymize speedup of the vectorized backend
-# over the pure-Python reference backend.
+# asserts (a) bit-identical published output vs the unsharded in-memory run,
+# (b) a >= 2x end-to-end anonymize speedup of the vectorized backend over
+# the pure-Python reference backend, (c) the fused one-pass metrics sweep
+# emits values identical to the historical standalone passes at >= 1.5x
+# their summed cost, and (d) a repeat run against the same column store
+# warm-starts from the persisted order.npy sort permutation (no sort stage
+# in its profile).
 #
 # The perf check re-times the figure-6 benchmark on the NumPy backend only
 # (well under a minute) and fails when it has regressed more than 2x against

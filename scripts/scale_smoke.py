@@ -1,13 +1,21 @@
 """CI smoke for the raw-speed path: mmap bit-identity + vectorized speedup.
 
 Builds a 10^5-row synthetic table, persists it as an on-disk column store,
-and checks the two acceptance properties of the zero-copy pipeline:
+and checks the acceptance properties of the zero-copy pipeline:
 
 1. **Bit-identity** — the memory-mapped, chunk-capped engine run publishes
    exactly the same bytes as the unsharded in-memory run (table fingerprints
    and rendered CSV output compared verbatim).
 2. **Speedup** — the vectorized backend beats the pure-Python reference
    backend by at least ``MIN_SPEEDUP``x end-to-end on the same store.
+3. **Fused metrics** — on a freshly published run, the fused one-pass
+   metrics sweep (:func:`repro.metrics.fused_metrics`) emits values equal to
+   the historical standalone passes and beats their summed cost by at least
+   ``MIN_FUSED_SPEEDUP``x.
+4. **Warm start** — a second engine run against the same column store loads
+   the persisted ``order.npy`` sort permutation instead of re-sorting: the
+   cold run's profile must contain the ``sort`` stage and the warm run's
+   must not.
 
 Run with ``PYTHONPATH=src python scripts/scale_smoke.py`` (wired into
 ``scripts/ci.sh``).
@@ -17,8 +25,10 @@ from __future__ import annotations
 
 import sys
 import tempfile
+import time
 from pathlib import Path
 
+from repro import profiling
 from repro.engine import (
     ColumnStore,
     ColumnStoreSource,
@@ -29,6 +39,7 @@ from repro.engine import (
 )
 from repro.engine.cache import ResultCache
 from repro.dataset.synthetic import CensusConfig, make_sal
+from repro.metrics import fused_metrics, unfused_metrics
 
 N = 100_000
 L = 6
@@ -36,6 +47,7 @@ SEED = 7
 QI_SCALE = 0.24
 CHUNK_ROWS = 20_000
 MIN_SPEEDUP = 2.0
+MIN_FUSED_SPEEDUP = 1.5
 
 
 def _run(source, backend: str, chunk_rows: int | None = None):
@@ -56,6 +68,80 @@ def _rendered(report, path: Path) -> bytes:
     with CsvSink(str(path)) as sink:
         sink.write_table(report.generalized)
     return path.read_bytes()
+
+
+def _fresh_publish():
+    """A freshly anonymized (table, generalized) pair with cold metric caches."""
+    from repro.core import hybrid
+
+    table = make_sal(N, seed=SEED, config=CensusConfig.scaled(QI_SCALE))
+    return table, hybrid.anonymize(table, L).generalized
+
+
+def _check_fused_metrics() -> bool:
+    """Fused one-pass metrics: equal values, >= MIN_FUSED_SPEEDUP vs unfused.
+
+    Each sweep is timed against its own freshly published run so neither
+    benefits from caches the other materialized.
+    """
+    table, generalized = _fresh_publish()
+    started = time.perf_counter()
+    fused = fused_metrics(table, generalized)
+    fused_seconds = time.perf_counter() - started
+
+    table, generalized = _fresh_publish()
+    started = time.perf_counter()
+    unfused = unfused_metrics(table, generalized)
+    unfused_seconds = time.perf_counter() - started
+
+    if fused != unfused:
+        diverging = sorted(
+            name for name in fused if fused[name] != unfused[name]
+        )
+        print(f"FAIL: fused metrics diverge from standalone passes: {diverging}")
+        return False
+    ratio = unfused_seconds / fused_seconds if fused_seconds else float("inf")
+    print(
+        f"fused metrics: {fused_seconds:.3f}s vs unfused {unfused_seconds:.3f}s "
+        f"-> {ratio:.2f}x (values identical)"
+    )
+    if ratio < MIN_FUSED_SPEEDUP:
+        print(f"FAIL: fused metrics below the {MIN_FUSED_SPEEDUP:g}x floor")
+        return False
+    return True
+
+
+def _profiled_run(store_dir: Path) -> dict[str, float]:
+    """One engine run against ``store_dir`` with stage profiling captured."""
+    profiling.set_enabled(True)
+    profiling.reset()
+    try:
+        _run(ColumnStoreSource(str(store_dir)), "numpy")
+    finally:
+        profiling.set_enabled(False)
+    return profiling.snapshot()
+
+
+def _check_warm_start(table, tmp: Path) -> bool:
+    """order.npy warm start: the second run on the same store skips the sort."""
+    store_dir = tmp / "warm-store"
+    ColumnStore.from_table(table).save(store_dir)
+    cold = _profiled_run(store_dir)
+    warm = _profiled_run(store_dir)
+    if cold.get("sort", 0.0) <= 0.0:
+        print("FAIL: cold run recorded no sort stage (guard cannot bite)")
+        return False
+    if "sort" in warm:
+        print("FAIL: warm run re-sorted despite the persisted order.npy")
+        return False
+    if not (store_dir / "order.npy").exists():
+        print("FAIL: order.npy sidecar missing after the cold run")
+        return False
+    print(
+        f"warm start: cold sort {cold['sort']:.3f}s, warm run served from "
+        "order.npy (no sort stage)"
+    )
+    return True
 
 
 def main() -> int:
@@ -96,6 +182,11 @@ def main() -> int:
         )
         if speedup < MIN_SPEEDUP:
             print(f"FAIL: speedup below the {MIN_SPEEDUP:g}x floor")
+            return 1
+
+        if not _check_fused_metrics():
+            return 1
+        if not _check_warm_start(table, Path(tmp)):
             return 1
     print("OK: scale smoke passed")
     return 0

@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 
+from repro import profiling
 from repro.core.eligibility import is_l_eligible
 from repro.core.groups import GroupState
 from repro.core.refiners import Refiner
@@ -77,7 +78,7 @@ def anonymize(
         refiner = hilbert_refiner
 
     state, stats = run_state(table, l, state_factory=state_factory)
-    retained = state.retained_group_rows()
+    retained = state.retained_group_arrays()
     residue = sorted(state.residue_rows())
 
     refined: list[list[int]] = []
@@ -87,9 +88,11 @@ def anonymize(
         refined = [list(group) for group in refiner(table, residue, l) if len(group) > 0]
         _validate_refinement(table, residue, refined, l)
 
-    # Valid by construction (retained groups + refined residue cover all rows).
-    partition = Partition.trusted(retained + refined, len(table))
-    generalized = GeneralizedTable.from_partition(table, partition)
+    with profiling.profile_stage("publish"):
+        # Valid by construction (retained groups + refined residue cover all
+        # rows); retained groups are zero-copy spans of the state's order.
+        partition = Partition.trusted(retained + refined, len(table))
+        generalized = GeneralizedTable.from_partition(table, partition)
     return HybridResult(
         table=table,
         l=l,

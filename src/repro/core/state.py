@@ -76,6 +76,7 @@ class AlgorithmState:
         self._pillar_cache: dict[int, frozenset[int]] = {}
         self._pillar_runs: tuple[np.ndarray, np.ndarray] | None = None
         self._run_gids: np.ndarray | None = None
+        self._context = None
         if vectorized_enabled() and len(table) > 0:
             if state_factory is GroupState:
                 self._init_lazy(table)
@@ -100,27 +101,29 @@ class AlgorithmState:
     def _init_lazy(self, table: Table) -> None:
         """Defer group materialization: keep the run encoding plus metrics.
 
-        :meth:`Table.qi_sa_runs_arrays` sorts the rows by ``(QI vector,
-        sensitive value)``, which yields every QI-group as a contiguous block
-        (already in the deterministic sorted-key order) and, inside each
-        block, every sensitive value as a contiguous run.  One fused reduceat
-        pass computes every group's size and pillar height; the per-group
-        dicts are only built when a phase mutates the group
-        (:meth:`_materialize`), so untouched groups stay as array slices.
+        The shared :meth:`Table.grouping` context sorts the rows by ``(QI
+        vector, sensitive value)``, which yields every QI-group as a
+        contiguous block (already in the deterministic sorted-key order)
+        and, inside each block, every sensitive value as a contiguous run.
+        The context caches every derived array (run lengths, group row
+        bounds, the fused size/height pass), so the state shares them with
+        the metrics instead of re-deriving; the per-group dicts are only
+        built when a phase mutates the group (:meth:`_materialize`), so
+        untouched groups stay as array slices.
         """
+        context = table.grouping()
+        self._context = context
         (
             self._group_keys_arr,
             self._group_run_bounds,
             self._run_bounds,
             self._run_values,
             self._order,
-        ) = table.qi_sa_runs_arrays()
-        self._run_lengths = np.diff(self._run_bounds)
-        self._sizes, self._heights = kernels.group_sizes_heights(
-            self._run_lengths, self._group_run_bounds
-        )
+        ) = context.arrays()
+        self._run_lengths = context.run_lengths
+        self._sizes, self._heights = context.group_sizes_heights()
         # Row-span boundaries of each group inside ``order`` (s + 1 entries).
-        self._group_row_bounds = self._run_bounds[self._group_run_bounds]
+        self._group_row_bounds = context.group_row_bounds
         self._groups = [None] * self._sizes.shape[0]
         self._lazy = True
 
@@ -350,10 +353,13 @@ class AlgorithmState:
 
     def _ensure_run_gids(self) -> np.ndarray:
         if self._run_gids is None:
-            self._run_gids = np.repeat(
-                np.arange(len(self._groups), dtype=np.int64),
-                np.diff(self._group_run_bounds),
-            )
+            if self._context is not None:
+                self._run_gids = self._context.run_group_ids
+            else:
+                self._run_gids = np.repeat(
+                    np.arange(len(self._groups), dtype=np.int64),
+                    np.diff(self._group_run_bounds),
+                )
         return self._run_gids
 
     def pillar_overlap_counts(self, pending: set[int]) -> np.ndarray | None:
@@ -511,6 +517,26 @@ class AlgorithmState:
                 collected.append(
                     order[row_bounds[group_id] : row_bounds[group_id + 1]].tolist()
                 )
+            elif group.size > 0:
+                collected.append(group.rows())
+        return collected
+
+    def retained_group_arrays(self) -> list:
+        """Like :meth:`retained_group_rows`, but zero-copy where possible.
+
+        Untouched lazy groups come back as read-only ndarray spans of
+        ``order`` instead of Python lists (same element order); materialized
+        groups still yield lists.  The vectorized publish path consumes
+        either without materializing millions of Python ints.
+        """
+        if not self._lazy:
+            return [group.rows() for group in self._groups if group.size > 0]
+        order = self._order
+        row_bounds = self._group_row_bounds
+        collected: list = []
+        for group_id, group in enumerate(self._groups):
+            if group is None:
+                collected.append(order[row_bounds[group_id] : row_bounds[group_id + 1]])
             elif group.size > 0:
                 collected.append(group.rows())
         return collected

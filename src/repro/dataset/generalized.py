@@ -129,6 +129,26 @@ class Partition:
 
     @property
     def groups(self) -> list[list[int]]:
+        # Trusted partitions may hold ndarray spans (zero-copy views over the
+        # algorithm state's sort order); the public contract stays plain
+        # lists, so normalize lazily here while the internal fast path
+        # (:meth:`raw_groups`) keeps the arrays.
+        groups = self._groups
+        if any(isinstance(group, np.ndarray) for group in groups):
+            groups = [
+                group.tolist() if isinstance(group, np.ndarray) else group
+                for group in groups
+            ]
+            self._groups = groups
+        return groups
+
+    def raw_groups(self) -> list:
+        """The groups without list normalization (may contain ndarrays).
+
+        Internal fast path for vectorized consumers
+        (:meth:`GeneralizedTable.from_partition`) that concatenate the
+        member indices anyway; treat the result as read-only.
+        """
         return self._groups
 
     @property
@@ -139,10 +159,10 @@ class Partition:
         return len(self._groups)
 
     def __iter__(self):
-        return iter(self._groups)
+        return iter(self.groups)
 
     def __getitem__(self, index: int) -> list[int]:
-        return self._groups[index]
+        return self.groups[index]
 
     def group_of(self) -> list[int]:
         """Return a list mapping each row index to its group id."""
@@ -163,7 +183,9 @@ class Partition:
         three-phase algorithm, the Hilbert scan, or a QI-grouping — the
         O(n) coverage/disjointness check is pure overhead on the hot path.
         Groups must be non-empty, disjoint, cover ``0..n_rows-1``, and are
-        adopted without copying; callers must relinquish ownership.
+        adopted without copying; callers must relinquish ownership.  Groups
+        may be ndarrays of row indices (zero-copy spans); the public
+        :attr:`groups` property normalizes them to lists on first access.
         """
         partition = cls.__new__(cls)
         partition._groups = groups
@@ -223,27 +245,49 @@ class GeneralizedTable:
         self._star_count: int | None = None
         self._suppressed_count: int | None = None
         self._width_matrix: np.ndarray | None = None
+        # Columnar backing: set eagerly by from_partition (zero-copy from the
+        # source table / group reduction), derived lazily from the lists
+        # otherwise.  ``_sa_values`` / ``_group_ids`` may in turn be None and
+        # materialize lazily from these arrays.
+        self._sa_codes: np.ndarray | None = None
+        self._group_ids_arr: np.ndarray | None = None
+        self._group_sizes_arr: np.ndarray | None = None
+        self._group_sa_counts_cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        # Per-group star flags ((g, d) bool) when every row of a group shares
+        # one representative cells tuple — the from_partition invariant the
+        # fused metrics sweep exploits.
+        self._group_star: np.ndarray | None = None
 
     @classmethod
     def _from_trusted(
         cls,
         schema: Schema,
         cells: list[tuple[Cell, ...]],
-        sa_values: list[int],
-        group_ids: list[int],
+        sa_values,
+        group_ids,
     ) -> "GeneralizedTable":
         """Adopt pre-validated row data without the defensive copies.
 
         Internal fast path for constructors that just built ``cells`` /
-        ``group_ids`` themselves (``from_partition``); the lists are adopted
-        as-is and must not be mutated afterwards by the caller.
+        ``group_ids`` themselves (``from_partition``); the containers are
+        adopted as-is and must not be mutated afterwards by the caller.
+        ``sa_values`` and ``group_ids`` may be ndarrays, in which case the
+        Python lists materialize lazily on first list-view access.
         """
         table = cls.__new__(cls)
         table._schema = schema
         table._cells = cells
-        table._sa_values = list(sa_values)
-        table._group_ids = group_ids
         table._reset_caches()
+        if isinstance(sa_values, np.ndarray):
+            table._sa_values = None
+            table._sa_codes = sa_values
+        else:
+            table._sa_values = list(sa_values)
+        if isinstance(group_ids, np.ndarray):
+            table._group_ids = None
+            table._group_ids_arr = group_ids
+        else:
+            table._group_ids = group_ids
         return table
 
     # ------------------------------------------------------------ constructors
@@ -262,9 +306,9 @@ class GeneralizedTable:
         n = len(table)
         if n == 0:
             return cls(table.schema, [], [], [])
-        groups = partition.groups
+        groups = partition.raw_groups()
         columns = table.qi_columns
-        sizes = np.asarray(partition.group_sizes(), dtype=np.intp)
+        sizes = np.asarray([len(group) for group in groups], dtype=np.intp)
         members = np.concatenate([np.asarray(group, dtype=np.intp) for group in groups])
         starts = np.concatenate(([0], np.cumsum(sizes)[:-1]))
         grouped = columns[members]
@@ -280,16 +324,20 @@ class GeneralizedTable:
         ]
         group_of = np.empty(n, dtype=np.intp)
         group_of[members] = np.repeat(np.arange(len(groups), dtype=np.intp), sizes)
-        group_ids = group_of.tolist()
         # Rows of a group share one representative tuple, so materializing the
         # per-row cells is a single O(n) list comprehension.
-        cells = [representatives[group_id] for group_id in group_ids]
+        cells = [representatives[group_id] for group_id in group_of.tolist()]
 
-        result = cls._from_trusted(table.schema, cells, table.sa_values, group_ids)
+        # Adopt the columnar data directly: the SA column is the source
+        # table's (shared, read-only) code array and the group ids stay an
+        # array; the list views materialize lazily if something asks.
+        result = cls._from_trusted(table.schema, cells, table.sa_array, group_of)
         stars_per_group = star.sum(axis=1)
         result._star_mask = star[group_of]
         result._star_count = int((stars_per_group * sizes).sum())
         result._suppressed_count = int(sizes[stars_per_group > 0].sum())
+        result._group_sizes_arr = sizes
+        result._group_star = star
         return result
 
     @classmethod
@@ -342,33 +390,135 @@ class GeneralizedTable:
         return self._cells
 
     def sa_value(self, row: int) -> int:
-        return self._sa_values[row]
+        if self._sa_values is not None:
+            return self._sa_values[row]
+        return int(self._sa_codes[row])
 
     @property
     def sa_values(self) -> list[int]:
+        if self._sa_values is None:
+            self._sa_values = self._sa_codes.tolist()
         return self._sa_values
 
     @property
     def group_ids(self) -> list[int]:
+        if self._group_ids is None:
+            self._group_ids = self._group_ids_arr.tolist()
         return self._group_ids
+
+    # ------------------------------------------------------- columnar access
+
+    def sa_codes(self) -> np.ndarray:
+        """The sensitive column as an ``int`` array (zero-copy when possible)."""
+        if self._sa_codes is None:
+            self._sa_codes = np.asarray(self._sa_values, dtype=np.int64)
+        return self._sa_codes
+
+    def group_ids_array(self) -> np.ndarray:
+        """The per-row group ids as an ``int`` array (zero-copy when possible)."""
+        if self._group_ids_arr is None:
+            self._group_ids_arr = np.asarray(self._group_ids, dtype=np.intp)
+        return self._group_ids_arr
+
+    def group_sizes_array(self) -> np.ndarray:
+        """``sizes[group_id]`` for every group id in ``0..max(id)``.
+
+        Ids absent from the table get size 0 (group ids are dense for
+        :meth:`from_partition` output, but explicit constructors may skip
+        ids).  Cached; treat as read-only.
+        """
+        if self._group_sizes_arr is None:
+            gids = self.group_ids_array()
+            if gids.size:
+                self._group_sizes_arr = np.bincount(gids).astype(np.intp)
+            else:
+                self._group_sizes_arr = np.zeros(0, dtype=np.intp)
+        return self._group_sizes_arr
+
+    def group_sa_counts(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sparse per-``(group, SA value)`` histogram triples.
+
+        Returns ``(gids, values, counts)`` with one entry per distinct
+        ``(group id, SA value)`` pair, sorted by ``(gid, value)`` — the
+        columnar form of the per-group Counter histograms the privacy checks
+        consume.  Computed via one bincount over the composite
+        ``gid * m + sa`` code (dense) or ``np.unique`` when the composite
+        domain is too large; cached.
+        """
+        if self._group_sa_counts_cache is None:
+            gids = self.group_ids_array().astype(np.int64, copy=False)
+            sa = self.sa_codes().astype(np.int64, copy=False)
+            m = max(int(self._schema.sensitive.size), 1)
+            if gids.size == 0:
+                empty = np.zeros(0, dtype=np.int64)
+                self._group_sa_counts_cache = (empty, empty, empty)
+            else:
+                combo = gids * m + sa
+                span = (int(gids.max()) + 1) * m
+                if span <= max(1 << 20, 4 * gids.size):
+                    counts = np.bincount(combo, minlength=span)
+                    present = np.flatnonzero(counts)
+                    self._group_sa_counts_cache = (
+                        present // m,
+                        present % m,
+                        counts[present],
+                    )
+                else:
+                    present, counts = np.unique(combo, return_counts=True)
+                    self._group_sa_counts_cache = (present // m, present % m, counts)
+        return self._group_sa_counts_cache
+
+    def group_star_flags(self) -> np.ndarray | None:
+        """Per-group ``(g, d)`` star flags, or ``None`` when unknown.
+
+        Seeded by :meth:`from_partition`, whose groups all share one
+        representative cells tuple; explicit constructors (sub-domain
+        baselines) leave it unset and the metrics fall back to row-level
+        reductions.  Read-only.
+        """
+        return self._group_star
 
     def groups(self) -> dict[int, list[int]]:
         """Mapping of group id to the list of row indices in that group.
 
-        The result is cached (the table is immutable) and must be treated as
-        read-only by callers; the metrics all share one computation per table.
+        Keys appear in first-appearance (minimum row index) order and every
+        list is ascending — the exact insertion order the row-scan reference
+        produces, which downstream consumers (spec rebuilds, pinned digests)
+        rely on.  The result is cached (the table is immutable) and must be
+        treated as read-only; the metrics all share one computation.
         """
         if self._groups_cache is None:
-            result: dict[int, list[int]] = {}
-            for index, group_id in enumerate(self._group_ids):
-                result.setdefault(group_id, []).append(index)
-            self._groups_cache = result
+            if vectorized_enabled() and self._cells:
+                gids = self.group_ids_array()
+                order = np.argsort(gids, kind="stable")
+                sorted_gids = gids[order]
+                boundaries = (
+                    np.flatnonzero(sorted_gids[1:] != sorted_gids[:-1]) + 1
+                )
+                starts = np.concatenate(([0], boundaries))
+                ends = np.concatenate((boundaries, [sorted_gids.shape[0]]))
+                # Stable sort → order[start] is each group's minimum row, so
+                # ranking the blocks by it restores first-appearance order.
+                appearance = np.argsort(order[starts], kind="stable")
+                ids = sorted_gids[starts].tolist()
+                ordered = order.tolist()
+                starts_list = starts.tolist()
+                ends_list = ends.tolist()
+                self._groups_cache = {
+                    ids[block]: ordered[starts_list[block] : ends_list[block]]
+                    for block in appearance.tolist()
+                }
+            else:
+                result: dict[int, list[int]] = {}
+                for index, group_id in enumerate(self.group_ids):
+                    result.setdefault(group_id, []).append(index)
+                self._groups_cache = result
         return self._groups_cache
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"GeneralizedTable(n={len(self)}, d={self.dimension}, "
-            f"groups={len(set(self._group_ids))}, stars={self.star_count()})"
+            f"groups={len(set(self.group_ids))}, stars={self.star_count()})"
         )
 
     # ------------------------------------------------------------ information
@@ -453,17 +603,57 @@ class GeneralizedTable:
     # --------------------------------------------------------------- privacy
 
     def is_l_diverse(self, l: int) -> bool:
-        """Whether every QI-group satisfies l-diversity (Definition 2)."""
+        """Whether every QI-group satisfies l-diversity (Definition 2).
+
+        One sweep over the sparse per-(group, SA) histogram triples — per
+        group, the tallest SA count times ``l`` must not exceed the group
+        size — instead of a Python Counter per group.
+        """
         if l < 1:
             raise ValueError(f"l must be >= 1, got {l}")
+        if not vectorized_enabled():
+            return self.is_l_diverse_reference(l)
+        if not self._cells:
+            return True
+        gids = self.group_ids_array()
+        if int(gids.min()) < 0:  # non-dense explicit ids: stay on the oracle
+            return self.is_l_diverse_reference(l)
+        triple_gids, _values, counts = self.group_sa_counts()
+        starts = np.concatenate(
+            ([0], np.flatnonzero(triple_gids[1:] != triple_gids[:-1]) + 1)
+        )
+        heights = np.maximum.reduceat(counts, starts)
+        sizes = np.add.reduceat(counts, starts)
+        return not bool(np.any(heights * l > sizes))
+
+    def is_l_diverse_reference(self, l: int) -> bool:
+        """Pure-Python l-diversity check (the oracle for the vectorized path)."""
+        if l < 1:
+            raise ValueError(f"l must be >= 1, got {l}")
+        sa_values = self.sa_values
         for rows in self.groups().values():
-            counts = Counter(self._sa_values[index] for index in rows)
+            counts = Counter(sa_values[index] for index in rows)
             if max(counts.values()) * l > len(rows):
                 return False
         return True
 
     def is_k_anonymous(self, k: int) -> bool:
         """Whether every QI-group has at least ``k`` rows."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if not vectorized_enabled():
+            return self.is_k_anonymous_reference(k)
+        if not self._cells:
+            return True
+        gids = self.group_ids_array()
+        if int(gids.min()) < 0:  # non-dense explicit ids: stay on the oracle
+            return self.is_k_anonymous_reference(k)
+        sizes = self.group_sizes_array()
+        present = sizes[sizes > 0]
+        return bool((present >= k).all())
+
+    def is_k_anonymous_reference(self, k: int) -> bool:
+        """Pure-Python k-anonymity check (the oracle for the vectorized path)."""
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         return all(len(rows) >= k for rows in self.groups().values())
@@ -481,7 +671,7 @@ class GeneralizedTable:
                 record[attribute.name] = tuple(sorted(attribute.decode(code) for code in cell))
             else:
                 record[attribute.name] = attribute.decode(cell)
-        record[self._schema.sensitive.name] = self._schema.sensitive.decode(self._sa_values[row])
+        record[self._schema.sensitive.name] = self._schema.sensitive.decode(self.sa_value(row))
         return record
 
     def decoded_records(self) -> list[dict[str, Any]]:

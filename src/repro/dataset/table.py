@@ -197,7 +197,8 @@ class Table:
         self._sa_array: np.ndarray | None = None
         self._qi_groups: dict[tuple[int, ...], list[int]] | None = None
         self._qi_sa_runs: tuple | None = None
-        self._qi_sa_run_arrays: tuple | None = None
+        self._grouping = None
+        self._order_cache = None
         self._sa_counts: dict[int, int] | None = None
         self._fingerprint: str | None = None
         self._validate_codes()
@@ -241,7 +242,8 @@ class Table:
         table._sa_array = sa
         table._qi_groups = None
         table._qi_sa_runs = None
-        table._qi_sa_run_arrays = None
+        table._grouping = None
+        table._order_cache = None
         table._sa_counts = None
         table._fingerprint = None
         if table._n and validate:
@@ -492,36 +494,60 @@ class Table:
         """
         if self._qi_groups is None:
             if vectorized_enabled():
-                self._qi_groups = self._group_by_qi_vectorized()
+                # The shared grouping context holds the one (QI, SA) sort of
+                # the table; deriving the QI grouping from it kills the
+                # historical second lexsort.  grouping() times itself under
+                # the ``encode`` stage; the derivation is attributed there too.
+                context = self.grouping()
+                with profiling.profile_stage("encode"):
+                    self._qi_groups = context.group_by_qi()
             else:
-                self._qi_groups = self.group_by_qi_reference()
+                with profiling.profile_stage("encode"):
+                    self._qi_groups = self.group_by_qi_reference()
         return self._qi_groups
 
-    def _group_by_qi_vectorized(self) -> dict[tuple[int, ...], list[int]]:
-        """Grouping via a lexicographic sort over the QI columns.
+    def attach_order_cache(self, cache) -> None:
+        """Attach a persistent sort-permutation cache (duck-typed hook).
 
-        ``np.lexsort`` is stable, so within a group the original row indices
-        come out ascending — the same order the reference implementation
-        produces by scanning rows first to last.
+        ``cache.load(table)`` may return a previously persisted ``(QI, SA)``
+        permutation (or ``None``); ``cache.store(table, order)`` persists a
+        freshly computed one.  A :class:`~repro.engine.columnstore.
+        ColumnStoreSource` attaches its ``order.npy`` sidecar here so repeat
+        runs on the same store skip the sort entirely.  Must be called
+        before the first grouping read; later calls are ignored once the
+        context exists.
         """
-        if self._n == 0:
-            return {}
-        columns = self.qi_columns
-        # lexsort sorts by the *last* key first; reverse so the first QI
-        # attribute is the primary key and keys come out in sorted order.
-        order = np.lexsort(columns.T[::-1])
-        ordered = columns[order]
-        if self._n == 1:
-            return {tuple(ordered[0].tolist()): [int(order[0])]}
-        changed = np.flatnonzero(np.any(ordered[1:] != ordered[:-1], axis=1)) + 1
-        starts = np.concatenate(([0], changed))
-        ends = np.concatenate((changed, [self._n]))
-        keys = ordered[starts].tolist()
-        order_list = order.tolist()
-        return {
-            tuple(key): order_list[start:end]
-            for key, start, end in zip(keys, starts.tolist(), ends.tolist())
-        }
+        if self._grouping is None:
+            self._order_cache = cache
+
+    def grouping(self):
+        """The shared :class:`~repro.core.grouping.GroupingContext` (cached).
+
+        One ``(QI vector, SA code)`` sort per table, consumed by state-init,
+        ``group_by_qi``, the KL metric and the fused metric sweep.  The
+        computation is attributed to the ``encode`` profiling stage (with a
+        nested ``sort`` sub-stage only when an actual sort ran — a
+        persisted permutation from :meth:`attach_order_cache` skips it).
+        """
+        if self._grouping is None:
+            from repro.core.grouping import GroupingContext
+
+            with profiling.profile_stage("encode"):
+                order = None
+                cache = self._order_cache
+                if cache is not None and self._n:
+                    order = cache.load(self)
+                context = GroupingContext.build(
+                    self.qi_columns,
+                    self.sa_array,
+                    [attribute.size for attribute in self._schema.qi],
+                    self._schema.sensitive.size,
+                    order=order,
+                )
+                if order is None and cache is not None and self._n:
+                    cache.store(self, context.order)
+                self._grouping = context
+        return self._grouping
 
     def qi_sa_runs_arrays(
         self,
@@ -537,54 +563,12 @@ class Table:
         indices ascend within ties).
 
         This is the whole l-independent preprocessing of the three-phase
-        algorithm (Section 5.1), cached on the (immutable) table; the fused
-        phase kernels (:mod:`repro.core.kernels`) and the lazy
-        :class:`~repro.core.state.AlgorithmState` consume the arrays
-        directly, and :meth:`qi_sa_runs` is a list view over them.  Treat
-        all five arrays as read-only.
+        algorithm (Section 5.1); since PR 8 the arrays live on the shared
+        :meth:`grouping` context, so the fused phase kernels, the lazy
+        :class:`~repro.core.state.AlgorithmState` and the metrics all read
+        the same sort.  Treat all five arrays as read-only.
         """
-        if self._qi_sa_run_arrays is None:
-            with profiling.profile_stage("encode"):
-                columns = self.qi_columns
-                sa = self.sa_array
-                n = self._n
-                d = self._schema.dimension
-                if n == 0:
-                    self._qi_sa_run_arrays = (
-                        np.zeros((0, d), dtype=np.int32),
-                        np.zeros(1, dtype=np.int64),
-                        np.zeros(1, dtype=np.int64),
-                        np.zeros(0, dtype=np.int32),
-                        np.zeros(0, dtype=np.intp),
-                    )
-                    return self._qi_sa_run_arrays
-                # lexsort sorts by the last key first: QI attribute 0 is
-                # primary, then the remaining attributes, then the SA value.
-                order = np.lexsort(
-                    (sa,)
-                    + tuple(columns[:, position] for position in reversed(range(d)))
-                )
-                ordered_columns = columns[order]
-                ordered_sa = sa[order]
-                if n == 1:
-                    new_group = np.zeros(0, dtype=bool)
-                else:
-                    new_group = np.any(ordered_columns[1:] != ordered_columns[:-1], axis=1)
-                new_run = new_group | (ordered_sa[1:] != ordered_sa[:-1])
-                group_starts = np.concatenate(([0], np.flatnonzero(new_group) + 1))
-                run_starts = np.concatenate(([0], np.flatnonzero(new_run) + 1))
-                run_bounds = np.concatenate((run_starts, [n])).astype(np.int64)
-                group_run_bounds = np.concatenate(
-                    (np.searchsorted(run_starts, group_starts), [run_starts.shape[0]])
-                ).astype(np.int64)
-                self._qi_sa_run_arrays = (
-                    ordered_columns[group_starts],
-                    group_run_bounds,
-                    run_bounds,
-                    ordered_sa[run_starts],
-                    order,
-                )
-        return self._qi_sa_run_arrays
+        return self.grouping().arrays()
 
     def qi_sa_runs(
         self,

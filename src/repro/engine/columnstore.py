@@ -27,6 +27,7 @@ fancy-indexed views for chunked pipelines.
 from __future__ import annotations
 
 import json
+import os
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 from pathlib import Path
@@ -37,13 +38,17 @@ from repro.dataset.table import Attribute, Schema, Table
 from repro.engine.sources import DataSource, infer_csv_schema
 from repro.errors import DataSourceError
 
-__all__ = ["ColumnStore", "ColumnStoreSource"]
+__all__ = ["ColumnStore", "ColumnStoreSource", "StoreOrderCache"]
 
 SCHEMA_FILE = "schema.json"
 QI_FILE = "qi.npy"
 SA_FILE = "sa.npy"
+ORDER_FILE = "order.npy"
+ORDER_META_FILE = "order.json"
 FORMAT_NAME = "repro.columnstore"
 FORMAT_VERSION = 1
+ORDER_FORMAT_NAME = "repro.columnstore.order"
+ORDER_FORMAT_VERSION = 1
 
 #: Default CSV decode chunk during store conversion.
 DEFAULT_CHUNK_ROWS = 100_000
@@ -316,13 +321,121 @@ class ColumnStore:
         )
 
 
+class StoreOrderCache:
+    """Persists a table's ``(QI, SA)`` sort permutation beside its store.
+
+    The :meth:`~repro.dataset.table.Table.grouping` context's dominant cost
+    is the big stable sort; for a table served from an on-disk store the
+    permutation is a pure function of the stored buffers, so it is written
+    once as an ``order.npy`` sidecar and repeat runs skip the sort entirely
+    (observable as the absence of the ``sort`` profiling sub-stage — the
+    warm-start CI guard).
+
+    Validation is two-tier.  ``order.json`` records the sidecar format, the
+    row count, the QI/sensitive attribute names, and cheap freshness stamps
+    (size + mtime_ns) of ``qi.npy``/``sa.npy`` taken at write time; a load
+    re-checks all of them, so rewriting the store invalidates the sidecar.
+    The table's content fingerprint is recorded and compared only
+    *opportunistically* — when the table object happens to have it cached —
+    so the sidecar never forces a full-buffer hash on the hot path.  All
+    writes go through a temp file + ``os.replace`` and every filesystem
+    error degrades to a miss (read-only store directories simply never warm
+    up).
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+
+    # ------------------------------------------------------------- internals
+
+    def _stamps(self) -> dict[str, list[int]] | None:
+        stamps: dict[str, list[int]] = {}
+        for name in (QI_FILE, SA_FILE):
+            try:
+                stat = os.stat(self.directory / name)
+            except OSError:
+                return None
+            stamps[name] = [int(stat.st_size), int(stat.st_mtime_ns)]
+        return stamps
+
+    @staticmethod
+    def _cached_fingerprint(table: Table) -> str | None:
+        return getattr(table, "_fingerprint", None)
+
+    # ------------------------------------------------------------- hook API
+
+    def load(self, table: Table) -> np.ndarray | None:
+        """The persisted permutation for ``table``, or ``None`` on any doubt."""
+        try:
+            payload = json.loads((self.directory / ORDER_META_FILE).read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if (
+            payload.get("format") != ORDER_FORMAT_NAME
+            or payload.get("version") != ORDER_FORMAT_VERSION
+            or payload.get("n") != len(table)
+            or payload.get("qi") != list(table.schema.qi_names)
+            or payload.get("sensitive") != table.schema.sensitive.name
+        ):
+            return None
+        if payload.get("stamps") != self._stamps():
+            return None
+        recorded = payload.get("fingerprint")
+        cached = self._cached_fingerprint(table)
+        if recorded is not None and cached is not None and recorded != cached:
+            return None
+        try:
+            order = np.load(self.directory / ORDER_FILE)
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(order, np.ndarray)
+            or order.ndim != 1
+            or order.shape[0] != len(table)
+            or not np.issubdtype(order.dtype, np.integer)
+        ):
+            return None
+        return order.astype(np.intp, copy=False)
+
+    def store(self, table: Table, order: np.ndarray) -> None:
+        """Persist a freshly computed permutation (best-effort, atomic)."""
+        stamps = self._stamps()
+        if stamps is None:
+            return
+        payload = {
+            "format": ORDER_FORMAT_NAME,
+            "version": ORDER_FORMAT_VERSION,
+            "n": len(table),
+            "qi": list(table.schema.qi_names),
+            "sensitive": table.schema.sensitive.name,
+            "stamps": stamps,
+            "fingerprint": self._cached_fingerprint(table),
+        }
+        order_tmp = self.directory / ("." + ORDER_FILE + ".tmp.npy")
+        meta_tmp = self.directory / ("." + ORDER_META_FILE + ".tmp")
+        try:
+            np.save(order_tmp, np.ascontiguousarray(order, dtype=np.intp))
+            os.replace(order_tmp, self.directory / ORDER_FILE)
+            meta_tmp.write_text(json.dumps(payload, indent=2))
+            os.replace(meta_tmp, self.directory / ORDER_META_FILE)
+        except OSError:
+            for leftover in (order_tmp, meta_tmp):
+                try:
+                    leftover.unlink()
+                except OSError:
+                    pass
+
+
 @dataclass(frozen=True)
 class ColumnStoreSource(DataSource):
     """A saved :class:`ColumnStore` directory as a :class:`DataSource`.
 
     ``mmap=True`` (the default) opens the buffers as zero-copy memory maps —
     the ``--mmap`` execution path; ``mmap=False`` reads them into memory.
-    Chunked iteration yields zero-copy slice views either way.
+    Chunked iteration yields zero-copy slice views either way.  Full-table
+    loads attach a :class:`StoreOrderCache`, so the first run's ``(QI, SA)``
+    sort permutation persists beside the store and repeat runs skip the
+    sort.
     """
 
     path: str
@@ -338,7 +451,9 @@ class ColumnStoreSource(DataSource):
         return ColumnStore.load(self.path)
 
     def load(self) -> Table:
-        return self.store().table()
+        table = self.store().table()
+        table.attach_order_cache(StoreOrderCache(self.path))
+        return table
 
     def iter_chunks(self, chunk_rows: int) -> Iterator[Table]:
         if chunk_rows < 1:

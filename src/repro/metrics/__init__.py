@@ -6,9 +6,14 @@
   (Equation 2), applicable to suppression, single-dimensional and
   multi-dimensional generalizations alike;
 * :mod:`repro.metrics.loss` — auxiliary information-loss measures used for
-  the extension experiments (NCP/GCP, discernibility, group sizes).
+  the extension experiments (NCP/GCP, discernibility, group sizes);
+* :mod:`repro.metrics.fused` — the fused one-pass sweep emitting the whole
+  standard metric set from the shared grouping structure, plus the
+  historical standalone passes (``unfused_metrics``) the scale-smoke
+  regression guard measures against.
 """
 
+from repro.metrics.fused import FUSED_METRIC_NAMES, fused_metrics, unfused_metrics
 from repro.metrics.kl import kl_divergence
 from repro.metrics.loss import average_group_size, discernibility, gcp, ncp
 from repro.metrics.stars import (
@@ -19,8 +24,10 @@ from repro.metrics.stars import (
 )
 
 __all__ = [
+    "FUSED_METRIC_NAMES",
     "average_group_size",
     "discernibility",
+    "fused_metrics",
     "gcp",
     "kl_divergence",
     "ncp",
@@ -28,4 +35,5 @@ __all__ = [
     "star_count_by_attribute",
     "suppressed_tuple_count",
     "suppression_ratio",
+    "unfused_metrics",
 ]

@@ -58,6 +58,7 @@ from typing import TYPE_CHECKING, Callable, ClassVar
 
 import numpy as np
 
+from repro.backend import vectorized_enabled
 from repro.dataset.generalized import GeneralizedTable, Partition
 from repro.dataset.table import Attribute, Schema, Table
 from repro.errors import DuplicateRegistrationError, UnknownEntryError, VerificationError
@@ -84,12 +85,58 @@ __all__ = [
 ]
 
 def group_histograms(generalized: GeneralizedTable) -> list[Counter]:
-    """Per-QI-group sensitive-value histograms of a published table."""
+    """Per-QI-group sensitive-value histograms of a published table.
+
+    Histograms come out in the same first-appearance group order as
+    ``generalized.groups()``.  On the vectorized backend the Counters are
+    assembled from the table's sparse per-(group, SA) count triples — one
+    columnar pass instead of a Python Counter fill per group.
+    """
+    if vectorized_enabled() and len(generalized):
+        gids = generalized.group_ids_array()
+        if int(gids.min()) >= 0:
+            triple_gids, values, counts = generalized.group_sa_counts()
+            starts = np.concatenate(
+                ([0], np.flatnonzero(triple_gids[1:] != triple_gids[:-1]) + 1)
+            )
+            ends = np.concatenate((starts[1:], [triple_gids.shape[0]]))
+            # First forward occurrence of each group id: reversed fancy
+            # assignment leaves the smallest row index in each slot, which
+            # ranks the blocks in the groups() first-appearance order.
+            position = np.empty(int(gids.max()) + 1, dtype=np.int64)
+            position[gids[::-1]] = np.arange(gids.shape[0] - 1, -1, -1)
+            appearance = np.argsort(position[triple_gids[starts]], kind="stable")
+            values_list = values.tolist()
+            counts_list = counts.tolist()
+            starts_list = starts.tolist()
+            ends_list = ends.tolist()
+            return [
+                Counter(
+                    dict(
+                        zip(
+                            values_list[starts_list[block] : ends_list[block]],
+                            counts_list[starts_list[block] : ends_list[block]],
+                        )
+                    )
+                )
+                for block in appearance.tolist()
+            ]
     sa_values = generalized.sa_values
     return [
         Counter(sa_values[row] for row in rows)
         for rows in generalized.groups().values()
     ]
+
+
+def _sa_total(generalized: GeneralizedTable) -> Counter:
+    """The table-wide SA histogram (one bincount on the vectorized backend)."""
+    if vectorized_enabled() and len(generalized):
+        codes = generalized.sa_codes()
+        if int(codes.min()) >= 0:
+            counts = np.bincount(codes)
+            present = np.flatnonzero(counts)
+            return Counter(dict(zip(present.tolist(), counts[present].tolist())))
+    return Counter(generalized.sa_values)
 
 
 @dataclass(frozen=True)
@@ -162,7 +209,7 @@ class PrivacySpec:
 
     def check_generalized(self, generalized: GeneralizedTable) -> bool:
         """Whether every QI-group of a published table satisfies the spec."""
-        total = Counter(generalized.sa_values)
+        total = _sa_total(generalized)
         return all(
             self.check(histogram, total) for histogram in group_histograms(generalized)
         )

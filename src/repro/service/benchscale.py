@@ -48,15 +48,18 @@ STAGES = (
 class BenchScaleConfig:
     """What the scale trajectory measures."""
 
-    sizes: tuple[int, ...] = (100_000, 1_000_000)
+    sizes: tuple[int, ...] = (100_000, 1_000_000, 10_000_000)
     dataset: str = "SAL"
     algorithm: str = "TP+"
     l: int = 6
     seed: int = 7
     #: QI-domain scale factor restoring the paper's rows-per-group regime.
     qi_scale: float = 0.24
-    #: Best-of-``repeats`` seconds are kept per point.
+    #: Best-of-``repeats`` seconds are kept per point.  Points above
+    #: :data:`repeat_max_n` rows are always measured once — at 10^7 rows a
+    #: second pass doubles minutes of wall clock for no extra signal.
     repeats: int = 1
+    repeat_max_n: int = 1_000_000
     #: The pure-Python reference backend is only timed up to this ``n``
     #: (it is the *comparison* baseline, not the thing being optimized,
     #: and at 10^7 rows it would run for an hour).
@@ -71,7 +74,8 @@ def _measure_point(
 ) -> dict:
     """Best-of-repeats stage-attributed timing of one (n, backend) run."""
     best: dict | None = None
-    for _ in range(max(config.repeats, 1)):
+    repeats = max(config.repeats, 1) if n <= config.repeat_max_n else 1
+    for _ in range(repeats):
         profiling.set_enabled(True)
         profiling.reset()
         try:

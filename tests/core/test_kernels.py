@@ -99,3 +99,85 @@ def test_pillar_overlap_counts_parallel_path_is_exact(case):
         kernels.PARALLEL_THRESHOLD = saved
     oracle = kernels.pillar_overlap_counts_reference(ids, vals, pending, group_count)
     assert fast.tolist() == oracle.tolist()
+
+
+# ---------------------------------------------------------- composite codes
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=4),
+            st.integers(min_value=0, max_value=2),
+            st.integers(min_value=0, max_value=5),
+        ),
+        min_size=0,
+        max_size=30,
+    )
+)
+def test_composite_codes_order_matches_lexsort(rows):
+    columns = np.asarray([row[:2] for row in rows], dtype=np.int64).reshape(len(rows), 2)
+    sa = np.asarray([row[2] for row in rows], dtype=np.int64)
+    keys = kernels.composite_codes(columns, sa, [5, 3], 6)
+    assert keys is not None
+    by_key = np.argsort(keys, kind="stable")
+    by_lexsort = np.lexsort((sa, columns[:, 1], columns[:, 0]))
+    assert by_key.tolist() == by_lexsort.tolist()
+
+
+def test_composite_codes_refuses_oversized_domains():
+    columns = np.zeros((2, 1), dtype=np.int64)
+    sa = np.zeros(2, dtype=np.int64)
+    assert kernels.composite_codes(columns, sa, [1 << 40], 1 << 40) is None
+
+
+# ------------------------------------------------------------ stable argsort
+
+
+@given(
+    st.lists(st.integers(min_value=-50, max_value=50), max_size=60),
+    st.integers(min_value=1, max_value=7),
+)
+def test_stable_argsort_chunked_matches_reference(values, chunks):
+    keys = np.asarray(values, dtype=np.int64)
+    fast = kernels.stable_argsort(keys, chunks=chunks)
+    assert fast.tolist() == kernels.stable_argsort_reference(keys).tolist()
+
+
+@settings(max_examples=25)
+@given(st.lists(st.integers(min_value=-9, max_value=9), max_size=40))
+def test_stable_argsort_default_chunking_under_forced_parallelism(values):
+    keys = np.asarray(values, dtype=np.int64)
+    saved_threshold = kernels.PARALLEL_THRESHOLD
+    saved_chunks = kernels.MIN_SORT_CHUNKS
+    kernels.PARALLEL_THRESHOLD = 1
+    kernels.MIN_SORT_CHUNKS = 4
+    try:
+        fast = kernels.stable_argsort(keys)
+    finally:
+        kernels.PARALLEL_THRESHOLD = saved_threshold
+        kernels.MIN_SORT_CHUNKS = saved_chunks
+    assert fast.tolist() == kernels.stable_argsort_reference(keys).tolist()
+
+
+def test_stable_argsort_empty():
+    assert kernels.stable_argsort(np.asarray([], dtype=np.int64)).tolist() == []
+
+
+# --------------------------------------------------------------- row_chunked
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=7), st.integers(min_value=0, max_value=7)),
+        max_size=50,
+    ),
+    st.integers(min_value=1, max_value=6),
+)
+def test_row_chunked_concatenation_is_bit_identical(rows, chunks):
+    matrix = np.asarray(rows, dtype=np.int64).reshape(len(rows), 2)
+    whole = matrix.sum(axis=1) * 3 + matrix[:, 0]
+    chunked = kernels.row_chunked(
+        lambda chunk: chunk.sum(axis=1) * 3 + chunk[:, 0], matrix, chunks=chunks
+    )
+    assert chunked.tolist() == whole.tolist()

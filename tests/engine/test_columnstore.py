@@ -179,3 +179,93 @@ def test_every_algorithm_is_bit_identical_on_mmap(
         actual.generalized.suppressed_tuple_count()
         == expected.generalized.suppressed_tuple_count()
     )
+
+
+# ------------------------------------------------------------ order sidecar
+
+
+def test_order_cache_round_trip(census, store_dir):
+    from repro.engine.columnstore import ORDER_FILE, ORDER_META_FILE, StoreOrderCache
+
+    source = ColumnStoreSource(str(store_dir))
+    cold = source.load()
+    assert StoreOrderCache(store_dir).load(cold) is None  # nothing persisted yet
+    context = cold.grouping()  # computes the sort and persists it
+    assert (store_dir / ORDER_FILE).exists()
+    assert (store_dir / ORDER_META_FILE).exists()
+
+    warm = ColumnStoreSource(str(store_dir)).load()
+    recovered = StoreOrderCache(store_dir).load(warm)
+    assert recovered is not None
+    assert recovered.tolist() == context.order.tolist()
+    # The warm table's grouping is served from the sidecar, bit-identically.
+    for fast, slow in zip(warm.grouping().arrays(), context.arrays()):
+        assert fast.tolist() == slow.tolist()
+
+
+def test_order_cache_warm_start_skips_the_sort(census, store_dir, monkeypatch):
+    ColumnStoreSource(str(store_dir)).load().grouping()
+
+    def boom(*args, **kwargs):  # pragma: no cover - the assertion below
+        raise AssertionError("warm start re-sorted despite order.npy")
+
+    monkeypatch.setattr("repro.core.grouping.sort_qi_sa", boom)
+    warm = ColumnStoreSource(str(store_dir)).load()
+    assert warm.grouping().n == len(census)
+
+
+def test_order_cache_invalidated_by_buffer_rewrite(census, store_dir):
+    from repro.engine.columnstore import QI_FILE, StoreOrderCache
+
+    cold = ColumnStoreSource(str(store_dir)).load()
+    cold.grouping()
+    # Rewriting a stored buffer must change its freshness stamp and void the
+    # sidecar (size changes are caught by st_size, same-size rewrites by
+    # mtime_ns).
+    import os
+
+    qi_path = store_dir / QI_FILE
+    payload = qi_path.read_bytes()
+    qi_path.write_bytes(payload)
+    stat = os.stat(qi_path)
+    os.utime(qi_path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1))
+    fresh = ColumnStoreSource(str(store_dir)).load()
+    assert StoreOrderCache(store_dir).load(fresh) is None
+
+
+def test_order_cache_rejects_schema_mismatch(census, store_dir, tmp_path):
+    from repro.engine.columnstore import StoreOrderCache
+
+    cold = ColumnStoreSource(str(store_dir)).load()
+    cold.grouping()
+    cache = StoreOrderCache(store_dir)
+
+    other = make_sal(900, seed=5, config=CensusConfig.scaled(0.2))
+    assert cache.load(other) is None  # row count differs
+
+    subset = census.subset(range(len(census)))
+    assert cache.load(subset) is not None  # same schema and n: accepted
+
+
+def test_order_cache_rejects_corrupt_meta(census, store_dir):
+    from repro.engine.columnstore import ORDER_META_FILE, StoreOrderCache
+
+    cold = ColumnStoreSource(str(store_dir)).load()
+    cold.grouping()
+    (store_dir / ORDER_META_FILE).write_text("{not json")
+    fresh = ColumnStoreSource(str(store_dir)).load()
+    assert StoreOrderCache(store_dir).load(fresh) is None
+
+
+def test_order_cache_fingerprint_mismatch_is_a_miss(census, store_dir):
+    from repro.engine.columnstore import StoreOrderCache
+
+    cold = ColumnStoreSource(str(store_dir)).load()
+    cold.fingerprint()  # cache the fingerprint so store() records it
+    cold.grouping()
+    fresh = ColumnStoreSource(str(store_dir)).load()
+    fresh._fingerprint = "not-the-real-fingerprint"
+    assert StoreOrderCache(store_dir).load(fresh) is None
+    # Without a cached fingerprint the check is skipped (opportunistic).
+    lazy = ColumnStoreSource(str(store_dir)).load()
+    assert StoreOrderCache(store_dir).load(lazy) is not None
