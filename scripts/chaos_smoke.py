@@ -23,7 +23,12 @@ timeout), then proves the at-least-once contract end to end:
 5. **no job left behind** — at the end, every ledger record is terminal
    (nothing stuck ``queued``/``running``/``retrying``) and each distinct
    ``done`` workload re-verifies against its PrivacySpec from the run store;
-6. **clean shutdown** — the second server exits 0 on SIGTERM.
+6. **telemetry** — ``GET /v1/telemetry`` is scraped before and after the
+   fault phases: the retry/quarantine/timeout counters must have moved, the
+   final exposition must agree with ``/v1/health`` number for number, and
+   the timed-out job's trace must hold every expected span (both attempts,
+   the engine stages of the clean retry, publish);
+7. **clean shutdown** — the second server exits 0 on SIGTERM.
 
 Exit code 0 on success, 1 on any violation::
 
@@ -45,6 +50,7 @@ from collections import Counter
 from pathlib import Path
 
 from repro.client import Client, ClientError, JobFailedError
+from repro.obs.metrics import parse_prometheus_text
 from repro.privacy.spec import privacy_from_dict
 from repro.server.faults import FaultPlan
 
@@ -199,6 +205,79 @@ def boot_server(port: int, workspace: str, env: dict, log_path: Path) -> subproc
     )
 
 
+def metric(samples: dict, name: str, **labels) -> float:
+    """Value of one exposition sample (0.0 when the series never appeared)."""
+    return samples.get((name, tuple(sorted(labels.items()))), 0.0)
+
+
+def check_trace_of_timed_out_job(probe: Client, record: dict) -> None:
+    """The retried job's span tree must narrate the whole episode."""
+    job_id = record["id"]
+    attempts = int(record["attempts"])
+    trace = probe.trace(job_id)
+    if trace["request_id"] != record["request_id"]:
+        fail(
+            f"trace of {job_id} carries request id {trace['request_id']!r}, "
+            f"ledger says {record['request_id']!r}"
+        )
+    spans = {span["name"]: span for span in trace["spans"]}
+    final_attempt = f"attempt-{attempts}"
+    for name in ("submit", "queue-wait", "attempt-1", final_attempt, "publish"):
+        if name not in spans:
+            fail(f"trace of timed-out job {job_id} is missing span {name!r}")
+    if spans["attempt-1"]["attributes"]["outcome"] != "retry":
+        fail(f"attempt-1 of {job_id} did not record the retry outcome")
+    if spans[final_attempt]["attributes"]["outcome"] != "done":
+        fail(f"{final_attempt} of {job_id} did not record the done outcome")
+    engine_spans = [
+        span for span in trace["spans"] if span["name"].startswith("engine:")
+    ]
+    if not engine_spans:
+        fail(f"trace of {job_id} carries no engine stage spans")
+    if any(span["parent"] != final_attempt for span in engine_spans):
+        fail(f"engine spans of {job_id} are not parented to {final_attempt}")
+    print(
+        f"trace: {job_id} narrates timeout -> retry -> done in "
+        f"{len(trace['spans'])} spans (request {trace['request_id'][:8]}…)"
+    )
+
+
+def check_telemetry_agrees_with_health(probe: Client) -> None:
+    """Acceptance: the exposition and /v1/health report the same numbers."""
+    samples = parse_prometheus_text(probe.telemetry_text())
+    health = probe.health()
+    checks = [
+        ("jobs.submitted", health["jobs"]["submitted"],
+         metric(samples, "repro_jobs_submitted_total")),
+        ("jobs.done", health["jobs"]["done"],
+         metric(samples, "repro_jobs_terminal_total", state="done")),
+        ("jobs.failed", health["jobs"]["failed"],
+         metric(samples, "repro_jobs_terminal_total", state="failed")),
+        ("jobs.replayed", health["jobs"]["replayed"],
+         metric(samples, "repro_jobs_replayed_total")),
+        ("pool.retries", health["pool"]["retries"],
+         metric(samples, "repro_pool_retries_total")),
+        ("pool.quarantined", health["pool"]["quarantined"],
+         metric(samples, "repro_pool_quarantined_total")),
+        ("pool.timeouts", health["pool"]["timeouts"],
+         metric(samples, "repro_pool_timeouts_total")),
+        ("pool.pool_restarts", health["pool"]["pool_restarts"],
+         metric(samples, "repro_pool_restarts_total")),
+        ("callback_errors", health["callback_errors"],
+         metric(samples, "repro_pool_callback_errors_total")),
+    ]
+    for label, from_health, from_telemetry in checks:
+        if from_health != from_telemetry:
+            fail(
+                f"health {label}={from_health} disagrees with the telemetry "
+                f"exposition ({from_telemetry})"
+            )
+    print(
+        "telemetry: exposition agrees with /v1/health on "
+        f"{len(checks)} counters"
+    )
+
+
 def wait_for_condition(probe: Client, predicate, deadline_seconds: float, what: str):
     """Poll health until ``predicate(health)`` holds; returns the health dict."""
     deadline = time.monotonic() + deadline_seconds
@@ -299,6 +378,10 @@ def main() -> None:
             f"{time.perf_counter() - started:.1f}s"
         )
 
+        # Telemetry baseline for the fault phases below (server 2's registry
+        # was born at the restart, so the stream already seeded it).
+        telemetry_before = parse_prometheus_text(probe.telemetry_text())
+
         # Quarantine: the poison seed dies on every attempt, so the job must
         # fail terminally after exactly MAX_ATTEMPTS attempts.
         poison_client = Client(
@@ -351,6 +434,19 @@ def main() -> None:
         print(f"timeout: {record['id']} timed out, retried, completed "
               f"(attempts={record['attempts']})")
 
+        # The fault phases must be visible in the exposition deltas.
+        telemetry_after = parse_prometheus_text(probe.telemetry_text())
+        for name in (
+            "repro_pool_retries_total",
+            "repro_pool_quarantined_total",
+            "repro_pool_timeouts_total",
+        ):
+            delta = metric(telemetry_after, name) - metric(telemetry_before, name)
+            if delta < 1:
+                fail(f"telemetry counter {name} never moved across the fault phases")
+
+        check_trace_of_timed_out_job(poison_client, record)
+
         # No job left behind: every ledger record terminal.
         deadline = time.monotonic() + 60.0
         while True:
@@ -394,6 +490,8 @@ def main() -> None:
             if combined[key] < floor:
                 fail(f"recovery counter {key} never moved: {combined}", logs)
         print(f"health counters across both servers: {combined}")
+
+        check_telemetry_agrees_with_health(probe)
 
         process.send_signal(signal.SIGTERM)
         process.wait(timeout=60)

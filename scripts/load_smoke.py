@@ -21,7 +21,14 @@ running server), then:
    through the HTTP API; each result is re-verified in-process with the
    matching spec checker at rendered-row granularity, and the record/result
    payloads must echo the resolved spec;
-5. **clean shutdown** — the server subprocess must exit with code 0 on
+5. **telemetry** — ``GET /v1/telemetry`` is scraped (and parsed as
+   Prometheus text) before and after the run: request/submission counters
+   must have moved by at least the work performed, the queue-full rejections
+   of phase 3 must appear under ``repro_jobs_rejected_total``, and a fixed
+   job's trace (``GET /v1/jobs/{id}/trace``) must contain every lifecycle
+   span — submit, queue-wait, attempt-1, engine stages, publish — keyed by
+   the client-minted request id;
+6. **clean shutdown** — the server subprocess must exit with code 0 on
    SIGTERM.
 
 Exit code 0 on success, 1 on any violation::
@@ -47,6 +54,7 @@ from collections import Counter
 
 from repro.client import BackpressureError, Client, ClientError
 from repro.dataset.examples import hospital_microdata
+from repro.obs.metrics import parse_prometheus_text
 from repro.privacy.spec import privacy_from_dict, privacy_registry
 
 QUEUE_CAP = 8
@@ -222,6 +230,85 @@ def phase_privacy(base_url: str) -> None:
     )
 
 
+def metric(samples: dict, name: str, **labels) -> float:
+    """Value of one exposition sample (0.0 when the series never appeared)."""
+    return samples.get((name, tuple(sorted(labels.items()))), 0.0)
+
+
+def phase_telemetry(probe: Client, before: dict) -> None:
+    """Scrape /v1/telemetry after the run: counters moved, trace complete."""
+    after = parse_prometheus_text(probe.telemetry_text())
+
+    # Requests: every phase above went through HTTP, so the all-series sum
+    # of the request counter must have grown substantially.
+    def requests_total(samples: dict) -> float:
+        return sum(
+            value
+            for (name, _), value in samples.items()
+            if name == "repro_http_requests_total"
+        )
+
+    if requests_total(after) <= requests_total(before):
+        fail("repro_http_requests_total did not move across the load run")
+    submitted = metric(after, "repro_jobs_submitted_total") - metric(
+        before, "repro_jobs_submitted_total"
+    )
+    if submitted < 1:
+        fail("repro_jobs_submitted_total did not move across the load run")
+    if metric(after, "repro_jobs_rejected_total", reason="queue_full") < 1:
+        fail("phase 3's queue-full rejections never reached the telemetry registry")
+    if metric(after, "repro_jobs_terminal_total", state="cancelled") < 1:
+        fail("phase 3's cancellations never reached the telemetry registry")
+
+    # Telemetry and /v1/health must tell the same story (one source of truth).
+    jobs = probe.health()["jobs"]
+    for health_key, name, labels in (
+        ("submitted", "repro_jobs_submitted_total", {}),
+        ("done", "repro_jobs_terminal_total", {"state": "done"}),
+        ("rejected_queue_full", "repro_jobs_rejected_total", {"reason": "queue_full"}),
+        ("store_hits", "repro_store_hits_total", {}),
+    ):
+        if jobs[health_key] != metric(after, name, **labels):
+            fail(
+                f"health jobs[{health_key!r}]={jobs[health_key]} disagrees with "
+                f"telemetry {name}{labels or ''}={metric(after, name, **labels)}"
+            )
+
+    # Fixed job: a workload no other phase used (so it cannot be a store
+    # hit) must leave a complete span tree behind, keyed by the request id
+    # the client minted.
+    job_id = probe.submit(
+        source={"kind": "synthetic", "dataset": "SAL", "n": 150, "seed": 909,
+                "dimension": 2},
+        l=2,
+        algorithm="TP",
+    )
+    minted = probe.last_request_id
+    probe.wait(job_id, timeout=120.0)
+    trace = probe.trace(job_id)
+    if trace["request_id"] != minted:
+        fail(
+            f"trace of {job_id} carries request id {trace['request_id']!r}, "
+            f"client minted {minted!r}"
+        )
+    spans = {span["name"] for span in trace["spans"]}
+    expected = {"submit", "queue-wait", "attempt-1", "publish"}
+    if not expected <= spans:
+        fail(f"trace of {job_id} is missing spans {sorted(expected - spans)}")
+    engine_spans = [
+        span for span in trace["spans"] if span["name"].startswith("engine:")
+    ]
+    if not engine_spans:
+        fail(f"trace of {job_id} carries no engine stage spans")
+    if any(span["parent"] != "attempt-1" for span in engine_spans):
+        fail(f"engine spans of {job_id} are not parented to attempt-1")
+    print(
+        f"telemetry: {requests_total(after):.0f} requests scraped, "
+        f"{submitted:.0f} submissions counted, trace of {job_id} complete "
+        f"({len(trace['spans'])} spans, request {minted[:8]}…)"
+    )
+
+
 def phase_backpressure(base_url: str) -> None:
     """Burst slow jobs past the queue cap; demand a 429 with Retry-After."""
     burst = Client(base_url, client_id="burst", retries=0)
@@ -317,6 +404,7 @@ def main() -> None:
         probe = Client(base_url, client_id="probe")
         health = probe.wait_until_ready(timeout=20.0)
         print(f"server ready at {base_url} (version {health['version']})")
+        telemetry_before = parse_prometheus_text(probe.telemetry_text())
 
         per_client = arguments.jobs // arguments.clients
         workloads = workload_set()
@@ -353,6 +441,8 @@ def main() -> None:
         phase_privacy(base_url)
 
         phase_backpressure(base_url)
+
+        phase_telemetry(probe, telemetry_before)
 
         health = probe.health()
         jobs = health["jobs"]

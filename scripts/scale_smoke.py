@@ -16,6 +16,11 @@ and checks the acceptance properties of the zero-copy pipeline:
    the persisted ``order.npy`` sort permutation instead of re-sorting: the
    cold run's profile must contain the ``sort`` stage and the warm run's
    must not.
+5. **Telemetry overhead** — the serving stack's per-job observability cost
+   (stage profiling force-enabled in the worker plus every registry
+   mutation a served job implies) is replayed on the benched mmap run and
+   must add less than ``TELEMETRY_OVERHEAD_CAP - 1`` (2%) over the bare
+   run, best-of-``BENCH_ROUNDS`` timings on both sides.
 
 Run with ``PYTHONPATH=src python scripts/scale_smoke.py`` (wired into
 ``scripts/ci.sh``).
@@ -48,6 +53,11 @@ QI_SCALE = 0.24
 CHUNK_ROWS = 20_000
 MIN_SPEEDUP = 2.0
 MIN_FUSED_SPEEDUP = 1.5
+BENCH_ROUNDS = 3
+TELEMETRY_OVERHEAD_CAP = 1.02
+#: Absolute slack on top of the 2% cap so scheduler jitter on a sub-second
+#: benched run cannot fail the guard spuriously.
+TELEMETRY_EPSILON_SECONDS = 0.010
 
 
 def _run(source, backend: str, chunk_rows: int | None = None):
@@ -144,6 +154,90 @@ def _check_warm_start(table, tmp: Path) -> bool:
     return True
 
 
+def _check_telemetry_overhead(mmap_source) -> bool:
+    """Telemetry must cost < 2% of the benched run.
+
+    The serving path adds two kinds of per-job observability cost: stage
+    profiling is force-enabled inside the pool worker (to bridge engine
+    spans back through the result payload) and the server mutates registry
+    instruments around the job.  Both are replayed here on top of the
+    benched mmap run and compared with the bare run, best of
+    ``BENCH_ROUNDS`` timings each so scheduler noise is damped.
+    """
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    http_requests = registry.counter(
+        "repro_http_requests_total", "", ("route", "method", "status")
+    )
+    http_seconds = registry.histogram(
+        "repro_http_request_seconds", "", ("route",)
+    )
+    submitted = registry.counter("repro_jobs_submitted_total", "")
+    terminal = registry.counter("repro_jobs_terminal_total", "", ("state",))
+    attempt_seconds = registry.histogram(
+        "repro_job_attempt_seconds", "", ("outcome",)
+    )
+    stage_seconds = registry.histogram(
+        "repro_engine_stage_seconds", "", ("stage",)
+    )
+
+    def bare() -> None:
+        _run(mmap_source, "numpy", chunk_rows=CHUNK_ROWS)
+
+    def instrumented() -> None:
+        profiling.set_enabled(True)
+        profiling.reset()
+        started = time.perf_counter()
+        try:
+            _run(mmap_source, "numpy", chunk_rows=CHUNK_ROWS)
+        finally:
+            elapsed = time.perf_counter() - started
+            profile = profiling.snapshot()
+            profiling.set_enabled(False)
+        # The registry mutations one served job implies (submit, one status
+        # poll, the result fetch, lifecycle counters, stage histograms).
+        for route, method in (
+            ("/v1/jobs", "POST"),
+            ("/v1/jobs/{id}", "GET"),
+            ("/v1/jobs/{id}/result", "GET"),
+        ):
+            http_requests.inc(route=route, method=method, status="200")
+            http_seconds.observe(0.001, route=route)
+        submitted.inc()
+        terminal.inc(state="done")
+        attempt_seconds.observe(elapsed, outcome="done")
+        for stage, seconds in profile.items():
+            stage_seconds.observe(seconds, stage=stage)
+
+    def best_of(function) -> float:
+        best = float("inf")
+        for _ in range(BENCH_ROUNDS):
+            started = time.perf_counter()
+            function()
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    bare_seconds = best_of(bare)
+    instrumented_seconds = best_of(instrumented)
+    added = instrumented_seconds - bare_seconds
+    allowed = bare_seconds * (TELEMETRY_OVERHEAD_CAP - 1.0) + TELEMETRY_EPSILON_SECONDS
+    print(
+        f"telemetry overhead: bare {bare_seconds:.3f}s, instrumented "
+        f"{instrumented_seconds:.3f}s -> {100.0 * added / bare_seconds:+.2f}% "
+        f"(cap {100.0 * (TELEMETRY_OVERHEAD_CAP - 1.0):.0f}% + "
+        f"{1000.0 * TELEMETRY_EPSILON_SECONDS:.0f}ms noise floor "
+        f"= {allowed:.3f}s allowed)"
+    )
+    if added > allowed:
+        print(
+            f"FAIL: telemetry adds {added:.3f}s to the benched run, "
+            f"allowed {allowed:.3f}s"
+        )
+        return False
+    return True
+
+
 def main() -> int:
     print(f"scale smoke: n={N}, l={L}, chunk_rows={CHUNK_ROWS}")
     table = make_sal(N, seed=SEED, config=CensusConfig.scaled(QI_SCALE))
@@ -187,6 +281,8 @@ def main() -> int:
         if not _check_fused_metrics():
             return 1
         if not _check_warm_start(table, Path(tmp)):
+            return 1
+        if not _check_telemetry_overhead(mmap_source):
             return 1
     print("OK: scale smoke passed")
     return 0

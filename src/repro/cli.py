@@ -240,6 +240,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip re-enqueueing the ledger's non-terminal jobs at boot "
         "(default: replay them — the crash-recovery contract)",
     )
+    serve.add_argument(
+        "--log-format",
+        choices=["text", "json"],
+        default="text",
+        help="log output format: human-readable text (default) or one JSON "
+        "object per line carrying request/job ids (for log pipelines)",
+    )
     _add_workspace_arguments(serve)
 
     evaluate = subparsers.add_parser("evaluate", help="compare algorithms on a CSV file")
@@ -659,17 +666,16 @@ def _command_verify(arguments: argparse.Namespace) -> int:
 
 def _command_serve(arguments: argparse.Namespace) -> int:
     import asyncio
-    import logging
     import signal
 
+    from repro.obs.log import configure_logging
     from repro.server import AnonymizationServer
 
     # Recovery events (retries, pool restarts, replay, quarantine) log at
     # INFO/WARNING on the repro.server logger; surface them on stderr so an
     # operator watching the process sees the self-healing happen.
-    logging.basicConfig(
-        level=logging.INFO, format="%(asctime)s %(levelname)s %(name)s %(message)s"
-    )
+    # ``--log-format json`` swaps in the structured JSON-lines formatter.
+    configure_logging(arguments.log_format)
     server = AnonymizationServer(
         workspace=arguments.workspace,
         workers=arguments.workers,

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import logging
 import random
 import time
 import urllib.error
@@ -43,8 +44,11 @@ import urllib.request
 from typing import Callable
 
 from repro.errors import ReproError
+from repro.obs.trace import new_request_id
 
 __all__ = ["BackpressureError", "Client", "ClientError", "JobFailedError"]
+
+_LOG = logging.getLogger("repro.client")
 
 #: Statuses after which a job will never change again.
 TERMINAL_STATUSES = ("done", "failed", "cancelled")
@@ -102,6 +106,9 @@ class Client:
         self._jitter = random.Random(jitter_seed)
         #: 429/503 responses absorbed by retries (useful in load tests).
         self.backpressure_events = 0
+        #: The ``X-Request-Id`` of the most recent exchange — the join key
+        #: for server logs and ``GET /v1/jobs/{id}/trace``.
+        self.last_request_id: str | None = None
 
     # ---------------------------------------------------------------- plumbing
 
@@ -113,9 +120,21 @@ class Client:
         content_type: str = "application/json",
         retry: bool = True,
     ) -> tuple[int, dict[str, str], bytes]:
-        """One HTTP exchange with retry-on-backpressure; returns (status, headers, body)."""
+        """One HTTP exchange with retry-on-backpressure; returns (status, headers, body).
+
+        A request id is minted once per logical exchange and re-sent on every
+        retry of it — the id identifies the *work*, so the server can
+        correlate a client's whole backoff episode into one story.  Give-ups
+        are logged and raised **with their final cause chained**: the last
+        429/503 ``HTTPError`` or connection failure rides along as
+        ``__cause__`` instead of being discarded.
+        """
         url = self.base_url + path
-        headers = {"Content-Type": content_type} if body is not None else {}
+        request_id = new_request_id()
+        self.last_request_id = request_id
+        headers = {"X-Request-Id": request_id}
+        if body is not None:
+            headers["Content-Type"] = content_type
         if self.client_id:
             headers["X-Client-Id"] = self.client_id
         attempts = self.retries if retry else 0
@@ -137,9 +156,26 @@ class Client:
                         self._sleep(wait)
                         continue
                     if attempts:  # budget spent on backpressure alone
+                        _LOG.warning(
+                            "giving up on %s %s after %d attempts "
+                            "(HTTP %d, request %s)",
+                            method,
+                            path,
+                            attempt + 1,
+                            error.code,
+                            request_id,
+                            extra={
+                                "request_id": request_id,
+                                "status": error.code,
+                                "attempts": attempt + 1,
+                            },
+                        )
                         raise BackpressureError(
-                            error.code, self._message(payload)
-                        ) from None
+                            error.code,
+                            f"{self._message(payload)} "
+                            f"(gave up after {attempt + 1} attempts, "
+                            f"request {request_id})",
+                        ) from error
                 raise ClientError(error.code, self._message(payload)) from None
             except (OSError, http.client.HTTPException) as error:
                 # URLError covers refused connections; a connection that dies
@@ -152,7 +188,23 @@ class Client:
                     delay = min(delay * 2, self.max_backoff_seconds)
                     continue
                 reason = getattr(error, "reason", None) or error
-                raise ClientError(0, f"connection failed: {reason}") from None
+                if attempts:
+                    _LOG.warning(
+                        "giving up on %s %s after %d attempts (%s, request %s)",
+                        method,
+                        path,
+                        attempt + 1,
+                        reason,
+                        request_id,
+                        extra={
+                            "request_id": request_id,
+                            "attempts": attempt + 1,
+                            "error": str(reason),
+                        },
+                    )
+                raise ClientError(
+                    0, f"connection failed: {reason} (request {request_id})"
+                ) from error
         raise AssertionError("unreachable: the final attempt returns or raises")
 
     def _jittered_wait(self, delay: float, retry_after: float | None) -> float:
@@ -222,6 +274,11 @@ class Client:
 
     def metrics(self) -> list[dict]:
         return self._json("GET", "/v1/metrics")["metrics"]
+
+    def telemetry_text(self) -> str:
+        """The server's operational telemetry (Prometheus text format)."""
+        _status, _headers, raw = self._request("GET", "/v1/telemetry")
+        return raw.decode("utf-8")
 
     def privacy_models(self) -> list[dict]:
         """The server's registered privacy models with their parameter schemas."""
@@ -363,6 +420,10 @@ class Client:
 
     def job_metrics(self, job_id: str) -> dict:
         return self._json("GET", f"/v1/jobs/{job_id}/metrics")
+
+    def trace(self, job_id: str) -> dict:
+        """The span tree of a recent job (``{"id", "request_id", "spans"}``)."""
+        return self._json("GET", f"/v1/jobs/{job_id}/trace")
 
     def cancel(self, job_id: str) -> dict:
         return self._json("POST", f"/v1/jobs/{job_id}/cancel", {})

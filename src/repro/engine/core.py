@@ -123,6 +123,9 @@ class RunPlan:
     verify: bool = True
     #: When set, load the source through bounded chunks of this many rows.
     chunk_rows: int | None = None
+    #: Trace id of the request that scheduled this run (empty for direct
+    #: CLI/library use).  Carried into the report; never part of cache keys.
+    request_id: str = ""
 
     def resolved_privacy(self) -> PrivacySpec:
         """The concrete privacy spec this plan targets (``l`` sugar resolved)."""
@@ -165,6 +168,8 @@ class RunReport:
     #: ``phase1``..``phase3`` / ``publish`` / ``merge`` / ``metrics``) when
     #: ``REPRO_PROFILE`` is set; ``None`` otherwise.
     profile: dict[str, float] | None = None
+    #: Trace id propagated from :attr:`RunPlan.request_id`.
+    request_id: str = ""
 
 
 def run_with_spec(runner, table: Table, spec: PrivacySpec) -> AlgorithmOutput:
@@ -306,6 +311,7 @@ class Engine:
             privacy=spec,
             enforcement_merges=merges,
             profile=profiling.snapshot() if profiling.enabled() else None,
+            request_id=plan.request_id,
         )
 
     def run_table(self, table: Table, algorithm: str, l: int, **plan_fields) -> RunReport:

@@ -1,0 +1,42 @@
+"""Unified telemetry for the serving stack (:mod:`repro.obs`).
+
+Three small, stdlib-only layers that every other subsystem reports through:
+
+* :mod:`repro.obs.metrics` — labeled Counters, Gauges and fixed-bucket
+  Histograms in a lock-guarded :class:`~repro.obs.metrics.MetricsRegistry`
+  with Prometheus text-format exposition (``GET /v1/telemetry``);
+* :mod:`repro.obs.trace` — request/trace ids minted by the client (or at
+  ingress), echoed as ``X-Request-Id``, and cheap per-job span records
+  (submit → queue-wait → attempt(s) → engine stages → publish) held in a
+  bounded :class:`~repro.obs.trace.TraceStore` behind
+  ``GET /v1/jobs/{id}/trace``;
+* :mod:`repro.obs.log` — an opt-in JSON-lines log formatter carrying
+  request id, job id, route and outcome (``serve --log-format json``).
+
+The package deliberately imports nothing from the engine or server layers,
+so any module — client, CLI, pool worker — can report through it without
+layering cycles.
+"""
+
+from repro.obs.log import JsonLogFormatter, configure_logging
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus_text,
+)
+from repro.obs.trace import Span, TraceStore, new_request_id
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonLogFormatter",
+    "MetricsRegistry",
+    "Span",
+    "TraceStore",
+    "configure_logging",
+    "new_request_id",
+    "parse_prometheus_text",
+]

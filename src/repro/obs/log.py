@@ -1,0 +1,84 @@
+"""Structured (JSON-lines) logging for the serving stack.
+
+Opt-in: ``repro serve --log-format json`` installs
+:class:`JsonLogFormatter` on the root handler, after which every log record
+renders as one JSON object per line::
+
+    {"ts": "2026-08-08T12:00:00.123Z", "level": "warning",
+     "logger": "repro.server", "message": "request failed",
+     "request_id": "9f0c...", "route": "/v1/submit", "status": 503}
+
+Context fields travel the normal :mod:`logging` way — pass them via
+``extra=`` and the formatter lifts any it recognises into the JSON object::
+
+    log.warning("request failed", extra={"request_id": rid, "status": 503})
+
+The default ``--log-format text`` keeps the plain human-readable formatter,
+so nothing changes for interactive use.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import time
+import traceback
+
+__all__ = ["CONTEXT_FIELDS", "JsonLogFormatter", "configure_logging"]
+
+#: ``extra=`` keys lifted verbatim into the JSON object when present.
+CONTEXT_FIELDS = (
+    "request_id",
+    "job_id",
+    "route",
+    "method",
+    "status",
+    "outcome",
+    "client",
+    "attempts",
+    "seconds",
+    "error",
+)
+
+_TEXT_FORMAT = "%(asctime)s %(levelname)s %(name)s %(message)s"
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Render each record as a single JSON line (UTC timestamps)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        entry: dict = {
+            "ts": self.formatTime(record),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for name in CONTEXT_FIELDS:
+            value = record.__dict__.get(name)
+            if value is not None:
+                entry[name] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            buffer = io.StringIO()
+            traceback.print_exception(*record.exc_info, file=buffer)
+            entry["exception"] = buffer.getvalue().rstrip("\n")
+        return json.dumps(entry, default=str)
+
+    def formatTime(self, record: logging.LogRecord, datefmt: str | None = None) -> str:
+        base = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(record.created))
+        return f"{base}.{int(record.msecs):03d}Z"
+
+
+def configure_logging(log_format: str = "text", level: int = logging.INFO) -> None:
+    """Install the process-wide log formatter.
+
+    ``log_format`` is ``"text"`` (human-readable, the default) or ``"json"``
+    (one JSON object per line via :class:`JsonLogFormatter`).  Replaces any
+    handlers configured earlier, so it is safe to call from tests.
+    """
+    if log_format not in ("text", "json"):
+        raise ValueError(f"unknown log format: {log_format!r}")
+    logging.basicConfig(level=level, format=_TEXT_FORMAT, force=True)
+    if log_format == "json":
+        for handler in logging.getLogger().handlers:
+            handler.setFormatter(JsonLogFormatter())

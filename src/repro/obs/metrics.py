@@ -1,0 +1,408 @@
+"""Operational metrics: labeled counters, gauges, histograms, Prometheus text.
+
+A :class:`MetricsRegistry` owns a set of named instruments; the server
+exposes one registry per process over ``GET /v1/telemetry`` in the
+Prometheus text exposition format (version 0.0.4).  Design constraints, in
+order:
+
+* **exactness under concurrency** — every mutation happens under the
+  instrument's lock, so increments racing in from drainer tasks, executor
+  callback threads and the event-loop thread are never lost (the historical
+  hand-rolled ``stats`` dicts and bare ``pool.retries += 1`` ints gave no
+  such guarantee);
+* **near-zero cost when never scraped** — an increment is a dict update
+  under an uncontended lock; nothing allocates per label set after the
+  first observation and nothing renders until a scrape asks;
+* **picklable snapshots** — :meth:`MetricsRegistry.snapshot` resolves every
+  sample (callback gauges included) into plain dicts/floats, so a snapshot
+  can cross a process boundary or be compared structurally in tests.
+
+Instrument getters are idempotent: asking for an existing name returns the
+existing instrument (and raises if the kind or label names disagree), so
+independent subsystems can share a registry without coordination.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+from typing import Callable, Iterable
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "parse_prometheus_text",
+]
+
+#: Default histogram buckets: request/stage latencies from 1ms to 1min.
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus expects (+Inf, ints bare)."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _render_labels(names: tuple[str, ...], values: tuple[str, ...],
+                   extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [f'{name}="{_escape_label(value)}"' for name, value in zip(names, values)]
+    pairs.extend(f'{name}="{_escape_label(value)}"' for name, value in extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+class _Instrument:
+    """Shared plumbing: name/help/label validation and the sample lock."""
+
+    kind = ""
+
+    def __init__(self, name: str, help: str, labels: Iterable[str] = ()) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        self.label_names = tuple(labels)
+        for label in self.label_names:
+            if not _LABEL_RE.match(label) or label.startswith("__"):
+                raise ValueError(f"invalid label name {label!r} on metric {name!r}")
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+
+    def _key(self, labels: dict[str, object]) -> tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
+
+
+class Counter(_Instrument):
+    """A monotonically increasing sum, optionally partitioned by labels."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, labels: Iterable[str] = ()) -> None:
+        super().__init__(name, help, labels)
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def total(self) -> float:
+        """Sum across every label combination (handy for quick assertions)."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def _samples(self) -> list[dict]:
+        with self._lock:
+            items = sorted(self._values.items())
+        return [
+            {"labels": dict(zip(self.label_names, key)), "value": value}
+            for key, value in items
+        ]
+
+    def _render(self) -> list[str]:
+        return [
+            f"{self.name}"
+            f"{_render_labels(self.label_names, tuple(s['labels'].values()))}"
+            f" {_format_value(s['value'])}"
+            for s in self._samples()
+        ]
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down — or be computed at scrape time.
+
+    :meth:`set_function` binds a callback resolved on every scrape/snapshot,
+    which is how cheap live values (queue depth, running jobs) are exported
+    without a writer having to keep them in sync.
+    """
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, labels: Iterable[str] = ()) -> None:
+        super().__init__(name, help, labels)
+        self._values: dict[tuple[str, ...], float] = {}
+        self._functions: dict[tuple[str, ...], Callable[[], float]] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._functions.pop(key, None)
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def set_function(self, function: Callable[[], float], **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values.pop(key, None)
+            self._functions[key] = function
+
+    def value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            function = self._functions.get(key)
+            if function is None:
+                return self._values.get(key, 0.0)
+        return float(function())
+
+    def _samples(self) -> list[dict]:
+        with self._lock:
+            static = sorted(self._values.items())
+            functions = sorted(self._functions.items())
+        samples = [
+            {"labels": dict(zip(self.label_names, key)), "value": value}
+            for key, value in static
+        ]
+        # Callbacks run outside the lock: they may read other locked state
+        # (pool properties) and must not be able to deadlock a scrape.
+        samples.extend(
+            {"labels": dict(zip(self.label_names, key)), "value": float(function())}
+            for key, function in functions
+        )
+        samples.sort(key=lambda s: tuple(s["labels"].values()))
+        return samples
+
+    def _render(self) -> list[str]:
+        return [
+            f"{self.name}"
+            f"{_render_labels(self.label_names, tuple(s['labels'].values()))}"
+            f" {_format_value(s['value'])}"
+            for s in self._samples()
+        ]
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket distribution of observations (cumulative on exposition)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labels: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labels)
+        bounds = tuple(sorted(float(bound) for bound in buckets))
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram {name!r} has duplicate buckets")
+        self.buckets = bounds
+        #: key -> [per-bucket counts..., +Inf count, sum]
+        self._series: dict[tuple[str, ...], list[float]] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = [0.0] * (len(self.buckets) + 2)
+            series[index] += 1.0
+            series[-1] += value
+
+    def count(self, **labels: object) -> int:
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            return int(sum(series[:-1])) if series else 0
+
+    def sum(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            return series[-1] if series else 0.0
+
+    def _samples(self) -> list[dict]:
+        with self._lock:
+            items = sorted((key, list(series)) for key, series in self._series.items())
+        samples = []
+        for key, series in items:
+            cumulative = []
+            running = 0.0
+            for count in series[:-1]:
+                running += count
+                cumulative.append(running)
+            samples.append(
+                {
+                    "labels": dict(zip(self.label_names, key)),
+                    "buckets": {
+                        bound: cumulative[index]
+                        for index, bound in enumerate(self.buckets)
+                    },
+                    "count": running,
+                    "sum": series[-1],
+                }
+            )
+        return samples
+
+    def _render(self) -> list[str]:
+        lines = []
+        for sample in self._samples():
+            values = tuple(sample["labels"].values())
+            for bound, count in sample["buckets"].items():
+                labels = _render_labels(
+                    self.label_names, values, extra=(("le", _format_value(bound)),)
+                )
+                lines.append(f"{self.name}_bucket{labels} {_format_value(count)}")
+            labels = _render_labels(self.label_names, values, extra=(("le", "+Inf"),))
+            lines.append(f"{self.name}_bucket{labels} {_format_value(sample['count'])}")
+            plain = _render_labels(self.label_names, values)
+            lines.append(f"{self.name}_sum{plain} {_format_value(sample['sum'])}")
+            lines.append(f"{self.name}_count{plain} {_format_value(sample['count'])}")
+        return lines
+
+
+class MetricsRegistry:
+    """A named set of instruments with one text exposition."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Instrument] = {}
+
+    # ------------------------------------------------------------ instruments
+
+    def _get_or_create(self, cls, name: str, help: str, labels, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or existing.label_names != tuple(labels):
+                    raise ValueError(
+                        f"metric {name!r} already registered as a "
+                        f"{existing.kind} with labels {existing.label_names}"
+                    )
+                return existing
+            metric = cls(name, help, labels, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "", labels: Iterable[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, tuple(labels))
+
+    def gauge(self, name: str, help: str = "", labels: Iterable[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, tuple(labels))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, tuple(labels), buckets=buckets
+        )
+
+    def get(self, name: str) -> _Instrument:
+        with self._lock:
+            return self._metrics[name]
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    # -------------------------------------------------------------- exposition
+
+    def snapshot(self) -> dict[str, dict]:
+        """Every instrument resolved into plain picklable dicts."""
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        return {
+            name: {
+                "kind": metric.kind,
+                "help": metric.help,
+                "label_names": list(metric.label_names),
+                "samples": metric._samples(),
+            }
+            for name, metric in metrics
+        }
+
+    def render(self) -> str:
+        """The registry in Prometheus text exposition format (0.0.4)."""
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        lines: list[str] = []
+        for name, metric in metrics:
+            if metric.help:
+                lines.append(f"# HELP {name} {_escape_help(metric.help)}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            lines.extend(metric._render())
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_prometheus_text(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Parse Prometheus text exposition into ``{(name, labels): value}``.
+
+    A deliberately small parser covering what :meth:`MetricsRegistry.render`
+    emits (and what real exporters emit for these instrument kinds) — used
+    by the smoke scripts to assert counters moved across a run.  Labels are
+    returned as a sorted tuple of ``(name, value)`` pairs so sample keys
+    hash and compare structurally.
+    """
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = re.match(
+            r"([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$", line
+        )
+        if match is None:
+            raise ValueError(f"unparseable exposition line {line!r}")
+        name, raw_labels, raw_value = match.groups()
+        labels: list[tuple[str, str]] = []
+        if raw_labels:
+            for part in re.findall(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"', raw_labels):
+                label_name, label_value = part
+                label_value = (
+                    label_value.replace("\\n", "\n")
+                    .replace('\\"', '"')
+                    .replace("\\\\", "\\")
+                )
+                labels.append((label_name, label_value))
+        value = float(raw_value.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        samples[(name, tuple(sorted(labels)))] = value
+    return samples

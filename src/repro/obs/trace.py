@@ -1,0 +1,125 @@
+"""Request tracing: ids minted at the edge, cheap span records per job.
+
+A **request id** is minted by :class:`repro.client.Client` (or by the server
+at ingress when a request arrives without one), travels as the
+``X-Request-Id`` header, is echoed on every response, persisted on the job's
+ledger record, carried into the pool worker inside the job spec and surfaces
+again in the engine's :class:`~repro.engine.core.RunReport` — one join key
+from ``Client.submit`` to the engine's innermost stage timers.
+
+A **span** is a named wall-clock interval with optional parent and
+attributes; the server records one per lifecycle step::
+
+    submit                      the HTTP submission handler
+    queue-wait                  enqueue -> attempt start (per attempt)
+    attempt-N                   one executor run of the job
+      engine:<stage>            bridged from the worker's profiling snapshot
+    publish                     recording the terminal result
+
+The :class:`TraceStore` holds the spans of the most recent jobs in a bounded
+LRU (traces are diagnostics, not durable state — a restarted server serves
+traces for the jobs *it* ran).  All methods take the store lock, so the
+event-loop thread and executor threads can record concurrently without
+corrupting a trace.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "TraceStore", "new_request_id"]
+
+
+def new_request_id() -> str:
+    """A fresh 32-hex-character request/trace id."""
+    return uuid.uuid4().hex
+
+
+@dataclass(frozen=True)
+class Span:
+    """One named wall-clock interval inside a job's trace."""
+
+    name: str
+    #: Wall-clock start (``time.time()`` epoch seconds); 0.0 when the
+    #: recorder only knew the duration (bridged engine stages).
+    start: float = 0.0
+    seconds: float = 0.0
+    #: Name of the enclosing span (``None`` for top-level lifecycle spans).
+    parent: str | None = None
+    attributes: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "seconds": self.seconds,
+            "parent": self.parent,
+            "attributes": dict(self.attributes),
+        }
+
+
+class TraceStore:
+    """Bounded in-memory span storage, keyed by job id."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        #: job id -> {"request_id": str, "spans": [Span], "marks": {name: t}}
+        self._traces: OrderedDict[str, dict] = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def begin(self, job_id: str, request_id: str) -> None:
+        """Start (or restart) the trace of one job, evicting the oldest."""
+        with self._lock:
+            self._traces[job_id] = {
+                "request_id": request_id,
+                "spans": [],
+                "marks": {},
+            }
+            self._traces.move_to_end(job_id)
+            while len(self._traces) > self.capacity:
+                self._traces.popitem(last=False)
+
+    def add(self, job_id: str, span: Span) -> None:
+        """Append one span; silently ignored for unknown (evicted) jobs."""
+        with self._lock:
+            trace = self._traces.get(job_id)
+            if trace is not None:
+                trace["spans"].append(span)
+
+    def mark(self, job_id: str, name: str, when: float | None = None) -> None:
+        """Stamp a named instant (e.g. ``queued``) used to time later spans."""
+        with self._lock:
+            trace = self._traces.get(job_id)
+            if trace is not None:
+                trace["marks"][name] = time.time() if when is None else when
+
+    def mark_at(self, job_id: str, name: str) -> float | None:
+        with self._lock:
+            trace = self._traces.get(job_id)
+            return trace["marks"].get(name) if trace is not None else None
+
+    def request_id(self, job_id: str) -> str | None:
+        with self._lock:
+            trace = self._traces.get(job_id)
+            return trace["request_id"] if trace is not None else None
+
+    def get(self, job_id: str) -> dict | None:
+        """The trace of one job as a plain dict, or ``None`` when unknown."""
+        with self._lock:
+            trace = self._traces.get(job_id)
+            if trace is None:
+                return None
+            return {
+                "request_id": trace["request_id"],
+                "spans": [span.to_dict() for span in trace["spans"]],
+            }

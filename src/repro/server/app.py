@@ -11,13 +11,25 @@ small JSON-over-HTTP surface (all under ``/v1``):
 ``GET  /v1/jobs/{id}``                job status (ledger record + queue position info)
 ``GET  /v1/jobs/{id}/result``         published table (``?format=json`` or ``csv``)
 ``GET  /v1/jobs/{id}/metrics``        metric values / timings / cache tier of a done job
+``GET  /v1/jobs/{id}/trace``          span tree of a recent job (submit -> queue-wait ->
+                                      attempt(s) -> engine stages -> publish)
 ``POST /v1/jobs/{id}/cancel``         cancel a still-queued job
 ``GET  /v1/algorithms``               algorithm registry with capability metadata
-``GET  /v1/metrics``                  metric registry
+``GET  /v1/metrics``                  *quality*-metric registry (information loss etc.)
 ``GET  /v1/privacy``                  privacy-model registry with parameter schemas
 ``POST /v1/plan``                     explain the planner's decision for a workload
 ``GET  /v1/health``                   liveness, version, queue depth, job counters
+``GET  /v1/telemetry``                operational telemetry (Prometheus text format)
 ====================================  ===================================================
+
+**Observability**: every response carries an ``X-Request-Id`` header (echoing
+the client's, or minted at ingress); the id is stamped on the job's ledger
+record and spec, follows the job into the pool worker and engine, and keys
+the span tree served by ``/v1/jobs/{id}/trace``.  Operational counters,
+gauges and histograms live on a per-server
+:class:`~repro.obs.metrics.MetricsRegistry` scraped at ``/v1/telemetry``
+(Prometheus text format); ``/v1/health`` reports the same numbers from the
+same registry.  Every 4xx/5xx response is logged with its request id.
 
 Submissions may carry a ``privacy`` object (e.g. ``{"kind": "entropy-l",
 "l": 3}``) validated against the privacy registry; without one, the required
@@ -64,6 +76,8 @@ from typing import Awaitable, Callable
 from repro._version import __version__
 from repro.engine.registry import algorithm_registry, metric_registry
 from repro.errors import UnknownEntryError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, TraceStore, new_request_id
 from repro.privacy.spec import privacy_from_dict, privacy_registry, resolve_privacy
 from repro.server.pool import QueueFullError, WorkerPool
 from repro.server.protocol import (
@@ -73,6 +87,7 @@ from repro.server.protocol import (
     json_response,
     read_request,
     render_response,
+    splice_header,
 )
 from repro.server.ratelimit import RateLimiter
 from repro.service.jobs import JobLedger, JobRecord, JobStateError
@@ -85,14 +100,20 @@ _LOG = logging.getLogger("repro.server")
 _BACKENDS = (None, "auto", "numpy", "reference")
 
 Handler = Callable[["AnonymizationServer", Request], Awaitable[bytes]]
-_ROUTES: list[tuple[str, re.Pattern[str], str]] = []
+_ROUTES: list[tuple[str, re.Pattern[str], str, str]] = []
 
 
 def _route(method: str, pattern: str):
-    """Register a handler method for ``(method, path regex)``."""
+    """Register a handler method for ``(method, path regex)``.
+
+    Each route also derives a human template (``/v1/jobs/{id}``) from its
+    pattern — the fixed, low-cardinality label requests are metered under
+    (raw paths would mint one Prometheus series per job id).
+    """
 
     def decorator(function):
-        _ROUTES.append((method, re.compile(pattern), function.__name__))
+        template = re.sub(r"\(\?P<(\w+)>[^)]*\)", r"{\1}", pattern)
+        _ROUTES.append((method, re.compile(pattern), function.__name__, template))
         return function
 
     return decorator
@@ -143,6 +164,13 @@ class AnonymizationServer:
         self.max_body_bytes = max_body_bytes
         self.request_timeout_seconds = request_timeout_seconds
         self.limiter = RateLimiter(rate_limit, rate_burst)
+        #: Per-server (not process-global) operational registry: the pool's
+        #: recovery counters and queue gauges register here too, so one
+        #: scrape of ``/v1/telemetry`` covers the whole serving stack and
+        #: tests can assert exact counts without cross-test bleed.
+        self.telemetry = MetricsRegistry()
+        #: Span records of recent jobs, served by ``/v1/jobs/{id}/trace``.
+        self.traces = TraceStore()
         self.pool = WorkerPool(
             workers=workers,
             queue_cap=queue_cap,
@@ -153,6 +181,47 @@ class AnonymizationServer:
             job_timeout_seconds=job_timeout_seconds,
             max_attempts=max_attempts,
             retry_backoff_seconds=retry_backoff_seconds,
+            metrics=self.telemetry,
+        )
+        self._http_requests = self.telemetry.counter(
+            "repro_http_requests_total",
+            "HTTP requests answered, by route template, method and status.",
+            ("route", "method", "status"),
+        )
+        self._http_seconds = self.telemetry.histogram(
+            "repro_http_request_seconds",
+            "Wall-clock seconds from request read to response write.",
+            ("route",),
+        )
+        self._jobs_submitted = self.telemetry.counter(
+            "repro_jobs_submitted_total", "Jobs accepted onto the pool queue."
+        )
+        self._jobs_terminal = self.telemetry.counter(
+            "repro_jobs_terminal_total",
+            "Jobs that reached a terminal state, by state.",
+            ("state",),
+        )
+        self._jobs_rejected = self.telemetry.counter(
+            "repro_jobs_rejected_total",
+            "Submissions rejected before queueing, by reason.",
+            ("reason",),
+        )
+        self._store_hits = self.telemetry.counter(
+            "repro_store_hits_total",
+            "Completed jobs answered from the persistent run store.",
+        )
+        self._jobs_replayed = self.telemetry.counter(
+            "repro_jobs_replayed_total",
+            "Non-terminal ledger jobs re-enqueued at boot (crash recovery).",
+        )
+        self._compaction_reclaimed = self.telemetry.gauge(
+            "repro_ledger_compaction_reclaimed",
+            "Superseded ledger records reclaimed by the boot-time compaction.",
+        )
+        self._engine_stage_seconds = self.telemetry.histogram(
+            "repro_engine_stage_seconds",
+            "Per-stage engine seconds bridged back from pool workers.",
+            ("stage",),
         )
         #: Whether start() re-enqueues the ledger's non-terminal jobs.  On by
         #: default (the crash-recovery contract); tests that stage ledgers
@@ -171,22 +240,32 @@ class AnonymizationServer:
         self._pending_submits: set[str] = set()
         self._cancel_requested: set[str] = set()
         self.max_resident_jobs = max(max_resident_jobs, queue_cap + workers + 1)
-        self.stats = {
-            "submitted": 0,
-            "done": 0,
-            "failed": 0,
-            "cancelled": 0,
-            "rejected_queue_full": 0,
-            "rejected_rate_limited": 0,
-            "store_hits": 0,
-            "replayed": 0,
-            "compaction_reclaimed": 0,
-        }
         self._server: asyncio.base_events.Server | None = None
         self._draining = False
         self._started_at: float | None = None
         self.host: str | None = None
         self.port: int | None = None
+
+    @property
+    def stats(self) -> dict:
+        """The legacy job-counter dict, read from the telemetry registry.
+
+        One source of truth: the same instruments back ``/v1/telemetry``,
+        ``/v1/health`` and this view, so the three can never disagree.
+        """
+        return {
+            "submitted": int(self._jobs_submitted.total()),
+            "done": int(self._jobs_terminal.value(state="done")),
+            "failed": int(self._jobs_terminal.value(state="failed")),
+            "cancelled": int(self._jobs_terminal.value(state="cancelled")),
+            "rejected_queue_full": int(self._jobs_rejected.value(reason="queue_full")),
+            "rejected_rate_limited": int(
+                self._jobs_rejected.value(reason="rate_limited")
+            ),
+            "store_hits": int(self._store_hits.total()),
+            "replayed": int(self._jobs_replayed.total()),
+            "compaction_reclaimed": int(self._compaction_reclaimed.value()),
+        }
 
     # -------------------------------------------------------------- lifecycle
 
@@ -200,7 +279,7 @@ class AnonymizationServer:
         work while old work is still unaccounted for.
         """
         reclaimed = await self._offload(self.ledger.compact)
-        self.stats["compaction_reclaimed"] = reclaimed
+        self._compaction_reclaimed.set(float(reclaimed))
         if reclaimed:
             _LOG.info("ledger compaction reclaimed %d superseded records", reclaimed)
         await self.pool.start()
@@ -255,7 +334,7 @@ class AnonymizationServer:
                         self._remember(record.id, record=refreshed)
                     except (KeyError, JobStateError):  # pragma: no cover - racy
                         pass
-                    self.stats["failed"] += 1
+                    self._jobs_terminal.inc(state="failed")
                     continue
                 source = dict(source, path=str(spool))
                 spec = dict(spec, source=source)
@@ -271,8 +350,10 @@ class AnonymizationServer:
                 except (KeyError, JobStateError):  # pragma: no cover - racy
                     continue
             self._remember(record.id, record=record)
+            self.traces.begin(record.id, record.request_id)
+            self.traces.mark(record.id, "queued")
             await self.pool.requeue(record.id, spec, attempts=record.attempts)
-            self.stats["replayed"] += 1
+            self._jobs_replayed.inc()
             _LOG.info(
                 "replayed %s (%s, %d/%d attempts spent)",
                 record.id,
@@ -306,7 +387,7 @@ class AnonymizationServer:
                 record = await self._offload(self.ledger.cancel, job_id)
             except (KeyError, JobStateError):
                 continue
-            self.stats["cancelled"] += 1
+            self._jobs_terminal.inc(state="cancelled")
             if job_id in self._jobs:
                 self._jobs[job_id]["record"] = record
         for job_id in interrupted:
@@ -323,7 +404,7 @@ class AnonymizationServer:
                 )
             except (KeyError, JobStateError):
                 continue
-            self.stats["cancelled"] += 1
+            self._jobs_terminal.inc(state="cancelled")
             if job_id in self._jobs:
                 self._jobs[job_id]["record"] = record
 
@@ -344,6 +425,8 @@ class AnonymizationServer:
     ) -> None:
         peer = writer.get_extra_info("peername")
         peer_name = peer[0] if isinstance(peer, tuple) else str(peer)
+        request: Request | None = None
+        started = time.perf_counter()
         try:
             try:
                 # A deadline on reading the request: without one, a client
@@ -361,6 +444,8 @@ class AnonymizationServer:
                     ) from None
                 if request is None:
                     return
+                if not request.request_id:
+                    request.request_id = new_request_id()
                 response = await self._dispatch(request)
             except HttpError as error:
                 response = json_response(
@@ -370,6 +455,7 @@ class AnonymizationServer:
                 response = json_response(
                     500, {"error": f"{type(error).__name__}: {error}"}
                 )
+            response = self._observe_response(request, peer_name, started, response)
             writer.write(response)
             await writer.drain()
         except (ConnectionError, asyncio.CancelledError):
@@ -381,12 +467,51 @@ class AnonymizationServer:
             except (ConnectionError, OSError):  # pragma: no cover - peer reset
                 pass
 
+    def _observe_response(
+        self, request: Request | None, peer: str, started: float, response: bytes
+    ) -> bytes:
+        """Echo ``X-Request-Id``, meter the exchange, log any 4xx/5xx.
+
+        ``request`` is ``None`` when the bytes on the wire never parsed into
+        one (malformed framing, read timeout); those exchanges are metered
+        under the reserved ``unread`` route so abuse is still visible.
+        """
+        request_id = request.request_id if request is not None else new_request_id()
+        response = splice_header(response, "X-Request-Id", request_id)
+        try:
+            status = int(response.split(b" ", 2)[1])
+        except (IndexError, ValueError):  # pragma: no cover - we framed it
+            status = 0
+        if request is None:
+            route, method = "unread", ""
+        else:
+            route = request.route or "unmatched"
+            method = request.method
+        self._http_requests.inc(route=route, method=method, status=str(status))
+        self._http_seconds.observe(time.perf_counter() - started, route=route)
+        if status >= 400:
+            _LOG.warning(
+                "%s %s -> %d",
+                method or "?",
+                request.path if request is not None else "<unparsed>",
+                status,
+                extra={
+                    "request_id": request_id,
+                    "route": route,
+                    "method": method or None,
+                    "status": status,
+                    "client": request.client if request is not None else peer,
+                },
+            )
+        return response
+
     async def _dispatch(self, request: Request) -> bytes:
         allowed: set[str] = set()
-        for method, pattern, handler_name in _ROUTES:
+        for method, pattern, handler_name, template in _ROUTES:
             match = pattern.fullmatch(request.path)
             if match is None:
                 continue
+            request.route = template  # known path: label even 405s by route
             if method != request.method:
                 allowed.add(method)
                 continue
@@ -405,20 +530,21 @@ class AnonymizationServer:
 
     @_route("POST", r"/v1/jobs")
     async def _handle_submit(self, request: Request) -> bytes:
+        submit_started = time.time()
         if self._draining:
             raise HttpError(
                 503, "server is shutting down", headers={"Retry-After": "1"}
             )
         wait = self.limiter.check(request.client)
         if wait > 0:
-            self.stats["rejected_rate_limited"] += 1
+            self._jobs_rejected.inc(reason="rate_limited")
             raise HttpError(
                 429,
                 f"client {request.client!r} is rate limited; retry in {wait:.3f}s",
                 headers={"Retry-After": str(max(1, int(wait + 0.999)))},
             )
         if self.pool.depth >= self.pool.queue_cap:
-            self.stats["rejected_queue_full"] += 1
+            self._jobs_rejected.inc(reason="queue_full")
             raise self._queue_full_error(
                 self.pool.depth, self.pool.queue_cap, self.pool.retry_after()
             )
@@ -428,6 +554,9 @@ class AnonymizationServer:
             label, spec, spool = self._spec_from_csv_upload(request)
         else:
             label, spec, spool = self._spec_from_json(request.json())
+        # The trace id rides inside the spec so the pool worker (and, on a
+        # restart, the replayed job) can stamp it on the engine run.
+        spec["request_id"] = request.request_id
 
         # The full spec is persisted on the queued record (with an upload's
         # spool path still empty — replay reconstructs it from the job id),
@@ -441,6 +570,7 @@ class AnonymizationServer:
             client=request.client,
             spec=spec,
             max_attempts=self.pool.max_attempts,
+            request_id=request.request_id,
         )
         self._remember(record.id, record=record)
         self._pending_submits.add(record.id)
@@ -485,7 +615,7 @@ class AnonymizationServer:
             try:
                 self.pool.submit(record.id, spec)
             except QueueFullError as error:
-                self.stats["rejected_queue_full"] += 1
+                self._jobs_rejected.inc(reason="queue_full")
                 await self._rollback_submission(record.id)
                 raise self._queue_full_error(
                     error.depth, error.capacity, error.retry_after
@@ -493,7 +623,14 @@ class AnonymizationServer:
         finally:
             self._pending_submits.discard(record.id)
             self._cancel_requested.discard(record.id)
-        self.stats["submitted"] += 1
+        self._jobs_submitted.inc()
+        now = time.time()
+        self.traces.begin(record.id, request.request_id)
+        self.traces.add(
+            record.id,
+            Span("submit", start=submit_started, seconds=now - submit_started),
+        )
+        self.traces.mark(record.id, "queued", now)
         return json_response(
             202,
             {"id": record.id, "status": record.status, "queue_depth": self.pool.depth},
@@ -808,8 +945,11 @@ class AnonymizationServer:
         """Pool callback (awaited by the drainer): persist + mirror a transition.
 
         The ledger write runs on an executor thread; the in-memory job table
-        and counters are only touched from the event-loop thread.
+        is only touched from the event-loop thread, and the trace/metric
+        mutations go through their own locks.
         """
+        self._trace_transition(job_id, status, error, attempts, quarantined, result)
+        publish_started = time.time()
         try:
             if status == "running":
                 record = await self._offload(
@@ -822,6 +962,13 @@ class AnonymizationServer:
                     attempts,
                     error,
                     retry_in,
+                    extra={
+                        "job_id": job_id,
+                        "request_id": self.traces.request_id(job_id),
+                        "outcome": "retrying",
+                        "attempts": attempts,
+                        "error": error,
+                    },
                 )
                 record = await self._offload(
                     self.ledger.transition,
@@ -831,9 +978,20 @@ class AnonymizationServer:
                     last_error=error,
                 )
             elif status == "failed":
-                self.stats["failed"] += 1
+                self._jobs_terminal.inc(state="failed")
                 if quarantined:
-                    _LOG.error("job %s quarantined: %s", job_id, error)
+                    _LOG.error(
+                        "job %s quarantined: %s",
+                        job_id,
+                        error,
+                        extra={
+                            "job_id": job_id,
+                            "request_id": self.traces.request_id(job_id),
+                            "outcome": "quarantined",
+                            "attempts": attempts,
+                            "error": error,
+                        },
+                    )
                 record = await self._offload(
                     self.ledger.transition,
                     job_id,
@@ -845,9 +1003,9 @@ class AnonymizationServer:
                 )
             elif status == "done":
                 assert result is not None
-                self.stats["done"] += 1
+                self._jobs_terminal.inc(state="done")
                 if result.get("store_hit"):
-                    self.stats["store_hits"] += 1
+                    self._store_hits.inc()
                 decision = result.get("decision") or {}
                 record = await self._offload(
                     self.ledger.transition,
@@ -902,7 +1060,98 @@ class AnonymizationServer:
             )
         if status in ("done", "failed"):
             self._discard_spool(job_id)
+            self.traces.add(
+                job_id,
+                Span(
+                    "publish",
+                    start=publish_started,
+                    seconds=time.time() - publish_started,
+                ),
+            )
         self._remember(job_id, record=record, result=result)
+
+    #: Canonical engine stage order, used to lay bridged stage spans end to
+    #: end under their attempt (the profiling snapshot is an unordered dict).
+    _STAGE_ORDER = (
+        "load", "encode", "state-init", "phase1", "phase2", "phase3",
+        "publish", "merge", "metrics",
+    )
+
+    def _trace_transition(
+        self,
+        job_id: str,
+        status: str,
+        error: str,
+        attempts: int,
+        quarantined: bool,
+        result: dict | None,
+    ) -> None:
+        """Record the spans a pool transition implies (all no-ops when the
+        job's trace was evicted or predates this server process)."""
+        now = time.time()
+        if status == "running":
+            queued_at = self.traces.mark_at(job_id, "queued")
+            if queued_at is not None:
+                self.traces.add(
+                    job_id,
+                    Span("queue-wait", start=queued_at, seconds=now - queued_at),
+                )
+            self.traces.mark(job_id, "attempt", now)
+            return
+        attempt_at = self.traces.mark_at(job_id, "attempt")
+        if attempt_at is None:
+            return
+        attempt_name = f"attempt-{max(attempts, 1)}"
+        if status == "retrying":
+            outcome = "retry"
+        elif status == "failed":
+            outcome = "quarantined" if quarantined else "failed"
+        else:
+            outcome = "done"
+        attributes: dict = {"outcome": outcome}
+        if error:
+            attributes["error"] = error
+        self.traces.add(
+            job_id,
+            Span(
+                attempt_name,
+                start=attempt_at,
+                seconds=now - attempt_at,
+                attributes=attributes,
+            ),
+        )
+        if status == "retrying":
+            # The backoff wait plus the re-queue both land in the next
+            # attempt's queue-wait span.
+            self.traces.mark(job_id, "queued", now)
+            return
+        if status == "done" and result is not None:
+            profile = result.get("profile") or {}
+            ordered = [
+                (stage, profile[stage])
+                for stage in self._STAGE_ORDER
+                if stage in profile
+            ]
+            ordered.extend(
+                sorted(
+                    (stage, seconds)
+                    for stage, seconds in profile.items()
+                    if stage not in self._STAGE_ORDER
+                )
+            )
+            cursor = attempt_at
+            for stage, seconds in ordered:
+                self._engine_stage_seconds.observe(seconds, stage=stage)
+                self.traces.add(
+                    job_id,
+                    Span(
+                        f"engine:{stage}",
+                        start=cursor,
+                        seconds=seconds,
+                        parent=attempt_name,
+                    ),
+                )
+                cursor += seconds
 
     def _synthesized_record(
         self, job_id: str, status: str, error: str, cause: str
@@ -1027,6 +1276,24 @@ class AnonymizationServer:
         payload = {key: value for key, value in result.items() if key not in ("rows", "header")}
         return json_response(200, payload)
 
+    @_route("GET", r"/v1/jobs/(?P<id>[\w.-]+)/trace")
+    async def _handle_trace(self, request: Request) -> bytes:
+        """The span tree recorded for one job (submitted to *this* process).
+
+        Traces are memory-resident diagnostics: a job from a previous server
+        process, or one evicted from the bounded trace store, answers 404
+        even though its ledger record still exists.
+        """
+        job_id = request.path_params["id"]
+        trace = self.traces.get(job_id)
+        if trace is None:
+            raise HttpError(
+                404,
+                f"no trace for job {job_id!r} (traces are held in memory "
+                "for recent jobs of this server process only)",
+            )
+        return json_response(200, {"id": job_id, **trace})
+
     @_route("POST", r"/v1/jobs/(?P<id>[\w.-]+)/cancel")
     async def _handle_cancel(self, request: Request) -> bytes:
         job_id = request.path_params["id"]
@@ -1049,7 +1316,7 @@ class AnonymizationServer:
             record = await self._offload(self.ledger.cancel, job_id)
         except JobStateError as error:
             raise HttpError(409, str(error)) from None
-        self.stats["cancelled"] += 1
+        self._jobs_terminal.inc(state="cancelled")
         self._discard_spool(job_id)
         self._remember(job_id, record=record)
         return json_response(200, asdict(record))
@@ -1135,6 +1402,18 @@ class AnonymizationServer:
                 "reasons": list(decision.reasons),
                 "candidates": [list(entry) for entry in decision.candidates],
             },
+        )
+
+    @_route("GET", r"/v1/telemetry")
+    async def _handle_telemetry(self, request: Request) -> bytes:
+        """Operational telemetry in the Prometheus text exposition format.
+
+        Distinct from ``/v1/metrics``, which lists the *quality*-metric
+        registry (information loss etc.) a submission can request.
+        """
+        body = self.telemetry.render().encode("utf-8")
+        return render_response(
+            200, body, content_type="text/plain; version=0.0.4; charset=utf-8"
         )
 
     @_route("GET", r"/v1/health")

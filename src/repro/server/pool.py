@@ -54,11 +54,13 @@ from concurrent.futures import (
 )
 from typing import Callable
 
+from repro import profiling
 from repro.engine.cache import ResultCache
 from repro.engine.core import Engine, RunPlan
 from repro.engine.sinks import render_cell_value
 from repro.engine.sources import CsvSource, DataSource, SyntheticSource
 from repro.errors import JobTimeoutError, WorkerCrashError
+from repro.obs.metrics import MetricsRegistry
 from repro.privacy.spec import privacy_from_dict
 from repro.server.faults import apply_worker_faults
 
@@ -152,6 +154,7 @@ def execute_job(spec: dict, workspace_root: str | None, use_store: bool) -> dict
         seed=int(spec.get("seed", 0)),
         metrics=tuple(spec.get("metrics", ())),
         chunk_rows=spec.get("chunk_rows"),
+        request_id=str(spec.get("request_id", "")),
     )
     if use_store:
         from repro.service.workspace import Workspace
@@ -160,7 +163,17 @@ def execute_job(spec: dict, workspace_root: str | None, use_store: bool) -> dict
         engine = Engine(cache=ResultCache(store=store))
     else:
         engine = Engine(cache=ResultCache())
-    report = engine.run(plan)
+    # Force stage profiling for the run so per-stage timings ride back to the
+    # server in the (picklable) payload — the only bridge out of a pool
+    # worker process — then restore whatever the worker had configured.
+    profiling_was_enabled = profiling.enabled()
+    if not profiling_was_enabled:
+        profiling.set_enabled(True)
+    try:
+        report = engine.run(plan)
+    finally:
+        if not profiling_was_enabled:
+            profiling.set_enabled(False)
 
     generalized = report.generalized
     payload: dict = {
@@ -186,6 +199,8 @@ def execute_job(spec: dict, workspace_root: str | None, use_store: bool) -> dict
             "metrics_seconds": report.timings.metrics_seconds,
         },
         "shard_sizes": list(report.shard_sizes),
+        "profile": dict(report.profile or {}),
+        "request_id": report.request_id,
         "decision": {
             "shards": report.decision.shards,
             "workers": report.decision.workers,
@@ -224,6 +239,7 @@ class WorkerPool:
         max_attempts: int = 3,
         retry_backoff_seconds: float = 0.5,
         max_retry_backoff_seconds: float = 30.0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -269,14 +285,72 @@ class WorkerPool:
         #: Seconds one queue slot is expected to take to free up; seeds the
         #: Retry-After estimate before any job has completed.
         self._recent_seconds = 0.5
-        #: Transition callbacks that raised (and were swallowed to keep the
-        #: drainer alive); surfaced by the server's health endpoint.
-        self.callback_errors = 0
-        #: Recovery counters, surfaced by ``/v1/health``.
-        self.retries = 0
-        self.pool_restarts = 0
-        self.timeouts = 0
-        self.quarantined = 0
+        #: Recovery counters live on the (lock-guarded) obs registry — the
+        #: single writer-safe home shared with ``/v1/telemetry`` and
+        #: ``/v1/health``; the legacy int attributes below are read-only
+        #: views.  A standalone pool gets a private registry.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._callback_errors = self.metrics.counter(
+            "repro_pool_callback_errors_total",
+            "Transition callbacks that raised and were swallowed to keep the "
+            "drainer alive.",
+        )
+        self._retries = self.metrics.counter(
+            "repro_pool_retries_total",
+            "Job attempts re-enqueued with backoff after a retryable failure.",
+        )
+        self._pool_restarts = self.metrics.counter(
+            "repro_pool_restarts_total",
+            "Executor rebuilds after a worker crash or timeout kill.",
+        )
+        self._timeouts = self.metrics.counter(
+            "repro_pool_timeouts_total",
+            "Job attempts that exceeded the per-attempt wall-clock budget.",
+        )
+        self._quarantined = self.metrics.counter(
+            "repro_pool_quarantined_total",
+            "Jobs failed terminally after exhausting their attempt budget.",
+        )
+        self._attempt_seconds = self.metrics.histogram(
+            "repro_job_attempt_seconds",
+            "Wall-clock seconds of one executor attempt, by outcome.",
+            ("outcome",),
+        )
+        self.metrics.gauge(
+            "repro_queue_depth", "Jobs waiting in the pool queue."
+        ).set_function(lambda: float(self._queue.qsize()))
+        self.metrics.gauge(
+            "repro_queue_capacity", "Admission cap of the pool queue."
+        ).set(float(queue_cap))
+        self.metrics.gauge(
+            "repro_jobs_running", "Jobs currently executing on the pool."
+        ).set_function(lambda: float(len(self._running)))
+        self.metrics.gauge(
+            "repro_jobs_retry_waiting", "Jobs waiting out a retry backoff."
+        ).set_function(lambda: float(len(self._retry_waits)))
+
+    # Read-only views kept for callers/tests that predate the obs registry.
+
+    @property
+    def callback_errors(self) -> int:
+        """Transition callbacks that raised (surfaced by ``/v1/health``)."""
+        return int(self._callback_errors.total())
+
+    @property
+    def retries(self) -> int:
+        return int(self._retries.total())
+
+    @property
+    def pool_restarts(self) -> int:
+        return int(self._pool_restarts.total())
+
+    @property
+    def timeouts(self) -> int:
+        return int(self._timeouts.total())
+
+    @property
+    def quarantined(self) -> int:
+        return int(self._quarantined.total())
 
     # ------------------------------------------------------------- lifecycle
 
@@ -449,7 +523,7 @@ class WorkerPool:
         async with self._rebuild_lock:
             if broken is None or self._executor is not broken:
                 return
-            self.pool_restarts += 1
+            self._pool_restarts.inc()
             if isinstance(broken, ProcessPoolExecutor):
                 for process in list(
                     (getattr(broken, "_processes", None) or {}).values()
@@ -464,7 +538,7 @@ class WorkerPool:
         """Schedule a backoff re-enqueue, or quarantine an exhausted job."""
         reason = f"{type(error).__name__}: {error}"
         if attempt >= self.max_attempts:
-            self.quarantined += 1
+            self._quarantined.inc()
             self._attempts.pop(job_id, None)
             await self._notify(
                 job_id,
@@ -474,7 +548,7 @@ class WorkerPool:
                 quarantined=True,
             )
             return
-        self.retries += 1
+        self._retries.inc()
         delay = min(
             self.retry_backoff_seconds * (2 ** (attempt - 1)),
             self.max_retry_backoff_seconds,
@@ -514,7 +588,7 @@ class WorkerPool:
             if inspect.isawaitable(outcome):
                 await outcome
         except Exception:  # noqa: BLE001 - drainer survival beats strictness
-            self.callback_errors += 1
+            self._callback_errors.inc()
 
     async def _drain(self) -> None:
         loop = asyncio.get_running_loop()
@@ -556,7 +630,10 @@ class WorkerPool:
                     # bound by killing the executor's workers (process pools;
                     # thread attempts are abandoned — see _heal_executor) and
                     # retry the job.
-                    self.timeouts += 1
+                    self._timeouts.inc()
+                    self._attempt_seconds.observe(
+                        loop.time() - started, outcome="timeout"
+                    )
                     await self._heal_executor(executor)
                     await self._retry_or_quarantine(
                         job_id,
@@ -571,6 +648,9 @@ class WorkerPool:
                     # The worker died mid-job (segfault, OOM kill, injected
                     # fault).  Heal the pool, then retry: the crash says
                     # nothing about the job until its budget runs out.
+                    self._attempt_seconds.observe(
+                        loop.time() - started, outcome="crashed"
+                    )
                     await self._heal_executor(executor)
                     await self._retry_or_quarantine(
                         job_id,
@@ -581,6 +661,9 @@ class WorkerPool:
                         ),
                     )
                 except Exception as error:  # noqa: BLE001 - reported, not dropped
+                    self._attempt_seconds.observe(
+                        loop.time() - started, outcome="failed"
+                    )
                     self._attempts.pop(job_id, None)
                     await self._notify(
                         job_id,
@@ -592,6 +675,7 @@ class WorkerPool:
                     # Exponential moving average of job seconds -> Retry-After.
                     elapsed = loop.time() - started
                     self._recent_seconds = 0.7 * self._recent_seconds + 0.3 * elapsed
+                    self._attempt_seconds.observe(elapsed, outcome="done")
                     self._attempts.pop(job_id, None)
                     await self._notify(job_id, "done", result=result, attempts=attempt)
                 finally:

@@ -23,7 +23,14 @@ from urllib.parse import parse_qsl, urlsplit
 
 import asyncio
 
-__all__ = ["HttpError", "Request", "read_request", "render_response", "json_response"]
+__all__ = [
+    "HttpError",
+    "Request",
+    "read_request",
+    "render_response",
+    "json_response",
+    "splice_header",
+]
 
 #: Hard cap on the request line and on any single header line, in bytes.
 MAX_LINE_BYTES = 8 * 1024
@@ -76,6 +83,12 @@ class Request:
     client: str = ""
     #: Named groups captured by the matched route pattern.
     path_params: dict[str, str] = field(default_factory=dict)
+    #: Trace id: the ``X-Request-Id`` header when present, otherwise minted
+    #: at ingress.  Echoed on the response and stamped on any job created.
+    request_id: str = ""
+    #: Route template (e.g. ``/v1/jobs/{id}``) filled in at dispatch — the
+    #: low-cardinality label requests are metered under.
+    route: str = ""
 
     def json(self) -> dict:
         """The body parsed as a JSON object (400 on anything else)."""
@@ -154,6 +167,7 @@ async def read_request(
         headers=headers,
         body=body,
         client=headers.get("x-client-id", peer),
+        request_id=headers.get("x-request-id", ""),
     )
 
 
@@ -174,6 +188,19 @@ def render_response(
     for name, value in (headers or {}).items():
         lines.append(f"{name}: {value}")
     return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def splice_header(response: bytes, name: str, value: str) -> bytes:
+    """Insert one header into an already-rendered response.
+
+    Handlers return fully framed bytes; the connection loop uses this to
+    stamp ``X-Request-Id`` on every response without re-rendering bodies.
+    """
+    separator = response.find(b"\r\n\r\n")
+    if separator < 0:
+        return response
+    line = f"\r\n{name}: {value}".encode("latin-1")
+    return response[:separator] + line + response[separator:]
 
 
 def json_response(

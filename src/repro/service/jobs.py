@@ -146,6 +146,9 @@ class JobRecord:
     #: can re-enqueue every non-terminal job (empty on CLI records, which run
     #: synchronously and are never replayed).
     spec: dict = field(default_factory=dict)
+    #: Trace id of the submitting request (``X-Request-Id``) — the join key
+    #: across client logs, server logs, spans and the engine's RunReport.
+    request_id: str = ""
 
     def is_terminal(self) -> bool:
         return self.status in TERMINAL_STATUSES

@@ -1,0 +1,188 @@
+"""Unit tests for the obs metrics core: instruments, exposition, exactness."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus_text,
+)
+
+
+class TestCounter:
+    def test_unlabeled_inc_and_total(self):
+        counter = Counter("requests_total", "Requests.")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+        assert counter.total() == 3.5
+
+    def test_labeled_series_are_independent(self):
+        counter = Counter("jobs_total", "Jobs.", ("state",))
+        counter.inc(state="done")
+        counter.inc(state="done")
+        counter.inc(state="failed")
+        assert counter.value(state="done") == 2.0
+        assert counter.value(state="failed") == 1.0
+        assert counter.value(state="cancelled") == 0.0
+        assert counter.total() == 3.0
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("c_total", "")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_wrong_label_set_rejected(self):
+        counter = Counter("c_total", "", ("route",))
+        with pytest.raises(ValueError):
+            counter.inc()
+        with pytest.raises(ValueError):
+            counter.inc(route="/x", extra="nope")
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("1bad", "")
+        with pytest.raises(ValueError):
+            Counter("ok_total", "", ("__reserved",))
+        with pytest.raises(ValueError):
+            Counter("ok_total", "", ("bad-label",))
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("depth", "")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value() == 4.0
+
+    def test_callback_resolved_at_read_time(self):
+        box = {"value": 1.0}
+        gauge = Gauge("live", "")
+        gauge.set_function(lambda: box["value"])
+        assert gauge.value() == 1.0
+        box["value"] = 7.0
+        assert gauge.value() == 7.0
+        # set() replaces the callback again
+        gauge.set(2.0)
+        assert gauge.value() == 2.0
+
+
+class TestHistogram:
+    def test_bucket_boundaries_are_inclusive(self):
+        histogram = Histogram("seconds", "", buckets=(0.1, 1.0))
+        histogram.observe(0.1)   # le="0.1" (inclusive)
+        histogram.observe(0.5)   # le="1"
+        histogram.observe(3.0)   # +Inf only
+        samples = histogram._samples()[0]
+        assert samples["buckets"][0.1] == 1.0
+        assert samples["buckets"][1.0] == 2.0  # cumulative
+        assert samples["count"] == 3.0
+        assert samples["sum"] == pytest.approx(3.6)
+        assert histogram.count() == 3
+        assert histogram.sum() == pytest.approx(3.6)
+
+    def test_render_emits_bucket_sum_count(self):
+        histogram = Histogram("h", "", ("route",), buckets=(0.5,))
+        histogram.observe(0.2, route="/x")
+        text = "\n".join(histogram._render())
+        assert 'h_bucket{route="/x",le="0.5"} 1' in text
+        assert 'h_bucket{route="/x",le="+Inf"} 1' in text
+        assert 'h_count{route="/x"} 1' in text
+
+    def test_duplicate_or_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", "", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", "", buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_getters_are_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("a_total", "help", ("x",))
+        second = registry.counter("a_total", "other help", ("x",))
+        assert first is second
+
+    def test_kind_and_label_mismatch_raise(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "", ("x",))
+        with pytest.raises(ValueError):
+            registry.gauge("a_total", "")
+        with pytest.raises(ValueError):
+            registry.counter("a_total", "", ("y",))
+
+    def test_render_and_parse_round_trip(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("req_total", "Total requests.", ("route", "status"))
+        counter.inc(3, route="/v1/jobs", status="202")
+        registry.gauge("depth", "Queue depth.").set(4)
+        histogram = registry.histogram("lat_seconds", "Latency.", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        text = registry.render()
+        assert "# TYPE req_total counter" in text
+        assert "# HELP depth Queue depth." in text
+        parsed = parse_prometheus_text(text)
+        assert parsed[("req_total", (("route", "/v1/jobs"), ("status", "202")))] == 3.0
+        assert parsed[("depth", ())] == 4.0
+        assert parsed[("lat_seconds_bucket", (("le", "0.1"),))] == 1.0
+        assert parsed[("lat_seconds_count", ())] == 1.0
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("e_total", "", ("path",)).inc(path='a"b\\c\nd')
+        parsed = parse_prometheus_text(registry.render())
+        assert parsed[("e_total", (("path", 'a"b\\c\nd'),))] == 1.0
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("!!! not exposition format")
+
+    def test_snapshot_is_picklable_and_resolves_callbacks(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "").inc()
+        registry.gauge("g", "").set_function(lambda: 9.0)
+        snapshot = pickle.loads(pickle.dumps(registry.snapshot()))
+        assert snapshot["c_total"]["kind"] == "counter"
+        assert snapshot["g"]["samples"][0]["value"] == 9.0
+
+
+class TestConcurrencyExactness:
+    """The registry's reason to exist: no lost increments across threads."""
+
+    def test_counter_hammer_is_exact(self):
+        counter = Counter("hammer_total", "", ("worker",))
+        threads, per_thread = 8, 5_000
+
+        def work(index: int) -> None:
+            for _ in range(per_thread):
+                counter.inc(worker=str(index % 2))
+
+        pool = [threading.Thread(target=work, args=(i,)) for i in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert counter.total() == threads * per_thread
+
+    def test_histogram_hammer_is_exact(self):
+        histogram = Histogram("hh_seconds", "", buckets=(0.5,))
+        threads, per_thread = 8, 2_000
+
+        def work() -> None:
+            for index in range(per_thread):
+                histogram.observe(0.25 if index % 2 else 0.75)
+
+        pool = [threading.Thread(target=work) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert histogram.count() == threads * per_thread
