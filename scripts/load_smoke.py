@@ -21,14 +21,21 @@ running server), then:
    through the HTTP API; each result is re-verified in-process with the
    matching spec checker at rendered-row granularity, and the record/result
    payloads must echo the resolved spec;
-5. **telemetry** — ``GET /v1/telemetry`` is scraped (and parsed as
+5. **result artifacts** — a 10^5-row job is served end-to-end
+   (submit → ``result_csv``) off its zero-copy artifact: the bytes must be
+   identical to the legacy render-and-pickle path replayed in-process, the
+   round trip must beat that legacy pipeline by ``MIN_ARTIFACT_SPEEDUP``x,
+   the fetched table must still satisfy its privacy spec, and a repeat
+   fetch must be a render-cache hit (the cache-hit counter moves, the
+   render counter does not);
+6. **telemetry** — ``GET /v1/telemetry`` is scraped (and parsed as
    Prometheus text) before and after the run: request/submission counters
    must have moved by at least the work performed, the queue-full rejections
    of phase 3 must appear under ``repro_jobs_rejected_total``, and a fixed
    job's trace (``GET /v1/jobs/{id}/trace``) must contain every lifecycle
    span — submit, queue-wait, attempt-1, engine stages, publish — keyed by
    the client-minted request id;
-6. **clean shutdown** — the server subprocess must exit with code 0 on
+7. **clean shutdown** — the server subprocess must exit with code 0 on
    SIGTERM.
 
 Exit code 0 on success, 1 on any violation::
@@ -40,6 +47,8 @@ Exit code 0 on success, 1 on any violation::
 from __future__ import annotations
 
 import argparse
+import csv
+import io
 import json
 import re
 import signal
@@ -61,6 +70,9 @@ QUEUE_CAP = 8
 WORKERS = 4
 BURST_JOBS = 20
 BURST_N = 25_000
+ARTIFACT_N = 100_000
+ARTIFACT_L = 4
+MIN_ARTIFACT_SPEEDUP = 1.5
 
 
 def fail(message: str) -> None:
@@ -227,6 +239,92 @@ def phase_privacy(base_url: str) -> None:
     print(
         f"privacy: {verified} spec jobs verified with their matching checkers, "
         "check-only t-closeness rejected with 400"
+    )
+
+
+def phase_result_artifacts(base_url: str) -> None:
+    """Zero-copy artifact serving: byte-identical, faster, cached on repeat.
+
+    The legacy baseline is replayed in-process: the same job spec through
+    :func:`repro.server.pool.execute_job` *without* the ``result_artifact``
+    marker renders and pickles every row-string list exactly as the old
+    worker did, then the server-side CSV write is repeated on those rows.
+    That baseline omits the HTTP/polling overhead the served path pays, so
+    the speedup floor is conservative.
+    """
+    from repro.server.pool import execute_job
+
+    client = Client(
+        base_url, client_id="artifact", retries=30, backoff_seconds=0.05, timeout=120.0
+    )
+
+    # Best-of-two timing on both sides (distinct seeds, so neither attempt is
+    # a run-store replay): a single-shot measurement is too noisy to hold a
+    # 1.5x floor when the absolute times are a few hundred milliseconds.
+    served_times, legacy_times = [], []
+    job_id = None
+    served_csv = ""
+    for seed in (0, 1):
+        source = {"kind": "synthetic", "dataset": "SAL", "n": ARTIFACT_N,
+                  "seed": seed, "dimension": 3}
+        started = time.perf_counter()
+        job_id = client.submit(source=source, l=ARTIFACT_L, algorithm="TP+")
+        client.wait(job_id, timeout=240.0)
+        served_csv = client.result_csv(job_id)
+        served_times.append(time.perf_counter() - started)
+
+        reader = csv.reader(io.StringIO(served_csv))
+        header = next(reader)
+        rows = list(reader)
+        qi_width = len(header) - 1
+        if len(rows) != ARTIFACT_N:
+            fail(f"artifact CSV carries {len(rows)} rows, expected {ARTIFACT_N}")
+        if not rows_l_diverse(rows, qi_width, ARTIFACT_L):
+            fail(f"artifact-served table violates {ARTIFACT_L}-diversity")
+
+        spec = {"algorithm": "TP+", "l": ARTIFACT_L, "metrics": [], "shards": None,
+                "backend": None, "seed": seed, "chunk_rows": None,
+                "include_rows": True, "source": source}
+        with tempfile.TemporaryDirectory() as legacy_workspace:
+            started = time.perf_counter()
+            legacy = execute_job(spec, legacy_workspace, False)
+            buffer = io.StringIO()
+            writer = csv.writer(buffer)
+            writer.writerow(legacy["header"])
+            writer.writerows(legacy["rows"])
+            legacy_csv = buffer.getvalue()
+            legacy_times.append(time.perf_counter() - started)
+        if "result_artifact" in legacy or "rows" not in legacy:
+            fail("legacy baseline unexpectedly took the artifact path")
+        if legacy_csv != served_csv:
+            fail("artifact-served CSV is not byte-identical to the legacy render")
+
+    artifact_seconds = min(served_times)
+    legacy_seconds = min(legacy_times)
+    speedup = legacy_seconds / artifact_seconds if artifact_seconds else float("inf")
+    if speedup < MIN_ARTIFACT_SPEEDUP:
+        fail(
+            f"submit->result_csv took {artifact_seconds:.3f}s vs legacy "
+            f"{legacy_seconds:.3f}s ({speedup:.2f}x), floor is "
+            f"{MIN_ARTIFACT_SPEEDUP:g}x"
+        )
+
+    before = parse_prometheus_text(client.telemetry_text())
+    renders = metric(before, "repro_result_renders_total", format="csv")
+    hits = metric(before, "repro_result_cache_hits_total", format="csv")
+    if client.result_csv(job_id) != served_csv:
+        fail("repeat result_csv fetch returned different bytes")
+    after = parse_prometheus_text(client.telemetry_text())
+    if metric(after, "repro_result_renders_total", format="csv") != renders:
+        fail("repeat result_csv fetch re-rendered instead of hitting the cache")
+    if metric(after, "repro_result_cache_hits_total", format="csv") != hits + 1:
+        fail("repeat result_csv fetch did not count as a render-cache hit")
+    if metric(after, "repro_result_artifact_bytes") <= 0:
+        fail("repro_result_artifact_bytes gauge never saw the resident artifact")
+    print(
+        f"result artifacts: {ARTIFACT_N} rows served in {artifact_seconds:.2f}s "
+        f"vs legacy {legacy_seconds:.2f}s ({speedup:.2f}x, bytes identical), "
+        "repeat fetch cache-hit with no re-render"
     )
 
 
@@ -439,6 +537,8 @@ def main() -> None:
         )
 
         phase_privacy(base_url)
+
+        phase_result_artifacts(base_url)
 
         phase_backpressure(base_url)
 

@@ -21,6 +21,11 @@ and checks the acceptance properties of the zero-copy pipeline:
    mutation a served job implies) is replayed on the benched mmap run and
    must add less than ``TELEMETRY_OVERHEAD_CAP - 1`` (2%) over the bare
    run, best-of-``BENCH_ROUNDS`` timings on both sides.
+6. **Encode/publish kernels** — the packed-sort encode
+   (:meth:`GroupingContext.build`) and the columnar publish
+   (:meth:`GeneralizedTable.from_partition`) are bit-identical to their
+   retained serial oracles (including with the chunked pool paths forced)
+   and beat them combined by at least ``MIN_SPEEDUP``x.
 
 Run with ``PYTHONPATH=src python scripts/scale_smoke.py`` (wired into
 ``scripts/ci.sh``).
@@ -238,6 +243,96 @@ def _check_telemetry_overhead(mmap_source) -> bool:
     return True
 
 
+def _check_encode_publish(table) -> bool:
+    """Parallel encode/publish vs the serial oracles: identical and >= 2x.
+
+    The encode side compares every array of the key-derived
+    :class:`GroupingContext` against the wide-scan reference; the publish
+    side compares the lazily materialized cells of the columnar
+    ``from_partition`` against the row-by-row reference.  Both are re-run
+    with the chunked pool paths forced (``PARALLEL_THRESHOLD=1``,
+    ``MIN_SORT_CHUNKS=4``) so chunk stitching is covered at this scale too.
+    """
+    from repro.core import kernels
+    from repro.core.grouping import GroupingContext
+    from repro.dataset.generalized import GeneralizedTable, Partition
+
+    args = (
+        table.qi_columns,
+        table.sa_array,
+        [attribute.size for attribute in table.schema.qi],
+        table.schema.sensitive.size,
+    )
+    context_arrays = (
+        "order",
+        "group_keys",
+        "group_run_bounds",
+        "run_bounds",
+        "run_values",
+    )
+
+    started = time.perf_counter()
+    fast_context = GroupingContext.build(*args)
+    encode_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    oracle_context = GroupingContext.build_reference(*args)
+    encode_reference = time.perf_counter() - started
+    for name in context_arrays:
+        if getattr(fast_context, name).tolist() != getattr(oracle_context, name).tolist():
+            print(f"FAIL: parallel encode diverges from the serial oracle ({name})")
+            return False
+
+    partition = Partition.by_qi(table)
+    started = time.perf_counter()
+    fast = GeneralizedTable.from_partition(table, partition)
+    publish_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    oracle = GeneralizedTable.from_partition_reference(table, partition)
+    publish_reference = time.perf_counter() - started
+    if (
+        fast.cell_rows != oracle.cell_rows
+        or fast.sa_values != oracle.sa_values
+        or fast.group_ids != oracle.group_ids
+        or fast.star_count() != oracle.star_count()
+    ):
+        print("FAIL: parallel publish diverges from the serial oracle")
+        return False
+
+    saved_threshold = kernels.PARALLEL_THRESHOLD
+    saved_chunks = kernels.MIN_SORT_CHUNKS
+    kernels.PARALLEL_THRESHOLD = 1
+    kernels.MIN_SORT_CHUNKS = 4
+    try:
+        chunked_context = GroupingContext.build(*args)
+        chunked = GeneralizedTable.from_partition(table, partition)
+    finally:
+        kernels.PARALLEL_THRESHOLD = saved_threshold
+        kernels.MIN_SORT_CHUNKS = saved_chunks
+    for name in context_arrays:
+        if (
+            getattr(chunked_context, name).tolist()
+            != getattr(oracle_context, name).tolist()
+        ):
+            print(f"FAIL: forced-chunk encode diverges ({name})")
+            return False
+    if chunked.cell_rows != oracle.cell_rows:
+        print("FAIL: forced-chunk publish diverges from the serial oracle")
+        return False
+
+    fast_seconds = encode_seconds + publish_seconds
+    reference_seconds = encode_reference + publish_reference
+    ratio = reference_seconds / fast_seconds if fast_seconds else float("inf")
+    print(
+        f"encode+publish: fast {encode_seconds:.3f}s+{publish_seconds:.3f}s, "
+        f"reference {encode_reference:.3f}s+{publish_reference:.3f}s "
+        f"-> {ratio:.2f}x (outputs identical, chunked paths identical)"
+    )
+    if ratio < MIN_SPEEDUP:
+        print(f"FAIL: encode+publish speedup below the {MIN_SPEEDUP:g}x floor")
+        return False
+    return True
+
+
 def main() -> int:
     print(f"scale smoke: n={N}, l={L}, chunk_rows={CHUNK_ROWS}")
     table = make_sal(N, seed=SEED, config=CensusConfig.scaled(QI_SCALE))
@@ -278,6 +373,8 @@ def main() -> int:
             print(f"FAIL: speedup below the {MIN_SPEEDUP:g}x floor")
             return 1
 
+        if not _check_encode_publish(table):
+            return 1
         if not _check_fused_metrics():
             return 1
         if not _check_warm_start(table, Path(tmp)):

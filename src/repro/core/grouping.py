@@ -34,26 +34,43 @@ __all__ = ["GroupingContext", "sort_qi_sa"]
 
 
 def sort_qi_sa(
-    columns: np.ndarray, sa: np.ndarray, qi_sizes: Sequence[int], sa_size: int
+    columns: np.ndarray,
+    sa: np.ndarray,
+    qi_sizes: Sequence[int],
+    sa_size: int,
+    keys: np.ndarray | None = None,
 ) -> np.ndarray:
     """The stable permutation sorting rows by ``(QI vector, SA code)``.
 
     Equivalent to ``np.lexsort((sa, columns[:, d-1], ..., columns[:, 0]))``
     — and bit-identical to it — but via one composite int64 key and a single
-    stable argsort, which NumPy runs as a radix sort: ~2.5x faster than the
-    multi-key lexsort at 10^6 rows.  Falls back to the lexsort when the
-    combined domains overflow 62 bits (no realistic census-style domain
-    does).  The actual sort is wrapped in the ``sort`` profiling sub-stage
-    so warm starts (a persisted permutation) are observable by its absence.
+    packed value sort (:func:`~repro.core.kernels.stable_sort_pairs`):
+    ~2.5x faster than the multi-key lexsort at 10^6 rows, and another ~5x
+    on the sort itself when the packed words fit.  Falls back to the
+    lexsort when the combined domains overflow 62 bits (no realistic
+    census-style domain does).  A caller that already packed the composite keys passes them via
+    ``keys`` (``None`` means "pack here").  The actual sort is wrapped in
+    the ``sort`` profiling sub-stage so warm starts (a persisted
+    permutation) are observable by its absence.
     """
     with profiling.profile_stage("sort"):
-        keys = kernels.composite_codes(columns, sa, qi_sizes, sa_size)
+        if keys is None:
+            keys = kernels.composite_codes(columns, sa, qi_sizes, sa_size)
         if keys is not None:
-            return kernels.stable_argsort(keys)
+            order, _ = kernels.stable_sort_pairs(keys, _key_span(qi_sizes, sa_size))
+            return order
         dimension = columns.shape[1]
         return np.lexsort(
             (sa,) + tuple(columns[:, position] for position in reversed(range(dimension)))
         )
+
+
+def _key_span(qi_sizes: Sequence[int], sa_size: int) -> int:
+    """Exclusive upper bound of the composite ``(QI, SA)`` key packing."""
+    span = int(sa_size)
+    for size in qi_sizes:
+        span *= int(size)
+    return span
 
 
 class GroupingContext:
@@ -124,6 +141,19 @@ class GroupingContext:
         A supplied ``order`` (the warm-start path) must be the stable
         ``(QI, SA)`` permutation of exactly these rows; only the boundary
         scan runs then, and no ``sort`` profiling stage is recorded.
+
+        The boundary scan is key-derived when the composite packing fits
+        62 bits (always, for census-style domains): the packed key is
+        injective over ``(QI vector, SA code)``, so adjacent sorted keys
+        differ exactly at run boundaries and their ``// sa_size`` quotients
+        (the packed QI prefix) differ exactly at group boundaries.  That
+        replaces the O(n·d) ``columns[order]`` gather-and-compare of the
+        reference scan with one chunkable int64 gather plus O(n) compares —
+        the QI vectors and SA codes are then gathered only at the ``s``
+        group starts and ``r`` run starts.  Both the packing and the key
+        gather run on the kernel pool above ``PARALLEL_THRESHOLD``
+        (``encode-chunks`` profiling sub-stage); :meth:`build_reference` is
+        the retained serial oracle.
         """
         n, dimension = columns.shape
         if n == 0:
@@ -134,10 +164,54 @@ class GroupingContext:
                 np.zeros(0, dtype=np.int32),
                 np.zeros(0, dtype=np.intp),
             )
+        with profiling.profile_stage("encode-chunks"):
+            keys = kernels.composite_codes(columns, sa, qi_sizes, sa_size)
+        if keys is None:
+            if order is None:
+                order = sort_qi_sa(columns, sa, qi_sizes, sa_size)
+            else:
+                order = np.asarray(order, dtype=np.intp)
+            return cls._build_from_wide_scan(columns, sa, order)
         if order is None:
-            order = sort_qi_sa(columns, sa, qi_sizes, sa_size)
+            with profiling.profile_stage("sort"):
+                order, sorted_keys = kernels.stable_sort_pairs(
+                    keys, _key_span(qi_sizes, sa_size)
+                )
         else:
             order = np.asarray(order, dtype=np.intp)
+            with profiling.profile_stage("encode-chunks"):
+                sorted_keys = kernels.take(keys, order)
+        if n == 1:
+            new_group = np.zeros(0, dtype=bool)
+            new_run = new_group
+        else:
+            new_run = sorted_keys[1:] != sorted_keys[:-1]
+            qi_codes = sorted_keys // sa_size
+            new_group = qi_codes[1:] != qi_codes[:-1]
+        group_starts = np.concatenate(([0], np.flatnonzero(new_group) + 1))
+        run_starts = np.concatenate(([0], np.flatnonzero(new_run) + 1))
+        run_bounds = np.concatenate((run_starts, [n])).astype(np.int64)
+        group_run_bounds = np.concatenate(
+            (np.searchsorted(run_starts, group_starts), [run_starts.shape[0]])
+        ).astype(np.int64)
+        return cls(
+            columns[order[group_starts]],
+            group_run_bounds,
+            run_bounds,
+            sa[order[run_starts]],
+            order,
+        )
+
+    @classmethod
+    def _build_from_wide_scan(
+        cls, columns: np.ndarray, sa: np.ndarray, order: np.ndarray
+    ) -> "GroupingContext":
+        """Boundary scan over the full gathered QI matrix (the serial path).
+
+        Used when the composite packing overflows 62 bits, and as the body
+        of :meth:`build_reference`.
+        """
+        n = columns.shape[0]
         ordered_columns = columns[order]
         ordered_sa = sa[order]
         if n == 1:
@@ -158,6 +232,31 @@ class GroupingContext:
             ordered_sa[run_starts],
             order,
         )
+
+    @classmethod
+    def build_reference(
+        cls,
+        columns: np.ndarray,
+        sa: np.ndarray,
+        qi_sizes: Sequence[int],
+        sa_size: int,
+        order: np.ndarray | None = None,
+    ) -> "GroupingContext":
+        """Oracle for :meth:`build`: the serial full-width boundary scan."""
+        n, dimension = columns.shape
+        if n == 0:
+            return cls(
+                np.zeros((0, dimension), dtype=np.int32),
+                np.zeros(1, dtype=np.int64),
+                np.zeros(1, dtype=np.int64),
+                np.zeros(0, dtype=np.int32),
+                np.zeros(0, dtype=np.intp),
+            )
+        if order is None:
+            order = sort_qi_sa(columns, sa, qi_sizes, sa_size)
+        else:
+            order = np.asarray(order, dtype=np.intp)
+        return cls._build_from_wide_scan(columns, sa, order)
 
     # ----------------------------------------------------------------- basics
 

@@ -28,6 +28,8 @@ import numpy as np
 __all__ = [
     "composite_codes",
     "group_sizes_heights",
+    "grouped_min_max",
+    "grouped_min_max_reference",
     "parallel_chunk_count",
     "phase_one_stop_height",
     "phase_one_stop_height_reference",
@@ -36,6 +38,9 @@ __all__ = [
     "row_chunked",
     "stable_argsort",
     "stable_argsort_reference",
+    "stable_sort_pairs",
+    "take",
+    "take_reference",
 ]
 
 #: Runs below this length are processed on the calling thread; the pool's
@@ -214,7 +219,11 @@ def pillar_overlap_counts_reference(
 
 
 def composite_codes(
-    columns: np.ndarray, sa: np.ndarray, qi_sizes: Sequence[int], sa_size: int
+    columns: np.ndarray,
+    sa: np.ndarray,
+    qi_sizes: Sequence[int],
+    sa_size: int,
+    chunks: int | None = None,
 ) -> np.ndarray | None:
     """Pack every row's ``(QI vector, SA code)`` into one mixed-radix int64.
 
@@ -225,12 +234,42 @@ def composite_codes(
     domain sizes does not fit 62 bits (the caller falls back to lexsort);
     the paper's Table 6 domains need ~20 bits, so the fallback is
     essentially unreachable in practice.
+
+    The packing is elementwise along rows, so above
+    :data:`PARALLEL_THRESHOLD` it is chunked across the kernel pool
+    (NumPy's integer arithmetic releases the GIL) — bit-identical to the
+    single pass by construction.
     """
     radix = 1
     for size in (*qi_sizes, sa_size):
         radix *= int(size)
         if radix > 1 << 62:
             return None
+    n = int(columns.shape[0])
+    if chunks is None:
+        chunks = parallel_chunk_count(n)
+    chunks = max(1, min(int(chunks), n)) if n else 1
+    if chunks <= 1:
+        return _composite_block(columns, sa, qi_sizes, sa_size)
+    pool = _pool()
+    bounds = np.linspace(0, n, chunks + 1, dtype=np.int64)
+    futures = [
+        pool.submit(
+            _composite_block,
+            columns[int(start) : int(stop)],
+            sa[int(start) : int(stop)],
+            qi_sizes,
+            sa_size,
+        )
+        for start, stop in zip(bounds[:-1], bounds[1:])
+        if stop > start
+    ]
+    return np.concatenate([future.result() for future in futures])
+
+
+def _composite_block(
+    columns: np.ndarray, sa: np.ndarray, qi_sizes: Sequence[int], sa_size: int
+) -> np.ndarray:
     keys = np.zeros(columns.shape[0], dtype=np.int64)
     for position, size in enumerate(qi_sizes):
         keys *= int(size)
@@ -316,6 +355,64 @@ def stable_argsort_reference(keys: np.ndarray) -> np.ndarray:
     )
 
 
+#: Bit budget for the packed ``key << index_bits | row`` sort words: int64
+#: minus the sign bit and one guard bit.
+PACKED_SORT_BITS = 62
+
+
+def stable_sort_pairs(
+    keys: np.ndarray, key_span: int, chunks: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(order, sorted_keys)`` for a stable sort of nonnegative int64 keys.
+
+    ``keys`` must lie in ``[0, key_span)``.  When key and index bits
+    together fit :data:`PACKED_SORT_BITS`, each row is packed into one
+    int64 word ``key << index_bits | row`` and the words are *value*-sorted:
+    the index bits are unique and ascend with row number, so word order is
+    exactly the stable argsort order — and the sorted keys shift back out
+    of the same words, so no separate gather pass runs.  ~5x faster than
+    :func:`stable_argsort` + :func:`take` at 10^7 rows (a value sort has no
+    indirection).  The packing runs in pooled chunks above
+    :data:`PARALLEL_THRESHOLD`; oversized key spans fall back to the
+    argsort-and-gather pair, keeping the contract total.
+    """
+    n = int(keys.shape[0])
+    index_bits = max(int(n - 1).bit_length(), 1)
+    key_bits = max(int(key_span - 1).bit_length(), 1)
+    if key_bits + index_bits > PACKED_SORT_BITS:
+        order = stable_argsort(keys, chunks=chunks)
+        return order, take(keys, order, chunks=chunks)
+    if chunks is None:
+        chunks = parallel_chunk_count(n)
+    chunks = max(1, min(int(chunks), n)) if n else 1
+    if chunks <= 1:
+        packed = (keys << index_bits) | np.arange(n, dtype=np.int64)
+    else:
+        pool = _pool()
+        bounds = np.linspace(0, n, chunks + 1, dtype=np.int64)
+        packed = np.empty(n, dtype=np.int64)
+        futures = [
+            pool.submit(
+                _pack_sort_words, keys, packed, index_bits, int(start), int(stop)
+            )
+            for start, stop in zip(bounds[:-1], bounds[1:])
+            if stop > start
+        ]
+        for future in futures:
+            future.result()
+    packed.sort()
+    order = (packed & ((1 << index_bits) - 1)).astype(np.intp)
+    return order, packed >> index_bits
+
+
+def _pack_sort_words(
+    keys: np.ndarray, out: np.ndarray, index_bits: int, start: int, stop: int
+) -> None:
+    out[start:stop] = (keys[start:stop] << np.int64(index_bits)) | np.arange(
+        start, stop, dtype=np.int64
+    )
+
+
 def row_chunked(func, matrix: np.ndarray, chunks: int | None = None) -> np.ndarray:
     """Apply a per-row (elementwise along axis 0) kernel in pooled chunks.
 
@@ -339,3 +436,119 @@ def row_chunked(func, matrix: np.ndarray, chunks: int | None = None) -> np.ndarr
         if stop > start
     ]
     return np.concatenate([future.result() for future in futures])
+
+
+# ----------------------------------------------------- gather / group reduce
+
+
+def take(values: np.ndarray, indices: np.ndarray, chunks: int | None = None) -> np.ndarray:
+    """``values[indices]`` (rows for 2-D ``values``), chunked across the pool.
+
+    The gather is elementwise in ``indices``, so each pool worker fills a
+    disjoint slice of one preallocated output — bit-identical to the plain
+    fancy-index and free of the concat copy.  This is the dominant
+    non-sort cost of the run encoding (the ``keys[order]`` gather) and of
+    publish (the ``columns[members]`` gather) at 10^7 rows.
+    """
+    k = int(indices.shape[0])
+    if chunks is None:
+        chunks = parallel_chunk_count(k)
+    chunks = max(1, min(int(chunks), k)) if k else 1
+    if chunks <= 1:
+        return values[indices]
+    out = np.empty((k,) + values.shape[1:], dtype=values.dtype)
+
+    def fill(start: int, stop: int) -> None:
+        out[start:stop] = values[indices[start:stop]]
+
+    pool = _pool()
+    bounds = np.linspace(0, k, chunks + 1, dtype=np.int64)
+    futures = [
+        pool.submit(fill, int(start), int(stop))
+        for start, stop in zip(bounds[:-1], bounds[1:])
+        if stop > start
+    ]
+    for future in futures:
+        future.result()
+    return out
+
+
+def take_reference(values: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Oracle for :func:`take`: one element (row) at a time."""
+    return np.asarray([values[int(index)] for index in indices], dtype=values.dtype)
+
+
+def grouped_min_max(
+    columns: np.ndarray,
+    members: np.ndarray,
+    starts: np.ndarray,
+    chunks: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-group column minima/maxima over ``columns[members]`` spans.
+
+    ``members`` concatenates the row indices of every group and ``starts``
+    holds each group's offset into it (ascending, ``starts[0] == 0``).  The
+    publish-stage kernel: a group's attribute survives suppression exactly
+    when its min equals its max, so this one reduction pair replaces the
+    per-row scan.  Above :data:`PARALLEL_THRESHOLD` rows the work is split
+    into **group-aligned** ranges (chunk boundaries snap to group starts),
+    each worker gathers and reduces its own slice, and the per-group results
+    are stitched in order — bit-identical to the single pass because min/max
+    over disjoint whole groups is exact.
+    """
+    group_count = int(starts.shape[0])
+    total = int(members.shape[0])
+    width = int(columns.shape[1])
+    if group_count == 0:
+        empty = np.zeros((0, width), dtype=columns.dtype)
+        return empty, empty
+    if chunks is None:
+        chunks = parallel_chunk_count(total)
+    chunks = max(1, min(int(chunks), group_count))
+    if chunks <= 1:
+        grouped = columns[members]
+        return (
+            np.minimum.reduceat(grouped, starts, axis=0),
+            np.maximum.reduceat(grouped, starts, axis=0),
+        )
+    minima = np.empty((group_count, width), dtype=columns.dtype)
+    maxima = np.empty((group_count, width), dtype=columns.dtype)
+    # Snap ~equal-row chunk bounds to group boundaries so no group is split.
+    row_bounds = np.linspace(0, total, chunks + 1, dtype=np.int64)
+    group_bounds = np.unique(np.searchsorted(starts, row_bounds, side="left"))
+    group_bounds[-1] = group_count
+
+    def reduce_span(group_lo: int, group_hi: int) -> None:
+        row_lo = int(starts[group_lo])
+        row_hi = int(starts[group_hi]) if group_hi < group_count else total
+        block = columns[members[row_lo:row_hi]]
+        local_starts = starts[group_lo:group_hi] - row_lo
+        minima[group_lo:group_hi] = np.minimum.reduceat(block, local_starts, axis=0)
+        maxima[group_lo:group_hi] = np.maximum.reduceat(block, local_starts, axis=0)
+
+    pool = _pool()
+    futures = [
+        pool.submit(reduce_span, int(lo), int(hi))
+        for lo, hi in zip(group_bounds[:-1], group_bounds[1:])
+        if hi > lo
+    ]
+    for future in futures:
+        future.result()
+    return minima, maxima
+
+
+def grouped_min_max_reference(
+    columns: np.ndarray, members: np.ndarray, starts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Oracle for :func:`grouped_min_max` (plain Python loops)."""
+    width = int(columns.shape[1])
+    bounds = list(starts.tolist()) + [int(members.shape[0])]
+    minima = np.zeros((len(bounds) - 1, width), dtype=columns.dtype)
+    maxima = np.zeros((len(bounds) - 1, width), dtype=columns.dtype)
+    for group, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:])):
+        rows = [columns[int(members[index])] for index in range(lo, hi)]
+        for position in range(width):
+            values = [int(row[position]) for row in rows]
+            minima[group, position] = min(values)
+            maxima[group, position] = max(values)
+    return minima, maxima

@@ -23,6 +23,7 @@ from typing import Any
 
 import numpy as np
 
+from repro import profiling
 from repro.backend import vectorized_enabled
 from repro.dataset.table import Schema, Table
 
@@ -233,6 +234,7 @@ class GeneralizedTable:
             if len(row) != dimension:
                 raise ValueError(f"generalized row {row!r} does not have {dimension} cells")
         self._schema = schema
+        self._n = len(cells)
         self._cells = [tuple(row) for row in cells]
         self._sa_values = list(sa_values)
         self._group_ids = list(group_ids)
@@ -257,6 +259,38 @@ class GeneralizedTable:
         # one representative cells tuple — the from_partition invariant the
         # fused metrics sweep exploits.
         self._group_star: np.ndarray | None = None
+        # Per-group surviving codes ((g, d) int, the reduction minima) —
+        # together with ``_group_star`` the complete columnar form of a
+        # suppression output (``columnar_publish``).
+        self._group_reps: np.ndarray | None = None
+
+    @property
+    def _cells(self) -> list[tuple[Cell, ...]]:
+        # Per-row cells materialize lazily: a from_partition output carries
+        # only the (g, d) representatives and the row->group map until
+        # something actually reads row tuples (CSV render, width matrix).
+        # The bench/serving hot paths never do — group-level stats are all
+        # seeded — so publish stays O(g + n) array work instead of building
+        # n Python tuples.
+        if self._cells_rows is None:
+            representatives = [
+                tuple(
+                    STAR if starred else value
+                    for value, starred in zip(values, flags)
+                )
+                for values, flags in zip(
+                    self._group_reps.tolist(), self._group_star.tolist()
+                )
+            ]
+            self._cells_rows = [
+                representatives[group_id]
+                for group_id in self.group_ids_array().tolist()
+            ]
+        return self._cells_rows
+
+    @_cells.setter
+    def _cells(self, rows: list[tuple[Cell, ...]] | None) -> None:
+        self._cells_rows = rows
 
     @classmethod
     def _from_trusted(
@@ -273,9 +307,13 @@ class GeneralizedTable:
         adopted as-is and must not be mutated afterwards by the caller.
         ``sa_values`` and ``group_ids`` may be ndarrays, in which case the
         Python lists materialize lazily on first list-view access.
+        ``cells`` may be ``None`` when the caller seeds the columnar group
+        form (``_group_reps`` / ``_group_star``) instead — the row tuples
+        then materialize lazily on first ``_cells`` access.
         """
         table = cls.__new__(cls)
         table._schema = schema
+        table._n = len(cells) if cells is not None else len(group_ids)
         table._cells = cells
         table._reset_caches()
         if isinstance(sa_values, np.ndarray):
@@ -298,6 +336,16 @@ class GeneralizedTable:
 
         Within each QI-group, attribute ``A_i`` keeps its value when all
         tuples of the group agree on it, and becomes :data:`STAR` otherwise.
+
+        The group reduction runs on the kernel pool in group-aligned chunks
+        (:func:`repro.core.kernels.grouped_min_max`, the ``publish-chunks``
+        profiling sub-stage) and the result adopts the *columnar* group form
+        — ``(g, d)`` surviving codes plus star flags plus the row->group map
+        — without materializing per-row cell tuples; those build lazily on
+        first row access.  Every consumer on the bench/serving hot path
+        (star counts, group histograms, the privacy checks, the CSV result
+        artifact) reads the columnar form directly.
+        :meth:`from_partition_reference` is the retained serial oracle.
         """
         if not vectorized_enabled():
             return cls.from_partition_reference(table, partition)
@@ -311,33 +359,29 @@ class GeneralizedTable:
         sizes = np.asarray([len(group) for group in groups], dtype=np.intp)
         members = np.concatenate([np.asarray(group, dtype=np.intp) for group in groups])
         starts = np.concatenate(([0], np.cumsum(sizes)[:-1]))
-        grouped = columns[members]
         # An attribute survives in a group exactly when its min equals its max
-        # over the group — one reduceat pair replaces the per-row scan.
-        minima = np.minimum.reduceat(grouped, starts, axis=0)
-        maxima = np.maximum.reduceat(grouped, starts, axis=0)
+        # over the group — one reduceat pair (chunked across the kernel pool
+        # for large tables) replaces the per-row scan.
+        from repro.core import kernels  # deferred: repro.core imports this module
+
+        with profiling.profile_stage("publish-chunks"):
+            minima, maxima = kernels.grouped_min_max(columns, members, starts)
         star = minima != maxima
 
-        representatives: list[tuple[Cell, ...]] = [
-            tuple(STAR if starred else value for value, starred in zip(values, flags))
-            for values, flags in zip(minima.tolist(), star.tolist())
-        ]
         group_of = np.empty(n, dtype=np.intp)
         group_of[members] = np.repeat(np.arange(len(groups), dtype=np.intp), sizes)
-        # Rows of a group share one representative tuple, so materializing the
-        # per-row cells is a single O(n) list comprehension.
-        cells = [representatives[group_id] for group_id in group_of.tolist()]
 
         # Adopt the columnar data directly: the SA column is the source
-        # table's (shared, read-only) code array and the group ids stay an
-        # array; the list views materialize lazily if something asks.
-        result = cls._from_trusted(table.schema, cells, table.sa_array, group_of)
+        # table's (shared, read-only) code array, the group ids stay an
+        # array, and the per-row cells stay unmaterialized; the list/tuple
+        # views build lazily if something asks.
+        result = cls._from_trusted(table.schema, None, table.sa_array, group_of)
         stars_per_group = star.sum(axis=1)
-        result._star_mask = star[group_of]
         result._star_count = int((stars_per_group * sizes).sum())
         result._suppressed_count = int(sizes[stars_per_group > 0].sum())
         result._group_sizes_arr = sizes
         result._group_star = star
+        result._group_reps = minima
         return result
 
     @classmethod
@@ -368,7 +412,7 @@ class GeneralizedTable:
         return self._schema
 
     def __len__(self) -> int:
-        return len(self._cells)
+        return self._n
 
     @property
     def dimension(self) -> int:
@@ -478,6 +522,29 @@ class GeneralizedTable:
         """
         return self._group_star
 
+    def columnar_publish(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None:
+        """The complete columnar group form, or ``None`` when unavailable.
+
+        Returns ``(rep_codes, rep_star, group_of, sa_codes)``: per-group
+        ``(g, d)`` surviving QI codes and star flags, the ``(n,)`` row→group
+        map, and the ``(n,)`` SA codes.  Together these determine every
+        published cell without materializing row tuples — the zero-copy
+        result artifact serializes exactly these arrays.  Only tables built
+        by :meth:`from_partition` carry the form (merged shards, store
+        reconstructions, and explicit constructors return ``None``).  All
+        arrays are shared and must be treated as read-only.
+        """
+        if self._group_reps is None or self._group_star is None:
+            return None
+        return (
+            self._group_reps,
+            self._group_star,
+            self.group_ids_array(),
+            self.sa_codes(),
+        )
+
     def groups(self) -> dict[int, list[int]]:
         """Mapping of group id to the list of row indices in that group.
 
@@ -488,7 +555,7 @@ class GeneralizedTable:
         treated as read-only; the metrics all share one computation.
         """
         if self._groups_cache is None:
-            if vectorized_enabled() and self._cells:
+            if vectorized_enabled() and len(self):
                 gids = self.group_ids_array()
                 order = np.argsort(gids, kind="stable")
                 sorted_gids = gids[order]
@@ -526,12 +593,14 @@ class GeneralizedTable:
     def star_mask(self) -> np.ndarray:
         """Boolean ``(n, d)`` matrix marking the suppressed cells.
 
-        Tables produced by :meth:`from_partition` get this for free from the
-        vectorized group reduction; for tables built from explicit cells the
-        mask is derived once and cached.  Rows of a group share one cells
+        Tables produced by :meth:`from_partition` derive this by one gather
+        from the per-group star flags; for tables built from explicit cells
+        the mask is derived once and cached.  Rows of a group share one cells
         tuple, so the derivation memoizes per distinct tuple (by identity —
         the tuples are pinned alive by ``self._cells``).
         """
+        if self._star_mask is None and self._group_star is not None:
+            self._star_mask = self._group_star[self.group_ids_array()]
         if self._star_mask is None:
             memo: dict[int, list[bool]] = {}
             rows: list[list[bool]] = []
@@ -613,7 +682,7 @@ class GeneralizedTable:
             raise ValueError(f"l must be >= 1, got {l}")
         if not vectorized_enabled():
             return self.is_l_diverse_reference(l)
-        if not self._cells:
+        if not len(self):
             return True
         gids = self.group_ids_array()
         if int(gids.min()) < 0:  # non-dense explicit ids: stay on the oracle
@@ -643,7 +712,7 @@ class GeneralizedTable:
             raise ValueError(f"k must be >= 1, got {k}")
         if not vectorized_enabled():
             return self.is_k_anonymous_reference(k)
-        if not self._cells:
+        if not len(self):
             return True
         gids = self.group_ids_array()
         if int(gids.min()) < 0:  # non-dense explicit ids: stay on the oracle

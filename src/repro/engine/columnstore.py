@@ -38,7 +38,7 @@ from repro.dataset.table import Attribute, Schema, Table
 from repro.engine.sources import DataSource, infer_csv_schema
 from repro.errors import DataSourceError
 
-__all__ = ["ColumnStore", "ColumnStoreSource", "StoreOrderCache"]
+__all__ = ["ColumnStore", "ColumnStoreSource", "ResultArtifact", "StoreOrderCache"]
 
 SCHEMA_FILE = "schema.json"
 QI_FILE = "qi.npy"
@@ -52,6 +52,17 @@ ORDER_FORMAT_VERSION = 1
 
 #: Default CSV decode chunk during store conversion.
 DEFAULT_CHUNK_ROWS = 100_000
+
+RESULT_META_FILE = "meta.json"
+RESULT_REPS_FILE = "rep_codes.npy"
+RESULT_STAR_FILE = "rep_star.npy"
+RESULT_GROUPS_FILE = "group_of.npy"
+RESULT_SA_FILE = "sa_codes.npy"
+RESULT_FORMAT_NAME = "repro.resultartifact"
+RESULT_FORMAT_VERSION = 1
+
+#: Default row chunk when streaming a result artifact as CSV.
+RESULT_CSV_CHUNK_ROWS = 50_000
 
 
 def _attribute_payload(attribute: Attribute) -> dict:
@@ -318,6 +329,271 @@ class ColumnStore:
             and (directory / SCHEMA_FILE).is_file()
             and (directory / QI_FILE).is_file()
             and (directory / SA_FILE).is_file()
+        )
+
+
+class ResultArtifact:
+    """A published table's columnar result form, in memory or on disk.
+
+    The serving stack's zero-copy bridge out of a pool worker: instead of
+    rendering every published row into Python string lists and pickling them
+    back through the process pool, the worker saves the *group-level* form —
+    per-group surviving QI codes and star flags, the row→group map and the
+    SA codes (:meth:`GeneralizedTable.columnar_publish
+    <repro.dataset.generalized.GeneralizedTable.columnar_publish>`) — plus
+    the pre-rendered per-code string tables needed to decode them.  On disk
+    an artifact is a directory::
+
+        result/
+          meta.json       header + per-attribute rendered string tables
+          rep_codes.npy   (g, d) int32 surviving codes
+          rep_star.npy    (g, d) bool star flags
+          group_of.npy    (n,) int64 row -> group
+          sa_codes.npy    (n,) int32 sensitive codes
+
+    The server reopens it memory-mapped and streams ``?format=csv``
+    responses chunk-wise; rendering goes through the same string tables the
+    legacy row path used (``str(attribute.decode(code))``, stars as ``"*"``)
+    and the same ``csv.writer``, so the bytes are identical by construction.
+    Only cell-exact tables qualify (no frozenset sub-domain cells) — exactly
+    the tables that carry a columnar publish form.
+    """
+
+    STAR_TEXT = "*"
+
+    def __init__(
+        self,
+        header: Sequence[str],
+        qi_tables: Sequence[Sequence[str]],
+        sa_table: Sequence[str],
+        rep_codes: np.ndarray,
+        rep_star: np.ndarray,
+        group_of: np.ndarray,
+        sa_codes: np.ndarray,
+    ) -> None:
+        self.header = list(header)
+        self.qi_tables = [list(table) for table in qi_tables]
+        self.sa_table = list(sa_table)
+        self.rep_codes = np.asanyarray(rep_codes)
+        self.rep_star = np.asanyarray(rep_star)
+        self.group_of = np.asanyarray(group_of)
+        self.sa_codes = np.asanyarray(sa_codes)
+        if self.rep_codes.ndim != 2 or self.rep_star.shape != self.rep_codes.shape:
+            raise ValueError(
+                f"rep_codes {self.rep_codes.shape} and rep_star "
+                f"{self.rep_star.shape} must be matching (g, d) matrices"
+            )
+        if len(self.qi_tables) != self.rep_codes.shape[1]:
+            raise ValueError(
+                f"{len(self.qi_tables)} QI string tables for "
+                f"{self.rep_codes.shape[1]} columns"
+            )
+        if self.group_of.ndim != 1 or self.sa_codes.shape != self.group_of.shape:
+            raise ValueError("group_of and sa_codes must be matching (n,) vectors")
+        if len(self.header) != len(self.qi_tables) + 1:
+            raise ValueError("header must cover every QI column plus the SA column")
+        self._group_rows: list[list[str]] | None = None
+
+    # ------------------------------------------------------------------ basics
+
+    @property
+    def n(self) -> int:
+        return int(self.group_of.shape[0])
+
+    @property
+    def g(self) -> int:
+        return int(self.rep_codes.shape[0])
+
+    @property
+    def d(self) -> int:
+        return int(self.rep_codes.shape[1])
+
+    @property
+    def nbytes(self) -> int:
+        """In-memory bytes of the array payload (the string tables are tiny)."""
+        return int(
+            self.rep_codes.nbytes
+            + self.rep_star.nbytes
+            + self.group_of.nbytes
+            + self.sa_codes.nbytes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultArtifact(n={self.n}, g={self.g}, d={self.d})"
+
+    # --------------------------------------------------------------- rendering
+
+    def group_row_prefixes(self) -> list[list[str]]:
+        """Per-group rendered QI cells (``g`` rows of ``d`` strings; cached).
+
+        All rows of a group share one prefix list, so full-table rendering
+        is O(g·d) string work plus an O(n) gather.
+        """
+        if self._group_rows is None:
+            codes = self.rep_codes.tolist()
+            stars = self.rep_star.tolist()
+            self._group_rows = [
+                [
+                    self.STAR_TEXT if starred else table[code]
+                    for table, code, starred in zip(self.qi_tables, values, flags)
+                ]
+                for values, flags in zip(codes, stars)
+            ]
+        return self._group_rows
+
+    def rows(self) -> list[list[str]]:
+        """Every published row as rendered strings — the legacy payload shape."""
+        prefixes = self.group_row_prefixes()
+        sa_table = self.sa_table
+        return [
+            prefixes[group] + [sa_table[sa]]
+            for group, sa in zip(self.group_of.tolist(), self.sa_codes.tolist())
+        ]
+
+    def iter_csv_chunks(
+        self, chunk_rows: int = RESULT_CSV_CHUNK_ROWS
+    ) -> Iterator[bytes]:
+        """Stream the CSV rendering (header first) in bounded row chunks.
+
+        ``csv.writer`` is stateless across rows, so the concatenation of the
+        chunks is byte-identical to one monolithic write of the same rows.
+        """
+        import csv
+        import io
+
+        if chunk_rows < 1:
+            raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        prefixes = self.group_row_prefixes()
+        sa_table = self.sa_table
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.header)
+        group_of = self.group_of
+        sa_codes = self.sa_codes
+        for start in range(0, self.n, chunk_rows):
+            stop = min(start + chunk_rows, self.n)
+            writer.writerows(
+                prefixes[group] + [sa_table[sa]]
+                for group, sa in zip(
+                    group_of[start:stop].tolist(), sa_codes[start:stop].tolist()
+                )
+            )
+            yield buffer.getvalue().encode("utf-8")
+            buffer.seek(0)
+            buffer.truncate()
+        if self.n == 0:
+            yield buffer.getvalue().encode("utf-8")
+
+    def csv_bytes(self, chunk_rows: int = RESULT_CSV_CHUNK_ROWS) -> bytes:
+        return b"".join(self.iter_csv_chunks(chunk_rows))
+
+    # ------------------------------------------------------------ constructors
+
+    @classmethod
+    def from_generalized(cls, generalized) -> "ResultArtifact | None":
+        """Build an artifact from a published table, or ``None`` when the
+        table has no columnar group form (merged shards, store hits,
+        explicit constructors) — callers fall back to the row path."""
+        columnar = generalized.columnar_publish()
+        if columnar is None:
+            return None
+        rep_codes, rep_star, group_of, sa_codes = columnar
+        schema = generalized.schema
+        header = list(schema.qi_names) + [schema.sensitive.name]
+        qi_tables = [
+            [str(attribute.decode(code)) for code in range(attribute.size)]
+            for attribute in schema.qi
+        ]
+        sa_table = [
+            str(schema.sensitive.decode(code))
+            for code in range(schema.sensitive.size)
+        ]
+        return cls(header, qi_tables, sa_table, rep_codes, rep_star, group_of, sa_codes)
+
+    # ----------------------------------------------------------- persistence
+
+    def save(self, directory: str | Path) -> int:
+        """Write the artifact to a directory; returns its on-disk byte size."""
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        np.save(path / RESULT_REPS_FILE, np.ascontiguousarray(self.rep_codes, dtype=np.int32))
+        np.save(path / RESULT_STAR_FILE, np.ascontiguousarray(self.rep_star, dtype=bool))
+        np.save(path / RESULT_GROUPS_FILE, np.ascontiguousarray(self.group_of, dtype=np.int64))
+        np.save(path / RESULT_SA_FILE, np.ascontiguousarray(self.sa_codes, dtype=np.int32))
+        payload = {
+            "format": RESULT_FORMAT_NAME,
+            "version": RESULT_FORMAT_VERSION,
+            "n": self.n,
+            "g": self.g,
+            "d": self.d,
+            "header": self.header,
+            "star": self.STAR_TEXT,
+            "qi_tables": self.qi_tables,
+            "sa_table": self.sa_table,
+        }
+        (path / RESULT_META_FILE).write_text(json.dumps(payload))
+        return sum(
+            os.stat(path / name).st_size
+            for name in (
+                RESULT_META_FILE,
+                RESULT_REPS_FILE,
+                RESULT_STAR_FILE,
+                RESULT_GROUPS_FILE,
+                RESULT_SA_FILE,
+            )
+        )
+
+    @classmethod
+    def _open(cls, directory: str | Path, mmap_mode: str | None) -> "ResultArtifact":
+        path = Path(directory)
+        try:
+            payload = json.loads((path / RESULT_META_FILE).read_text())
+        except OSError as error:
+            raise DataSourceError(f"cannot load result artifact {path}: {error}") from error
+        except json.JSONDecodeError as error:
+            raise DataSourceError(f"{path}: invalid artifact meta JSON: {error}") from error
+        if payload.get("format") != RESULT_FORMAT_NAME:
+            raise DataSourceError(f"{path}: not a {RESULT_FORMAT_NAME} directory")
+        try:
+            rep_codes = np.load(path / RESULT_REPS_FILE, mmap_mode=mmap_mode)
+            rep_star = np.load(path / RESULT_STAR_FILE, mmap_mode=mmap_mode)
+            group_of = np.load(path / RESULT_GROUPS_FILE, mmap_mode=mmap_mode)
+            sa_codes = np.load(path / RESULT_SA_FILE, mmap_mode=mmap_mode)
+        except OSError as error:
+            raise DataSourceError(f"cannot load result artifact {path}: {error}") from error
+        artifact = cls(
+            payload["header"],
+            payload["qi_tables"],
+            payload["sa_table"],
+            rep_codes,
+            rep_star,
+            group_of,
+            sa_codes,
+        )
+        if artifact.n != int(payload["n"]) or artifact.g != int(payload["g"]):
+            raise DataSourceError(
+                f"{path}: meta says n={payload['n']} g={payload['g']} but "
+                f"buffers hold n={artifact.n} g={artifact.g}"
+            )
+        return artifact
+
+    @classmethod
+    def mmap(cls, directory: str | Path) -> "ResultArtifact":
+        """Open an on-disk artifact as read-only zero-copy memory maps."""
+        return cls._open(directory, mmap_mode="r")
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "ResultArtifact":
+        """Read an on-disk artifact fully into memory."""
+        return cls._open(directory, mmap_mode=None)
+
+    @staticmethod
+    def is_artifact_dir(path: str | Path) -> bool:
+        directory = Path(path)
+        return (
+            directory.is_dir()
+            and (directory / RESULT_META_FILE).is_file()
+            and (directory / RESULT_GROUPS_FILE).is_file()
         )
 
 

@@ -223,6 +223,21 @@ class AnonymizationServer:
             "Per-stage engine seconds bridged back from pool workers.",
             ("stage",),
         )
+        self._result_renders = self.telemetry.counter(
+            "repro_result_renders_total",
+            "Result bodies rendered from a job's published output, by format.",
+            ("format",),
+        )
+        self._result_cache_hits = self.telemetry.counter(
+            "repro_result_cache_hits_total",
+            "Result fetches answered from the per-job render cache, by format.",
+            ("format",),
+        )
+        self._result_artifact_bytes = self.telemetry.gauge(
+            "repro_result_artifact_bytes",
+            "On-disk bytes of the resident jobs' result artifacts.",
+        )
+        self._result_artifact_bytes.set_function(self._resident_artifact_bytes)
         #: Whether start() re-enqueues the ledger's non-terminal jobs.  On by
         #: default (the crash-recovery contract); tests that stage ledgers
         #: by hand opt out.
@@ -282,6 +297,10 @@ class AnonymizationServer:
         self._compaction_reclaimed.set(float(reclaimed))
         if reclaimed:
             _LOG.info("ledger compaction reclaimed %d superseded records", reclaimed)
+        # Result artifacts from a previous server process are orphans: their
+        # resident results died with that process (done jobs re-answer from
+        # the run store on resubmission) and replayed jobs write fresh ones.
+        await self._offload(self._clear_stale_artifacts)
         await self.pool.start()
         if self.replay:
             await self._replay_ledger()
@@ -407,6 +426,23 @@ class AnonymizationServer:
             self._jobs_terminal.inc(state="cancelled")
             if job_id in self._jobs:
                 self._jobs[job_id]["record"] = record
+
+    def _clear_stale_artifacts(self) -> None:
+        import shutil
+
+        root = self.workspace.results_dir
+        try:
+            children = list(root.iterdir())
+        except OSError:  # pragma: no cover - cleanup is best-effort
+            return
+        for child in children:
+            try:
+                if child.is_dir():
+                    shutil.rmtree(child, ignore_errors=True)
+                else:
+                    child.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - cleanup is best-effort
+                continue
 
     @staticmethod
     async def _offload(function, *args, **kwargs):
@@ -557,6 +593,12 @@ class AnonymizationServer:
         # The trace id rides inside the spec so the pool worker (and, on a
         # restart, the replayed job) can stamp it on the engine run.
         spec["request_id"] = request.request_id
+        # Row-carrying jobs publish through a workspace result artifact
+        # instead of pickling rendered row-strings back through the process
+        # pool; the flag (rather than a default) keeps direct execute_job
+        # callers on the legacy inline-rows payload.
+        if spec.get("include_rows", True):
+            spec["result_artifact"] = True
 
         # The full spec is persisted on the queued record (with an upload's
         # spool path still empty — replay reconstructs it from the job id),
@@ -1073,8 +1115,8 @@ class AnonymizationServer:
     #: Canonical engine stage order, used to lay bridged stage spans end to
     #: end under their attempt (the profiling snapshot is an unordered dict).
     _STAGE_ORDER = (
-        "load", "encode", "state-init", "phase1", "phase2", "phase3",
-        "publish", "merge", "metrics",
+        "load", "encode", "encode-chunks", "state-init", "phase1", "phase2",
+        "phase3", "publish", "publish-chunks", "merge", "metrics",
     )
 
     def _trace_transition(
@@ -1192,7 +1234,34 @@ class AnonymizationServer:
             )
             if evicted is None:  # every resident job is still live; keep them
                 break
-            del self._jobs[evicted]
+            self._discard_artifact(self._jobs.pop(evicted))
+
+    def _discard_artifact(self, entry: dict | None) -> None:
+        """Delete an evicted job's on-disk result artifact (best-effort).
+
+        Once the resident entry is gone the result can never be served again
+        (``/result`` answers 404 and points at the run store), so its
+        artifact directory is reclaimed.  Only paths inside the workspace's
+        ``results/`` tree are touched — the path travelled through the
+        worker payload, and deleting anywhere it points would be a footgun.
+        """
+        info = ((entry or {}).get("result") or {}).get("result_artifact")
+        if not info:
+            return
+        import shutil
+
+        results_root = self.workspace.results_dir.resolve()
+        try:
+            target = Path(info.get("path", "")).resolve()
+            target.relative_to(results_root)
+        except (ValueError, OSError):
+            return
+        if target == results_root:
+            return
+        try:
+            shutil.rmtree(target, ignore_errors=True)
+        except OSError:  # pragma: no cover - cleanup is best-effort
+            pass
 
     def _discard_spool(self, job_id: str) -> None:
         """Delete a submission's spooled upload once the job can no longer read it."""
@@ -1250,25 +1319,90 @@ class AnonymizationServer:
 
     @_route("GET", r"/v1/jobs/(?P<id>[\w.-]+)/result")
     async def _handle_result(self, request: Request) -> bytes:
-        result = await self._result_for(request.path_params["id"])
-        if "rows" not in result:
+        """Serve a done job's published table.
+
+        Artifact-backed results (the default for row-carrying submissions)
+        render from the memory-mapped workspace artifact off the event loop;
+        either way the rendered body is cached on the resident job entry, so
+        a repeat fetch is a cache hit that re-renders nothing (the
+        ``repro_result_renders_total`` / ``repro_result_cache_hits_total``
+        counters make that observable).
+        """
+        job_id = request.path_params["id"]
+        result = await self._result_for(job_id)
+        artifact = result.get("result_artifact")
+        if "rows" not in result and not artifact:
             raise HttpError(
                 409,
                 "job was submitted with include_rows=false; "
                 "only /metrics is available",
             )
         format_name = request.query.get("format", "json")
-        if format_name == "json":
-            return json_response(200, result)
-        if format_name == "csv":
-            buffer = io.StringIO()
-            writer = csv.writer(buffer)
-            writer.writerow(result["header"])
-            writer.writerows(result["rows"])
-            return render_response(
-                200, buffer.getvalue().encode("utf-8"), content_type="text/csv"
+        if format_name not in ("json", "csv"):
+            raise HttpError(
+                400, f"unknown result format {format_name!r} (json or csv)"
             )
-        raise HttpError(400, f"unknown result format {format_name!r} (json or csv)")
+        entry = self._jobs.get(job_id)
+        cache: dict = entry.setdefault("render_cache", {}) if entry is not None else {}
+        if format_name == "csv":
+            body = cache.get("csv")
+            if body is not None:
+                self._result_cache_hits.inc(format="csv")
+                return render_response(200, body, content_type="text/csv")
+            if artifact:
+                body = await self._render_artifact(artifact["path"], "csv")
+            else:
+                body = await self._offload(
+                    self._render_rows_csv, result["header"], result["rows"]
+                )
+            self._result_renders.inc(format="csv")
+            cache["csv"] = body
+            return render_response(200, body, content_type="text/csv")
+        if "rows" in result:
+            return json_response(200, result)
+        rows = cache.get("rows")
+        if rows is not None:
+            self._result_cache_hits.inc(format="json")
+        else:
+            rows = await self._render_artifact(artifact["path"], "rows")
+            self._result_renders.inc(format="json")
+            cache["rows"] = rows
+        return json_response(200, {**result, "rows": rows})
+
+    async def _render_artifact(self, path: str, what: str):
+        """Render ``csv`` bytes or ``rows`` lists from an on-disk artifact."""
+        from repro.engine.columnstore import ResultArtifact
+        from repro.errors import DataSourceError
+
+        def render():
+            opened = ResultArtifact.mmap(path)
+            return opened.csv_bytes() if what == "csv" else opened.rows()
+
+        try:
+            return await self._offload(render)
+        except DataSourceError as error:
+            raise HttpError(
+                404,
+                f"result artifact is no longer available ({error}); "
+                "resubmit and the run store will answer it",
+            ) from None
+
+    @staticmethod
+    def _render_rows_csv(header: list, rows: list) -> bytes:
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(header)
+        writer.writerows(rows)
+        return buffer.getvalue().encode("utf-8")
+
+    def _resident_artifact_bytes(self) -> float:
+        """Gauge callback: on-disk bytes of every resident job's artifact."""
+        return float(
+            sum(
+                (entry.get("result") or {}).get("result_artifact", {}).get("bytes", 0)
+                for entry in self._jobs.values()
+            )
+        )
 
     @_route("GET", r"/v1/jobs/(?P<id>[\w.-]+)/metrics")
     async def _handle_job_metrics(self, request: Request) -> bytes:

@@ -46,6 +46,8 @@ from __future__ import annotations
 import asyncio
 import inspect
 import math
+import os
+import re
 from concurrent.futures import (
     BrokenExecutor,
     Executor,
@@ -134,11 +136,20 @@ def _process_worker_init() -> None:
         signal.signal(signal_number, signal.SIG_DFL)
 
 
-def execute_job(spec: dict, workspace_root: str | None, use_store: bool) -> dict:
+def execute_job(
+    spec: dict,
+    workspace_root: str | None,
+    use_store: bool,
+    core_budget: int = 1,
+) -> dict:
     """Executor entry point: run one job spec, return a picklable result.
 
-    ``workers`` is pinned to 1 — parallelism belongs to the pool itself, and
-    nesting a process pool inside a pool worker would oversubscribe the host.
+    ``core_budget`` caps the engine workers this job may use.  Historically
+    pinned to 1 (parallelism belonged to the pool alone); the pool now hands
+    each job its planner-governed share of the host
+    (:func:`repro.service.planner.per_job_worker_budget`), so one big job on
+    a lightly loaded pool can fan its shards across idle cores while the
+    product ``pool workers × budget`` never oversubscribes the machine.
     """
     apply_worker_faults(spec)
     source = build_source(spec["source"])
@@ -149,7 +160,7 @@ def execute_job(spec: dict, workspace_root: str | None, use_store: bool) -> dict
         l=int(spec["l"]),
         privacy=privacy_from_dict(privacy) if privacy else None,
         shards=spec.get("shards"),
-        workers=1,
+        workers=max(1, int(core_budget)),
         backend=spec.get("backend"),
         seed=int(spec.get("seed", 0)),
         metrics=tuple(spec.get("metrics", ())),
@@ -212,13 +223,52 @@ def execute_job(spec: dict, workspace_root: str | None, use_store: bool) -> dict
     if spec.get("include_rows", True):
         schema = generalized.schema
         header = list(schema.qi_names) + [schema.sensitive.name]
+        payload["header"] = header
+        artifact_dir = _result_artifact_dir(spec, workspace_root)
+        if artifact_dir is not None:
+            from repro.engine.columnstore import RESULT_FORMAT_NAME, ResultArtifact
+
+            artifact = ResultArtifact.from_generalized(generalized)
+            if artifact is not None:
+                # Zero-copy handoff: the group-level arrays go to disk under
+                # the workspace and only their path rides back through the
+                # pickle channel — the n row-string lists are never built.
+                artifact_bytes = artifact.save(artifact_dir)
+                payload["result_artifact"] = {
+                    "path": str(artifact_dir),
+                    "rows": artifact.n,
+                    "bytes": artifact_bytes,
+                    "format": RESULT_FORMAT_NAME,
+                }
+                return payload
         rows = []
         for row in range(len(generalized)):
             record = generalized.decoded_record(row)
             rows.append([str(render_cell_value(record[name])) for name in header])
-        payload["header"] = header
         payload["rows"] = rows
     return payload
+
+
+_ARTIFACT_KEY_PATTERN = re.compile(r"[\w.-]{1,128}")
+
+
+def _result_artifact_dir(spec: dict, workspace_root: str | None) -> str | None:
+    """Where this job should save its result artifact, or ``None`` to skip.
+
+    Artifacts are opt-in via the server-stamped ``result_artifact`` spec flag
+    (direct :func:`execute_job` callers keep the legacy inline-rows payload)
+    and keyed by the ledger job id — server-minted, so directories never
+    collide across concurrent jobs and the key is always path-safe (the
+    pattern check is defence in depth, not a trust boundary).
+    """
+    if not spec.get("result_artifact") or workspace_root is None:
+        return None
+    job_id = str(spec.get("job_id", "")).strip()
+    if not _ARTIFACT_KEY_PATTERN.fullmatch(job_id) or job_id.startswith("."):
+        return None
+    from repro.service.workspace import Workspace
+
+    return str(Workspace(workspace_root).results_dir / job_id)
 
 
 # ----------------------------------------------------------------------- pool
@@ -258,6 +308,12 @@ class WorkerPool:
                 f"retry_backoff_seconds must be positive, got {retry_backoff_seconds}"
             )
         self.workers = workers
+        #: Engine workers each job may use — the planner-governed share of
+        #: the host left after the pool's own fan-out, replacing the old
+        #: hard ``workers=1`` pin inside :func:`execute_job`.
+        from repro.service.planner import per_job_worker_budget
+
+        self.job_core_budget = per_job_worker_budget(workers, os.cpu_count() or 1)
         self.queue_cap = queue_cap
         self._transition = transition or (lambda *args, **kwargs: None)
         self._executor_kind = executor_kind
@@ -615,9 +671,13 @@ class WorkerPool:
                     call = loop.run_in_executor(
                         executor,
                         execute_job,
-                        spec,
+                        # The ledger job id rides along so the worker can key
+                        # its result artifact by it (server-minted: path-safe
+                        # and unique across concurrent jobs).
+                        {**spec, "job_id": job_id},
                         self._workspace_root,
                         self._use_store,
+                        self.job_core_budget,
                     )
                     if self.job_timeout_seconds is not None:
                         result = await asyncio.wait_for(

@@ -122,7 +122,8 @@ def run_bench_scale(
 
     maker = make_sal if config.dataset.upper() == "SAL" else make_occ
     points: list[dict] = []
-    speedup: dict[str, float] = {}
+    speedup: dict[str, float | None] = {}
+    speedup_notes: dict[str, str] = {}
     for n in config.sizes:
         echo(f"[bench_scale] n={n}: generating {config.dataset} table")
         table = maker(n, seed=config.seed, config=config.census_config())
@@ -162,6 +163,18 @@ def run_bench_scale(
                         f"backend outputs diverge at n={n}: "
                         f"{numpy_point['stars']} vs {reference_point['stars']} stars"
                     )
+            else:
+                # Record the hole explicitly: a silently absent key reads as
+                # "never measured" while null + note says "deliberately
+                # skipped".  Consumers (load_scale_rates, the README table)
+                # ignore null entries.
+                speedup[str(n)] = None
+                speedup_notes[str(n)] = "reference_skipped"
+                echo(
+                    f"[bench_scale] n={n} reference: skipped "
+                    f"(> reference_max_n={config.reference_max_n}); "
+                    "speedup recorded as null"
+                )
     return {
         "benchmark": "bench_scale",
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -179,6 +192,7 @@ def run_bench_scale(
         },
         "points": points,
         "speedup": speedup,
+        "speedup_notes": speedup_notes,
     }
 
 

@@ -47,6 +47,7 @@ __all__ = [
     "default_planner",
     "load_bench_calibration",
     "load_scale_rates",
+    "per_job_worker_budget",
 ]
 
 #: Estimated seconds to spawn one process-pool worker (pool startup, imports).
@@ -65,6 +66,23 @@ DEFAULT_RATES = {"numpy": 1.0e-7, "reference": 4.0e-7}
 
 def _nlogn(n: int | float) -> float:
     return float(n) * math.log2(max(float(n), 2.0))
+
+
+def per_job_worker_budget(pool_workers: int, cpu_count: int | None = None) -> int:
+    """Engine workers one pool job may use without oversubscribing the host.
+
+    The serving pool runs up to ``pool_workers`` jobs concurrently; giving
+    each job the whole machine would multiply load by the pool width, while
+    the historical ``workers=1`` pin wastes every idle core on a lightly
+    loaded pool.  The budget splits the cores evenly across the possible
+    concurrent jobs — ``max(1, cpus // pool_workers)`` — so a single-worker
+    pool hands one big job all the cores, a pool as wide as the machine
+    keeps the old pin, and the product never exceeds the core count.
+    """
+    if pool_workers < 1:
+        raise ValueError(f"pool_workers must be >= 1, got {pool_workers}")
+    cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    return max(1, int(cpus) // int(pool_workers))
 
 
 @dataclass(frozen=True)
@@ -119,7 +137,12 @@ def load_scale_rates(
         for point in payload.get("points", []):
             backend_name = point.get("backend")
             n = int(point.get("n", 0))
-            seconds = float(point.get("seconds", {}).get("anonymize", 0.0))
+            raw_seconds = point.get("seconds", {}).get("anonymize")
+            if raw_seconds is None:
+                # Explicit null: the point was recorded but not measured
+                # (e.g. a skipped reference run) — ignore, don't crash.
+                continue
+            seconds = float(raw_seconds)
             if not backend_name or n < 2 or seconds <= 0:
                 continue
             if backend_name not in best or n > best[backend_name][0]:

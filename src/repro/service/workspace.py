@@ -7,7 +7,10 @@ persists between processes:
   anonymization runs (read through by the engine's result cache);
 * ``jobs.jsonl`` — the :class:`~repro.service.jobs.JobService` ledger of
   submitted jobs;
-* ``tmp/`` — spill space for the streaming pipeline's per-shard buffers.
+* ``tmp/`` — spill space for the streaming pipeline's per-shard buffers;
+* ``results/`` — per-job published-output artifacts
+  (:class:`~repro.engine.columnstore.ResultArtifact` directories) the
+  server streams ``/result`` responses from.
 
 Resolution order for the root directory: an explicit path, then the
 ``REPRO_WORKSPACE`` environment variable, then ``~/.cache/ldiversity``.
@@ -50,6 +53,12 @@ class Workspace:
     @property
     def tmp_dir(self) -> Path:
         path = self.root / "tmp"
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    @property
+    def results_dir(self) -> Path:
+        path = self.root / "results"
         path.mkdir(parents=True, exist_ok=True)
         return path
 

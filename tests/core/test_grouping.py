@@ -202,3 +202,77 @@ class TestTableGroupingCache:
             )
             warm_context = warm.grouping()
         assert np.array_equal(warm_context.order, context.order)
+
+
+def _assert_contexts_identical(fast: GroupingContext, oracle: GroupingContext):
+    assert fast.order.tolist() == oracle.order.tolist()
+    assert fast.group_keys.tolist() == oracle.group_keys.tolist()
+    assert fast.group_run_bounds.tolist() == oracle.group_run_bounds.tolist()
+    assert fast.run_bounds.tolist() == oracle.run_bounds.tolist()
+    assert fast.run_values.tolist() == oracle.run_values.tolist()
+
+
+class TestBuildAgainstReference:
+    """The key-derived boundary scan against the serial wide-scan oracle."""
+
+    @given(table=small_tables(max_rows=14, max_dimension=3, max_sensitive=4))
+    @settings(deadline=None)
+    def test_key_scan_is_bit_identical(self, table):
+        args = (
+            table.qi_columns,
+            table.sa_array,
+            [attribute.size for attribute in table.schema.qi],
+            table.schema.sensitive.size,
+        )
+        _assert_contexts_identical(
+            GroupingContext.build(*args), GroupingContext.build_reference(*args)
+        )
+
+    @given(table=small_tables(max_rows=12, max_dimension=2, max_sensitive=3))
+    @settings(deadline=None, max_examples=25)
+    def test_forced_chunked_encode_is_bit_identical(self, table):
+        args = (
+            table.qi_columns,
+            table.sa_array,
+            [attribute.size for attribute in table.schema.qi],
+            table.schema.sensitive.size,
+        )
+        saved_threshold = kernels.PARALLEL_THRESHOLD
+        saved_chunks = kernels.MIN_SORT_CHUNKS
+        kernels.PARALLEL_THRESHOLD = 1
+        kernels.MIN_SORT_CHUNKS = 4
+        try:
+            fast = GroupingContext.build(*args)
+        finally:
+            kernels.PARALLEL_THRESHOLD = saved_threshold
+            kernels.MIN_SORT_CHUNKS = saved_chunks
+        _assert_contexts_identical(fast, GroupingContext.build_reference(*args))
+
+    @given(table=small_tables(max_rows=12, max_dimension=2, max_sensitive=3))
+    @settings(deadline=None, max_examples=25)
+    def test_warm_start_order_skips_sort_and_matches(self, table):
+        args = (
+            table.qi_columns,
+            table.sa_array,
+            [attribute.size for attribute in table.schema.qi],
+            table.schema.sensitive.size,
+        )
+        oracle = GroupingContext.build_reference(*args)
+        warm = GroupingContext.build(*args, order=oracle.order)
+        _assert_contexts_identical(warm, oracle)
+
+    def test_empty_table_both_paths(self):
+        columns = np.zeros((0, 2), dtype=np.int64)
+        sa = np.zeros(0, dtype=np.int64)
+        fast = GroupingContext.build(columns, sa, [3, 3], 2)
+        oracle = GroupingContext.build_reference(columns, sa, [3, 3], 2)
+        _assert_contexts_identical(fast, oracle)
+        assert fast.n == 0 and fast.group_count == 0 and fast.run_count == 0
+
+    def test_single_row(self):
+        columns = np.asarray([[1, 2]], dtype=np.int64)
+        sa = np.asarray([1], dtype=np.int64)
+        fast = GroupingContext.build(columns, sa, [3, 3], 2)
+        oracle = GroupingContext.build_reference(columns, sa, [3, 3], 2)
+        _assert_contexts_identical(fast, oracle)
+        assert fast.group_count == 1 and fast.run_count == 1

@@ -181,3 +181,156 @@ def test_row_chunked_concatenation_is_bit_identical(rows, chunks):
         lambda chunk: chunk.sum(axis=1) * 3 + chunk[:, 0], matrix, chunks=chunks
     )
     assert chunked.tolist() == whole.tolist()
+
+
+# ------------------------------------------------------- stable sort pairs
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=30), max_size=50),
+    st.integers(min_value=1, max_value=7),
+)
+def test_stable_sort_pairs_matches_argsort_and_gather(values, chunks):
+    keys = np.asarray(values, dtype=np.int64)
+    order, sorted_keys = kernels.stable_sort_pairs(keys, 31, chunks=chunks)
+    expected = kernels.stable_argsort_reference(keys)
+    assert order.tolist() == expected.tolist()
+    assert sorted_keys.tolist() == keys[expected].tolist()
+
+
+@given(st.lists(st.integers(min_value=0, max_value=30), max_size=50))
+def test_stable_sort_pairs_oversized_span_falls_back_identically(values):
+    # A key span past the packed-word budget must take the argsort+gather
+    # fallback and still honour the exact same contract.
+    keys = np.asarray(values, dtype=np.int64)
+    order, sorted_keys = kernels.stable_sort_pairs(keys, 1 << 62)
+    expected = kernels.stable_argsort_reference(keys)
+    assert order.tolist() == expected.tolist()
+    assert sorted_keys.tolist() == keys[expected].tolist()
+
+
+@settings(max_examples=25)
+@given(st.lists(st.integers(min_value=0, max_value=9), max_size=40))
+def test_stable_sort_pairs_forced_chunked_packing_is_exact(values):
+    keys = np.asarray(values, dtype=np.int64)
+    saved_threshold = kernels.PARALLEL_THRESHOLD
+    saved_chunks = kernels.MIN_SORT_CHUNKS
+    kernels.PARALLEL_THRESHOLD = 1
+    kernels.MIN_SORT_CHUNKS = 4
+    try:
+        order, sorted_keys = kernels.stable_sort_pairs(keys, 10)
+    finally:
+        kernels.PARALLEL_THRESHOLD = saved_threshold
+        kernels.MIN_SORT_CHUNKS = saved_chunks
+    expected = kernels.stable_argsort_reference(keys)
+    assert order.tolist() == expected.tolist()
+    assert sorted_keys.tolist() == keys[expected].tolist()
+
+
+def test_stable_sort_pairs_empty():
+    order, sorted_keys = kernels.stable_sort_pairs(np.asarray([], dtype=np.int64), 5)
+    assert order.tolist() == []
+    assert sorted_keys.tolist() == []
+
+
+# ----------------------------------------------------- gather / group reduce
+
+
+@given(
+    st.lists(st.integers(min_value=-9, max_value=9), min_size=1, max_size=30),
+    st.lists(st.integers(min_value=0, max_value=1000), max_size=40),
+    st.integers(min_value=1, max_value=7),
+)
+def test_take_chunked_matches_reference(values, picks, chunks):
+    source = np.asarray(values, dtype=np.int64)
+    indices = np.asarray([pick % len(values) for pick in picks], dtype=np.intp)
+    fast = kernels.take(source, indices, chunks=chunks)
+    assert fast.tolist() == kernels.take_reference(source, indices).tolist()
+
+
+@settings(max_examples=25)
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=7), st.integers(min_value=0, max_value=7)),
+        min_size=1,
+        max_size=20,
+    ),
+    st.lists(st.integers(min_value=0, max_value=1000), max_size=25),
+)
+def test_take_rows_under_forced_parallelism(rows, picks):
+    matrix = np.asarray(rows, dtype=np.int64)
+    indices = np.asarray([pick % len(rows) for pick in picks], dtype=np.intp)
+    saved_threshold = kernels.PARALLEL_THRESHOLD
+    saved_chunks = kernels.MIN_SORT_CHUNKS
+    kernels.PARALLEL_THRESHOLD = 1
+    kernels.MIN_SORT_CHUNKS = 4
+    try:
+        fast = kernels.take(matrix, indices)
+    finally:
+        kernels.PARALLEL_THRESHOLD = saved_threshold
+        kernels.MIN_SORT_CHUNKS = saved_chunks
+    assert fast.tolist() == kernels.take_reference(matrix, indices).tolist()
+
+
+def test_take_empty_indices():
+    source = np.asarray([[1, 2], [3, 4]], dtype=np.int64)
+    assert kernels.take(source, np.asarray([], dtype=np.intp)).tolist() == []
+
+
+@st.composite
+def grouped_reduce_cases(draw):
+    width = draw(st.integers(min_value=1, max_value=3))
+    sizes = draw(st.lists(st.integers(min_value=1, max_value=5), max_size=8))
+    n = sum(sizes)
+    flat = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=9), min_size=n * width, max_size=n * width
+        )
+    )
+    columns = np.asarray(flat, dtype=np.int64).reshape(n, width)
+    members = np.asarray(draw(st.permutations(range(n))), dtype=np.intp)
+    starts = np.cumsum([0] + sizes)[:-1].astype(np.int64)
+    return columns, members, starts
+
+
+@given(grouped_reduce_cases(), st.integers(min_value=1, max_value=5))
+def test_grouped_min_max_chunked_matches_reference(case, chunks):
+    columns, members, starts = case
+    fast_min, fast_max = kernels.grouped_min_max(columns, members, starts, chunks=chunks)
+    oracle_min, oracle_max = kernels.grouped_min_max_reference(columns, members, starts)
+    assert fast_min.tolist() == oracle_min.tolist()
+    assert fast_max.tolist() == oracle_max.tolist()
+
+
+@settings(max_examples=25)
+@given(grouped_reduce_cases())
+def test_grouped_min_max_under_forced_parallelism(case):
+    columns, members, starts = case
+    saved_threshold = kernels.PARALLEL_THRESHOLD
+    saved_chunks = kernels.MIN_SORT_CHUNKS
+    kernels.PARALLEL_THRESHOLD = 1
+    kernels.MIN_SORT_CHUNKS = 4
+    try:
+        fast_min, fast_max = kernels.grouped_min_max(columns, members, starts)
+    finally:
+        kernels.PARALLEL_THRESHOLD = saved_threshold
+        kernels.MIN_SORT_CHUNKS = saved_chunks
+    oracle_min, oracle_max = kernels.grouped_min_max_reference(columns, members, starts)
+    assert fast_min.tolist() == oracle_min.tolist()
+    assert fast_max.tolist() == oracle_max.tolist()
+
+
+def test_grouped_min_max_no_groups():
+    columns = np.zeros((0, 2), dtype=np.int64)
+    empty = np.asarray([], dtype=np.intp)
+    minima, maxima = kernels.grouped_min_max(columns, empty, np.asarray([], dtype=np.int64))
+    assert minima.shape == (0, 2) and maxima.shape == (0, 2)
+
+
+def test_grouped_min_max_single_group_is_whole_table_reduction():
+    columns = np.asarray([[3, 1], [2, 5], [3, 0]], dtype=np.int64)
+    members = np.asarray([2, 0, 1], dtype=np.intp)
+    starts = np.asarray([0], dtype=np.int64)
+    minima, maxima = kernels.grouped_min_max(columns, members, starts)
+    assert minima.tolist() == [[2, 0]]
+    assert maxima.tolist() == [[3, 5]]

@@ -6,8 +6,12 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from hypothesis import settings
+
+from repro.core import kernels
 from repro.dataset.generalized import STAR, GeneralizedTable, Partition, cell_contains, cell_size
 from tests.conftest import make_random_table
+from tests.strategies import tables_with_partitions
 
 
 class TestCellHelpers:
@@ -179,3 +183,84 @@ class TestSuppressionProperties:
                     assert cell == values.pop()
                 else:
                     assert cell is STAR
+
+
+class TestColumnarPublishOracle:
+    """The lazy columnar ``from_partition`` against the serial oracle."""
+
+    @staticmethod
+    def _assert_identical(fast: GeneralizedTable, oracle: GeneralizedTable):
+        assert fast.cell_rows == oracle.cell_rows
+        assert fast.sa_values == oracle.sa_values
+        assert fast.group_ids == oracle.group_ids
+        assert fast.star_count() == oracle.star_count()
+        assert fast.suppressed_tuple_count() == oracle.suppressed_tuple_count()
+        assert fast.star_mask().tolist() == oracle.star_mask().tolist()
+
+    @given(case=tables_with_partitions(max_rows=12))
+    @settings(deadline=None)
+    def test_bit_identical_to_reference(self, case):
+        table, partition = case
+        fast = GeneralizedTable.from_partition(table, partition)
+        oracle = GeneralizedTable.from_partition_reference(table, partition)
+        self._assert_identical(fast, oracle)
+
+    @given(case=tables_with_partitions(max_rows=10))
+    @settings(deadline=None, max_examples=25)
+    def test_forced_chunked_publish_is_bit_identical(self, case):
+        table, partition = case
+        saved_threshold = kernels.PARALLEL_THRESHOLD
+        saved_chunks = kernels.MIN_SORT_CHUNKS
+        kernels.PARALLEL_THRESHOLD = 1
+        kernels.MIN_SORT_CHUNKS = 4
+        try:
+            fast = GeneralizedTable.from_partition(table, partition)
+        finally:
+            kernels.PARALLEL_THRESHOLD = saved_threshold
+            kernels.MIN_SORT_CHUNKS = saved_chunks
+        self._assert_identical(
+            fast, GeneralizedTable.from_partition_reference(table, partition)
+        )
+
+    @given(case=tables_with_partitions(max_rows=10))
+    @settings(deadline=None, max_examples=25)
+    def test_row_tuples_stay_unmaterialized_until_asked(self, case):
+        table, partition = case
+        fast = GeneralizedTable.from_partition(table, partition)
+        if len(table):
+            assert fast._cells_rows is None
+            # Counts come off the columnar form without building row tuples.
+            fast.star_count()
+            fast.suppressed_tuple_count()
+            fast.star_mask()
+            assert fast._cells_rows is None
+        assert len(fast._cells) == len(table)
+
+    @given(case=tables_with_partitions(max_rows=10))
+    @settings(deadline=None, max_examples=25)
+    def test_columnar_publish_determines_every_cell(self, case):
+        table, partition = case
+        fast = GeneralizedTable.from_partition(table, partition)
+        if not len(table):
+            return
+        published = fast.columnar_publish()
+        assert published is not None
+        rep_codes, rep_star, group_of, sa_codes = published
+        groups = len(partition.groups)
+        assert rep_codes.shape == (groups, table.dimension)
+        assert rep_star.shape == (groups, table.dimension)
+        assert group_of.shape == (len(table),) and sa_codes.shape == (len(table),)
+        for row in range(len(table)):
+            group = int(group_of[row])
+            for position in range(table.dimension):
+                expected = fast.cell(row, position)
+                if rep_star[group, position]:
+                    assert expected is STAR
+                else:
+                    assert expected == int(rep_codes[group, position])
+            assert fast.sa_value(row) == int(sa_codes[row])
+
+    def test_reference_output_has_no_columnar_form(self, hospital):
+        partition = Partition.by_qi(hospital)
+        oracle = GeneralizedTable.from_partition_reference(hospital, partition)
+        assert oracle.columnar_publish() is None

@@ -1,0 +1,155 @@
+"""ResultArtifact: legacy byte-identity, persistence round trips, validation."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.dataset.generalized import GeneralizedTable, Partition
+from repro.dataset.examples import hospital_microdata
+from repro.dataset.synthetic import CensusConfig, make_sal
+from repro.engine.columnstore import RESULT_META_FILE, ResultArtifact
+from repro.engine.sinks import render_cell_value
+from repro.errors import DataSourceError
+
+
+@pytest.fixture(scope="module")
+def published():
+    table = make_sal(800, seed=11, config=CensusConfig.scaled(0.2))
+    return table, GeneralizedTable.from_partition(table, Partition.by_qi(table))
+
+
+def _legacy_rows(generalized):
+    """The historical pool payload: decoded records rendered row by row."""
+    schema = generalized.schema
+    header = list(schema.qi_names) + [schema.sensitive.name]
+    rows = []
+    for row in range(len(generalized)):
+        record = generalized.decoded_record(row)
+        rows.append([str(render_cell_value(record[name])) for name in header])
+    return header, rows
+
+
+def _legacy_csv(header, rows):
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(header)
+    writer.writerows(rows)
+    return buffer.getvalue().encode("utf-8")
+
+
+# --------------------------------------------------------------- rendering
+
+
+def test_rows_match_the_legacy_render(published):
+    _, generalized = published
+    artifact = ResultArtifact.from_generalized(generalized)
+    assert artifact is not None
+    header, rows = _legacy_rows(generalized)
+    assert artifact.header == header
+    assert artifact.rows() == rows
+
+
+def test_csv_bytes_match_the_legacy_render(published):
+    _, generalized = published
+    artifact = ResultArtifact.from_generalized(generalized)
+    assert artifact.csv_bytes() == _legacy_csv(*_legacy_rows(generalized))
+
+
+def test_chunked_streaming_equals_monolithic_write(published):
+    _, generalized = published
+    artifact = ResultArtifact.from_generalized(generalized)
+    whole = artifact.csv_bytes()
+    for chunk_rows in (1, 7, 333, 10**6):
+        chunks = list(artifact.iter_csv_chunks(chunk_rows))
+        assert b"".join(chunks) == whole
+        # header rides in the first chunk exactly once
+        assert chunks[0].startswith(",".join(artifact.header).encode("utf-8"))
+
+
+def test_chunk_rows_must_be_positive(published):
+    _, generalized = published
+    artifact = ResultArtifact.from_generalized(generalized)
+    with pytest.raises(ValueError):
+        list(artifact.iter_csv_chunks(0))
+
+
+def test_hospital_stars_render_as_star_text():
+    table = hospital_microdata()
+    generalized = GeneralizedTable.from_partition(table, Partition.by_qi(table))
+    artifact = ResultArtifact.from_generalized(generalized)
+    header, rows = _legacy_rows(generalized)
+    assert artifact.rows() == rows
+    assert artifact.csv_bytes() == _legacy_csv(header, rows)
+
+
+def test_tables_without_columnar_form_return_none(published):
+    _, generalized = published
+    reference = GeneralizedTable.from_partition_reference(
+        *_rebuild_inputs(published)
+    )
+    assert ResultArtifact.from_generalized(reference) is None
+
+
+def _rebuild_inputs(published):
+    table, _ = published
+    return table, Partition.by_qi(table)
+
+
+# ------------------------------------------------------------- persistence
+
+
+def test_save_mmap_load_round_trip_is_byte_identical(published, tmp_path):
+    _, generalized = published
+    artifact = ResultArtifact.from_generalized(generalized)
+    target = tmp_path / "result"
+    size = artifact.save(target)
+    assert size > 0
+    assert ResultArtifact.is_artifact_dir(target)
+    expected = artifact.csv_bytes()
+    for reopened in (ResultArtifact.mmap(target), ResultArtifact.load(target)):
+        assert reopened.n == artifact.n and reopened.g == artifact.g
+        assert reopened.header == artifact.header
+        assert reopened.rows() == artifact.rows()
+        assert reopened.csv_bytes() == expected
+
+
+def test_save_reports_on_disk_bytes(published, tmp_path):
+    _, generalized = published
+    artifact = ResultArtifact.from_generalized(generalized)
+    target = tmp_path / "result"
+    size = artifact.save(target)
+    assert size == sum(child.stat().st_size for child in target.iterdir())
+
+
+def test_missing_directory_is_a_data_source_error(tmp_path):
+    with pytest.raises(DataSourceError):
+        ResultArtifact.mmap(tmp_path / "nope")
+    assert not ResultArtifact.is_artifact_dir(tmp_path / "nope")
+
+
+def test_foreign_meta_is_rejected(published, tmp_path):
+    _, generalized = published
+    artifact = ResultArtifact.from_generalized(generalized)
+    target = tmp_path / "result"
+    artifact.save(target)
+    meta = json.loads((target / RESULT_META_FILE).read_text())
+    meta["format"] = "something-else"
+    (target / RESULT_META_FILE).write_text(json.dumps(meta))
+    with pytest.raises(DataSourceError):
+        ResultArtifact.load(target)
+
+
+def test_meta_row_count_mismatch_is_rejected(published, tmp_path):
+    _, generalized = published
+    artifact = ResultArtifact.from_generalized(generalized)
+    target = tmp_path / "result"
+    artifact.save(target)
+    meta = json.loads((target / RESULT_META_FILE).read_text())
+    meta["n"] = meta["n"] + 1
+    (target / RESULT_META_FILE).write_text(json.dumps(meta))
+    with pytest.raises(DataSourceError):
+        ResultArtifact.load(target)

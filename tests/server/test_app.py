@@ -12,6 +12,7 @@ import urllib.request
 import pytest
 
 from repro.client import Client, ClientError, JobFailedError
+from repro.server.faults import FaultPlan, clear_plan, install_plan
 from repro.privacy.spec import EntropyLDiversity, KAnonymity, privacy_registry
 from repro.service import JobLedger, verify_csv_l_diverse
 
@@ -504,9 +505,15 @@ class TestCancel:
         """A run interrupted by shutdown must not stay 'running' in the ledger."""
         handle = ServerHandle(workspace=tmp_path / "ws-grace", workers=1, queue_cap=4)
         client = Client(handle.base_url, retries=0)
+        # Wedge the worker with a delay fault so the run reliably outlives the
+        # grace window — the engine is fast enough that a plain job can finish
+        # inside it.
+        install_plan(FaultPlan(delay_seconds=3.0, delay_seeds=(777,)))
         try:
             job_id = client.submit(
-                source={"kind": "synthetic", "n": 30_000, "dimension": 3}, l=2
+                source={"kind": "synthetic", "n": 30_000, "dimension": 3},
+                l=2,
+                seed=777,
             )
             deadline = time.monotonic() + 30
             while client.status(job_id)["status"] != "running":
@@ -517,6 +524,7 @@ class TestCancel:
             assert record.status == "cancelled"
             assert "before the result was recorded" in record.error
         finally:
+            clear_plan()
             handle.stop()
 
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+import math
 from pathlib import Path
 
 import pytest
@@ -11,6 +13,8 @@ from repro.service.planner import (
     ExecutionPlanner,
     PlannerCalibration,
     load_bench_calibration,
+    load_scale_rates,
+    per_job_worker_budget,
 )
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -212,3 +216,76 @@ class TestSuiteWorkers:
     def test_width_bounded_by_jobs(self):
         planner = ExecutionPlanner(calibration=PlannerCalibration(), cpu_count=8)
         assert planner.suite_workers(jobs=3, estimated_total_seconds=60.0) == 3
+
+
+class TestPerJobWorkerBudget:
+    def test_splits_cores_evenly_across_pool_width(self):
+        assert per_job_worker_budget(1, cpu_count=8) == 8
+        assert per_job_worker_budget(2, cpu_count=8) == 4
+        assert per_job_worker_budget(3, cpu_count=8) == 2
+        assert per_job_worker_budget(8, cpu_count=8) == 1
+
+    def test_never_drops_below_the_historical_pin(self):
+        # A pool wider than the machine keeps the old workers=1 behaviour.
+        assert per_job_worker_budget(4, cpu_count=1) == 1
+        assert per_job_worker_budget(16, cpu_count=8) == 1
+
+    def test_product_never_oversubscribes(self):
+        for cpus in (1, 2, 4, 6, 8, 32):
+            for width in range(1, 12):
+                assert per_job_worker_budget(width, cpu_count=cpus) * width <= max(
+                    cpus, width
+                )
+
+    def test_invalid_pool_width_raises(self):
+        with pytest.raises(ValueError):
+            per_job_worker_budget(0)
+
+
+class TestScaleRates:
+    def _payload(self, points):
+        return {
+            "config": {"algorithm": "TP+"},
+            "points": points,
+            "speedup": {"10000000": None},
+            "speedup_notes": {"10000000": "reference_skipped"},
+        }
+
+    def test_null_seconds_points_are_ignored(self, tmp_path):
+        target = tmp_path / "BENCH_scale.json"
+        target.write_text(
+            json.dumps(
+                self._payload(
+                    [
+                        {
+                            "n": 1_000_000,
+                            "backend": "numpy",
+                            "seconds": {"anonymize": 0.5},
+                        },
+                        {
+                            "n": 10_000_000,
+                            "backend": "numpy",
+                            "seconds": {"anonymize": None},
+                        },
+                        {
+                            "n": 10_000_000,
+                            "backend": "reference",
+                            "seconds": {"anonymize": None},
+                        },
+                    ]
+                )
+            )
+        )
+        rates, source = load_scale_rates(target)
+        assert source == str(target)
+        # The null 10^7 entries must not crash the parse *or* win the
+        # largest-n selection: the measured 10^6 point calibrates the rate.
+        expected = 0.5 / (1_000_000 * math.log2(1_000_000))
+        assert rates["numpy"]["TP+"] == pytest.approx(expected)
+        assert "reference" not in rates
+
+    def test_committed_bench_scale_parses_with_null_speedups(self):
+        rates, source = load_scale_rates(REPO_ROOT / "BENCH_scale.json")
+        assert source.endswith("BENCH_scale.json")
+        assert rates["numpy"]["TP+"] > 0
+        assert rates["reference"]["TP+"] > 0
